@@ -1,0 +1,71 @@
+// Ablation: per-hop frame loss (the substrate knob the paper's ideal-
+// channel simulation fixes at zero). ARQ retransmissions inflate every
+// hop by ~1/(1-p); the question is whether the Pool-vs-DIM ordering and
+// gap survive a realistic channel. (They do — both systems ride the same
+// links.)
+#include <cstdio>
+
+#include "bench_support/experiment.h"
+#include "query/query_gen.h"
+
+using namespace poolnet;
+using namespace poolnet::benchsup;
+
+int main() {
+  print_banner("Ablation — per-hop link loss",
+               "900 nodes; exact (exp sizes) and 1-partial queries; frame "
+               "loss probability swept; ARQ retransmissions charged.");
+
+  constexpr int kSeeds = 3;
+  constexpr int kQueries = 50;
+
+  TablePrinter table({"loss %", "exact Pool", "exact DIM", "1-part Pool",
+                      "1-part DIM", "1-part DIM/Pool", "energy Pool (mJ)"});
+  for (const double loss : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    PairedRun exact_total, partial_total;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      TestbedConfig config;
+      config.nodes = 900;
+      config.seed = static_cast<std::uint64_t>(seed);
+      config.loss.loss_probability = loss;
+      Testbed tb(config);
+      tb.insert_workload();
+      query::QueryGenerator qgen(
+          {.dims = 3, .dist = query::RangeSizeDistribution::Exponential,
+           .exp_mean = 0.1},
+          static_cast<std::uint64_t>(seed) * 59 +
+              static_cast<std::uint64_t>(loss * 100));
+      merge_into(exact_total,
+                 run_paired_queries(
+                     tb,
+                     generate_queries(kQueries,
+                                      [&] { return qgen.exact_range(); }),
+                     seed * 7 + 31));
+      merge_into(partial_total,
+                 run_paired_queries(
+                     tb,
+                     generate_queries(kQueries,
+                                      [&] { return qgen.partial_range(1); }),
+                     seed * 7 + 32));
+    }
+    if (exact_total.pool_mismatches || exact_total.dim_mismatches ||
+        partial_total.pool_mismatches || partial_total.dim_mismatches) {
+      std::fprintf(stderr, "CORRECTNESS VIOLATION at loss=%.1f\n", loss);
+      return 1;
+    }
+    table.add_row(
+        {fmt(loss * 100, 0), fmt(exact_total.pool.messages.mean()),
+         fmt(exact_total.dim.messages.mean()),
+         fmt(partial_total.pool.messages.mean()),
+         fmt(partial_total.dim.messages.mean()),
+         fmt(partial_total.dim.messages.mean() /
+                 partial_total.pool.messages.mean(),
+             2),
+         fmt(partial_total.pool.energy_mj.mean(), 2)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: both systems inflate by ~1/(1-p); the DIM/Pool "
+      "ratio is stable because retransmissions hit every scheme alike.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7(b): 1@n-partial query cost versus WHICH dimension carries the
+// unspecified range, at 900 nodes.
+//
+// Paper shape: DIM is strongly position-dependent — worst when the FIRST
+// dimension is unspecified (the k-d tree screens nothing at the top),
+// improving toward the last dimension. Pool is position-insensitive and
+// beats DIM by ~50-100% everywhere.
+#include <cstdio>
+
+#include "bench_support/experiment.h"
+#include "query/query_gen.h"
+
+using namespace poolnet;
+using namespace poolnet::benchsup;
+
+int main() {
+  print_banner("Figure 7(b) — 1@n-partial match position",
+               "Mean messages per 3-d 1@n-partial range query at 900 nodes; "
+               "n picks the unspecified dimension (paper's 1@1..1@3).");
+
+  constexpr int kSeeds = 5;
+  constexpr int kQueriesPerSeed = 80;
+
+  TablePrinter table({"position", "Pool msgs", "DIM msgs", "DIM/Pool",
+                      "results/query"});
+  for (std::size_t n = 0; n < 3; ++n) {
+    PairedRun total;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      TestbedConfig config;
+      config.nodes = 900;
+      config.seed = static_cast<std::uint64_t>(seed);
+      Testbed tb(config);
+      tb.insert_workload();
+      query::QueryGenerator qgen({.dims = 3},
+                                 static_cast<std::uint64_t>(seed) * 23 + n);
+      const auto queries = generate_queries(
+          kQueriesPerSeed, [&] { return qgen.partial_at(n); });
+      merge_into(total, run_paired_queries(tb, queries, seed * 29 + 7));
+    }
+    if (total.pool_mismatches || total.dim_mismatches) {
+      std::fprintf(stderr, "CORRECTNESS VIOLATION at 1@%zu\n", n + 1);
+      return 1;
+    }
+    table.add_row({"1@" + std::to_string(n + 1) + "-partial",
+                   fmt(total.pool.messages.mean()),
+                   fmt(total.dim.messages.mean()),
+                   fmt(total.dim.messages.mean() / total.pool.messages.mean(),
+                       2),
+                   fmt(total.pool.results.mean())});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: DIM decreases monotonically from 1@1 to 1@3; Pool "
+      "flat across positions and cheaper throughout.\n");
+  return 0;
+}

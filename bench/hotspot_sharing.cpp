@@ -1,0 +1,104 @@
+// Section 4.2 extension experiment (the paper defers details to its
+// technical report): workload sharing under a skewed event distribution.
+//
+// A Gaussian-concentrated workload hammers a few cells of one pool. With
+// sharing off, the hottest index node absorbs the whole burst; with
+// sharing on, delegation bounds the per-node resident load at a small and
+// quantified message overhead, and queries remain exact.
+#include <cstdio>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "query/query_gen.h"
+
+using namespace poolnet;
+using namespace poolnet::benchsup;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t max_load = 0;
+  double p99_load = 0;
+  std::uint64_t insert_msgs = 0;
+  double hot_query_msgs = 0;
+  std::size_t mismatches = 0;
+};
+
+Outcome run(bool sharing, std::uint32_t threshold, std::uint64_t seed) {
+  TestbedConfig config;
+  config.nodes = 900;
+  config.seed = seed;
+  config.workload.dist = query::ValueDistribution::Hotspot;
+  config.workload.center = 0.85;
+  config.workload.spread = 0.03;
+  config.workload.hotspot_fraction = 0.8;
+  config.pool.workload_sharing = sharing;
+  config.pool.share_threshold = threshold;
+  Testbed tb(config);
+  tb.insert_workload();
+
+  Outcome out;
+  out.insert_msgs = tb.pool_insert_traffic().total;
+  std::vector<std::uint64_t> loads;
+  for (const auto& node : tb.pool_network().nodes())
+    loads.push_back(node.stored_events);
+  std::sort(loads.begin(), loads.end());
+  out.max_load = loads.back();
+  out.p99_load = static_cast<double>(loads[loads.size() * 99 / 100]);
+
+  // Queries over the hot region, where delegation is actually exercised.
+  query::QueryGenerator qgen({.dims = 3}, seed * 3 + 1);
+  std::vector<storage::RangeQuery> queries;
+  Rng rng(seed * 5 + 2);
+  for (int i = 0; i < 40; ++i) {
+    const double lo = rng.uniform(0.7, 0.9);
+    queries.push_back(storage::RangeQuery(
+        {{lo, std::min(1.0, lo + 0.1)},
+         {lo, std::min(1.0, lo + 0.1)},
+         {0.0, 1.0}}));
+  }
+  const auto paired = run_paired_queries(tb, queries, seed * 7 + 3);
+  out.hot_query_msgs = paired.pool.messages.mean();
+  out.mismatches = paired.pool_mismatches;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Hotspot workload sharing (Section 4.2)",
+               "900 nodes; 80% of events Gaussian(0.85, 0.03) on every "
+               "attribute; Pool with and without workload sharing.");
+
+  constexpr int kSeeds = 3;
+  TablePrinter table({"configuration", "max node load", "p99 load",
+                      "insert msgs", "hot-query msgs", "exact results"});
+
+  for (const auto& [label, sharing, threshold] :
+       {std::tuple{"sharing off", false, 0u},
+        std::tuple{"sharing on (T=32)", true, 32u},
+        std::tuple{"sharing on (T=64)", true, 64u},
+        std::tuple{"sharing on (T=128)", true, 128u}}) {
+    std::uint64_t max_load = 0, insert_msgs = 0;
+    double p99 = 0, hot = 0;
+    std::size_t mismatches = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const auto o = run(sharing, threshold, static_cast<std::uint64_t>(seed));
+      max_load = std::max(max_load, o.max_load);
+      p99 += o.p99_load;
+      insert_msgs += o.insert_msgs;
+      hot += o.hot_query_msgs;
+      mismatches += o.mismatches;
+    }
+    table.add_row({label, std::to_string(max_load), fmt(p99 / kSeeds),
+                   std::to_string(insert_msgs / kSeeds), fmt(hot / kSeeds),
+                   mismatches == 0 ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: sharing bounds the max resident load near the "
+      "threshold for a small insert-message overhead; queries stay exact.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) of the per-node primitives.
+//
+// Theorem 3.1's selling point is that cell location is "simply an
+// arithmetic computation" — these benches put numbers on it next to DIM's
+// per-event tree walk and to one GPSR routing step.
+#include <benchmark/benchmark.h>
+
+#include "bench_support/testbed.h"
+#include "core/pool_geometry.h"
+#include "query/query_gen.h"
+#include "query/workload.h"
+
+namespace {
+
+using namespace poolnet;
+
+benchsup::Testbed& shared_testbed() {
+  static benchsup::Testbed tb = [] {
+    benchsup::TestbedConfig config;
+    config.nodes = 900;
+    config.seed = 1;
+    benchsup::Testbed t(config);
+    t.insert_workload();
+    return t;
+  }();
+  return tb;
+}
+
+void BM_PoolCellForValues(benchmark::State& state) {
+  Rng rng(1);
+  double a = rng.uniform(), b = rng.uniform();
+  if (a < b) std::swap(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cell_for_values(a, b, 10));
+  }
+}
+BENCHMARK(BM_PoolCellForValues);
+
+void BM_PoolDerivedRanges(benchmark::State& state) {
+  query::QueryGenerator qgen({.dims = 3}, 2);
+  const auto q = qgen.exact_range();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::derived_ranges(q, 1));
+  }
+}
+BENCHMARK(BM_PoolDerivedRanges);
+
+void BM_PoolRelevantCells(benchmark::State& state) {
+  query::QueryGenerator qgen({.dims = 3}, 3);
+  const auto q = qgen.partial_range(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::relevant_cells(q, 0, 10));
+  }
+}
+BENCHMARK(BM_PoolRelevantCells);
+
+void BM_DimLeafForEvent(benchmark::State& state) {
+  auto& tb = shared_testbed();
+  query::EventGenerator gen({.dims = 3}, 4);
+  const auto e = gen.next(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb.dim().tree().leaf_for_event(e));
+  }
+}
+BENCHMARK(BM_DimLeafForEvent);
+
+void BM_DimLeavesOverlapping(benchmark::State& state) {
+  auto& tb = shared_testbed();
+  query::QueryGenerator qgen({.dims = 3}, 5);
+  const auto q = qgen.partial_range(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb.dim().tree().leaves_overlapping(q));
+  }
+}
+BENCHMARK(BM_DimLeavesOverlapping);
+
+void BM_GpsrRouteAcrossField(benchmark::State& state) {
+  auto& tb = shared_testbed();
+  const auto src = tb.pool_network().nearest_node({0, 0});
+  const auto dst = tb.pool_network().nearest_node(
+      {tb.pool_network().field().max_x, tb.pool_network().field().max_y});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb.pool_gpsr().route_to_node(src, dst));
+  }
+}
+BENCHMARK(BM_GpsrRouteAcrossField);
+
+void BM_PoolInsert(benchmark::State& state) {
+  benchsup::TestbedConfig config;
+  config.nodes = 300;
+  config.seed = 7;
+  benchsup::Testbed tb(config);
+  query::EventGenerator gen({.dims = 3}, 8);
+  for (auto _ : state) {
+    const auto e = gen.next(0);
+    benchmark::DoNotOptimize(tb.pool().insert(0, e));
+  }
+}
+BENCHMARK(BM_PoolInsert);
+
+void BM_PoolQueryExact(benchmark::State& state) {
+  auto& tb = shared_testbed();
+  query::QueryGenerator qgen(
+      {.dims = 3, .dist = query::RangeSizeDistribution::Exponential,
+       .exp_mean = 0.1},
+      9);
+  for (auto _ : state) {
+    const auto q = qgen.exact_range();
+    benchmark::DoNotOptimize(tb.pool().query(0, q));
+  }
+}
+BENCHMARK(BM_PoolQueryExact);
+
+void BM_DimQueryExact(benchmark::State& state) {
+  auto& tb = shared_testbed();
+  query::QueryGenerator qgen(
+      {.dims = 3, .dist = query::RangeSizeDistribution::Exponential,
+       .exp_mean = 0.1},
+      9);
+  for (auto _ : state) {
+    const auto q = qgen.exact_range();
+    benchmark::DoNotOptimize(tb.dim().query(0, q));
+  }
+}
+BENCHMARK(BM_DimQueryExact);
+
+}  // namespace
+
+BENCHMARK_MAIN();

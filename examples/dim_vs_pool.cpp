@@ -1,0 +1,103 @@
+// Head-to-head: Pool vs DIM vs centralized collection on one deployment.
+//
+// A compact rendition of the paper's whole evaluation story: the same
+// workload and query mix run against all three storage strategies, with
+// per-strategy message costs and a correctness cross-check. Centralized
+// collection (ship everything to a base station) is the strawman the DCS
+// literature starts from; DIM is the prior art; Pool is the paper.
+//
+//   $ ./examples/dim_vs_pool
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/testbed.h"
+#include "query/query_gen.h"
+#include "storage/brute_force_store.h"
+
+using namespace poolnet;
+using namespace poolnet::benchsup;
+
+int main() {
+  TestbedConfig config;
+  config.nodes = 900;
+  config.seed = 5;
+  Testbed tb(config);
+  std::printf("testbed: %zu sensors, 3-d events, 3 per node\n",
+              tb.pool_network().size());
+  tb.insert_workload();
+
+  // A third network copy hosts the centralized baseline: every event is
+  // shipped to a base station at the field corner at insert time.
+  net::Network central_net(
+      [&] {
+        std::vector<Point> pts;
+        for (const auto& n : tb.pool_network().nodes()) pts.push_back(n.pos);
+        return pts;
+      }(),
+      tb.pool_network().field(), config.radio_range);
+  const routing::Gpsr central_gpsr(central_net);
+  const net::NodeId base = central_net.nearest_node({0.0, 0.0});
+  storage::BruteForceStore central(3, central_net, central_gpsr, base);
+  for (const auto& e : tb.oracle().all()) central.insert(e.source, e);
+  const auto central_insert = central_net.traffic().total;
+  central_net.reset_traffic();
+
+  std::printf("insert cost:  Pool %llu msgs | DIM %llu msgs | central %llu "
+              "msgs (to corner base station)\n\n",
+              static_cast<unsigned long long>(tb.pool_insert_traffic().total),
+              static_cast<unsigned long long>(tb.dim_insert_traffic().total),
+              static_cast<unsigned long long>(central_insert));
+
+  // Query mix: the paper's four types.
+  query::QueryGenerator qgen(
+      {.dims = 3, .dist = query::RangeSizeDistribution::Exponential,
+       .exp_mean = 0.1},
+      55);
+  struct Flavor {
+    const char* name;
+    std::vector<storage::RangeQuery> queries;
+  };
+  std::vector<Flavor> flavors;
+  flavors.push_back({"exact range (exp sizes)",
+                     generate_queries(50, [&] { return qgen.exact_range(); })});
+  flavors.push_back({"1-partial range",
+                     generate_queries(50, [&] { return qgen.partial_range(1); })});
+  flavors.push_back({"2-partial range",
+                     generate_queries(50, [&] { return qgen.partial_range(2); })});
+  flavors.push_back({"exact point",
+                     generate_queries(50, [&] { return qgen.exact_point(); })});
+
+  TablePrinter table({"query flavor", "Pool msgs", "DIM msgs", "central msgs",
+                      "DIM/Pool", "results", "all exact"});
+  Rng sink_rng(77);
+  for (auto& flavor : flavors) {
+    const auto run = run_paired_queries(tb, flavor.queries, 99);
+    sim::RunningStat central_msgs;
+    bool central_ok = true;
+    for (const auto& q : flavor.queries) {
+      const auto sink = tb.random_node(sink_rng);
+      const auto before = central_net.traffic().total;
+      const auto r = central.query(sink, q);
+      central_msgs.add(static_cast<double>(central_net.traffic().total - before));
+      if (r.events.size() != tb.oracle().matching(q).size())
+        central_ok = false;
+    }
+    const bool all_ok = run.pool_mismatches == 0 && run.dim_mismatches == 0 &&
+                        central_ok;
+    table.add_row({flavor.name, fmt(run.pool.messages.mean()),
+                   fmt(run.dim.messages.mean()), fmt(central_msgs.mean()),
+                   fmt(run.dim.messages.mean() / run.pool.messages.mean(), 2),
+                   fmt(run.pool.results.mean(), 1), all_ok ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading the table: every strategy returns identical answers; the\n"
+      "difference is cost. Centralized pays at insert time (every event\n"
+      "crosses the field) and bottlenecks the base station; DIM pays at\n"
+      "query time, increasingly so for partial-match queries; Pool bounds\n"
+      "both by mapping events to a workload-sized set of index cells.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Environmental monitoring: the paper's motivating scenario. A 4-attribute
+// deployment (temperature, humidity, light, barometric pressure — the
+// Crossbow MEP sensor suite cited in the introduction) runs a day-long
+// simulated schedule on the discrete-event engine: sensors take readings
+// every 15 simulated minutes with a mid-day heat wave, and an operator
+// issues partial-match range queries on the hour.
+//
+//   $ ./examples/environmental_monitoring
+#include <cstdio>
+
+#include "core/pool_system.h"
+#include "net/deployment.h"
+#include "net/network.h"
+#include "query/workload.h"
+#include "routing/gpsr.h"
+#include "sim/simulator.h"
+#include "storage/range_query.h"
+
+using namespace poolnet;
+
+namespace {
+
+constexpr std::size_t kDims = 4;  // temp, humidity, light, pressure
+constexpr double kMinute = 60.0;
+constexpr double kHour = 60.0 * kMinute;
+
+// Diurnal profile for a given simulation time: temperatures and light
+// peak mid-day; a heat wave pushes the afternoon into the query range.
+storage::Event sample_reading(sim::Time now, net::NodeId node, Rng& rng,
+                              std::uint64_t id) {
+  const double day_frac = now / (24.0 * kHour);
+  const double diurnal = 0.5 - 0.5 * std::cos(2 * 3.14159265 * day_frac);
+  storage::Event e;
+  e.id = id;
+  e.source = node;
+  const double temp = std::clamp(
+      0.25 + 0.55 * diurnal + rng.normal(0.0, 0.04), 0.0, 1.0);
+  const double humidity = std::clamp(
+      0.75 - 0.45 * diurnal + rng.normal(0.0, 0.05), 0.0, 1.0);
+  const double light = std::clamp(diurnal + rng.normal(0.0, 0.05), 0.0, 1.0);
+  const double pressure =
+      std::clamp(0.5 + rng.normal(0.0, 0.03), 0.0, 1.0);
+  e.values = {temp, humidity, light, pressure};
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  // Deployment: 500 sensors at the paper's density.
+  const std::size_t kNodes = 500;
+  const double side = net::field_side_for_density(kNodes, 40.0, 20.0);
+  const Rect field{0.0, 0.0, side, side};
+  Rng rng(99);
+  auto positions = net::deploy_uniform(kNodes, field, rng);
+  net::Network network(std::move(positions), field, 40.0);
+  const routing::Gpsr gpsr(network);
+  core::PoolSystem pool(network, gpsr, kDims, core::PoolConfig{});
+  std::printf("monitoring deployment: %zu sensors, %zu pools, field %.0f m\n\n",
+              network.size(), pool.layout().pool_count(), side);
+
+  sim::Simulator simulator;
+  Rng noise = rng.split();
+  std::uint64_t next_id = 1;
+
+  // Sensing rounds: every node reads all four attributes every 15 min.
+  std::function<void()> sensing_round = [&] {
+    for (net::NodeId n = 0; n < network.size(); ++n) {
+      pool.insert(n, sample_reading(simulator.now(), n, noise, next_id++));
+    }
+    if (simulator.now() + 15 * kMinute < 24 * kHour)
+      simulator.schedule_in(15 * kMinute, sensing_round);
+  };
+  simulator.schedule_at(0.0, sensing_round);
+
+  // The operator's standing queries, issued from a random sink on the
+  // hour: "heat stress" is hot AND dry with light and pressure don't-care
+  // — a 2-partial match range query, the paper's hardest type.
+  std::printf("%-6s %-14s %-14s %-12s %-10s\n", "hour", "readings",
+              "heat-stress", "msgs/query", "cells");
+  std::printf("--------------------------------------------------------\n");
+  Rng sink_rng = rng.split();
+  std::function<void()> hourly_query = [&] {
+    storage::RangeQuery::Bounds b{{0.7, 1.0}, {0.0, 0.35}, {0, 0}, {0, 0}};
+    FixedVec<bool, storage::kMaxDims> spec{true, true, false, false};
+    const storage::RangeQuery heat_stress(b, spec);
+    const auto sink = static_cast<net::NodeId>(
+        sink_rng.uniform_int(0, static_cast<std::int64_t>(kNodes) - 1));
+    const auto r = pool.query(sink, heat_stress);
+    std::printf("%-6.0f %-14zu %-14zu %-12llu %-10zu\n",
+                simulator.now() / kHour, pool.stored_count(),
+                r.events.size(),
+                static_cast<unsigned long long>(r.messages),
+                r.index_nodes_visited);
+    if (simulator.now() + 2 * kHour < 24 * kHour)
+      simulator.schedule_in(2 * kHour, hourly_query);
+  };
+  simulator.schedule_at(1 * kHour, hourly_query);
+
+  simulator.run();
+
+  std::printf("\nsimulated 24 h: %zu readings stored, %llu total messages, "
+              "%.2f J total radio energy\n",
+              pool.stored_count(),
+              static_cast<unsigned long long>(network.traffic().total),
+              network.traffic().energy_j);
+  // The heat wave appears as a rising heat-stress count through mid-day
+  // and a decline toward midnight — retrieved with bounded per-query cost
+  // even as the store grows, which is Pool's core claim.
+  return 0;
+}

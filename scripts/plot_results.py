@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Chart poolnet CLI sweep results (CSV from poolnet_cli --csv).
+
+Usage:
+    scripts/plot_results.py sweep_results.csv [out-prefix]
+
+Produces <prefix>_fig6_<dist>.png (cost vs network size, per size
+distribution) and <prefix>_fig7.png (cost vs partial-match class) when
+matplotlib is available; otherwise prints the aggregated series as text
+so the data is still usable.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def series(rows, key_fields, value_field="mean_messages"):
+    """Groups rows by (system, *key_fields) and averages the value."""
+    acc = defaultdict(list)
+    for r in rows:
+        key = (r["system"],) + tuple(r[k] for k in key_fields)
+        acc[key].append(float(r[value_field]))
+    return {k: sum(v) / len(v) for k, v in acc.items()}
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    rows = load(sys.argv[1])
+    prefix = sys.argv[2] if len(sys.argv) > 2 else "poolnet"
+
+    exact = [r for r in rows if r["flavor"] == "exact"]
+    partial = [r for r in rows if r["flavor"].endswith("-partial")]
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+
+    # Figure 6 style: cost vs nodes, one chart per size distribution.
+    for dist in sorted({r["size_dist"] for r in exact}):
+        sub = [r for r in exact if r["size_dist"] == dist]
+        data = series(sub, ["nodes"])
+        systems = sorted({k[0] for k in data})
+        nodes = sorted({int(k[1]) for k in data})
+        print(f"\n# exact match, {dist} range sizes")
+        print("nodes " + " ".join(f"{s:>10}" for s in systems))
+        for n in nodes:
+            line = f"{n:5d} " + " ".join(
+                f"{data.get((s, str(n)), float('nan')):10.1f}"
+                for s in systems
+            )
+            print(line)
+        if have_mpl and nodes:
+            plt.figure(figsize=(6, 4))
+            for s in systems:
+                plt.plot(
+                    nodes,
+                    [data.get((s, str(n))) for n in nodes],
+                    marker="o",
+                    label=s,
+                )
+            plt.xlabel("network size (nodes)")
+            plt.ylabel("messages per query")
+            plt.title(f"Exact-match range queries, {dist} sizes")
+            plt.legend()
+            plt.grid(alpha=0.3)
+            out = f"{prefix}_fig6_{dist}.png"
+            plt.savefig(out, dpi=150, bbox_inches="tight")
+            print(f"wrote {out}")
+
+    # Figure 7 style: cost per partial-match class.
+    if partial:
+        data = series(partial, ["flavor"])
+        systems = sorted({k[0] for k in data})
+        flavors = sorted({k[1] for k in data})
+        print("\n# partial match")
+        print("class      " + " ".join(f"{s:>10}" for s in systems))
+        for fl in flavors:
+            print(
+                f"{fl:10s} "
+                + " ".join(f"{data.get((s, fl), float('nan')):10.1f}"
+                           for s in systems)
+            )
+        if have_mpl:
+            import numpy as np
+
+            x = np.arange(len(flavors))
+            width = 0.8 / max(len(systems), 1)
+            plt.figure(figsize=(6, 4))
+            for i, s in enumerate(systems):
+                plt.bar(
+                    x + i * width,
+                    [data.get((s, fl), 0.0) for fl in flavors],
+                    width,
+                    label=s,
+                )
+            plt.xticks(x + width * (len(systems) - 1) / 2, flavors)
+            plt.ylabel("messages per query")
+            plt.title("Partial-match range queries (900 nodes)")
+            plt.legend()
+            plt.grid(axis="y", alpha=0.3)
+            out = f"{prefix}_fig7.png"
+            plt.savefig(out, dpi=150, bbox_inches="tight")
+            print(f"wrote {out}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Reproduce the paper's Figure 6/7 sweeps through the CLI, collecting one
+# CSV that scripts/plot_results.py can chart.
+#
+#   scripts/run_sweep.sh [build-dir] [out.csv]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-sweep_results.csv}"
+CLI="$BUILD/apps/poolnet_cli"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "error: $CLI not built (cmake -B $BUILD -G Ninja && cmake --build $BUILD)" >&2
+  exit 1
+fi
+
+rm -f "$OUT"
+
+echo "== Figure 6 sweep: exact-match cost vs network size =="
+for nodes in 300 600 900 1200 1500 1800 2100 2400 2700; do
+  for dist in uniform exponential; do
+    "$CLI" --systems pool,dim --nodes "$nodes" --queries 60 --seeds 3 \
+           --query-type exact --size-dist "$dist" --csv "$OUT" >/dev/null
+    echo "  nodes=$nodes dist=$dist done"
+  done
+done
+
+echo "== Figure 7 sweep: partial-match cost at 900 nodes =="
+for qtype in 1-partial 2-partial; do
+  "$CLI" --systems pool,dim --nodes 900 --queries 80 --seeds 5 \
+         --query-type "$qtype" --csv "$OUT" >/dev/null
+  echo "  $qtype done"
+done
+
+echo "wrote $OUT"

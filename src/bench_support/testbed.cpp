@@ -1,0 +1,77 @@
+#include "bench_support/testbed.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace poolnet::benchsup {
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  const double side = net::field_side_for_density(
+      config.nodes, config.radio_range, config.avg_neighbors);
+  const Rect field{0.0, 0.0, side, side};
+
+  // Re-draw until the unit-disk graph is connected; every retry derives a
+  // fresh deployment stream from the master seed, so a Testbed is still a
+  // pure function of its config.
+  Rng master(config.seed);
+  constexpr int kMaxDraws = 64;
+  for (int attempt = 0; attempt < kMaxDraws; ++attempt) {
+    Rng deploy = master.split();
+    positions_ = net::deploy_uniform(config.nodes, field, deploy);
+    auto candidate = std::make_unique<net::Network>(
+        positions_, field, config.radio_range, config.sizes,
+        sim::EnergyModel{}, config.loss, config.seed * 3 + 1);
+    if (candidate->is_connected()) {
+      pool_net_ = std::move(candidate);
+      break;
+    }
+    POOLNET_DEBUG("Testbed: disconnected deployment, retrying (attempt "
+                  << attempt << ")");
+  }
+  if (!pool_net_)
+    throw ConfigError(
+        "Testbed: could not draw a connected deployment; density too low");
+
+  dim_net_ = std::make_unique<net::Network>(
+      positions_, field, config.radio_range, config.sizes,
+      sim::EnergyModel{}, config.loss, config.seed * 3 + 2);
+  pool_gpsr_ = std::make_unique<routing::Gpsr>(*pool_net_);
+  dim_gpsr_ = std::make_unique<routing::Gpsr>(*dim_net_);
+  pool_ = std::make_unique<core::PoolSystem>(*pool_net_, *pool_gpsr_,
+                                             config.dims, config.pool);
+  dim_ = std::make_unique<dim::DimSystem>(*dim_net_, *dim_gpsr_, config.dims);
+  oracle_ = std::make_unique<storage::BruteForceStore>(config.dims);
+}
+
+std::size_t Testbed::insert_workload() {
+  query::WorkloadConfig wc = config_.workload;
+  wc.dims = config_.dims;
+  Rng seed_stream(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  query::EventGenerator gen(wc, seed_stream());
+
+  pool_net_->reset_traffic();
+  dim_net_->reset_traffic();
+
+  std::size_t inserted = 0;
+  for (net::NodeId n = 0; n < pool_net_->size(); ++n) {
+    for (std::size_t i = 0; i < config_.events_per_node; ++i) {
+      const storage::Event e = gen.next(n);
+      pool_->insert(n, e);
+      dim_->insert(n, e);
+      oracle_->insert(n, e);
+      ++inserted;
+    }
+  }
+  pool_insert_traffic_ = pool_net_->traffic();
+  dim_insert_traffic_ = dim_net_->traffic();
+  pool_net_->reset_traffic();
+  dim_net_->reset_traffic();
+  return inserted;
+}
+
+net::NodeId Testbed::random_node(Rng& rng) const {
+  return static_cast<net::NodeId>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pool_net_->size()) - 1));
+}
+
+}  // namespace poolnet::benchsup

@@ -1,0 +1,79 @@
+// A fully deployed experimental testbed (§5.1 of the paper).
+//
+// One Testbed = one random sensor deployment (optionally over lossy
+// links) with both DCS systems bound
+// to it and a brute-force oracle for correctness checking. Pool and DIM
+// each get their OWN Network instance over the same node positions, so
+// per-node accounting (stored events, energy, tx/rx) never mixes across
+// systems — in particular Pool's workload-sharing threshold must not see
+// DIM's storage load.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pool_system.h"
+#include "dim/dim_system.h"
+#include "net/deployment.h"
+#include "net/network.h"
+#include "query/workload.h"
+#include "routing/gpsr.h"
+#include "storage/brute_force_store.h"
+
+namespace poolnet::benchsup {
+
+struct TestbedConfig {
+  std::size_t nodes = 900;        ///< network size (paper: 300..2700)
+  double radio_range = 40.0;      ///< meters (paper: 40)
+  double avg_neighbors = 20.0;    ///< density target (paper: ~20)
+  std::size_t dims = 3;           ///< event dimensionality (paper: 3)
+  std::size_t events_per_node = 3;  ///< workload volume (paper: 3)
+  core::PoolConfig pool;            ///< α = 5 m, l = 10 by default
+  query::WorkloadConfig workload;   ///< uniform values by default
+  std::uint64_t seed = 1;           ///< master seed (deployment + workload)
+  net::MessageSizes sizes;          ///< packet size model
+  net::LinkLossModel loss;          ///< per-hop loss + ARQ (default ideal)
+};
+
+class Testbed {
+ public:
+  /// Deploys until the unit-disk graph is connected (re-drawing positions
+  /// with derived seeds; disconnected draws are rare at 20 neighbors).
+  explicit Testbed(TestbedConfig config);
+
+  const TestbedConfig& config() const { return config_; }
+
+  net::Network& pool_network() { return *pool_net_; }
+  net::Network& dim_network() { return *dim_net_; }
+  core::PoolSystem& pool() { return *pool_; }
+  dim::DimSystem& dim() { return *dim_; }
+  storage::BruteForceStore& oracle() { return *oracle_; }
+  const routing::Gpsr& pool_gpsr() const { return *pool_gpsr_; }
+  const routing::Gpsr& dim_gpsr() const { return *dim_gpsr_; }
+
+  /// Generates events_per_node events at every node and inserts each into
+  /// Pool, DIM, and the oracle. Returns the number of events inserted.
+  std::size_t insert_workload();
+
+  /// Insertion traffic charged to each system by insert_workload().
+  net::TrafficTally pool_insert_traffic() const { return pool_insert_traffic_; }
+  net::TrafficTally dim_insert_traffic() const { return dim_insert_traffic_; }
+
+  /// Uniformly random node id (query sinks).
+  net::NodeId random_node(Rng& rng) const;
+
+ private:
+  TestbedConfig config_;
+  std::vector<Point> positions_;
+  std::unique_ptr<net::Network> pool_net_;
+  std::unique_ptr<net::Network> dim_net_;
+  std::unique_ptr<routing::Gpsr> pool_gpsr_;
+  std::unique_ptr<routing::Gpsr> dim_gpsr_;
+  std::unique_ptr<core::PoolSystem> pool_;
+  std::unique_ptr<dim::DimSystem> dim_;
+  std::unique_ptr<storage::BruteForceStore> oracle_;
+  net::TrafficTally pool_insert_traffic_;
+  net::TrafficTally dim_insert_traffic_;
+};
+
+}  // namespace poolnet::benchsup

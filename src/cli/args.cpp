@@ -1,0 +1,152 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace poolnet::cli {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  POOLNET_ASSERT_MSG(!specs_.count(name), "duplicate argument declaration");
+  specs_[name] = Spec{true, "", help};
+  order_.push_back(name);
+  flags_[name] = false;
+}
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  POOLNET_ASSERT_MSG(!specs_.count(name), "duplicate argument declaration");
+  specs_[name] = Spec{false, default_value, help};
+  order_.push_back(name);
+  values_[name] = default_value;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      *error = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(arg);
+    if (it == specs_.end()) {
+      *error = "unknown option: --" + arg;
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_value) {
+        *error = "flag --" + arg + " does not take a value";
+        return false;
+      }
+      flags_[arg] = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        *error = "option --" + arg + " needs a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Spec& spec = specs_.at(name);
+    oss << "  --" << name;
+    if (!spec.is_flag) oss << " <value>";
+    oss << "\n      " << spec.help;
+    if (!spec.is_flag) oss << " (default: " << spec.default_value << ")";
+    oss << "\n";
+  }
+  oss << "  --help\n      show this message\n";
+  return oss.str();
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  POOLNET_ASSERT_MSG(it != flags_.end(), "undeclared flag queried");
+  return it->second;
+}
+
+const std::string& ArgParser::option(const std::string& name) const {
+  const auto it = values_.find(name);
+  POOLNET_ASSERT_MSG(it != values_.end(), "undeclared option queried");
+  return it->second;
+}
+
+std::optional<std::int64_t> ArgParser::int_option(const std::string& name,
+                                                  std::int64_t lo,
+                                                  std::int64_t hi,
+                                                  std::string* error) const {
+  const std::string& raw = option(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    *error = "--" + name + ": not an integer: " + raw;
+    return std::nullopt;
+  }
+  if (v < lo || v > hi) {
+    *error = "--" + name + ": " + raw + " out of range [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> ArgParser::double_option(const std::string& name,
+                                               double lo, double hi,
+                                               std::string* error) const {
+  const std::string& raw = option(name);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    *error = "--" + name + ": not a number: " + raw;
+    return std::nullopt;
+  }
+  if (v < lo || v > hi) {
+    *error = "--" + name + ": " + raw + " out of range";
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::string> ArgParser::choice_option(
+    const std::string& name, const std::vector<std::string>& choices,
+    std::string* error) const {
+  const std::string& raw = option(name);
+  for (const auto& c : choices) {
+    if (raw == c) return raw;
+  }
+  std::string joined;
+  for (const auto& c : choices) {
+    if (!joined.empty()) joined += "|";
+    joined += c;
+  }
+  *error = "--" + name + ": expected one of " + joined + ", got " + raw;
+  return std::nullopt;
+}
+
+}  // namespace poolnet::cli

@@ -1,0 +1,70 @@
+// A small typed command-line flag parser for the poolnet CLI.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` flags,
+// with defaults, help text generation and typed accessors that validate.
+// No external dependency; errors are reported, not thrown, so the CLI
+// can print usage and exit gracefully.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace poolnet::cli {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description);
+
+  /// Declares a boolean flag (present = true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Declares a string-valued option with a default.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. On failure returns false and sets `error`. Unknown
+  /// arguments and missing values are errors; `--help` sets help_requested.
+  bool parse(int argc, const char* const* argv, std::string* error);
+
+  bool help_requested() const { return help_requested_; }
+  std::string help() const;
+
+  // --- typed accessors (after parse) ---
+  bool flag(const std::string& name) const;
+  const std::string& option(const std::string& name) const;
+
+  /// Integer option in [lo, hi]; returns nullopt and sets `error` when
+  /// malformed or out of range.
+  std::optional<std::int64_t> int_option(const std::string& name,
+                                         std::int64_t lo, std::int64_t hi,
+                                         std::string* error) const;
+
+  /// Floating option in [lo, hi].
+  std::optional<double> double_option(const std::string& name, double lo,
+                                      double hi, std::string* error) const;
+
+  /// Option restricted to an enumerated set of values.
+  std::optional<std::string> choice_option(
+      const std::string& name, const std::vector<std::string>& choices,
+      std::string* error) const;
+
+ private:
+  struct Spec {
+    bool is_flag = false;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // declaration order, for help()
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace poolnet::cli

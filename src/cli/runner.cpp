@@ -1,0 +1,235 @@
+#include "cli/runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "bench_support/experiment.h"
+#include "common/error.h"
+#include "ght/ght_system.h"
+#include "query/query_gen.h"
+
+namespace poolnet::cli {
+
+const char* to_string(SystemChoice s) {
+  switch (s) {
+    case SystemChoice::Pool: return "pool";
+    case SystemChoice::Dim: return "dim";
+    case SystemChoice::Ght: return "ght";
+  }
+  return "?";
+}
+
+const char* to_string(QueryFlavor f) {
+  switch (f) {
+    case QueryFlavor::Exact: return "exact";
+    case QueryFlavor::OnePartial: return "1-partial";
+    case QueryFlavor::TwoPartial: return "2-partial";
+    case QueryFlavor::Point: return "point";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Accumulator {
+  sim::RunningStat messages, query_messages, reply_messages, results,
+      visited;
+  double insert_msgs = 0.0;
+  std::size_t events = 0;
+  std::size_t mismatches = 0;
+};
+
+storage::RangeQuery make_query(query::QueryGenerator& gen, QueryFlavor f) {
+  switch (f) {
+    case QueryFlavor::Exact: return gen.exact_range();
+    case QueryFlavor::OnePartial: return gen.partial_range(1);
+    case QueryFlavor::TwoPartial: return gen.partial_range(2);
+    case QueryFlavor::Point: return gen.exact_point();
+  }
+  return gen.exact_range();
+}
+
+void record(Accumulator& acc, const storage::QueryReceipt& r,
+            std::size_t oracle_count) {
+  acc.messages.add(static_cast<double>(r.messages));
+  acc.query_messages.add(static_cast<double>(r.query_messages));
+  acc.reply_messages.add(static_cast<double>(r.reply_messages));
+  acc.results.add(static_cast<double>(r.events.size()));
+  acc.visited.add(static_cast<double>(r.index_nodes_visited));
+  if (r.events.size() != oracle_count) ++acc.mismatches;
+}
+
+}  // namespace
+
+std::vector<CliResult> run_experiment(const CliConfig& config,
+                                      std::ostream& out) {
+  if (config.systems.empty())
+    throw ConfigError("run_experiment: no systems selected");
+  if (config.flavor != QueryFlavor::Exact &&
+      config.flavor != QueryFlavor::Point && config.dims < 2)
+    throw ConfigError("run_experiment: partial queries need dims >= 2");
+
+  std::map<SystemChoice, Accumulator> acc;
+  for (const auto s : config.systems) acc[s];
+
+  const bool want_ght = acc.count(SystemChoice::Ght) > 0;
+
+  for (std::size_t dep = 0; dep < config.deployments; ++dep) {
+    benchsup::TestbedConfig tb_config;
+    tb_config.nodes = config.nodes;
+    tb_config.dims = config.dims;
+    tb_config.events_per_node = config.events_per_node;
+    tb_config.seed = config.seed + dep;
+    tb_config.pool = config.pool;
+    tb_config.workload.dist = config.workload;
+    benchsup::Testbed tb(tb_config);
+    const auto events = tb.insert_workload();
+
+    // GHT rides on its own network copy, like the Testbed systems.
+    std::unique_ptr<net::Network> ght_net;
+    std::unique_ptr<routing::Gpsr> ght_gpsr;
+    std::unique_ptr<ght::GhtSystem> ght_sys;
+    if (want_ght) {
+      std::vector<Point> pts;
+      for (const auto& n : tb.pool_network().nodes()) pts.push_back(n.pos);
+      ght_net = std::make_unique<net::Network>(
+          std::move(pts), tb.pool_network().field(), tb_config.radio_range);
+      ght_gpsr = std::make_unique<routing::Gpsr>(*ght_net);
+      ght_sys =
+          std::make_unique<ght::GhtSystem>(*ght_net, *ght_gpsr, config.dims);
+      for (const auto& e : tb.oracle().all()) ght_sys->insert(e.source, e);
+      if (acc.count(SystemChoice::Ght)) {
+        acc[SystemChoice::Ght].insert_msgs +=
+            static_cast<double>(ght_net->traffic().total);
+        acc[SystemChoice::Ght].events += events;
+      }
+      ght_net->reset_traffic();
+    }
+    if (acc.count(SystemChoice::Pool)) {
+      acc[SystemChoice::Pool].insert_msgs +=
+          static_cast<double>(tb.pool_insert_traffic().total);
+      acc[SystemChoice::Pool].events += events;
+    }
+    if (acc.count(SystemChoice::Dim)) {
+      acc[SystemChoice::Dim].insert_msgs +=
+          static_cast<double>(tb.dim_insert_traffic().total);
+      acc[SystemChoice::Dim].events += events;
+    }
+
+    query::QueryGenerator qgen(
+        {.dims = config.dims, .dist = config.size_dist},
+        config.seed * 1000003 + dep * 101 + 7);
+    Rng sink_rng(config.seed * 31 + dep * 13 + 1);
+    for (std::size_t i = 0; i < config.queries; ++i) {
+      const auto q = make_query(qgen, config.flavor);
+      const auto sink = tb.random_node(sink_rng);
+      const auto oracle_count = tb.oracle().matching(q).size();
+      for (const auto s : config.systems) {
+        switch (s) {
+          case SystemChoice::Pool:
+            record(acc[s], tb.pool().query(sink, q), oracle_count);
+            break;
+          case SystemChoice::Dim:
+            record(acc[s], tb.dim().query(sink, q), oracle_count);
+            break;
+          case SystemChoice::Ght:
+            record(acc[s], ght_sys->query(sink, q), oracle_count);
+            break;
+        }
+      }
+    }
+  }
+
+  std::vector<CliResult> results;
+  for (const auto s : config.systems) {
+    const Accumulator& a = acc[s];
+    CliResult r;
+    r.system = s;
+    r.mean_messages = a.messages.mean();
+    r.mean_query_messages = a.query_messages.mean();
+    r.mean_reply_messages = a.reply_messages.mean();
+    r.mean_results = a.results.mean();
+    r.mean_nodes_visited = a.visited.mean();
+    r.insert_messages_per_event =
+        a.events ? a.insert_msgs / static_cast<double>(a.events) : 0.0;
+    r.mismatches = a.mismatches;
+    results.push_back(r);
+  }
+
+  out << "poolnet experiment: " << config.nodes << " nodes, " << config.dims
+      << "-d events, " << config.queries << " " << to_string(config.flavor)
+      << " queries x " << config.deployments << " deployment(s), seed "
+      << config.seed << "\n\n";
+  // TablePrinter prints to stdout; reproduce rows into `out` via a string
+  // table for stream-agnostic output.
+  {
+    std::ostringstream oss;
+    // Render manually so `out` can be any stream (tests capture it).
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> headers{"system", "msgs/query", "query msgs",
+                                     "reply msgs", "results",
+                                     "nodes visited", "insert msgs/event",
+                                     "mismatches"};
+    for (const auto& r : results) {
+      rows.push_back({to_string(r.system), benchsup::fmt(r.mean_messages),
+                      benchsup::fmt(r.mean_query_messages),
+                      benchsup::fmt(r.mean_reply_messages),
+                      benchsup::fmt(r.mean_results),
+                      benchsup::fmt(r.mean_nodes_visited),
+                      benchsup::fmt(r.insert_messages_per_event, 2),
+                      std::to_string(r.mismatches)});
+    }
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      widths[c] = headers[c].size();
+      for (const auto& row : rows)
+        widths[c] = std::max(widths[c], row[c].size());
+    }
+    const auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        oss << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+      oss << "\n";
+    };
+    emit(headers);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    oss << std::string(total, '-') << "\n";
+    for (const auto& row : rows) emit(row);
+    out << oss.str();
+  }
+
+  if (!config.csv_path.empty()) append_csv(config.csv_path, config, results);
+  return results;
+}
+
+void append_csv(const std::string& path, const CliConfig& config,
+                const std::vector<CliResult>& results) {
+  const bool fresh = !std::filesystem::exists(path);
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw ConfigError("append_csv: cannot open " + path);
+  if (fresh) {
+    out << "system,nodes,dims,events_per_node,queries,flavor,size_dist,"
+           "workload,seed,deployments,mean_messages,mean_query_messages,"
+           "mean_reply_messages,mean_results,mean_nodes_visited,"
+           "insert_messages_per_event,mismatches\n";
+  }
+  for (const auto& r : results) {
+    out << to_string(r.system) << ',' << config.nodes << ',' << config.dims
+        << ',' << config.events_per_node << ',' << config.queries << ','
+        << to_string(config.flavor) << ','
+        << query::to_string(config.size_dist) << ','
+        << query::to_string(config.workload) << ',' << config.seed << ','
+        << config.deployments << ',' << r.mean_messages << ','
+        << r.mean_query_messages << ',' << r.mean_reply_messages << ','
+        << r.mean_results << ',' << r.mean_nodes_visited << ','
+        << r.insert_messages_per_event << ',' << r.mismatches << '\n';
+  }
+}
+
+}  // namespace poolnet::cli

@@ -1,0 +1,59 @@
+// The poolnet CLI experiment runner: one configurable experiment —
+// deploy, insert, query — over any subset of the three DCS systems, with
+// a text report and optional CSV export for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_support/testbed.h"
+#include "query/query_gen.h"
+
+namespace poolnet::cli {
+
+enum class SystemChoice { Pool, Dim, Ght };
+enum class QueryFlavor { Exact, OnePartial, TwoPartial, Point };
+
+const char* to_string(SystemChoice s);
+const char* to_string(QueryFlavor f);
+
+struct CliConfig {
+  std::vector<SystemChoice> systems;  // which systems to run
+  std::size_t nodes = 900;
+  std::size_t dims = 3;
+  std::size_t events_per_node = 3;
+  std::size_t queries = 50;
+  QueryFlavor flavor = QueryFlavor::Exact;
+  query::RangeSizeDistribution size_dist =
+      query::RangeSizeDistribution::Exponential;
+  query::ValueDistribution workload = query::ValueDistribution::Uniform;
+  std::uint64_t seed = 1;
+  std::size_t deployments = 1;  // averaged over this many seeds
+  core::PoolConfig pool;
+  std::string csv_path;  // empty = no CSV
+};
+
+/// One result row (per system).
+struct CliResult {
+  SystemChoice system;
+  double mean_messages = 0.0;
+  double mean_query_messages = 0.0;
+  double mean_reply_messages = 0.0;
+  double mean_results = 0.0;
+  double mean_nodes_visited = 0.0;
+  double insert_messages_per_event = 0.0;
+  std::size_t mismatches = 0;  ///< result sets differing from the oracle
+};
+
+/// Runs the experiment, prints a table to `out`, appends CSV when
+/// configured, and returns the per-system rows (test hook).
+std::vector<CliResult> run_experiment(const CliConfig& config,
+                                      std::ostream& out);
+
+/// Appends `results` to the CSV at `path`, writing a header when the
+/// file does not exist yet.
+void append_csv(const std::string& path, const CliConfig& config,
+                const std::vector<CliResult>& results);
+
+}  // namespace poolnet::cli

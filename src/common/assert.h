@@ -1,0 +1,44 @@
+// Invariant checking for poolnet.
+//
+// POOLNET_ASSERT is enabled in all build types (the simulator's correctness
+// claims rest on these invariants; the cost of the checks is negligible next
+// to routing work). Failures throw AssertionError rather than aborting so
+// that tests can observe them and long experiment sweeps fail loudly with a
+// message instead of a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace poolnet {
+
+/// Thrown when an internal invariant is violated. Indicates a bug in
+/// poolnet itself, never a user input error (see ConfigError for those).
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::string full = std::string("POOLNET_ASSERT failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw AssertionError(full);
+}
+}  // namespace detail
+
+}  // namespace poolnet
+
+#define POOLNET_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::poolnet::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define POOLNET_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::poolnet::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,17 @@
+// User-facing error types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace poolnet {
+
+/// Thrown when a simulation/system configuration is invalid (e.g. a pool
+/// that does not fit in the field, a zero radio range, inconsistent
+/// dimensionality). Distinct from AssertionError, which flags internal bugs.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+}  // namespace poolnet

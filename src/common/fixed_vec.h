@@ -1,0 +1,84 @@
+// FixedVec — a tiny fixed-capacity inline vector.
+//
+// Sensor events have at most a handful of attributes (the paper evaluates
+// k = 3; hardware like the Crossbow MEP has 4–6). Storing attribute values
+// inline avoids a heap allocation per event, which matters when a sweep
+// inserts millions of events across seeds.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "common/assert.h"
+
+namespace poolnet {
+
+template <typename T, std::size_t Capacity>
+class FixedVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr FixedVec() = default;
+
+  constexpr FixedVec(std::initializer_list<T> init) {
+    POOLNET_ASSERT(init.size() <= Capacity);
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  constexpr FixedVec(std::size_t count, const T& value) {
+    POOLNET_ASSERT(count <= Capacity);
+    for (std::size_t i = 0; i < count; ++i) data_[size_++] = value;
+  }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr void push_back(const T& v) {
+    POOLNET_ASSERT_MSG(size_ < Capacity, "FixedVec overflow");
+    data_[size_++] = v;
+  }
+  constexpr void pop_back() {
+    POOLNET_ASSERT(size_ > 0);
+    --size_;
+  }
+  constexpr void clear() { size_ = 0; }
+  constexpr void resize(std::size_t n, const T& fill = T{}) {
+    POOLNET_ASSERT(n <= Capacity);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  constexpr T& operator[](std::size_t i) {
+    POOLNET_ASSERT(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const {
+    POOLNET_ASSERT(i < size_);
+    return data_[i];
+  }
+  constexpr T& front() { return (*this)[0]; }
+  constexpr const T& front() const { return (*this)[0]; }
+  constexpr T& back() { return (*this)[size_ - 1]; }
+  constexpr const T& back() const { return (*this)[size_ - 1]; }
+
+  constexpr iterator begin() { return data_.data(); }
+  constexpr iterator end() { return data_.data() + size_; }
+  constexpr const_iterator begin() const { return data_.data(); }
+  constexpr const_iterator end() const { return data_.data() + size_; }
+
+  friend constexpr bool operator==(const FixedVec& a, const FixedVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::array<T, Capacity> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace poolnet

@@ -1,0 +1,72 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace poolnet {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+bool on_segment(Point a, Point b, Point p) {
+  // Assumes p collinear with (a, b); checks bounding box membership.
+  return std::min(a.x, b.x) - kEps <= p.x && p.x <= std::max(a.x, b.x) + kEps &&
+         std::min(a.y, b.y) - kEps <= p.y && p.y <= std::max(a.y, b.y) + kEps;
+}
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.min_x << ',' << r.max_x << "]x[" << r.min_y << ','
+            << r.max_y << ']';
+}
+
+double angle_of(Point from, Point to) {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+double ccw_sweep(double a, double b) {
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  double d = b - a;
+  while (d < 0.0) d += kTwoPi;
+  while (d >= kTwoPi) d -= kTwoPi;
+  return d;
+}
+
+bool segments_intersect(Point p1, Point p2, Point q1, Point q2) {
+  const double o1 = orientation(p1, p2, q1);
+  const double o2 = orientation(p1, p2, q2);
+  const double o3 = orientation(q1, q2, p1);
+  const double o4 = orientation(q1, q2, p2);
+
+  const auto sgn = [](double v) { return v > kEps ? 1 : (v < -kEps ? -1 : 0); };
+  const int s1 = sgn(o1), s2 = sgn(o2), s3 = sgn(o3), s4 = sgn(o4);
+
+  if (s1 != s2 && s3 != s4 && s1 != 0 && s2 != 0 && s3 != 0 && s4 != 0)
+    return true;
+
+  // Collinear / endpoint cases.
+  if (s1 == 0 && on_segment(p1, p2, q1)) return true;
+  if (s2 == 0 && on_segment(p1, p2, q2)) return true;
+  if (s3 == 0 && on_segment(q1, q2, p1)) return true;
+  if (s4 == 0 && on_segment(q1, q2, p2)) return true;
+  return false;
+}
+
+std::optional<Point> segment_intersection(Point p1, Point p2, Point q1,
+                                          Point q2) {
+  const Point r = p2 - p1;
+  const Point s = q2 - q1;
+  const double denom = cross(r, s);
+  if (std::abs(denom) < kEps) return std::nullopt;  // parallel or collinear
+  const double t = cross(q1 - p1, s) / denom;
+  const double u = cross(q1 - p1, r) / denom;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps)
+    return std::nullopt;
+  return p1 + r * t;
+}
+
+}  // namespace poolnet

@@ -1,0 +1,94 @@
+// 2-D geometry primitives for the sensor field.
+//
+// Everything here works in meters in a Cartesian plane. The routing layer
+// (GPSR) needs exact-ish predicates for segment crossing and angular order;
+// we use the standard robust-enough double formulations with an epsilon
+// suited to field coordinates (fields are O(1e3) m, coordinates well within
+// double precision).
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <optional>
+
+namespace poolnet {
+
+/// A point (or displacement vector) in the plane, meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+/// Squared Euclidean distance. Prefer this in comparisons — no sqrt.
+constexpr double distance_sq(Point a, Point b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance in meters.
+inline double distance(Point a, Point b) { return std::sqrt(distance_sq(a, b)); }
+
+/// Dot product of displacement vectors.
+constexpr double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// Z-component of the cross product (a × b). Positive when b is
+/// counter-clockwise from a.
+constexpr double cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Orientation of the ordered triple (a, b, c):
+///  > 0  counter-clockwise turn, < 0 clockwise, == 0 collinear.
+constexpr double orientation(Point a, Point b, Point c) {
+  return cross(b - a, c - a);
+}
+
+/// Angle of the vector from `from` to `to`, in (-pi, pi].
+double angle_of(Point from, Point to);
+
+/// Counter-clockwise angular sweep from direction angle `a` to `b`,
+/// normalized into [0, 2*pi).
+double ccw_sweep(double a, double b);
+
+/// An axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  constexpr bool contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  constexpr double width() const { return max_x - min_x; }
+  constexpr double height() const { return max_y - min_y; }
+  constexpr Point center() const {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+  constexpr bool intersects(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  /// Point of the rectangle closest to `p` (is `p` itself when inside).
+  constexpr Point clamp(Point p) const {
+    const double cx = p.x < min_x ? min_x : (p.x > max_x ? max_x : p.x);
+    const double cy = p.y < min_y ? min_y : (p.y > max_y ? max_y : p.y);
+    return {cx, cy};
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// True when the closed segments (p1,p2) and (q1,q2) intersect.
+/// Handles collinear overlaps and shared endpoints.
+bool segments_intersect(Point p1, Point p2, Point q1, Point q2);
+
+/// Intersection point of segments (p1,p2) and (q1,q2) when they cross at a
+/// single point; nullopt when parallel/collinear or non-intersecting.
+std::optional<Point> segment_intersection(Point p1, Point p2, Point q1,
+                                          Point q2);
+
+}  // namespace poolnet

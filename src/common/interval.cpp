@@ -1,0 +1,15 @@
+#include "common/interval.h"
+
+#include <ostream>
+
+namespace poolnet {
+
+std::ostream& operator<<(std::ostream& os, ClosedInterval i) {
+  return os << '[' << i.lo << ", " << i.hi << ']';
+}
+
+std::ostream& operator<<(std::ostream& os, HalfOpenInterval i) {
+  return os << '[' << i.lo << ", " << i.hi << ')';
+}
+
+}  // namespace poolnet

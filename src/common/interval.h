@@ -1,0 +1,70 @@
+// 1-D intervals over normalized attribute space [0, 1].
+//
+// Two flavors appear in the paper and are kept distinct here:
+//  * ClosedInterval  [lo, hi]  — user query bounds (Section 2).
+//  * HalfOpenInterval [lo, hi) — cell value ranges (Equation 1) and DIM zone
+//    ranges, which tile [0, 1) without overlap.
+#pragma once
+
+#include <iosfwd>
+
+#include "common/assert.h"
+
+namespace poolnet {
+
+/// A closed interval [lo, hi]. Empty when hi < lo (Theorem 3.2 can produce
+/// empty derived ranges, e.g. R_H^3 in the paper's Example: [0.25, 0.24]).
+struct ClosedInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr bool empty() const { return hi < lo; }
+  constexpr bool contains(double v) const { return lo <= v && v <= hi; }
+  constexpr double length() const { return empty() ? 0.0 : hi - lo; }
+
+  friend constexpr bool operator==(ClosedInterval a, ClosedInterval b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A half-open interval [lo, hi).
+struct HalfOpenInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr bool empty() const { return hi <= lo; }
+  constexpr bool contains(double v) const { return lo <= v && v < hi; }
+  constexpr double length() const { return empty() ? 0.0 : hi - lo; }
+
+  friend constexpr bool operator==(HalfOpenInterval a, HalfOpenInterval b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// True when the half-open range and the closed range share at least one
+/// point: [a.lo, a.hi) ∩ [b.lo, b.hi] ≠ ∅. This is the relevance test of
+/// Algorithm 2 (Range ∩ R(Q) ≠ φ).
+constexpr bool intersects(HalfOpenInterval a, ClosedInterval b) {
+  if (a.empty() || b.empty()) return false;
+  return a.lo <= b.hi && b.lo < a.hi;
+}
+
+constexpr bool intersects(ClosedInterval a, ClosedInterval b) {
+  if (a.empty() || b.empty()) return false;
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+constexpr bool intersects(HalfOpenInterval a, HalfOpenInterval b) {
+  if (a.empty() || b.empty()) return false;
+  return a.lo < b.hi && b.lo < a.hi;
+}
+
+/// Intersection of two closed intervals (may be empty).
+constexpr ClosedInterval intersect(ClosedInterval a, ClosedInterval b) {
+  return {a.lo > b.lo ? a.lo : b.lo, a.hi < b.hi ? a.hi : b.hi};
+}
+
+std::ostream& operator<<(std::ostream& os, ClosedInterval i);
+std::ostream& operator<<(std::ostream& os, HalfOpenInterval i);
+
+}  // namespace poolnet

@@ -1,0 +1,37 @@
+// Minimal leveled logging.
+//
+// The simulator is a library first; logging defaults to Warn so that bench
+// and test binaries stay quiet. Examples turn it up to Info to narrate.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace poolnet {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace poolnet
+
+#define POOLNET_LOG(level, expr)                                      \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::poolnet::log_level())) {                   \
+      std::ostringstream oss_;                                        \
+      oss_ << expr;                                                   \
+      ::poolnet::detail::log_emit(level, oss_.str());                 \
+    }                                                                 \
+  } while (0)
+
+#define POOLNET_DEBUG(expr) POOLNET_LOG(::poolnet::LogLevel::Debug, expr)
+#define POOLNET_INFO(expr) POOLNET_LOG(::poolnet::LogLevel::Info, expr)
+#define POOLNET_WARN(expr) POOLNET_LOG(::poolnet::LogLevel::Warn, expr)
+#define POOLNET_ERROR(expr) POOLNET_LOG(::poolnet::LogLevel::Error, expr)

@@ -1,0 +1,112 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace poolnet {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng((*this)() ^ 0xdeadbeefcafef00dULL); }
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  POOLNET_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  POOLNET_ASSERT(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::exponential_truncated(double mean, double cap) {
+  POOLNET_ASSERT(mean > 0.0 && cap > 0.0);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double u = uniform();
+    const double x = -mean * std::log(1.0 - u);
+    if (x <= cap) return x;
+  }
+  return cap;  // pathological mean >> cap; degrade gracefully
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; discard the second variate to keep the stream simple.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  return mean + stddev * r * std::cos(kTwoPi * u2);
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  POOLNET_ASSERT(n >= 1 && s > 0.0);
+  // Rejection-inversion (Hörmann) is overkill for n <= a few thousand; use
+  // the standard rejection sampler with the bounding envelope.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    const double u = uniform();
+    const double v = uniform();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b)
+      return static_cast<std::int64_t>(x);
+  }
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+}  // namespace poolnet

@@ -1,0 +1,68 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All randomness in poolnet flows from Rng instances seeded explicitly by
+// the caller; there is no hidden global state. The generator is
+// xoshiro256++ (Blackman & Vigna), which is fast, high quality, and lets us
+// derive independent sub-streams with split() so that, e.g., deployment and
+// workload draws stay decoupled when one of them changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace poolnet {
+
+/// xoshiro256++ PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also feed <random>
+/// distributions, but the built-in methods below are what poolnet uses —
+/// they are reproducible across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t operator()();
+
+  /// Independent child stream; deterministic given this stream's state.
+  Rng split();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean, truncated to [0, cap] by resampling.
+  /// Used for the paper's "exponential range size distribution".
+  double exponential_truncated(double mean, double cap);
+
+  /// Standard normal via Box–Muller (no state caching; one draw per call).
+  double normal(double mean, double stddev);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (rejection
+  /// sampling). Used by skewed workload generators.
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// Random permutation index order of size n (Fisher–Yates).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Bernoulli draw.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace poolnet

@@ -1,0 +1,48 @@
+#include "core/grid.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace poolnet::core {
+
+Grid::Grid(const net::Network& network, double cell_size)
+    : net_(network), cell_size_(cell_size) {
+  if (cell_size <= 0.0) throw ConfigError("Grid: cell size must be positive");
+  const Rect& f = network.field();
+  cols_ = static_cast<std::int32_t>(std::ceil(f.width() / cell_size));
+  rows_ = static_cast<std::int32_t>(std::ceil(f.height() / cell_size));
+  if (cols_ <= 0 || rows_ <= 0) throw ConfigError("Grid: degenerate field");
+  index_cache_.assign(static_cast<std::size_t>(cols_) * rows_, net::kNoNode);
+}
+
+Point Grid::cell_center(CellCoord c) const {
+  POOLNET_ASSERT(in_bounds(c));
+  const Rect& f = net_.field();
+  return {f.min_x + (static_cast<double>(c.x) + 0.5) * cell_size_,
+          f.min_y + (static_cast<double>(c.y) + 0.5) * cell_size_};
+}
+
+CellCoord Grid::cell_of_position(Point p) const {
+  const Rect& f = net_.field();
+  auto cx = static_cast<std::int32_t>(std::floor((p.x - f.min_x) / cell_size_));
+  auto cy = static_cast<std::int32_t>(std::floor((p.y - f.min_y) / cell_size_));
+  if (cx < 0) cx = 0;
+  if (cy < 0) cy = 0;
+  if (cx >= cols_) cx = cols_ - 1;
+  if (cy >= rows_) cy = rows_ - 1;
+  return {cx, cy};
+}
+
+net::NodeId Grid::index_node(CellCoord c) const {
+  POOLNET_ASSERT(in_bounds(c));
+  const std::size_t key =
+      static_cast<std::size_t>(c.y) * static_cast<std::size_t>(cols_) +
+      static_cast<std::size_t>(c.x);
+  net::NodeId& memo = index_cache_[key];
+  if (memo == net::kNoNode) memo = net_.nearest_node(cell_center(c));
+  return memo;
+}
+
+}  // namespace poolnet::core

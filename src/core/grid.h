@@ -1,0 +1,59 @@
+// The grid-cell view of the deployment field (Section 2 of the paper).
+//
+// The field is divided into α×α m² cells; C(x,y) is the cell at column x,
+// row y, with C(0,0) at the field origin. Each cell has exactly one index
+// node — the sensor closest to the cell's center. At realistic densities
+// many cells contain no sensor at all, so "closest to the center" is
+// resolved network-wide (the GHT home-node convention; DESIGN.md §5): one
+// physical sensor may serve several logical cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "net/network.h"
+
+namespace poolnet::core {
+
+/// Logical cell coordinates: x = column, y = row, both from 0.
+struct CellCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr bool operator==(CellCoord a, CellCoord b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+class Grid {
+ public:
+  /// Overlays `cell_size` (the paper's α) cells on the network's field.
+  Grid(const net::Network& network, double cell_size);
+
+  double cell_size() const { return cell_size_; }
+  std::int32_t cols() const { return cols_; }
+  std::int32_t rows() const { return rows_; }
+
+  bool in_bounds(CellCoord c) const {
+    return c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_;
+  }
+
+  /// Physical center of a cell.
+  Point cell_center(CellCoord c) const;
+
+  /// Native cell of a physical location: x = floor((a - x_orig)/α), etc.
+  CellCoord cell_of_position(Point p) const;
+
+  /// The cell's index node — the sensor nearest its center (cached).
+  net::NodeId index_node(CellCoord c) const;
+
+ private:
+  const net::Network& net_;
+  double cell_size_;
+  std::int32_t cols_;
+  std::int32_t rows_;
+  mutable std::vector<net::NodeId> index_cache_;  // lazily filled
+};
+
+}  // namespace poolnet::core

@@ -1,0 +1,81 @@
+#include "core/nearest_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace poolnet::core {
+
+using storage::RangeQuery;
+
+NearestMonitor::NearestMonitor(PoolSystem& pool, net::NodeId sink,
+                               storage::Values target, double tighten_factor)
+    : pool_(pool),
+      sink_(sink),
+      target_(target),
+      tighten_factor_(tighten_factor) {
+  if (target_.size() != pool_.dims())
+    throw ConfigError("NearestMonitor: target dimensionality mismatch");
+  if (tighten_factor <= 0.0 || tighten_factor >= 1.0)
+    throw ConfigError("NearestMonitor: tighten_factor must be in (0,1)");
+
+  const auto initial = pool_.nearest_event(sink_, target_);
+  nearest_ = initial.nearest;
+  distance_ = initial.distance;
+  // While the store is empty any event anywhere could become the nearest:
+  // the standing box must cover the whole value space.
+  const double radius = nearest_ ? distance_ : 1.0;
+  resubscribe(std::max(radius, 1e-6));
+}
+
+NearestMonitor::~NearestMonitor() { pool_.unsubscribe(subscription_); }
+
+RangeQuery NearestMonitor::box_query(double radius) const {
+  RangeQuery::Bounds bounds;
+  for (std::size_t d = 0; d < target_.size(); ++d) {
+    bounds.push_back({std::max(0.0, target_[d] - radius),
+                      std::min(1.0, target_[d] + radius)});
+  }
+  return RangeQuery(bounds);
+}
+
+double NearestMonitor::dist_to_target(const storage::Event& e) const {
+  double d2 = 0.0;
+  for (std::size_t d = 0; d < target_.size(); ++d) {
+    const double diff = e.values[d] - target_[d];
+    d2 += diff * diff;
+  }
+  return std::sqrt(d2);
+}
+
+void NearestMonitor::resubscribe(double radius) {
+  if (subscription_ != 0) {
+    pool_.unsubscribe(subscription_);
+    ++retightenings_;
+  }
+  subscribed_radius_ = radius;
+  subscription_ = pool_.subscribe(sink_, box_query(radius));
+}
+
+bool NearestMonitor::poll() {
+  bool changed = false;
+  for (auto& notification : pool_.take_notifications(subscription_)) {
+    const double d = dist_to_target(notification.event);
+    if (!nearest_ || d < distance_) {
+      nearest_ = std::move(notification.event);
+      distance_ = d;
+      changed = true;
+    }
+  }
+  // Tighten the standing box once the champion is meaningfully closer
+  // than what we subscribed for; a positive floor avoids re-registering
+  // forever as the distance approaches zero.
+  if (changed && distance_ < tighten_factor_ * subscribed_radius_ &&
+      subscribed_radius_ > 1e-3) {
+    resubscribe(std::max(distance_, 1e-3));
+  }
+  return changed;
+}
+
+}  // namespace poolnet::core

@@ -1,0 +1,111 @@
+#include "core/pool_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace poolnet::core {
+
+using storage::RangeQuery;
+
+HalfOpenInterval range_h(std::uint32_t ho, std::uint32_t l) {
+  POOLNET_ASSERT(l > 0 && ho < l);
+  const double dl = static_cast<double>(l);
+  return {static_cast<double>(ho) / dl, static_cast<double>(ho + 1) / dl};
+}
+
+HalfOpenInterval range_v(std::uint32_t ho, std::uint32_t vo, std::uint32_t l) {
+  POOLNET_ASSERT(l > 0 && ho < l && vo < l);
+  const double slice = static_cast<double>(ho + 1) /
+                       (static_cast<double>(l) * static_cast<double>(l));
+  return {static_cast<double>(vo) * slice, static_cast<double>(vo + 1) * slice};
+}
+
+CellOffset cell_for_values(double v_d1, double v_d2, std::uint32_t l) {
+  if (l == 0) throw ConfigError("pool side length must be positive");
+  POOLNET_ASSERT_MSG(v_d1 >= 0.0 && v_d1 <= 1.0 && v_d2 >= 0.0 && v_d2 <= 1.0,
+                     "attribute values must be normalized to [0,1]");
+  POOLNET_ASSERT_MSG(v_d2 <= v_d1, "v_d2 must not exceed the greatest value");
+  const double dl = static_cast<double>(l);
+
+  auto ho = static_cast<std::uint32_t>(std::floor(v_d1 * dl));
+  if (ho >= l) ho = l - 1;  // v_d1 == 1.0 lands in the top column
+  // Reconcile against Equation 1, which is what query resolving compares
+  // with: floor(v*l) and the range endpoints round differently in binary
+  // (e.g. 0.7*10 rounds to exactly 7.0 while 7/10 > 0.7), and the storage
+  // cell MUST be the one whose half-open ranges contain the value.
+  while (ho > 0 && v_d1 < range_h(ho, l).lo) --ho;
+  while (ho + 1 < l && v_d1 >= range_h(ho, l).hi) ++ho;
+
+  auto vo = static_cast<std::uint32_t>(
+      std::floor(v_d2 * dl * dl / static_cast<double>(ho + 1)));
+  if (vo >= l) vo = l - 1;  // guard the v_d2 == v_d1 == (HO+1)/l float edge
+  while (vo > 0 && v_d2 < range_v(ho, vo, l).lo) --vo;
+  while (vo + 1 < l && v_d2 >= range_v(ho, vo, l).hi) ++vo;
+  return {ho, vo};
+}
+
+DerivedRanges derived_ranges(const RangeQuery& q, std::size_t pool_dim) {
+  POOLNET_ASSERT(pool_dim < q.dims());
+  double max_l_all = 0.0;
+  double max_l_others = 0.0;
+  double max_u_others = 0.0;
+  for (std::size_t j = 0; j < q.dims(); ++j) {
+    const ClosedInterval b = q.bound(j);
+    max_l_all = std::max(max_l_all, b.lo);
+    if (j != pool_dim) {
+      max_l_others = std::max(max_l_others, b.lo);
+      max_u_others = std::max(max_u_others, b.hi);
+    }
+  }
+  const ClosedInterval bi = q.bound(pool_dim);
+  DerivedRanges r;
+  r.rh = {max_l_all, bi.hi};
+  if (q.dims() == 1) {
+    // Degenerate single-attribute deployment: no "second greatest" exists;
+    // the vertical dimension carries no constraint.
+    r.rv = {0.0, bi.hi};
+  } else {
+    r.rv = {max_l_others, std::min(bi.hi, max_u_others)};
+  }
+  return r;
+}
+
+std::vector<CellOffset> relevant_cells(const RangeQuery& q,
+                                       std::size_t pool_dim, std::uint32_t l) {
+  if (l == 0) throw ConfigError("pool side length must be positive");
+  std::vector<CellOffset> out;
+  DerivedRanges r = derived_ranges(q, pool_dim);
+  if (r.rh.empty() || r.rv.empty()) return out;  // Algorithm 2's guard
+  // Theorem 3.1 clamps values of exactly 1.0 into the top cell, whose
+  // Equation-1 ranges are half-open below 1.0; clamp the derived query
+  // ranges identically so bounds touching 1.0 still hit that cell.
+  constexpr double kTopClamp = 1.0 - 1e-12;
+  r.rh.lo = std::min(r.rh.lo, kTopClamp);
+  r.rh.hi = std::min(r.rh.hi, kTopClamp);
+  r.rv.lo = std::min(r.rv.lo, kTopClamp);
+  r.rv.hi = std::min(r.rv.hi, kTopClamp);
+  for (std::uint32_t ho = 0; ho < l; ++ho) {
+    if (!intersects(range_h(ho, l), r.rh)) continue;
+    for (std::uint32_t vo = 0; vo < l; ++vo) {
+      if (intersects(range_v(ho, vo, l), r.rv)) out.push_back({ho, vo});
+    }
+  }
+  return out;
+}
+
+Placement placement_for(const storage::Event& e, std::size_t d1) {
+  POOLNET_ASSERT(d1 < e.dims());
+  Placement p;
+  p.pool_dim = d1;
+  p.v_d1 = e.values[d1];
+  p.v_d2 = 0.0;
+  for (std::size_t j = 0; j < e.dims(); ++j) {
+    if (j != d1) p.v_d2 = std::max(p.v_d2, e.values[j]);
+  }
+  if (e.dims() == 1) p.v_d2 = 0.0;
+  return p;
+}
+
+}  // namespace poolnet::core

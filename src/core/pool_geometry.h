@@ -1,0 +1,69 @@
+// The Pool scheme's value-space arithmetic — Equation 1, Theorem 3.1,
+// Theorem 3.2, and the cell-resolving loop of Algorithm 2.
+//
+// Everything here is pure math on [0,1] attribute values and cell offsets
+// within one pool; no network involvement. Offsets are the paper's
+// Horizontal Offset / Vertical Offset relative to the pool's pivot cell,
+// both in [0, l-1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "storage/event.h"
+#include "storage/range_query.h"
+
+namespace poolnet::core {
+
+/// Cell position within a pool, relative to the pivot (Definition 2.1).
+struct CellOffset {
+  std::uint32_t ho = 0;  ///< horizontal offset, column within the pool
+  std::uint32_t vo = 0;  ///< vertical offset, row within the pool
+
+  friend constexpr bool operator==(CellOffset a, CellOffset b) {
+    return a.ho == b.ho && a.vo == b.vo;
+  }
+};
+
+/// Equation 1: horizontal range of any cell in column `ho` of an l-sided
+/// pool: [HO/l, (HO+1)/l).
+HalfOpenInterval range_h(std::uint32_t ho, std::uint32_t l);
+
+/// Equation 1: vertical range of the cell at (`ho`,`vo`):
+/// [VO*(HO+1)/l², (VO+1)*(HO+1)/l²).
+HalfOpenInterval range_v(std::uint32_t ho, std::uint32_t vo, std::uint32_t l);
+
+/// Theorem 3.1: the cell that stores an event whose greatest attribute
+/// value is `v_d1` and second greatest is `v_d2`:
+/// HO = floor(v_d1 * l), VO = floor(v_d2 * l² / (HO+1)).
+/// Values of exactly 1.0 land in the top column/row.
+CellOffset cell_for_values(double v_d1, double v_d2, std::uint32_t l);
+
+/// Theorem 3.2's derived ranges for pool `pool_dim` (0-based i):
+///   R_H = [max(L1..Lk), U_i]
+///   R_V = [max({L} - {L_i}), min(U_i, max({U} - {U_i}))]
+/// Either may be empty, meaning the pool holds no qualifying events.
+struct DerivedRanges {
+  ClosedInterval rh;
+  ClosedInterval rv;
+};
+DerivedRanges derived_ranges(const storage::RangeQuery& q,
+                             std::size_t pool_dim);
+
+/// Algorithm 2: all cell offsets of pool `pool_dim` whose Equation-1
+/// ranges intersect the derived ranges — the cells relevant to `q`.
+std::vector<CellOffset> relevant_cells(const storage::RangeQuery& q,
+                                       std::size_t pool_dim, std::uint32_t l);
+
+/// The pool an event belongs to and the two values driving Theorem 3.1,
+/// for a given choice of greatest dimension `d1` (callers iterate over
+/// Event::max_dims() when values tie; Section 4.1).
+struct Placement {
+  std::size_t pool_dim = 0;  ///< d1: pool P_{d1+1} in the paper's 1-based terms
+  double v_d1 = 0.0;
+  double v_d2 = 0.0;
+};
+Placement placement_for(const storage::Event& e, std::size_t d1);
+
+}  // namespace poolnet::core

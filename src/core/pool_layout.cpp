@@ -1,0 +1,86 @@
+#include "core/pool_layout.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace poolnet::core {
+
+namespace {
+bool blocks_overlap(CellCoord a, CellCoord b, std::uint32_t side) {
+  const auto s = static_cast<std::int32_t>(side);
+  return a.x < b.x + s && b.x < a.x + s && a.y < b.y + s && b.y < a.y + s;
+}
+}  // namespace
+
+PoolLayout::PoolLayout(std::vector<CellCoord> pivots, std::uint32_t side,
+                       std::int32_t grid_cols, std::int32_t grid_rows)
+    : pivots_(std::move(pivots)), side_(side) {
+  if (side_ == 0) throw ConfigError("PoolLayout: side must be positive");
+  if (pivots_.empty()) throw ConfigError("PoolLayout: no pools");
+  const auto s = static_cast<std::int32_t>(side_);
+  for (const CellCoord pc : pivots_) {
+    if (pc.x < 0 || pc.y < 0 || pc.x + s > grid_cols || pc.y + s > grid_rows)
+      throw ConfigError("PoolLayout: pool does not fit inside the grid");
+  }
+}
+
+PoolLayout PoolLayout::random(const Grid& grid, std::size_t k,
+                              std::uint32_t side, Rng& rng) {
+  if (k == 0) throw ConfigError("PoolLayout: k must be positive");
+  const auto s = static_cast<std::int32_t>(side);
+  if (s > grid.cols() || s > grid.rows())
+    throw ConfigError(
+        "PoolLayout: pool side exceeds grid; enlarge the field or shrink l");
+
+  const std::int32_t max_x = grid.cols() - s;
+  const std::int32_t max_y = grid.rows() - s;
+
+  // Prefer disjoint pools; a query then never visits the same physical
+  // region for two pools. 64 attempts per pool is ample for realistic
+  // configurations (k=3, l=10 in fields of thousands of cells).
+  std::vector<CellCoord> pivots;
+  for (std::size_t i = 0; i < k; ++i) {
+    CellCoord chosen{};
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      chosen = {static_cast<std::int32_t>(rng.uniform_int(0, max_x)),
+                static_cast<std::int32_t>(rng.uniform_int(0, max_y))};
+      placed = true;
+      for (const CellCoord prev : pivots) {
+        if (blocks_overlap(prev, chosen, side)) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      POOLNET_WARN("PoolLayout: could not separate pool " << i
+                   << "; allowing overlap");
+    }
+    pivots.push_back(chosen);
+  }
+  return PoolLayout(std::move(pivots), side, grid.cols(), grid.rows());
+}
+
+CellCoord PoolLayout::pivot(std::size_t pool_dim) const {
+  POOLNET_ASSERT(pool_dim < pivots_.size());
+  return pivots_[pool_dim];
+}
+
+CellCoord PoolLayout::cell(std::size_t pool_dim, CellOffset offset) const {
+  POOLNET_ASSERT(offset.ho < side_ && offset.vo < side_);
+  const CellCoord pc = pivot(pool_dim);
+  return {pc.x + static_cast<std::int32_t>(offset.ho),
+          pc.y + static_cast<std::int32_t>(offset.vo)};
+}
+
+bool PoolLayout::has_overlap() const {
+  for (std::size_t i = 0; i < pivots_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pivots_.size(); ++j) {
+      if (blocks_overlap(pivots_[i], pivots_[j], side_)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace poolnet::core

@@ -1,0 +1,47 @@
+// Pool placement in the grid.
+//
+// A k-dimensional deployment has k pools P_1..P_k, each an l×l block of
+// cells anchored at a pivot cell (its lower-left corner). Pivot locations
+// are chosen randomly (Section 2, following [7,13]); the layout is part of
+// the predefined system configuration every node knows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/grid.h"
+#include "core/pool_geometry.h"
+
+namespace poolnet::core {
+
+class PoolLayout {
+ public:
+  /// Explicit layout: `pivots[i]` anchors pool P_{i+1}. Every pool must
+  /// fit inside the grid (pivot + l <= cols/rows); throws ConfigError.
+  PoolLayout(std::vector<CellCoord> pivots, std::uint32_t side,
+             std::int32_t grid_cols, std::int32_t grid_rows);
+
+  /// Random placement of `k` pools of side `l`. Tries to keep pools
+  /// pairwise disjoint (rejection sampling); falls back to overlapping
+  /// placement when the grid is too crowded to separate them.
+  static PoolLayout random(const Grid& grid, std::size_t k, std::uint32_t side,
+                           Rng& rng);
+
+  std::size_t pool_count() const { return pivots_.size(); }
+  std::uint32_t side() const { return side_; }
+  CellCoord pivot(std::size_t pool_dim) const;
+
+  /// Grid cell of `offset` within pool `pool_dim` (pivot + offset).
+  CellCoord cell(std::size_t pool_dim, CellOffset offset) const;
+
+  /// True when any two pools share at least one cell.
+  bool has_overlap() const;
+
+ private:
+  std::vector<CellCoord> pivots_;
+  std::uint32_t side_;
+};
+
+}  // namespace poolnet::core

@@ -1,0 +1,631 @@
+#include "core/pool_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace poolnet::core {
+
+using storage::Event;
+using storage::InsertReceipt;
+using storage::QueryReceipt;
+using storage::RangeQuery;
+
+namespace {
+PoolLayout make_random_layout(const Grid& grid, std::size_t dims,
+                              const PoolConfig& config) {
+  Rng rng(config.layout_seed);
+  return PoolLayout::random(grid, dims, config.side, rng);
+}
+}  // namespace
+
+PoolSystem::PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
+                       std::size_t dims, PoolConfig config)
+    : PoolSystem(network, gpsr, dims, config,
+                 make_random_layout(Grid(network, config.cell_size), dims,
+                                    config)) {}
+
+PoolSystem::PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
+                       std::size_t dims, PoolConfig config, PoolLayout layout)
+    : net_(network),
+      gpsr_(gpsr),
+      dims_(dims),
+      config_(config),
+      grid_(network, config.cell_size),
+      layout_(std::move(layout)) {
+  if (dims == 0 || dims > storage::kMaxDims)
+    throw ConfigError("PoolSystem: bad dimensionality");
+  if (layout_.pool_count() != dims)
+    throw ConfigError("PoolSystem: layout pool count != dims");
+  if (layout_.side() != config_.side)
+    throw ConfigError("PoolSystem: layout side != config side");
+  if (config_.replicas >= dims_)
+    throw ConfigError(
+        "PoolSystem: replicas must be < dims (one rotated pool per mirror)");
+  cells_.resize(dims * static_cast<std::size_t>(config_.side) * config_.side);
+  cell_subs_.resize(cells_.size());
+
+  if (config_.charge_dht_lookup) {
+    pivot_cache_.assign(net_.size() * dims_, 0);
+    // Publish each pivot record: its pool's pivot-cell index node writes
+    // the record to the directory home (one Control unicast per pool).
+    for (std::size_t p = 0; p < dims_; ++p) {
+      const net::NodeId publisher = grid_.index_node(layout_.pivot(p));
+      const net::NodeId home = directory_home(p);
+      const auto leg = gpsr_.route_to_node(publisher, home);
+      net_.transmit_path(leg.path, net::MessageKind::Control,
+                         net_.sizes().control_bits);
+    }
+  }
+}
+
+net::NodeId PoolSystem::directory_home(std::size_t pool_dim) const {
+  // GHT-style hash of the pool id to a field location.
+  std::uint64_t z = 0x7f4a7c15u + pool_dim;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const Rect& f = net_.field();
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  const double v =
+      static_cast<double>((z * 0x9e3779b97f4a7c15ULL) >> 11) * 0x1.0p-53;
+  return net_.nearest_node(
+      {f.min_x + u * f.width(), f.min_y + v * f.height()});
+}
+
+void PoolSystem::charge_pivot_lookup(net::NodeId node, std::size_t pool_dim) {
+  if (!config_.charge_dht_lookup) return;
+  char& cached = pivot_cache_[node * dims_ + pool_dim];
+  if (cached) return;
+  cached = 1;
+  const net::NodeId home = directory_home(pool_dim);
+  const auto out = gpsr_.route_to_node(node, home);
+  net_.transmit_path(out.path, net::MessageKind::Control,
+                     net_.sizes().control_bits);
+  const auto back = gpsr_.route_to_node(home, node);
+  net_.transmit_path(back.path, net::MessageKind::Control,
+                     net_.sizes().control_bits);
+}
+
+std::size_t PoolSystem::cell_key(std::size_t pool_dim,
+                                 CellOffset offset) const {
+  const std::size_t l = config_.side;
+  POOLNET_ASSERT(pool_dim < dims_ && offset.ho < l && offset.vo < l);
+  return (pool_dim * l + offset.vo) * l + offset.ho;
+}
+
+PoolSystem::CellChoice PoolSystem::choose_cell(net::NodeId source,
+                                               const Event& event) const {
+  const Point src_pos = net_.position(source);
+  const auto candidates = event.max_dims();
+  POOLNET_ASSERT(!candidates.empty());
+
+  std::optional<CellChoice> best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const std::size_t d1 = candidates[c];
+    const Placement pl = placement_for(event, d1);
+    const CellOffset off = cell_for_values(pl.v_d1, pl.v_d2, config_.side);
+    const CellCoord coord = layout_.cell(d1, off);
+    const double d2 = distance_sq(grid_.cell_center(coord), src_pos);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = CellChoice{d1, off, coord, grid_.index_node(coord)};
+    }
+  }
+  return *best;
+}
+
+net::NodeId PoolSystem::pick_delegate(net::NodeId index_node) const {
+  // Least-loaded radio neighbor; the index node keeps serving when it has
+  // no neighbors at all (disconnected corner case).
+  net::NodeId best = net::kNoNode;
+  std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
+  for (const net::NodeId nb : net_.neighbors(index_node)) {
+    const std::uint64_t load = net_.node(nb).stored_events;
+    if (load < best_load || (load == best_load && nb < best)) {
+      best_load = load;
+      best = nb;
+    }
+  }
+  return best;
+}
+
+InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
+  storage::validate_event(event);
+  if (event.dims() != dims_)
+    throw ConfigError("PoolSystem: event dimensionality mismatch");
+
+  const auto before = net_.traffic().total;
+  // The detecting node needs the pivot of every candidate pool (all of
+  // them under a Section 4.1 tie) to compute and compare cell locations.
+  for (const std::size_t d1 : event.max_dims())
+    charge_pivot_lookup(source, d1);
+  const CellChoice choice = choose_cell(source, event);
+
+  // Algorithm 1, lines 5-6: route the event to the cell's location; the
+  // index node (nearest the center) receives it.
+  const auto route = gpsr_.route_to_node(source, choice.index_node);
+  net_.transmit_path(route.path, net::MessageKind::Insert,
+                     net_.sizes().event_bits(dims_));
+
+  net::NodeId holder = choice.index_node;
+  if (config_.workload_sharing &&
+      net_.node(holder).stored_events >= config_.share_threshold) {
+    const net::NodeId delegate = pick_delegate(holder);
+    if (delegate != net::kNoNode &&
+        net_.node(delegate).stored_events <
+            net_.node(holder).stored_events) {
+      // One-hop handoff to the delegate (Section 4.2's workload transfer).
+      net_.transmit(holder, delegate, net::MessageKind::Insert,
+                    net_.sizes().event_bits(dims_));
+      holder = delegate;
+    }
+  }
+
+  const std::size_t key = cell_key(choice.pool_dim, choice.offset);
+  cells_[key].push_back({event, holder, /*is_replica=*/false});
+  ++net_.node_mut(holder).stored_events;
+  ++stored_count_;
+
+  // Resilience mirrors: the POINT-REFLECTED offset in rotated pools.
+  // Reflection matters: event load concentrates in high-offset cells
+  // (HO tracks the maximum attribute value), so a same-offset mirror
+  // would die together with its primary under load-correlated failures;
+  // reflecting places mirrors in the lightly-loaded corner. Queries never
+  // read mirrors (no duplicate answers); they only buy failure survival.
+  for (std::uint32_t r = 1; r <= config_.replicas; ++r) {
+    const std::size_t mirror_pool = (choice.pool_dim + r) % dims_;
+    const CellOffset mirror_off{config_.side - 1 - choice.offset.ho,
+                                config_.side - 1 - choice.offset.vo};
+    const CellCoord mirror_coord = layout_.cell(mirror_pool, mirror_off);
+    const net::NodeId mirror_idx = grid_.index_node(mirror_coord);
+    const auto mirror_route = gpsr_.route_to_node(source, mirror_idx);
+    net_.transmit_path(mirror_route.path, net::MessageKind::Insert,
+                       net_.sizes().event_bits(dims_));
+    cells_[cell_key(mirror_pool, mirror_off)].push_back(
+        {event, mirror_idx, /*is_replica=*/true});
+    ++net_.node_mut(mirror_idx).stored_events;
+    ++replica_count_;
+  }
+
+  // Continuous queries registered at this cell: every match pushes one
+  // notification from the storing node straight to the subscriber.
+  for (const SubscriptionId sid : cell_subs_[key]) {
+    auto& sub = subscriptions_.at(sid);
+    if (!sub.query.matches(event)) continue;
+    if (holder != sub.sink) {
+      const auto notify = gpsr_.route_to_node(holder, sub.sink);
+      net_.transmit_path(notify.path, net::MessageKind::Reply,
+                         net_.sizes().reply_bits(dims_, 1));
+    }
+    sub.pending.push_back(event);
+  }
+
+  InsertReceipt receipt;
+  receipt.stored_at = holder;
+  receipt.messages = net_.traffic().total - before;
+  return receipt;
+}
+
+net::NodeId PoolSystem::splitter_for(std::size_t pool_dim,
+                                     net::NodeId sink) const {
+  POOLNET_ASSERT(pool_dim < dims_);
+  const Point sink_pos = net_.position(sink);
+  net::NodeId best = net::kNoNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::uint32_t vo = 0; vo < config_.side; ++vo) {
+    for (std::uint32_t ho = 0; ho < config_.side; ++ho) {
+      const net::NodeId idx =
+          grid_.index_node(layout_.cell(pool_dim, {ho, vo}));
+      const double d2 = distance_sq(net_.position(idx), sink_pos);
+      if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
+        best_d2 = d2;
+        best = idx;
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t PoolSystem::relevant_cell_count(const RangeQuery& q) const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < dims_; ++i)
+    total += relevant_cells(q, i, config_.side).size();
+  return total;
+}
+
+QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("PoolSystem: query dimensionality mismatch");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+
+  for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
+    // Query resolving (Algorithm 2) is pure arithmetic on the predefined
+    // layout, so the sink can already tell which pools are empty of
+    // relevant cells and skip their splitters entirely.
+    const auto cells = relevant_cells(q, pool_dim, config_.side);
+    if (cells.empty()) continue;
+    charge_pivot_lookup(sink, pool_dim);
+
+    const net::NodeId splitter = splitter_for(pool_dim, sink);
+    const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+    net_.transmit_path(to_splitter.path, net::MessageKind::Query,
+                       net_.sizes().query_bits(dims_));
+
+    std::uint32_t pool_matches = 0;
+    for (const CellOffset off : cells) {
+      const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
+      const auto leg = gpsr_.route_to_node(splitter, idx);
+      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+                         net_.sizes().query_bits(dims_));
+      ++receipt.index_nodes_visited;
+
+      // Scan the cell; with workload sharing some events sit one hop away
+      // at delegates, which must be polled and must reply through the
+      // index node.
+      std::uint32_t here = 0;
+      std::unordered_map<net::NodeId, std::uint32_t> at_delegate;
+      for (const StoredEvent& se :
+           cells_[cell_key(pool_dim, off)]) {
+        if (se.is_replica || !q.matches(se.event)) continue;
+        receipt.events.push_back(se.event);
+        if (se.holder == idx) {
+          ++here;
+        } else {
+          ++at_delegate[se.holder];
+        }
+      }
+      for (const auto& [delegate, found] : at_delegate) {
+        // Forward the query one hop and bring batches back one hop.
+        net_.transmit(idx, delegate, net::MessageKind::SubQuery,
+                      sizes.query_bits(dims_));
+        const std::uint64_t batches = sizes.reply_batches(found);
+        for (std::uint64_t b = 0; b < batches; ++b) {
+          net_.transmit(delegate, idx, net::MessageKind::Reply,
+                        sizes.reply_bits(dims_, sizes.reply_payload(found)));
+        }
+        here += found;
+      }
+
+      // Cell replies travel back to the splitter along the tree.
+      if (here > 0 && idx != splitter) {
+        const auto back = gpsr_.route_to_node(idx, splitter);
+        const std::uint64_t batches = sizes.reply_batches(here);
+        for (std::uint64_t b = 0; b < batches; ++b) {
+          net_.transmit_path(back.path, net::MessageKind::Reply,
+                             sizes.reply_bits(dims_, sizes.reply_payload(here)));
+        }
+      }
+      pool_matches += here;
+    }
+
+    // The splitter aggregates the pool's events and returns them to the
+    // sink (and would apply aggregate operators here; Section 3.2.3).
+    if (pool_matches > 0 && splitter != sink) {
+      const auto back = gpsr_.route_to_node(splitter, sink);
+      const std::uint64_t batches = sizes.reply_batches(pool_matches);
+      for (std::uint64_t b = 0; b < batches; ++b) {
+        net_.transmit_path(
+            back.path, net::MessageKind::Reply,
+            sizes.reply_bits(dims_, sizes.reply_payload(pool_matches)));
+      }
+    }
+  }
+
+  const auto delta = net_.traffic() - before;
+  receipt.messages = delta.total;
+  receipt.query_messages = delta.of(net::MessageKind::Query) +
+                           delta.of(net::MessageKind::SubQuery);
+  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  return receipt;
+}
+
+storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
+                                                const RangeQuery& q,
+                                                storage::AggregateKind kind,
+                                                std::size_t value_dim) {
+  if (q.dims() != dims_)
+    throw ConfigError("PoolSystem: query dimensionality mismatch");
+  if (value_dim >= dims_)
+    throw ConfigError("PoolSystem: aggregate dimension out of range");
+
+  storage::AggregateReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+  storage::PartialAggregate total;
+
+  for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
+    const auto cells = relevant_cells(q, pool_dim, config_.side);
+    if (cells.empty()) continue;
+    charge_pivot_lookup(sink, pool_dim);
+
+    const net::NodeId splitter = splitter_for(pool_dim, sink);
+    const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+    net_.transmit_path(to_splitter.path, net::MessageKind::Query,
+                       sizes.query_bits(dims_));
+
+    storage::PartialAggregate pool_partial;
+    for (const CellOffset off : cells) {
+      const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
+      const auto leg = gpsr_.route_to_node(splitter, idx);
+      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+                         sizes.query_bits(dims_));
+      ++receipt.index_nodes_visited;
+
+      storage::PartialAggregate cell_partial;
+      std::unordered_map<net::NodeId, storage::PartialAggregate> at_delegate;
+      for (const StoredEvent& se : cells_[cell_key(pool_dim, off)]) {
+        if (se.is_replica || !q.matches(se.event)) continue;
+        const double v = se.event.values[value_dim];
+        if (se.holder == idx) {
+          cell_partial.add(v);
+        } else {
+          at_delegate[se.holder].add(v);
+        }
+      }
+      for (const auto& [delegate, partial] : at_delegate) {
+        // One hop out, one fixed-size partial back.
+        net_.transmit(idx, delegate, net::MessageKind::SubQuery,
+                      sizes.query_bits(dims_));
+        net_.transmit(delegate, idx, net::MessageKind::Reply,
+                      sizes.aggregate_bits());
+        cell_partial.merge(partial);
+      }
+
+      if (!cell_partial.empty()) {
+        pool_partial.merge(cell_partial);
+        if (idx != splitter) {
+          const auto back = gpsr_.route_to_node(idx, splitter);
+          net_.transmit_path(back.path, net::MessageKind::Reply,
+                             sizes.aggregate_bits());
+        }
+      }
+    }
+
+    if (!pool_partial.empty()) {
+      total.merge(pool_partial);
+      if (splitter != sink) {
+        const auto back = gpsr_.route_to_node(splitter, sink);
+        net_.transmit_path(back.path, net::MessageKind::Reply,
+                           sizes.aggregate_bits());
+      }
+    }
+  }
+
+  receipt.result = total.finalize(kind);
+  const auto delta = net_.traffic() - before;
+  receipt.messages = delta.total;
+  receipt.query_messages = delta.of(net::MessageKind::Query) +
+                           delta.of(net::MessageKind::SubQuery);
+  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  return receipt;
+}
+
+void PoolSystem::walk_registration_tree(
+    net::NodeId sink, const RangeQuery& q,
+    const std::function<void(std::size_t)>& per_cell) {
+  const auto& sizes = net_.sizes();
+  for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
+    const auto cells = relevant_cells(q, pool_dim, config_.side);
+    if (cells.empty()) continue;
+    charge_pivot_lookup(sink, pool_dim);
+
+    const net::NodeId splitter = splitter_for(pool_dim, sink);
+    const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+    net_.transmit_path(to_splitter.path, net::MessageKind::Control,
+                       sizes.query_bits(dims_));
+    for (const CellOffset off : cells) {
+      const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
+      const auto leg = gpsr_.route_to_node(splitter, idx);
+      net_.transmit_path(leg.path, net::MessageKind::Control,
+                         sizes.query_bits(dims_));
+      per_cell(cell_key(pool_dim, off));
+    }
+  }
+}
+
+PoolSystem::SubscriptionId PoolSystem::subscribe(net::NodeId sink,
+                                                 const RangeQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("PoolSystem: subscription dimensionality mismatch");
+  const SubscriptionId id = next_subscription_++;
+  subscriptions_.emplace(id, Subscription{sink, q, {}});
+  walk_registration_tree(sink, q, [&](std::size_t key) {
+    cell_subs_[key].push_back(id);
+  });
+  return id;
+}
+
+void PoolSystem::unsubscribe(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  walk_registration_tree(it->second.sink, it->second.query,
+                         [&](std::size_t key) {
+                           auto& subs = cell_subs_[key];
+                           std::erase(subs, id);
+                         });
+  subscriptions_.erase(it);
+}
+
+std::vector<PoolSystem::Notification> PoolSystem::take_notifications(
+    SubscriptionId id) {
+  std::vector<Notification> out;
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return out;
+  for (storage::Event& e : it->second.pending)
+    out.push_back({id, std::move(e)});
+  it->second.pending.clear();
+  return out;
+}
+
+PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
+                                                const storage::Values& target,
+                                                double initial_radius) {
+  if (target.size() != dims_)
+    throw ConfigError("PoolSystem: NN target dimensionality mismatch");
+  if (initial_radius <= 0.0)
+    throw ConfigError("PoolSystem: NN initial radius must be positive");
+
+  NnReceipt receipt;
+  const auto before = net_.traffic().total;
+  const auto& sizes = net_.sizes();
+
+  // (pool, cell-offset) pairs already queried; the sink can track these
+  // because resolving is pure arithmetic on the predefined layout.
+  std::vector<char> visited(cells_.size(), 0);
+  double best_d2 = std::numeric_limits<double>::infinity();
+  std::optional<storage::Event> best;
+
+  double radius = initial_radius;
+  while (true) {
+    ++receipt.rounds;
+    // Box query of half-width `radius` around the target, clipped to [0,1].
+    RangeQuery::Bounds bounds;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      bounds.push_back({std::max(0.0, target[d] - radius),
+                        std::min(1.0, target[d] + radius)});
+    }
+    const RangeQuery box(bounds);
+
+    for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
+      const auto cells = relevant_cells(box, pool_dim, config_.side);
+      // Only contact the splitter when the round adds unvisited cells.
+      std::vector<CellOffset> fresh;
+      for (const CellOffset off : cells) {
+        if (!visited[cell_key(pool_dim, off)]) fresh.push_back(off);
+      }
+      if (fresh.empty()) continue;
+      charge_pivot_lookup(sink, pool_dim);
+
+      const net::NodeId splitter = splitter_for(pool_dim, sink);
+      const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+      net_.transmit_path(to_splitter.path, net::MessageKind::Query,
+                         sizes.query_bits(dims_));
+
+      bool pool_has_candidate = false;
+      for (const CellOffset off : fresh) {
+        visited[cell_key(pool_dim, off)] = 1;
+        const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
+        const auto leg = gpsr_.route_to_node(splitter, idx);
+        net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+                           sizes.query_bits(dims_));
+        ++receipt.index_nodes_visited;
+
+        // The cell answers with its closest resident event, box or not —
+        // the box only chooses WHICH cells to visit; reporting the true
+        // local optimum means a visited cell never needs re-querying when
+        // the box later grows.
+        bool cell_has_candidate = false;
+        for (const StoredEvent& se : cells_[cell_key(pool_dim, off)]) {
+          if (se.is_replica) continue;
+          double d2 = 0.0;
+          for (std::size_t d = 0; d < dims_; ++d) {
+            const double diff = se.event.values[d] - target[d];
+            d2 += diff * diff;
+          }
+          cell_has_candidate = true;
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = se.event;
+          }
+        }
+        if (cell_has_candidate && idx != splitter) {
+          const auto back = gpsr_.route_to_node(idx, splitter);
+          net_.transmit_path(back.path, net::MessageKind::Reply,
+                             sizes.reply_bits(dims_, 1));
+          pool_has_candidate = true;
+        } else if (cell_has_candidate) {
+          pool_has_candidate = true;
+        }
+      }
+      if (pool_has_candidate && splitter != sink) {
+        const auto back = gpsr_.route_to_node(splitter, sink);
+        net_.transmit_path(back.path, net::MessageKind::Reply,
+                           sizes.reply_bits(dims_, 1));
+      }
+    }
+
+    // Complete when the best candidate lies within the proven-covered
+    // radius, or the box already spans the whole value space.
+    if (best && std::sqrt(best_d2) <= radius) break;
+    if (radius >= 1.0) break;  // whole space searched
+    radius = std::min(1.0, radius * 2.0);
+  }
+
+  if (best) receipt.distance = std::sqrt(best_d2);
+  receipt.nearest = std::move(best);
+  receipt.messages = net_.traffic().total - before;
+  return receipt;
+}
+
+std::size_t PoolSystem::expire_before(double cutoff) {
+  std::size_t primaries_removed = 0;
+  for (auto& cell : cells_) {
+    std::erase_if(cell, [&](const StoredEvent& se) {
+      if (se.event.detected_at >= cutoff) return false;
+      --net_.node_mut(se.holder).stored_events;
+      if (se.is_replica) {
+        --replica_count_;
+      } else {
+        ++primaries_removed;
+      }
+      return true;
+    });
+  }
+  stored_count_ -= primaries_removed;
+  return primaries_removed;
+}
+
+std::size_t PoolSystem::cell_load(std::size_t pool_dim,
+                                  CellOffset offset) const {
+  return cells_[cell_key(pool_dim, offset)].size();
+}
+
+PoolSystem::SurvivabilityReport PoolSystem::survivability(
+    const std::vector<net::NodeId>& dead_nodes) const {
+  std::vector<char> dead(net_.size(), 0);
+  for (const net::NodeId n : dead_nodes) {
+    POOLNET_ASSERT(n < net_.size());
+    dead[n] = 1;
+  }
+  // Per event id: did the primary die, does any mirror survive?
+  std::unordered_map<std::uint64_t, std::pair<bool, bool>> state;
+  state.reserve(stored_count_);
+  for (const auto& cell : cells_) {
+    for (const StoredEvent& se : cell) {
+      auto& [primary_dead, mirror_alive] = state[se.event.id];
+      if (se.is_replica) {
+        if (!dead[se.holder]) mirror_alive = true;
+      } else {
+        primary_dead = dead[se.holder] != 0;
+      }
+    }
+  }
+  SurvivabilityReport report;
+  report.total_events = state.size();
+  for (const auto& [id, s] : state) {
+    if (!s.first) continue;  // primary survived
+    ++report.primaries_lost;
+    if (s.second) {
+      ++report.recovered;
+    } else {
+      ++report.lost;
+    }
+  }
+  return report;
+}
+
+std::uint64_t PoolSystem::max_node_load() const {
+  std::uint64_t mx = 0;
+  for (const auto& n : net_.nodes()) mx = std::max(mx, n.stored_events);
+  return mx;
+}
+
+}  // namespace poolnet::core

@@ -1,0 +1,234 @@
+// The Pool data-centric storage system — the paper's contribution.
+//
+// Deployment-time state: a Grid over the field, a PoolLayout of k pools,
+// and (logically) one index node per pool cell. Runtime behaviour:
+//
+//  * insert (Algorithm 1): the event's greatest value picks the pool, the
+//    greatest and second-greatest values pick the cell (Theorem 3.1), GPSR
+//    carries the event to the cell's index node. Ties in the greatest
+//    value store ONE copy at the candidate cell closest to the detection
+//    point (Section 4.1).
+//  * query (Algorithm 2 + Section 3.2.3): for each pool with relevant
+//    cells, the sink forwards the query to the pool's splitter (the pool
+//    index node closest to the sink); the splitter unicasts a copy to each
+//    relevant cell; qualifying events flow back cell → splitter → sink,
+//    aggregated (packed) at the splitter.
+//  * workload sharing (Section 4.2): an index node whose resident load
+//    reaches a threshold delegates subsequent storage to its least-loaded
+//    radio neighbor; queries follow the delegation (one extra hop each
+//    way). The mechanism trades a small message overhead for a bounded
+//    per-node load under skewed workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/grid.h"
+#include "core/pool_geometry.h"
+#include "core/pool_layout.h"
+#include "net/network.h"
+#include "routing/gpsr.h"
+#include "storage/dcs_system.h"
+
+namespace poolnet::core {
+
+struct PoolConfig {
+  double cell_size = 5.0;        ///< α, meters (paper: 5 m)
+  std::uint32_t side = 10;       ///< l, cells per pool side (paper: 10)
+  std::uint64_t layout_seed = 42;  ///< pivot placement randomness
+
+  bool workload_sharing = false;   ///< Section 4.2 mechanism on/off
+  std::uint32_t share_threshold = 32;  ///< events a node holds before delegating
+
+  /// Algorithm 1 line 4 ("Get the pivot cell of P_d1 through a DHT"):
+  /// when true, pivot locations are served by a GHT-style directory and
+  /// every node's FIRST use of a pool pays a Control-message round trip
+  /// to the directory home (cached thereafter). The paper's evaluation
+  /// treats pools as predefined, so the default charges nothing.
+  bool charge_dht_lookup = false;
+
+  /// Resilience extension (in the spirit of the paper's reference [7],
+  /// resilient data-centric storage): store this many MIRROR copies of
+  /// every event, each at the point-reflected offset
+  /// (l-1-HO, l-1-VO) of a rotated pool P_{(d1 + r) mod k} — reflection
+  /// decorrelates mirror load from primary load, so load-targeted
+  /// failures cannot take out both copies. Mirrors are never returned by
+  /// queries (no duplicate answers, Section 4.1's invariant); they exist
+  /// so data survives index-node failures. Must be < dims. 0 disables.
+  std::uint32_t replicas = 0;
+};
+
+class PoolSystem final : public storage::DcsSystem {
+ public:
+  /// Random pool layout derived from `config.layout_seed`.
+  PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
+             std::size_t dims, PoolConfig config = {});
+
+  /// Explicit layout (tests and worked-example reproduction).
+  PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
+             std::size_t dims, PoolConfig config, PoolLayout layout);
+
+  std::string name() const override { return "Pool"; }
+  std::size_t dims() const override { return dims_; }
+
+  storage::InsertReceipt insert(net::NodeId source,
+                                const storage::Event& event) override;
+  storage::QueryReceipt query(net::NodeId sink,
+                              const storage::RangeQuery& query) override;
+
+  /// In-network aggregation (Section 3.2.3): each relevant cell reduces
+  /// its matching events to one fixed-size partial, each splitter merges
+  /// its pool's partials, and exactly one aggregate reply per involved
+  /// pool travels back to the sink — reply traffic is independent of the
+  /// number of qualifying events.
+  storage::AggregateReceipt aggregate(net::NodeId sink,
+                                      const storage::RangeQuery& query,
+                                      storage::AggregateKind kind,
+                                      std::size_t value_dim) override;
+
+  std::size_t stored_count() const override { return stored_count_; }
+  std::size_t expire_before(double cutoff) override;
+
+  /// Nearest-neighbor query in ATTRIBUTE space (the paper's stated future
+  /// work: "continuous monitoring of the nearest neighbor queries").
+  /// Finds the stored event minimizing Euclidean distance to `target`,
+  /// by issuing expanding box queries through the normal resolving
+  /// machinery: a box of half-width r covers every event within Euclidean
+  /// distance r, so once the best candidate found inside the box is
+  /// closer than r the search is provably complete. Cells already visited
+  /// in earlier rounds are not re-queried (the sink tracks them).
+  struct NnReceipt {
+    std::optional<storage::Event> nearest;
+    double distance = 0.0;  ///< Euclidean, attribute space; valid if nearest
+    std::uint64_t messages = 0;
+    std::size_t index_nodes_visited = 0;
+    std::size_t rounds = 0;  ///< box expansions performed
+  };
+  NnReceipt nearest_event(net::NodeId sink, const storage::Values& target,
+                          double initial_radius = 0.05);
+
+  // --- continuous queries (Section 6 future work) -----------------------
+  //
+  // A subscription registers a standing range query at every cell that
+  // can ever hold a matching event (the Theorem 3.2 relevant set — sound
+  // for all FUTURE inserts too, because relevance depends only on the
+  // query). Registration and cancellation each cost one forwarding tree
+  // of Control messages; every matching insert afterwards pushes one
+  // notification from the storing node to the subscriber.
+
+  using SubscriptionId = std::uint64_t;
+
+  struct Notification {
+    SubscriptionId subscription;
+    storage::Event event;
+  };
+
+  /// Registers `q` for `sink`; charges the registration tree. Matching
+  /// events inserted from now on generate notifications.
+  SubscriptionId subscribe(net::NodeId sink, const storage::RangeQuery& q);
+
+  /// Cancels a subscription; charges the cancellation tree. Pending
+  /// undelivered notifications are dropped. No-op on unknown ids.
+  void unsubscribe(SubscriptionId id);
+
+  /// Notifications delivered to the subscriber since the last call
+  /// (their per-hop cost was charged at insert time).
+  std::vector<Notification> take_notifications(SubscriptionId id);
+
+  std::size_t active_subscriptions() const { return subscriptions_.size(); }
+
+  // --- introspection for tests, examples and benches ---
+  const net::Network& network() const { return net_; }
+  const Grid& grid() const { return grid_; }
+  const PoolLayout& layout() const { return layout_; }
+  const PoolConfig& config() const { return config_; }
+
+  /// Total relevant cells across pools for `q` (pruning diagnostic).
+  std::size_t relevant_cell_count(const storage::RangeQuery& q) const;
+
+  /// The pool's splitter for a sink at `sink`'s position.
+  net::NodeId splitter_for(std::size_t pool_dim, net::NodeId sink) const;
+
+  /// Cell (pool, offset) chosen for an event — exposes the Section 4.1
+  /// tie-break decision without inserting.
+  struct CellChoice {
+    std::size_t pool_dim;
+    CellOffset offset;
+    CellCoord coord;
+    net::NodeId index_node;
+  };
+  CellChoice choose_cell(net::NodeId source,
+                         const storage::Event& event) const;
+
+  /// Events resident in one pool cell (main holder + delegates).
+  std::size_t cell_load(std::size_t pool_dim, CellOffset offset) const;
+
+  /// Largest number of events any physical node holds (hotspot metric).
+  std::uint64_t max_node_load() const;
+
+  /// Mirror copies currently stored (0 unless config().replicas > 0).
+  std::size_t replica_count() const { return replica_count_; }
+
+  /// What a failure of `dead_nodes` would do to the stored data:
+  /// an event is `recovered` when its primary holder dies but at least
+  /// one mirror holder survives, `lost` when every holder dies.
+  struct SurvivabilityReport {
+    std::size_t total_events = 0;
+    std::size_t primaries_lost = 0;  ///< primary holder among the dead
+    std::size_t recovered = 0;       ///< rescued by a surviving mirror
+    std::size_t lost = 0;            ///< all copies on dead nodes
+  };
+  SurvivabilityReport survivability(
+      const std::vector<net::NodeId>& dead_nodes) const;
+
+ private:
+  struct StoredEvent {
+    storage::Event event;
+    net::NodeId holder;  ///< index node itself, or a delegate neighbor
+    bool is_replica = false;  ///< mirror copy: invisible to queries
+  };
+
+  std::size_t cell_key(std::size_t pool_dim, CellOffset offset) const;
+  net::NodeId pick_delegate(net::NodeId index_node) const;
+
+  /// Charges the DHT round trip for `node`'s first use of `pool_dim`'s
+  /// pivot (no-op when lookups are free or already cached).
+  void charge_pivot_lookup(net::NodeId node, std::size_t pool_dim);
+
+  /// Directory home node of a pool's pivot record (GHT-style hash).
+  net::NodeId directory_home(std::size_t pool_dim) const;
+
+  net::Network& net_;
+  const routing::Gpsr& gpsr_;
+  std::size_t dims_;
+  PoolConfig config_;
+  Grid grid_;
+  PoolLayout layout_;
+  std::vector<std::vector<StoredEvent>> cells_;  // k * l^2 stores
+  std::size_t stored_count_ = 0;
+  std::size_t replica_count_ = 0;
+
+  /// pivot_cache_[node * dims + pool] — set once the node has looked the
+  /// pivot up (only allocated when charge_dht_lookup is on).
+  std::vector<char> pivot_cache_;
+
+  // --- continuous-query state ---
+  struct Subscription {
+    net::NodeId sink = net::kNoNode;
+    storage::RangeQuery query;
+    std::vector<storage::Event> pending;
+  };
+  /// Walks the registration tree for `q`, charging Control messages, and
+  /// applies `per_cell` to each relevant cell key.
+  void walk_registration_tree(net::NodeId sink, const storage::RangeQuery& q,
+                              const std::function<void(std::size_t)>& per_cell);
+
+  std::map<SubscriptionId, Subscription> subscriptions_;
+  std::vector<std::vector<SubscriptionId>> cell_subs_;  // per cell key
+  SubscriptionId next_subscription_ = 1;
+};
+
+}  // namespace poolnet::core

@@ -1,0 +1,209 @@
+#include "dim/dim_system.h"
+
+#include "common/error.h"
+
+namespace poolnet::dim {
+
+using storage::Event;
+using storage::InsertReceipt;
+using storage::QueryReceipt;
+using storage::RangeQuery;
+
+DimSystem::DimSystem(net::Network& network, const routing::Gpsr& gpsr,
+                     std::size_t dims)
+    : net_(network),
+      gpsr_(gpsr),
+      tree_(network, dims),
+      store_(tree_.size()),
+      rep_cache_(tree_.size(), net::kNoNode) {}
+
+net::NodeId DimSystem::representative(ZoneIndex zidx) const {
+  net::NodeId& memo = rep_cache_[zidx];
+  if (memo == net::kNoNode) {
+    const ZoneNode& z = tree_.zone(zidx);
+    memo = z.is_leaf() ? z.owner : net_.nearest_node(z.region.center());
+  }
+  return memo;
+}
+
+InsertReceipt DimSystem::insert(net::NodeId source, const Event& event) {
+  storage::validate_event(event);
+  if (event.dims() != dims())
+    throw ConfigError("DIM: event dimensionality mismatch");
+
+  const ZoneIndex leaf = tree_.leaf_for_event(event);
+  const net::NodeId owner = tree_.zone(leaf).owner;
+
+  const auto before = net_.traffic().total;
+  const auto route = gpsr_.route_to_node(source, owner);
+  net_.transmit_path(route.path, net::MessageKind::Insert,
+                     net_.sizes().event_bits(dims()));
+
+  store_[leaf].push_back(event);
+  ++stored_count_;
+  ++net_.node_mut(owner).stored_events;
+
+  InsertReceipt receipt;
+  receipt.stored_at = owner;
+  receipt.messages = net_.traffic().total - before;
+  return receipt;
+}
+
+QueryReceipt DimSystem::query(net::NodeId sink, const RangeQuery& q) {
+  if (q.dims() != dims())
+    throw ConfigError("DIM: query dimensionality mismatch");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+
+  // The sink addresses the query to the deepest zone that encloses it and
+  // routes it there; refinement then happens inside the zone.
+  const ZoneIndex start = tree_.enclosing_zone(q);
+  if (ZoneTree::zone_intersects(tree_.zone(start), q)) {
+    const net::NodeId entry = representative(start);
+    const auto leg = gpsr_.route_to_node(sink, entry);
+    net_.transmit_path(leg.path, net::MessageKind::Query,
+                       net_.sizes().query_bits(dims()));
+    process_subtree(entry, start, q, sink, receipt);
+  }
+
+  const auto delta = net_.traffic() - before;
+  receipt.messages = delta.total;
+  receipt.query_messages = delta.of(net::MessageKind::Query) +
+                           delta.of(net::MessageKind::SubQuery);
+  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  return receipt;
+}
+
+template <typename LeafFn>
+void DimSystem::walk_subtree(net::NodeId carrier, ZoneIndex zidx,
+                             const RangeQuery& q, LeafFn&& on_leaf) {
+  const ZoneNode& z = tree_.zone(zidx);
+  if (z.is_leaf()) {
+    // Final leg to the zone owner, then the leaf-local action.
+    if (carrier != z.owner) {
+      const auto leg = gpsr_.route_to_node(carrier, z.owner);
+      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+                         net_.sizes().query_bits(dims()));
+    }
+    on_leaf(zidx);
+    return;
+  }
+
+  const bool lower_hit = ZoneTree::zone_intersects(tree_.zone(z.lower), q);
+  const bool upper_hit = ZoneTree::zone_intersects(tree_.zone(z.upper), q);
+  if (lower_hit && upper_hit) {
+    // The query splits here: one subquery message per child region.
+    for (const ZoneIndex child : {z.lower, z.upper}) {
+      const net::NodeId next = representative(child);
+      if (next != carrier) {
+        const auto leg = gpsr_.route_to_node(carrier, next);
+        net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+                           net_.sizes().query_bits(dims()));
+      }
+      walk_subtree(next, child, q, on_leaf);
+    }
+  } else if (lower_hit) {
+    walk_subtree(carrier, z.lower, q, on_leaf);
+  } else if (upper_hit) {
+    walk_subtree(carrier, z.upper, q, on_leaf);
+  }
+}
+
+void DimSystem::process_subtree(net::NodeId carrier, ZoneIndex zidx,
+                                const RangeQuery& q, net::NodeId sink,
+                                QueryReceipt& receipt) {
+  walk_subtree(carrier, zidx, q, [&](ZoneIndex leaf) {
+    const ZoneNode& z = tree_.zone(leaf);
+    ++receipt.index_nodes_visited;
+    std::uint32_t found = 0;
+    for (const Event& e : store_[leaf]) {
+      if (q.matches(e)) {
+        receipt.events.push_back(e);
+        ++found;
+      }
+    }
+    if (found > 0 && z.owner != sink) {
+      const auto back = gpsr_.route_to_node(z.owner, sink);
+      const auto& sizes = net_.sizes();
+      const std::uint64_t n_msgs = sizes.reply_batches(found);
+      for (std::uint64_t i = 0; i < n_msgs; ++i) {
+        net_.transmit_path(
+            back.path, net::MessageKind::Reply,
+            sizes.reply_bits(dims(), sizes.reply_payload(found)));
+      }
+    }
+  });
+}
+
+storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
+                                               const RangeQuery& q,
+                                               storage::AggregateKind kind,
+                                               std::size_t value_dim) {
+  if (q.dims() != dims())
+    throw ConfigError("DIM: query dimensionality mismatch");
+  if (value_dim >= dims())
+    throw ConfigError("DIM: aggregate dimension out of range");
+
+  storage::AggregateReceipt receipt;
+  const auto before = net_.traffic();
+  storage::PartialAggregate total;
+
+  const ZoneIndex start = tree_.enclosing_zone(q);
+  if (ZoneTree::zone_intersects(tree_.zone(start), q)) {
+    const net::NodeId entry = representative(start);
+    const auto leg = gpsr_.route_to_node(sink, entry);
+    net_.transmit_path(leg.path, net::MessageKind::Query,
+                       net_.sizes().query_bits(dims()));
+    walk_subtree(entry, start, q, [&](ZoneIndex leaf) {
+      const ZoneNode& z = tree_.zone(leaf);
+      ++receipt.index_nodes_visited;
+      storage::PartialAggregate partial;
+      for (const Event& e : store_[leaf]) {
+        if (q.matches(e)) partial.add(e.values[value_dim]);
+      }
+      if (!partial.empty()) {
+        total.merge(partial);
+        if (z.owner != sink) {
+          // One fixed-size partial straight to the sink.
+          const auto back = gpsr_.route_to_node(z.owner, sink);
+          net_.transmit_path(back.path, net::MessageKind::Reply,
+                             net_.sizes().aggregate_bits());
+        }
+      }
+    });
+  }
+
+  receipt.result = total.finalize(kind);
+  const auto delta = net_.traffic() - before;
+  receipt.messages = delta.total;
+  receipt.query_messages = delta.of(net::MessageKind::Query) +
+                           delta.of(net::MessageKind::SubQuery);
+  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  return receipt;
+}
+
+std::size_t DimSystem::expire_before(double cutoff) {
+  std::size_t removed = 0;
+  for (const ZoneIndex leaf : tree_.leaves()) {
+    auto& events = store_[leaf];
+    const auto before = events.size();
+    std::erase_if(events, [cutoff](const Event& e) {
+      return e.detected_at < cutoff;
+    });
+    const auto gone = before - events.size();
+    if (gone > 0) {
+      removed += gone;
+      net_.node_mut(tree_.zone(leaf).owner).stored_events -= gone;
+    }
+  }
+  stored_count_ -= removed;
+  return removed;
+}
+
+const std::vector<Event>& DimSystem::zone_store(ZoneIndex leaf) const {
+  POOLNET_ASSERT(leaf < store_.size());
+  return store_[leaf];
+}
+
+}  // namespace poolnet::dim

@@ -1,0 +1,76 @@
+// DIM — Distributed Index for Multi-dimensional data (Li et al., SenSys'03).
+//
+// The comparison baseline of the paper's evaluation (Section 5): the only
+// prior DCS system supporting multi-dimensional range queries. Events are
+// hashed to zones via the zone tree; queries are addressed to the deepest
+// zone enclosing them and then recursively split toward every overlapping
+// leaf zone; leaf owners return qualifying events directly to the sink.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dim/zone_tree.h"
+#include "net/network.h"
+#include "routing/gpsr.h"
+#include "storage/dcs_system.h"
+
+namespace poolnet::dim {
+
+class DimSystem final : public storage::DcsSystem {
+ public:
+  DimSystem(net::Network& network, const routing::Gpsr& gpsr,
+            std::size_t dims);
+
+  std::string name() const override { return "DIM"; }
+  std::size_t dims() const override { return tree_.dims(); }
+
+  storage::InsertReceipt insert(net::NodeId source,
+                                const storage::Event& event) override;
+  storage::QueryReceipt query(net::NodeId sink,
+                              const storage::RangeQuery& query) override;
+
+  /// Aggregates are computed per leaf zone; each answering owner sends a
+  /// fixed-size partial straight to the sink (DIM has no in-network merge
+  /// point, unlike Pool's splitters).
+  storage::AggregateReceipt aggregate(net::NodeId sink,
+                                      const storage::RangeQuery& query,
+                                      storage::AggregateKind kind,
+                                      std::size_t value_dim) override;
+
+  std::size_t stored_count() const override { return stored_count_; }
+  std::size_t expire_before(double cutoff) override;
+
+  const ZoneTree& tree() const { return tree_; }
+
+  /// Events resident in a given leaf zone (diagnostics, load analysis).
+  const std::vector<storage::Event>& zone_store(ZoneIndex leaf) const;
+
+  /// Number of leaf zones a query must visit (pruning diagnostic).
+  std::size_t relevant_zone_count(const storage::RangeQuery& q) const {
+    return tree_.leaves_overlapping(q).size();
+  }
+
+ private:
+  /// Node a (sub)query is addressed to when targeting this zone.
+  net::NodeId representative(ZoneIndex zidx) const;
+
+  /// Shared recursive split-and-forward walk. `on_leaf(zidx)` runs at the
+  /// owner of every relevant leaf after the subquery legs are charged.
+  template <typename LeafFn>
+  void walk_subtree(net::NodeId carrier, ZoneIndex zidx,
+                    const storage::RangeQuery& q, LeafFn&& on_leaf);
+
+  void process_subtree(net::NodeId carrier, ZoneIndex zidx,
+                       const storage::RangeQuery& q, net::NodeId sink,
+                       storage::QueryReceipt& receipt);
+
+  net::Network& net_;
+  const routing::Gpsr& gpsr_;
+  ZoneTree tree_;
+  std::vector<std::vector<storage::Event>> store_;  // indexed by ZoneIndex
+  std::size_t stored_count_ = 0;
+  mutable std::vector<net::NodeId> rep_cache_;
+};
+
+}  // namespace poolnet::dim

@@ -1,0 +1,32 @@
+#include "dim/zone_code.h"
+
+#include <ostream>
+
+#include "common/error.h"
+
+namespace poolnet::dim {
+
+ZoneCode ZoneCode::from_string(const std::string& bits) {
+  if (bits.size() > kMaxLength)
+    throw ConfigError("zone code string too long");
+  ZoneCode c;
+  for (const char ch : bits) {
+    if (ch != '0' && ch != '1')
+      throw ConfigError("zone code string must be binary");
+    c = c.child(ch == '1');
+  }
+  return c;
+}
+
+std::string ZoneCode::to_string() const {
+  std::string s;
+  s.reserve(length());
+  for (std::size_t i = 0; i < length(); ++i) s.push_back(bit(i) ? '1' : '0');
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const ZoneCode& code) {
+  return os << code.to_string();
+}
+
+}  // namespace poolnet::dim

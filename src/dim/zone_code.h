@@ -1,0 +1,78 @@
+// Zone codes — DIM's binary addresses (Li et al., SenSys 2003).
+//
+// A zone code is a bit string b0 b1 ... b_{m-1}. Bit j records the j-th
+// binary split decision, simultaneously in two spaces:
+//  * geographically: the deployment field is bisected vertically at even
+//    depths and horizontally at odd depths; bit 1 selects the upper half;
+//  * in attribute space: attribute (j mod k) has its current range halved;
+//    bit 1 selects the upper half.
+// This double meaning is DIM's locality-preserving geographic hash: events
+// with nearby attribute values map to geographically nearby zones.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/assert.h"
+
+namespace poolnet::dim {
+
+/// Up to 64 split levels — far beyond any practical zone depth (a network
+/// of n nodes splits to depth ~log2(n) + a few).
+class ZoneCode {
+ public:
+  static constexpr std::size_t kMaxLength = 64;
+
+  constexpr ZoneCode() = default;
+
+  /// Parses a string of '0'/'1' characters (test convenience).
+  static ZoneCode from_string(const std::string& bits);
+
+  constexpr std::size_t length() const { return length_; }
+  constexpr bool empty() const { return length_ == 0; }
+
+  /// Bit at depth i (0 = first split). Requires i < length().
+  constexpr bool bit(std::size_t i) const {
+    POOLNET_ASSERT(i < length_);
+    return (bits_ >> i) & 1u;
+  }
+
+  /// Code extended by one split decision.
+  constexpr ZoneCode child(bool upper) const {
+    POOLNET_ASSERT_MSG(length_ < kMaxLength, "zone code overflow");
+    ZoneCode c = *this;
+    if (upper) c.bits_ |= (std::uint64_t{1} << c.length_);
+    ++c.length_;
+    return c;
+  }
+
+  /// True when *this is a (possibly equal) prefix of `other`.
+  constexpr bool prefix_of(const ZoneCode& other) const {
+    if (length_ > other.length_) return false;
+    if (length_ == 0) return true;
+    const std::uint64_t mask = length_ == 64
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << length_) - 1);
+    return (bits_ & mask) == (other.bits_ & mask);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const ZoneCode& a, const ZoneCode& b) {
+    if (a.length_ != b.length_) return false;
+    if (a.length_ == 0) return true;
+    const std::uint64_t mask = a.length_ == 64
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << a.length_) - 1);
+    return (a.bits_ & mask) == (b.bits_ & mask);
+  }
+
+ private:
+  std::uint64_t bits_ = 0;  // bit i of bits_ = split decision at depth i
+  std::size_t length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ZoneCode& code);
+
+}  // namespace poolnet::dim

@@ -1,0 +1,179 @@
+#include "dim/zone_tree.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace poolnet::dim {
+
+namespace {
+// Events at exactly 1.0 are clamped just below so the half-open range
+// arithmetic places them in the top slice.
+constexpr double kTopClamp = 1.0 - 1e-12;
+
+double clamp01(double v) {
+  if (v < 0.0) return 0.0;
+  if (v >= 1.0) return kTopClamp;
+  return v;
+}
+}  // namespace
+
+ZoneTree::ZoneTree(const net::Network& network, std::size_t dims)
+    : dims_(dims) {
+  if (dims == 0 || dims > storage::kMaxDims)
+    throw ConfigError("ZoneTree: bad dimensionality");
+  std::vector<net::NodeId> ids(network.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    ids[i] = static_cast<net::NodeId>(i);
+  std::array<HalfOpenInterval, storage::kMaxDims> ranges{};
+  for (std::size_t d = 0; d < dims_; ++d) ranges[d] = {0.0, 1.0};
+  build(network.field(), ids, ZoneCode{}, ranges, 0, network);
+}
+
+ZoneIndex ZoneTree::build(
+    Rect region, std::vector<net::NodeId>& ids, ZoneCode code,
+    const std::array<HalfOpenInterval, storage::kMaxDims>& ranges,
+    std::uint32_t depth, const net::Network& network) {
+  const auto idx = static_cast<ZoneIndex>(nodes_.size());
+  nodes_.push_back({});
+  {
+    ZoneNode& z = nodes_[idx];
+    z.code = code;
+    z.region = region;
+    z.ranges = ranges;
+    z.depth = depth;
+  }
+
+  if (ids.size() <= 1 || depth >= ZoneCode::kMaxLength) {
+    ZoneNode& z = nodes_[idx];
+    z.owner = ids.empty() ? network.nearest_node(region.center()) : ids.front();
+    leaves_.push_back(idx);
+    return idx;
+  }
+
+  // Geographic bisection: vertical (x) at even depth, horizontal at odd.
+  const bool split_x = (depth % 2) == 0;
+  const double geo_mid = split_x ? (region.min_x + region.max_x) / 2.0
+                                 : (region.min_y + region.max_y) / 2.0;
+  Rect lower_region = region, upper_region = region;
+  if (split_x) {
+    lower_region.max_x = geo_mid;
+    upper_region.min_x = geo_mid;
+  } else {
+    lower_region.max_y = geo_mid;
+    upper_region.min_y = geo_mid;
+  }
+
+  std::vector<net::NodeId> lower_ids, upper_ids;
+  for (const net::NodeId id : ids) {
+    const Point p = network.position(id);
+    const double coord = split_x ? p.x : p.y;
+    (coord < geo_mid ? lower_ids : upper_ids).push_back(id);
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+
+  // Attribute bisection in lock-step: attribute depth % k halves its range.
+  const std::size_t attr = depth % dims_;
+  const HalfOpenInterval r = ranges[attr];
+  const double attr_mid = (r.lo + r.hi) / 2.0;
+  auto lower_ranges = ranges;
+  auto upper_ranges = ranges;
+  lower_ranges[attr] = {r.lo, attr_mid};
+  upper_ranges[attr] = {attr_mid, r.hi};
+
+  const ZoneIndex lower = build(lower_region, lower_ids, code.child(false),
+                                lower_ranges, depth + 1, network);
+  const ZoneIndex upper = build(upper_region, upper_ids, code.child(true),
+                                upper_ranges, depth + 1, network);
+  nodes_[idx].lower = lower;
+  nodes_[idx].upper = upper;
+  return idx;
+}
+
+const ZoneNode& ZoneTree::zone(ZoneIndex i) const {
+  POOLNET_ASSERT(i < nodes_.size());
+  return nodes_[i];
+}
+
+ZoneIndex ZoneTree::leaf_for_event(const storage::Event& e) const {
+  POOLNET_ASSERT(e.dims() == dims_);
+  ZoneIndex cur = root();
+  while (!nodes_[cur].is_leaf()) {
+    const ZoneNode& z = nodes_[cur];
+    const std::size_t attr = z.depth % dims_;
+    const HalfOpenInterval r = z.ranges[attr];
+    const double mid = (r.lo + r.hi) / 2.0;
+    cur = clamp01(e.values[attr]) < mid ? z.lower : z.upper;
+  }
+  return cur;
+}
+
+ZoneIndex ZoneTree::leaf_for_position(Point p) const {
+  ZoneIndex cur = root();
+  while (!nodes_[cur].is_leaf()) {
+    const ZoneNode& z = nodes_[cur];
+    const bool split_x = (z.depth % 2) == 0;
+    const double mid = split_x ? (z.region.min_x + z.region.max_x) / 2.0
+                               : (z.region.min_y + z.region.max_y) / 2.0;
+    const double coord = split_x ? p.x : p.y;
+    cur = coord < mid ? z.lower : z.upper;
+  }
+  return cur;
+}
+
+bool ZoneTree::zone_intersects(const ZoneNode& z,
+                               const storage::RangeQuery& q) {
+  for (std::size_t d = 0; d < q.dims(); ++d) {
+    // Events at exactly 1.0 are clamped just below 1 when hashed, so the
+    // query bound must be clamped into the same space — otherwise a
+    // closed bound touching 1.0 misses the top half-open zone slice.
+    ClosedInterval b = q.bound(d);
+    b.lo = clamp01(b.lo);
+    b.hi = clamp01(b.hi);
+    if (!intersects(z.ranges[d], b)) return false;
+  }
+  return true;
+}
+
+std::vector<ZoneIndex> ZoneTree::leaves_overlapping(
+    const storage::RangeQuery& q) const {
+  POOLNET_ASSERT(q.dims() == dims_);
+  std::vector<ZoneIndex> out;
+  std::vector<ZoneIndex> stack{root()};
+  while (!stack.empty()) {
+    const ZoneIndex i = stack.back();
+    stack.pop_back();
+    const ZoneNode& z = nodes_[i];
+    if (!zone_intersects(z, q)) continue;
+    if (z.is_leaf()) {
+      out.push_back(i);
+    } else {
+      stack.push_back(z.upper);
+      stack.push_back(z.lower);
+    }
+  }
+  return out;
+}
+
+ZoneIndex ZoneTree::enclosing_zone(const storage::RangeQuery& q) const {
+  POOLNET_ASSERT(q.dims() == dims_);
+  ZoneIndex cur = root();
+  while (!nodes_[cur].is_leaf()) {
+    const ZoneNode& z = nodes_[cur];
+    const std::size_t attr = z.depth % dims_;
+    const HalfOpenInterval r = z.ranges[attr];
+    const double mid = (r.lo + r.hi) / 2.0;
+    const ClosedInterval b = q.bound(attr);
+    if (b.hi < mid) {
+      cur = z.lower;
+    } else if (b.lo >= mid) {
+      cur = z.upper;
+    } else {
+      break;  // query straddles the split: this is the deepest enclosure
+    }
+  }
+  return cur;
+}
+
+}  // namespace poolnet::dim

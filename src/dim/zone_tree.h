@@ -1,0 +1,89 @@
+// The DIM zone tree.
+//
+// DIM embeds a k-d-tree-like index in the network: the field is split
+// recursively (x, then y, then x, ...) until every zone holds at most one
+// sensor; in lock-step, attribute space is split (attr 0, attr 1, ...,
+// attr k-1, attr 0, ...). A zone therefore owns both a geographic region
+// and a k-dimensional value-range box, tied together by its ZoneCode.
+//
+// The protocol builds zones from neighbor beacons; the simulator builds
+// the identical global structure directly (DESIGN.md §2). Zones that end
+// up empty of sensors are adopted by the nearest node — DIM's backup-zone
+// behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "dim/zone_code.h"
+#include "net/network.h"
+#include "storage/event.h"
+#include "storage/range_query.h"
+
+namespace poolnet::dim {
+
+/// Index of a node within the ZoneTree's node array.
+using ZoneIndex = std::uint32_t;
+inline constexpr ZoneIndex kNoZone = static_cast<ZoneIndex>(-1);
+
+struct ZoneNode {
+  ZoneCode code;
+  Rect region;  ///< geographic extent
+
+  /// Value range per attribute implied by the code (half-open; the top
+  /// slice is [x, 1) with events at exactly 1.0 clamped in).
+  std::array<HalfOpenInterval, storage::kMaxDims> ranges;
+
+  ZoneIndex lower = kNoZone;  ///< child with split bit 0
+  ZoneIndex upper = kNoZone;  ///< child with split bit 1
+  net::NodeId owner = net::kNoNode;  ///< leaf only
+
+  std::uint32_t depth = 0;
+
+  bool is_leaf() const { return lower == kNoZone; }
+};
+
+class ZoneTree {
+ public:
+  /// Builds the zone tree for `network`, indexing `dims`-dimensional
+  /// events. Splitting stops when a region holds <= 1 sensor.
+  ZoneTree(const net::Network& network, std::size_t dims);
+
+  std::size_t dims() const { return dims_; }
+  const ZoneNode& zone(ZoneIndex i) const;
+  ZoneIndex root() const { return 0; }
+  std::size_t size() const { return nodes_.size(); }
+
+  std::size_t leaf_count() const { return leaves_.size(); }
+  const std::vector<ZoneIndex>& leaves() const { return leaves_; }
+
+  /// Leaf zone that stores `e` (the zone whose code prefixes the event's
+  /// code, i.e. whose value-range box contains the event).
+  ZoneIndex leaf_for_event(const storage::Event& e) const;
+
+  /// Leaf zone owned by `node_id`'s own position (the node's home zone).
+  ZoneIndex leaf_for_position(Point p) const;
+
+  /// All leaf zones whose value-range boxes intersect `q`, via pruned DFS.
+  std::vector<ZoneIndex> leaves_overlapping(const storage::RangeQuery& q) const;
+
+  /// Deepest zone (maximal code prefix) whose value-range box contains all
+  /// of `q` — where DIM first addresses a query before splitting it.
+  ZoneIndex enclosing_zone(const storage::RangeQuery& q) const;
+
+  /// True when the zone's value-range box intersects the query box.
+  static bool zone_intersects(const ZoneNode& z, const storage::RangeQuery& q);
+
+ private:
+  ZoneIndex build(Rect region, std::vector<net::NodeId>& ids, ZoneCode code,
+                  const std::array<HalfOpenInterval, storage::kMaxDims>& ranges,
+                  std::uint32_t depth, const net::Network& network);
+
+  std::size_t dims_;
+  std::vector<ZoneNode> nodes_;
+  std::vector<ZoneIndex> leaves_;
+};
+
+}  // namespace poolnet::dim

@@ -1,0 +1,231 @@
+#include "ght/ght_system.h"
+
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+
+namespace poolnet::ght {
+
+using storage::Event;
+using storage::InsertReceipt;
+using storage::QueryReceipt;
+using storage::RangeQuery;
+
+namespace {
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+GhtSystem::GhtSystem(net::Network& network, const routing::Gpsr& gpsr,
+                     std::size_t dims, GhtConfig config)
+    : net_(network),
+      gpsr_(gpsr),
+      dims_(dims),
+      config_(config),
+      store_(network.size()) {
+  if (dims == 0 || dims > storage::kMaxDims)
+    throw ConfigError("GHT: bad dimensionality");
+  if (config.quantum <= 0.0 || config.quantum > 1.0)
+    throw ConfigError("GHT: quantum must be in (0,1]");
+}
+
+std::uint64_t GhtSystem::key_of(const storage::Values& values) const {
+  std::uint64_t key = config_.hash_seed;
+  for (std::size_t d = 0; d < values.size(); ++d) {
+    double v = values[d];
+    if (v >= 1.0) v = 1.0 - 1e-12;
+    const auto bucket =
+        static_cast<std::uint64_t>(std::floor(v / config_.quantum));
+    key = mix(key ^ (bucket + 0x9e3779b97f4a7c15ULL * (d + 1)));
+  }
+  return key;
+}
+
+Point GhtSystem::location_of(std::uint64_t key) const {
+  const Rect& f = net_.field();
+  const double u = static_cast<double>(mix(key) >> 11) * 0x1.0p-53;
+  const double v = static_cast<double>(mix(key ^ 0xabcdef0123456789ULL) >> 11) *
+                   0x1.0p-53;
+  return {f.min_x + u * f.width(), f.min_y + v * f.height()};
+}
+
+net::NodeId GhtSystem::home_node(const storage::Values& values) const {
+  return net_.nearest_node(location_of(key_of(values)));
+}
+
+InsertReceipt GhtSystem::insert(net::NodeId source, const Event& event) {
+  storage::validate_event(event);
+  if (event.dims() != dims_)
+    throw ConfigError("GHT: event dimensionality mismatch");
+
+  const net::NodeId home = home_node(event.values);
+  const auto before = net_.traffic().total;
+  const auto route = gpsr_.route_to_node(source, home);
+  net_.transmit_path(route.path, net::MessageKind::Insert,
+                     net_.sizes().event_bits(dims_));
+  store_[home].push_back(event);
+  ++stored_count_;
+  ++net_.node_mut(home).stored_events;
+
+  InsertReceipt receipt;
+  receipt.stored_at = home;
+  receipt.messages = net_.traffic().total - before;
+  return receipt;
+}
+
+std::size_t GhtSystem::charge_flood(net::NodeId sink) {
+  // BFS broadcast: every reached node rebroadcasts exactly once, so each
+  // tree edge is one Query transmission. (Real floods cost MORE — every
+  // node transmits regardless of tree membership — so this undercounts in
+  // GHT's favor; Pool still wins by orders of magnitude.)
+  std::vector<char> seen(net_.size(), 0);
+  std::queue<net::NodeId> frontier;
+  frontier.push(sink);
+  seen[sink] = 1;
+  std::size_t reached = 1;
+  const auto bits = net_.sizes().query_bits(dims_);
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.front();
+    frontier.pop();
+    for (const net::NodeId v : net_.neighbors(u)) {
+      if (seen[v]) continue;
+      seen[v] = 1;
+      net_.transmit(u, v, net::MessageKind::Query, bits);
+      frontier.push(v);
+      ++reached;
+    }
+  }
+  return reached;
+}
+
+QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("GHT: query dimensionality mismatch");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+
+  if (q.type() == storage::QueryType::ExactMatchPoint) {
+    // Hash the queried point; only its home node can hold exact matches.
+    storage::Values point;
+    for (std::size_t d = 0; d < dims_; ++d) point.push_back(q.bound(d).lo);
+    const net::NodeId home = home_node(point);
+    const auto leg = gpsr_.route_to_node(sink, home);
+    net_.transmit_path(leg.path, net::MessageKind::Query,
+                       sizes.query_bits(dims_));
+    receipt.index_nodes_visited = 1;
+    std::uint32_t found = 0;
+    for (const Event& e : store_[home]) {
+      if (q.matches(e)) {
+        receipt.events.push_back(e);
+        ++found;
+      }
+    }
+    if (found > 0 && home != sink) {
+      const auto back = gpsr_.route_to_node(home, sink);
+      const std::uint64_t batches = sizes.reply_batches(found);
+      for (std::uint64_t b = 0; b < batches; ++b) {
+        net_.transmit_path(back.path, net::MessageKind::Reply,
+                           sizes.reply_bits(dims_, sizes.reply_payload(found)));
+      }
+    }
+  } else {
+    // No value locality: flood, then every holder replies directly.
+    charge_flood(sink);
+    for (net::NodeId n = 0; n < net_.size(); ++n) {
+      if (store_[n].empty()) continue;
+      std::uint32_t found = 0;
+      for (const Event& e : store_[n]) {
+        if (q.matches(e)) {
+          receipt.events.push_back(e);
+          ++found;
+        }
+      }
+      if (found > 0) {
+        ++receipt.index_nodes_visited;
+        if (n != sink) {
+          const auto back = gpsr_.route_to_node(n, sink);
+          const std::uint64_t batches = sizes.reply_batches(found);
+          for (std::uint64_t b = 0; b < batches; ++b) {
+            net_.transmit_path(
+                back.path, net::MessageKind::Reply,
+                sizes.reply_bits(dims_, sizes.reply_payload(found)));
+          }
+        }
+      }
+    }
+  }
+
+  const auto delta = net_.traffic() - before;
+  receipt.messages = delta.total;
+  receipt.query_messages = delta.of(net::MessageKind::Query) +
+                           delta.of(net::MessageKind::SubQuery);
+  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  return receipt;
+}
+
+std::size_t GhtSystem::expire_before(double cutoff) {
+  std::size_t removed = 0;
+  for (net::NodeId n = 0; n < net_.size(); ++n) {
+    auto& events = store_[n];
+    const auto before = events.size();
+    std::erase_if(events, [cutoff](const Event& e) {
+      return e.detected_at < cutoff;
+    });
+    const auto gone = before - events.size();
+    if (gone > 0) {
+      removed += gone;
+      net_.node_mut(n).stored_events -= gone;
+    }
+  }
+  stored_count_ -= removed;
+  return removed;
+}
+
+storage::AggregateReceipt GhtSystem::aggregate(net::NodeId sink,
+                                               const RangeQuery& q,
+                                               storage::AggregateKind kind,
+                                               std::size_t value_dim) {
+  if (q.dims() != dims_)
+    throw ConfigError("GHT: query dimensionality mismatch");
+  if (value_dim >= dims_)
+    throw ConfigError("GHT: aggregate dimension out of range");
+
+  storage::AggregateReceipt receipt;
+  const auto before = net_.traffic();
+  storage::PartialAggregate total;
+
+  // Aggregates have the same locality problem as ranges: flood, and each
+  // holder sends one fixed-size partial home.
+  charge_flood(sink);
+  for (net::NodeId n = 0; n < net_.size(); ++n) {
+    if (store_[n].empty()) continue;
+    storage::PartialAggregate partial;
+    for (const Event& e : store_[n]) {
+      if (q.matches(e)) partial.add(e.values[value_dim]);
+    }
+    if (!partial.empty()) {
+      ++receipt.index_nodes_visited;
+      total.merge(partial);
+      if (n != sink) {
+        const auto back = gpsr_.route_to_node(n, sink);
+        net_.transmit_path(back.path, net::MessageKind::Reply,
+                           net_.sizes().aggregate_bits());
+      }
+    }
+  }
+
+  receipt.result = total.finalize(kind);
+  const auto delta = net_.traffic() - before;
+  receipt.messages = delta.total;
+  receipt.query_messages = delta.of(net::MessageKind::Query);
+  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  return receipt;
+}
+
+}  // namespace poolnet::ght

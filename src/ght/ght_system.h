@@ -1,0 +1,84 @@
+// GHT — a Geographic Hash Table (Ratnasamy et al., MONET 2003).
+//
+// The original data-centric storage scheme and the paper's reference
+// [13]: events are hashed BY VALUE to a geographic location and stored at
+// the home node nearest that location. Lookups of a known value hash to
+// the same place — an exact-match point query costs two unicasts.
+//
+// The paper's introduction uses GHT as the motivating negative example:
+// it has no value-locality whatsoever, so a RANGE query cannot be routed
+// anywhere — it must flood the network. This implementation is faithful
+// to both halves: point queries are cheap, and range/partial queries fall
+// back to a network-wide flood so the cost blow-up Pool eliminates can be
+// measured rather than asserted.
+//
+// Multi-dimensional events are keyed by their value vector quantized at
+// `quantum` (GHT named events by type; a quantized tuple is the natural
+// multi-attribute analogue — two readings agreeing to the quantum share a
+// home node).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "routing/gpsr.h"
+#include "storage/dcs_system.h"
+
+namespace poolnet::ght {
+
+struct GhtConfig {
+  /// Value-quantization step for the hash key. Queried points must match
+  /// stored values to this resolution to hash to the same home node.
+  double quantum = 0.01;
+
+  /// Salt for the key-to-location hash.
+  std::uint64_t hash_seed = 0x6e7f1a2b3c4d5e6fULL;
+};
+
+class GhtSystem final : public storage::DcsSystem {
+ public:
+  GhtSystem(net::Network& network, const routing::Gpsr& gpsr,
+            std::size_t dims, GhtConfig config = {});
+
+  std::string name() const override { return "GHT"; }
+  std::size_t dims() const override { return dims_; }
+
+  storage::InsertReceipt insert(net::NodeId source,
+                                const storage::Event& event) override;
+
+  /// Exact-match point queries hash to the home node (two unicasts).
+  /// Everything else floods: one broadcast over the connectivity graph
+  /// plus a unicast reply from every node holding matches.
+  storage::QueryReceipt query(net::NodeId sink,
+                              const storage::RangeQuery& query) override;
+
+  storage::AggregateReceipt aggregate(net::NodeId sink,
+                                      const storage::RangeQuery& query,
+                                      storage::AggregateKind kind,
+                                      std::size_t value_dim) override;
+
+  std::size_t stored_count() const override { return stored_count_; }
+  std::size_t expire_before(double cutoff) override;
+
+  /// Home node for an event's (quantized) value vector.
+  net::NodeId home_node(const storage::Values& values) const;
+
+ private:
+  std::uint64_t key_of(const storage::Values& values) const;
+  Point location_of(std::uint64_t key) const;
+
+  /// Charges a network-wide flood rooted at `sink` (each node rebroadcasts
+  /// once: n-1 Query transmissions over a BFS tree) and returns per-node
+  /// visit order. The tree is recomputed per call — GHT keeps no state.
+  std::size_t charge_flood(net::NodeId sink);
+
+  net::Network& net_;
+  const routing::Gpsr& gpsr_;
+  std::size_t dims_;
+  GhtConfig config_;
+  std::vector<std::vector<storage::Event>> store_;  // per home node
+  std::size_t stored_count_ = 0;
+};
+
+}  // namespace poolnet::ght

@@ -1,0 +1,55 @@
+#include "net/deployment.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace poolnet::net {
+
+double field_side_for_density(std::size_t n, double radio_m,
+                              double avg_neighbors) {
+  if (n == 0 || radio_m <= 0.0 || avg_neighbors <= 0.0)
+    throw ConfigError("field_side_for_density: all inputs must be positive");
+  constexpr double kPi = 3.14159265358979323846;
+  const double density = avg_neighbors / (kPi * radio_m * radio_m);
+  return std::sqrt(static_cast<double>(n) / density);
+}
+
+std::vector<Point> deploy_uniform(std::size_t n, const Rect& field, Rng& rng) {
+  if (field.width() <= 0.0 || field.height() <= 0.0)
+    throw ConfigError("deploy_uniform: degenerate field");
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(field.min_x, field.max_x),
+                   rng.uniform(field.min_y, field.max_y)});
+  }
+  return pts;
+}
+
+std::vector<Point> deploy_grid_jitter(std::size_t n, const Rect& field,
+                                      double jitter_frac, Rng& rng) {
+  if (field.width() <= 0.0 || field.height() <= 0.0)
+    throw ConfigError("deploy_grid_jitter: degenerate field");
+  if (jitter_frac < 0.0 || jitter_frac > 1.0)
+    throw ConfigError("deploy_grid_jitter: jitter_frac must be in [0,1]");
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const double cw = field.width() / static_cast<double>(side);
+  const double ch = field.height() / static_cast<double>(side);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t gx = i % side;
+    const std::size_t gy = i / side;
+    const double cx = field.min_x + (static_cast<double>(gx) + 0.5) * cw;
+    const double cy = field.min_y + (static_cast<double>(gy) + 0.5) * ch;
+    const double jx = rng.uniform(-0.5, 0.5) * jitter_frac * cw;
+    const double jy = rng.uniform(-0.5, 0.5) * jitter_frac * ch;
+    pts.push_back(field.clamp({cx + jx, cy + jy}));
+  }
+  return pts;
+}
+
+}  // namespace poolnet::net

@@ -1,0 +1,29 @@
+// Sensor deployment generators and density helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace poolnet::net {
+
+/// Field side length (meters) such that `n` uniformly placed nodes with
+/// radio range `radio_m` see on average `avg_neighbors` other nodes.
+/// Derivation: density = avg_neighbors / (pi r^2); side = sqrt(n/density).
+/// The paper uses radio 40 m and ~20 neighbors/node.
+double field_side_for_density(std::size_t n, double radio_m,
+                              double avg_neighbors);
+
+/// `n` node positions i.i.d. uniform over `field`.
+std::vector<Point> deploy_uniform(std::size_t n, const Rect& field, Rng& rng);
+
+/// `n` positions on a jittered grid: ceil(sqrt(n))^2 cells, one node per
+/// cell center plus uniform jitter of `jitter_frac` of the cell size.
+/// Gives near-uniform coverage with fewer voids — useful for tests that
+/// need guaranteed connectivity.
+std::vector<Point> deploy_grid_jitter(std::size_t n, const Rect& field,
+                                      double jitter_frac, Rng& rng);
+
+}  // namespace poolnet::net

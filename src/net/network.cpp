@@ -1,0 +1,153 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace poolnet::net {
+
+namespace {
+// Validates before the spatial index is built: a non-positive radio range
+// would otherwise size the index grid absurdly.
+const std::vector<Point>& validated(const std::vector<Point>& positions,
+                                    double radio_range_m) {
+  if (positions.empty()) throw ConfigError("Network: no nodes");
+  if (radio_range_m <= 0.0) throw ConfigError("Network: radio range <= 0");
+  return positions;
+}
+}  // namespace
+
+Network::Network(std::vector<Point> positions, Rect field,
+                 double radio_range_m, MessageSizes sizes,
+                 sim::EnergyModel energy, LinkLossModel loss,
+                 std::uint64_t loss_seed)
+    : field_(field),
+      radio_range_(radio_range_m),
+      sizes_(sizes),
+      energy_(energy),
+      loss_(loss),
+      loss_rng_(loss_seed),
+      index_(validated(positions, radio_range_m), field, radio_range_m) {
+  if (loss_.loss_probability < 0.0 || loss_.loss_probability >= 1.0)
+    throw ConfigError("Network: loss probability must be in [0, 1)");
+  if (loss_.max_attempts == 0)
+    throw ConfigError("Network: max_attempts must be positive");
+  nodes_.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    nodes_[i].id = static_cast<NodeId>(i);
+    nodes_[i].pos = positions[i];
+  }
+  // Neighbor tables via the spatial index (the paper's periodic beacons).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto near = index_.within(nodes_[i].pos, radio_range_);
+    auto& nb = nodes_[i].neighbors;
+    nb.reserve(near.size());
+    for (const std::size_t j : near) {
+      if (j != i) nb.push_back(static_cast<NodeId>(j));
+    }
+  }
+}
+
+const Node& Network::node(NodeId id) const {
+  POOLNET_ASSERT(id < nodes_.size());
+  return nodes_[id];
+}
+
+Node& Network::node_mut(NodeId id) {
+  POOLNET_ASSERT(id < nodes_.size());
+  return nodes_[id];
+}
+
+bool Network::are_neighbors(NodeId a, NodeId b) const {
+  const auto& nb = node(a).neighbors;
+  return std::binary_search(nb.begin(), nb.end(), b);
+}
+
+NodeId Network::nearest_node(Point p) const {
+  return static_cast<NodeId>(index_.nearest(p));
+}
+
+std::vector<NodeId> Network::nodes_within(Point p, double radius) const {
+  std::vector<NodeId> out;
+  for (const std::size_t i : index_.within(p, radius))
+    out.push_back(static_cast<NodeId>(i));
+  return out;
+}
+
+bool Network::is_connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const NodeId v : nodes_[u].neighbors) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+double Network::average_degree() const {
+  if (nodes_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.neighbors.size();
+  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+}
+
+void Network::transmit(NodeId from, NodeId to, MessageKind kind,
+                       std::uint64_t bits) {
+  if (from == to) return;  // local delivery, no radio use
+  POOLNET_ASSERT_MSG(are_neighbors(from, to),
+                     "transmit between non-neighbors");
+  Node& src = nodes_[from];
+  Node& dst = nodes_[to];
+
+  // Link-layer ARQ: retransmit until the frame survives the channel (or
+  // the attempt budget forces delivery). Every attempt is a message and
+  // costs transmit energy; reception is charged once.
+  std::uint32_t attempts = 1;
+  while (attempts < loss_.max_attempts &&
+         loss_.loss_probability > 0.0 &&
+         loss_rng_.bernoulli(loss_.loss_probability)) {
+    ++attempts;
+  }
+
+  src.tx_count += attempts;
+  ++dst.rx_count;
+  const double d = distance(src.pos, dst.pos);
+  const double tx_e = energy_.tx_cost(bits, d) * attempts;
+  const double rx_e = energy_.rx_cost(bits);
+  src.energy_spent_j += tx_e;
+  dst.energy_spent_j += rx_e;
+  traffic_.by_kind[static_cast<std::size_t>(kind)] += attempts;
+  traffic_.total += attempts;
+  traffic_.energy_j += tx_e + rx_e;
+}
+
+void Network::transmit_path(const std::vector<NodeId>& path, MessageKind kind,
+                            std::uint64_t bits) {
+  for (std::size_t i = 1; i < path.size(); ++i)
+    transmit(path[i - 1], path[i], kind, bits);
+}
+
+void Network::reset_traffic() { traffic_.clear(); }
+
+void Network::reset_all_accounting() {
+  traffic_.clear();
+  for (auto& n : nodes_) {
+    n.tx_count = 0;
+    n.rx_count = 0;
+    n.stored_events = 0;
+    n.energy_spent_j = 0.0;
+  }
+}
+
+}  // namespace poolnet::net

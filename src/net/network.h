@@ -1,0 +1,88 @@
+// The unit-disk sensor network: nodes, neighbor tables, traffic ledger.
+//
+// Network is the single source of truth for topology and for the paper's
+// evaluation metric. Routing layers compute paths; every per-hop
+// transmission must be charged through transmit() / transmit_path() so the
+// ledger (TrafficTally + per-node counters + energy) stays consistent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "net/spatial_index.h"
+#include "sim/energy.h"
+
+namespace poolnet::net {
+
+class Network {
+ public:
+  /// Builds the network from node positions. Neighbor tables contain all
+  /// nodes within `radio_range_m` (unit-disk model, symmetric links).
+  /// `loss` configures per-hop frame loss + ARQ accounting; the loss
+  /// draws are deterministic per `loss_seed`.
+  Network(std::vector<Point> positions, Rect field, double radio_range_m,
+          MessageSizes sizes = {}, sim::EnergyModel energy = {},
+          LinkLossModel loss = {}, std::uint64_t loss_seed = 0x10552);
+
+  // --- topology ---
+  std::size_t size() const { return nodes_.size(); }
+  const Rect& field() const { return field_; }
+  double radio_range() const { return radio_range_; }
+  const Node& node(NodeId id) const;
+  Node& node_mut(NodeId id);
+  const std::vector<Node>& nodes() const { return nodes_; }
+  Point position(NodeId id) const { return node(id).pos; }
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return node(id).neighbors;
+  }
+  bool are_neighbors(NodeId a, NodeId b) const;
+
+  /// Node nearest to an arbitrary location (the GHT-style "home node").
+  NodeId nearest_node(Point p) const;
+
+  /// All nodes within `radius` of `p`.
+  std::vector<NodeId> nodes_within(Point p, double radius) const;
+
+  /// True when the unit-disk graph is a single connected component.
+  bool is_connected() const;
+
+  /// Mean neighbor-table size (sanity check against the paper's ~20).
+  double average_degree() const;
+
+  // --- traffic ledger ---
+  const MessageSizes& sizes() const { return sizes_; }
+  const LinkLossModel& loss_model() const { return loss_; }
+
+  /// Charge one hop from `from` to `to` (must be neighbors or equal; a
+  /// self-delivery charges nothing).
+  void transmit(NodeId from, NodeId to, MessageKind kind, std::uint64_t bits);
+
+  /// Charge every hop of `path` (consecutive entries must be neighbors).
+  /// A path of size <2 charges nothing.
+  void transmit_path(const std::vector<NodeId>& path, MessageKind kind,
+                     std::uint64_t bits);
+
+  const TrafficTally& traffic() const { return traffic_; }
+  void reset_traffic();
+
+  /// Clears per-node tx/rx/energy/stored counters and the global tally.
+  void reset_all_accounting();
+
+ private:
+  std::vector<Node> nodes_;
+  Rect field_;
+  double radio_range_;
+  MessageSizes sizes_;
+  sim::EnergyModel energy_;
+  LinkLossModel loss_;
+  Rng loss_rng_;
+  SpatialIndex index_;
+  TrafficTally traffic_;
+};
+
+}  // namespace poolnet::net

@@ -1,0 +1,34 @@
+// Sensor node state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace poolnet::net {
+
+/// Dense node identifier, 0..n-1 within a Network.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// A sensor node. Position is fixed after deployment (static sensornet, as
+/// in the paper). Counters are maintained by Network::transmit_* and by the
+/// DCS systems (stored_events).
+struct Node {
+  NodeId id = kNoNode;
+  Point pos;
+
+  /// Neighbor ids within radio range, sorted by id (built by Network).
+  std::vector<NodeId> neighbors;
+
+  // --- accounting ---
+  std::uint64_t tx_count = 0;       ///< messages transmitted
+  std::uint64_t rx_count = 0;       ///< messages received
+  std::uint64_t stored_events = 0;  ///< events resident at this node
+  double energy_spent_j = 0.0;      ///< radio energy consumed
+};
+
+}  // namespace poolnet::net

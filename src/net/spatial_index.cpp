@@ -1,0 +1,105 @@
+#include "net/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace poolnet::net {
+
+SpatialIndex::SpatialIndex(const std::vector<Point>& points,
+                           const Rect& bounds, double cell_size)
+    : points_(points), bounds_(bounds), cell_size_(cell_size) {
+  if (cell_size <= 0.0) throw ConfigError("SpatialIndex: cell_size <= 0");
+  nx_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(bounds.width() / cell_size)));
+  ny_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(bounds.height() / cell_size)));
+  cells_.resize(nx_ * ny_);
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    cells_[cell_of(points_[i])].push_back(i);
+}
+
+void SpatialIndex::cell_coords(Point p, std::int64_t& cx,
+                               std::int64_t& cy) const {
+  cx = static_cast<std::int64_t>(std::floor((p.x - bounds_.min_x) / cell_size_));
+  cy = static_cast<std::int64_t>(std::floor((p.y - bounds_.min_y) / cell_size_));
+  cx = std::clamp<std::int64_t>(cx, 0, static_cast<std::int64_t>(nx_) - 1);
+  cy = std::clamp<std::int64_t>(cy, 0, static_cast<std::int64_t>(ny_) - 1);
+}
+
+std::size_t SpatialIndex::cell_of(Point p) const {
+  std::int64_t cx, cy;
+  cell_coords(p, cx, cy);
+  return static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx);
+}
+
+std::vector<std::size_t> SpatialIndex::within(Point q, double radius) const {
+  POOLNET_ASSERT(radius >= 0.0);
+  std::vector<std::size_t> out;
+  const double r2 = radius * radius;
+  std::int64_t cx, cy;
+  cell_coords(q, cx, cy);
+  const auto reach = static_cast<std::int64_t>(
+      std::ceil(radius / cell_size_)) + 1;
+  for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+    const std::int64_t yy = cy + dy;
+    if (yy < 0 || yy >= static_cast<std::int64_t>(ny_)) continue;
+    for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+      const std::int64_t xx = cx + dx;
+      if (xx < 0 || xx >= static_cast<std::int64_t>(nx_)) continue;
+      const auto& bucket =
+          cells_[static_cast<std::size_t>(yy) * nx_ + static_cast<std::size_t>(xx)];
+      for (const std::size_t idx : bucket) {
+        if (distance_sq(points_[idx], q) <= r2) out.push_back(idx);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t SpatialIndex::nearest(Point q) const {
+  POOLNET_ASSERT_MSG(!points_.empty(), "nearest() on empty index");
+  // Expanding ring search over cells; falls back to full scan only when the
+  // query point is far outside the bounds.
+  std::int64_t cx, cy;
+  cell_coords(q, cx, cy);
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const auto max_ring = static_cast<std::int64_t>(std::max(nx_, ny_));
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Once we have a candidate, we can stop after scanning every cell that
+    // could contain a closer point: ring distance > best distance.
+    if (best != std::numeric_limits<std::size_t>::max()) {
+      const double ring_min_dist =
+          (static_cast<double>(ring) - 1.0) * cell_size_;
+      if (ring_min_dist > 0.0 && ring_min_dist * ring_min_dist > best_d2) break;
+    }
+    for (std::int64_t dy = -ring; dy <= ring; ++dy) {
+      for (std::int64_t dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;  // shell only
+        const std::int64_t xx = cx + dx, yy = cy + dy;
+        if (xx < 0 || xx >= static_cast<std::int64_t>(nx_) || yy < 0 ||
+            yy >= static_cast<std::int64_t>(ny_))
+          continue;
+        const auto& bucket =
+            cells_[static_cast<std::size_t>(yy) * nx_ +
+                   static_cast<std::size_t>(xx)];
+        for (const std::size_t idx : bucket) {
+          const double d2 = distance_sq(points_[idx], q);
+          if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
+            best_d2 = d2;
+            best = idx;
+          }
+        }
+      }
+    }
+  }
+  POOLNET_ASSERT(best != std::numeric_limits<std::size_t>::max());
+  return best;
+}
+
+}  // namespace poolnet::net

@@ -1,0 +1,45 @@
+// Bucket-grid spatial index over node positions.
+//
+// Supports the two queries the network layer needs in O(1) expected time:
+//   * all points within radius r of a point (neighbor-table construction),
+//   * the nearest point to an arbitrary location (home-node selection and
+//     GPSR greedy checks in tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace poolnet::net {
+
+class SpatialIndex {
+ public:
+  /// Builds over `points` covering `bounds`; `cell_size` should be on the
+  /// order of the typical query radius (the radio range).
+  SpatialIndex(const std::vector<Point>& points, const Rect& bounds,
+               double cell_size);
+
+  /// Indices of points with distance(p, q) <= radius, in ascending index
+  /// order. `q` need not be inside bounds.
+  std::vector<std::size_t> within(Point q, double radius) const;
+
+  /// Index of the point nearest to q (ties by lowest index). Requires a
+  /// non-empty point set.
+  std::size_t nearest(Point q) const;
+
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  std::size_t cell_of(Point p) const;
+  void cell_coords(Point p, std::int64_t& cx, std::int64_t& cy) const;
+
+  std::vector<Point> points_;
+  Rect bounds_;
+  double cell_size_;
+  std::size_t nx_ = 0, ny_ = 0;
+  std::vector<std::vector<std::size_t>> cells_;
+};
+
+}  // namespace poolnet::net

@@ -1,0 +1,97 @@
+#include "query/query_gen.h"
+
+#include "common/error.h"
+
+namespace poolnet::query {
+
+using storage::RangeQuery;
+
+const char* to_string(RangeSizeDistribution d) {
+  switch (d) {
+    case RangeSizeDistribution::Uniform: return "uniform";
+    case RangeSizeDistribution::Exponential: return "exponential";
+  }
+  return "?";
+}
+
+QueryGenerator::QueryGenerator(QueryGenConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config.dims == 0 || config.dims > storage::kMaxDims)
+    throw ConfigError("QueryGenerator: bad dimensionality");
+  if (config.exp_mean <= 0.0)
+    throw ConfigError("QueryGenerator: exponential mean must be positive");
+  if (config.partial_range_max <= 0.0 || config.partial_range_max > 1.0)
+    throw ConfigError("QueryGenerator: partial_range_max must be in (0,1]");
+}
+
+double QueryGenerator::draw_size() {
+  switch (config_.dist) {
+    case RangeSizeDistribution::Uniform:
+      return rng_.uniform();
+    case RangeSizeDistribution::Exponential:
+      return rng_.exponential_truncated(config_.exp_mean, 1.0);
+  }
+  return 0.0;
+}
+
+RangeQuery QueryGenerator::exact_range() {
+  RangeQuery::Bounds bounds;
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    const double size = draw_size();
+    const double lo = rng_.uniform(0.0, 1.0 - size);
+    bounds.push_back({lo, lo + size});
+  }
+  return RangeQuery(bounds);
+}
+
+RangeQuery QueryGenerator::make_partial(
+    const FixedVec<bool, storage::kMaxDims>& specified, bool point) {
+  RangeQuery::Bounds bounds;
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    if (!specified[d]) {
+      bounds.push_back({0.0, 1.0});  // rewritten anyway
+      continue;
+    }
+    const double size = point ? 0.0 : rng_.uniform(0.0, config_.partial_range_max);
+    const double lo = rng_.uniform(0.0, 1.0 - size);
+    bounds.push_back({lo, lo + size});
+  }
+  return RangeQuery(bounds, specified);
+}
+
+RangeQuery QueryGenerator::partial_range(std::size_t m) {
+  if (m == 0 || m >= config_.dims)
+    throw ConfigError("partial_range: need 0 < m < dims");
+  FixedVec<bool, storage::kMaxDims> specified(config_.dims, true);
+  const auto perm = rng_.permutation(config_.dims);
+  for (std::size_t i = 0; i < m; ++i) specified[perm[i]] = false;
+  return make_partial(specified, /*point=*/false);
+}
+
+RangeQuery QueryGenerator::partial_at(std::size_t unspecified_dim) {
+  if (unspecified_dim >= config_.dims)
+    throw ConfigError("partial_at: dimension out of range");
+  FixedVec<bool, storage::kMaxDims> specified(config_.dims, true);
+  specified[unspecified_dim] = false;
+  return make_partial(specified, /*point=*/false);
+}
+
+RangeQuery QueryGenerator::exact_point() {
+  RangeQuery::Bounds bounds;
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    const double v = rng_.uniform();
+    bounds.push_back({v, v});
+  }
+  return RangeQuery(bounds);
+}
+
+RangeQuery QueryGenerator::partial_point(std::size_t m) {
+  if (m == 0 || m >= config_.dims)
+    throw ConfigError("partial_point: need 0 < m < dims");
+  FixedVec<bool, storage::kMaxDims> specified(config_.dims, true);
+  const auto perm = rng_.permutation(config_.dims);
+  for (std::size_t i = 0; i < m; ++i) specified[perm[i]] = false;
+  return make_partial(specified, /*point=*/true);
+}
+
+}  // namespace poolnet::query

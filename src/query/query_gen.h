@@ -1,0 +1,62 @@
+// Query generators replicating the paper's experiment settings (§5.1).
+//
+// Exact-match queries draw each dimension's range size from one of the
+// DIM paper's distributions (uniform or truncated exponential) and place
+// the range uniformly. m-partial queries leave m randomly chosen
+// dimensions unspecified and draw the remaining range sizes uniformly
+// from [0, 0.25]; 1@n-partial queries pin WHICH dimension is unspecified.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "storage/range_query.h"
+
+namespace poolnet::query {
+
+enum class RangeSizeDistribution {
+  Uniform,      ///< size ~ U[0, 1]
+  Exponential,  ///< size ~ Exp(mean), truncated to [0, 1]
+};
+
+const char* to_string(RangeSizeDistribution d);
+
+struct QueryGenConfig {
+  std::size_t dims = 3;
+  RangeSizeDistribution dist = RangeSizeDistribution::Uniform;
+  double exp_mean = 0.1;          ///< mean of the exponential size draw
+  double partial_range_max = 0.25;  ///< specified-dim size cap, partial queries
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(QueryGenConfig config, std::uint64_t seed);
+
+  /// Exact-match range query: every dimension specified, sizes from the
+  /// configured distribution.
+  storage::RangeQuery exact_range();
+
+  /// m-partial range query: m random dimensions unspecified, the rest
+  /// sized U[0, partial_range_max]. Requires m < dims.
+  storage::RangeQuery partial_range(std::size_t m);
+
+  /// 1@n-partial query (n is 0-based here; the paper's 1@1 is dim 0):
+  /// exactly `unspecified_dim` is a don't-care.
+  storage::RangeQuery partial_at(std::size_t unspecified_dim);
+
+  /// Exact-match point query (Li = Ui on every dimension).
+  storage::RangeQuery exact_point();
+
+  /// m-partial point query.
+  storage::RangeQuery partial_point(std::size_t m);
+
+ private:
+  double draw_size();
+  storage::RangeQuery make_partial(
+      const FixedVec<bool, storage::kMaxDims>& specified, bool point);
+
+  QueryGenConfig config_;
+  Rng rng_;
+};
+
+}  // namespace poolnet::query

@@ -1,0 +1,52 @@
+#include "query/workload.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace poolnet::query {
+
+const char* to_string(ValueDistribution d) {
+  switch (d) {
+    case ValueDistribution::Uniform: return "uniform";
+    case ValueDistribution::Gaussian: return "gaussian";
+    case ValueDistribution::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+EventGenerator::EventGenerator(WorkloadConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config.dims == 0 || config.dims > storage::kMaxDims)
+    throw ConfigError("EventGenerator: bad dimensionality");
+  if (config.spread < 0.0)
+    throw ConfigError("EventGenerator: spread must be non-negative");
+  if (config.hotspot_fraction < 0.0 || config.hotspot_fraction > 1.0)
+    throw ConfigError("EventGenerator: hotspot_fraction must be in [0,1]");
+}
+
+double EventGenerator::draw_value() {
+  switch (config_.dist) {
+    case ValueDistribution::Uniform:
+      return rng_.uniform();
+    case ValueDistribution::Gaussian:
+      return std::clamp(rng_.normal(config_.center, config_.spread), 0.0, 1.0);
+    case ValueDistribution::Hotspot:
+      if (rng_.bernoulli(config_.hotspot_fraction))
+        return std::clamp(rng_.normal(config_.center, config_.spread), 0.0,
+                          1.0);
+      return rng_.uniform();
+  }
+  return 0.0;
+}
+
+storage::Event EventGenerator::next(net::NodeId source) {
+  storage::Event e;
+  e.id = next_id_++;
+  e.source = source;
+  for (std::size_t d = 0; d < config_.dims; ++d)
+    e.values.push_back(draw_value());
+  return e;
+}
+
+}  // namespace poolnet::query

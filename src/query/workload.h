@@ -1,0 +1,50 @@
+// Event workload generators.
+//
+// The paper's main experiments draw attribute values i.i.d. uniform in
+// [0,1] (§5.1). The skewed generators exercise the hotspot scenarios of
+// Sections 1 and 4.2: a Gaussian generator concentrates values around a
+// center (one busy value region), and a two-mode generator mixes a
+// uniform background with a hotspot burst.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/event.h"
+
+namespace poolnet::query {
+
+enum class ValueDistribution {
+  Uniform,   ///< each attribute ~ U[0,1]
+  Gaussian,  ///< each attribute ~ N(center, spread), clamped to [0,1]
+  Hotspot,   ///< with prob. hotspot_fraction draw Gaussian, else Uniform
+};
+
+const char* to_string(ValueDistribution d);
+
+struct WorkloadConfig {
+  std::size_t dims = 3;
+  ValueDistribution dist = ValueDistribution::Uniform;
+  double center = 0.8;            ///< Gaussian / Hotspot mean
+  double spread = 0.05;           ///< Gaussian / Hotspot stddev
+  double hotspot_fraction = 0.7;  ///< Hotspot: share of skewed events
+};
+
+class EventGenerator {
+ public:
+  EventGenerator(WorkloadConfig config, std::uint64_t seed);
+
+  /// Next event detected at `source`; ids are sequential from 1.
+  storage::Event next(net::NodeId source);
+
+  std::uint64_t generated() const { return next_id_ - 1; }
+
+ private:
+  double draw_value();
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace poolnet::query

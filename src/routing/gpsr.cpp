@@ -1,0 +1,213 @@
+#include "routing/gpsr.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace poolnet::routing {
+
+using net::NodeId;
+
+namespace {
+constexpr double kEps = 1e-12;
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}  // namespace
+
+Gpsr::Gpsr(const net::Network& network, PlanarizationRule rule)
+    : net_(network), planar_(network, rule) {}
+
+RouteResult Gpsr::route_to_node(NodeId src, NodeId dst) const {
+  return route_impl(src, net_.position(dst), dst);
+}
+
+RouteResult Gpsr::route_to_location(NodeId src, Point dest) const {
+  return route_impl(src, dest, net::kNoNode);
+}
+
+NodeId Gpsr::first_ccw_neighbor(NodeId at, double ref_angle,
+                                NodeId skip) const {
+  const Point p = net_.position(at);
+  NodeId best = net::kNoNode;
+  double best_sweep = kTwoPi + 1.0;
+  for (const NodeId nb : planar_.neighbors(at)) {
+    double sweep;
+    if (nb == skip) {
+      sweep = kTwoPi;  // bounce back only when nothing else exists
+    } else {
+      sweep = ccw_sweep(ref_angle, angle_of(p, net_.position(nb)));
+    }
+    if (sweep < best_sweep ||
+        (sweep == best_sweep && best != net::kNoNode && nb < best)) {
+      best_sweep = sweep;
+      best = nb;
+    }
+  }
+  return best;
+}
+
+RouteResult Gpsr::route_impl(NodeId src, Point dest,
+                             NodeId exact_target) const {
+  RouteResult result;
+  result.path.push_back(src);
+
+  enum class Mode { Greedy, Perimeter };
+  Mode mode = Mode::Greedy;
+
+  NodeId cur = src;
+  NodeId prev = net::kNoNode;
+
+  // Perimeter state (packet header fields in the protocol).
+  Point lp{};                 // location where perimeter mode was entered
+  double lp_d2 = 0.0;         // distance^2 of lp to dest
+  double lf_d2 = 0.0;         // distance^2 of the current face's crossing
+  NodeId e0_from = net::kNoNode, e0_to = net::kNoNode;  // first face edge
+  bool e0_traversed = false;
+
+  NodeId best_seen = src;
+  double best_seen_d2 = distance_sq(net_.position(src), dest);
+
+  const std::size_t max_hops = 16 * net_.size() + 256;
+
+  // Chooses the perimeter edge out of `cur`, applying GPSR's face-change
+  // rule: while the candidate edge crosses the segment lp->dest strictly
+  // closer to dest than the current face's crossing point, move to the new
+  // face by continuing the angular sweep past the candidate.
+  const auto choose_perimeter_edge = [&](double ref_angle,
+                                         NodeId skip) -> NodeId {
+    NodeId cand = first_ccw_neighbor(cur, ref_angle, skip);
+    if (cand == net::kNoNode) return net::kNoNode;
+    const Point pc = net_.position(cur);
+    // Bounded sweep: at most one full pass over the adjacency.
+    for (std::size_t i = 0; i <= planar_.neighbors(cur).size(); ++i) {
+      const auto xi =
+          segment_intersection(pc, net_.position(cand), lp, dest);
+      if (xi.has_value()) {
+        const double xi_d2 = distance_sq(*xi, dest);
+        if (xi_d2 < lf_d2 - kEps) {
+          lf_d2 = xi_d2;  // enter the face on the other side of the crossing
+          const double new_ref = angle_of(pc, net_.position(cand));
+          cand = first_ccw_neighbor(cur, new_ref, cand);
+          e0_from = cur;
+          e0_to = cand;
+          e0_traversed = false;
+          continue;
+        }
+      }
+      break;
+    }
+    return cand;
+  };
+
+  while (result.path.size() <= max_hops) {
+    const Point pc = net_.position(cur);
+    const double cur_d2 = distance_sq(pc, dest);
+
+    if (cur_d2 < best_seen_d2) {
+      best_seen = cur;
+      best_seen_d2 = cur_d2;
+    }
+    if (exact_target != net::kNoNode && cur == exact_target) {
+      result.delivered = cur;
+      result.exact = true;
+      return result;
+    }
+    if (cur_d2 <= kEps) {  // standing on the destination location
+      result.delivered = cur;
+      result.exact = true;
+      return result;
+    }
+
+    if (mode == Mode::Greedy) {
+      // Forward to the neighbor strictly closest to dest.
+      NodeId next = net::kNoNode;
+      double next_d2 = cur_d2;
+      for (const NodeId nb : net_.neighbors(cur)) {
+        const double d2 = distance_sq(net_.position(nb), dest);
+        if (d2 < next_d2 || (d2 == next_d2 && next != net::kNoNode && nb < next)) {
+          next_d2 = d2;
+          next = nb;
+        }
+      }
+      if (next != net::kNoNode && next_d2 < cur_d2) {
+        prev = cur;
+        cur = next;
+        result.path.push_back(cur);
+        continue;
+      }
+      // Local minimum: enter perimeter mode.
+      if (planar_.neighbors(cur).empty()) break;  // isolated: undeliverable
+      mode = Mode::Perimeter;
+      lp = pc;
+      lp_d2 = cur_d2;
+      lf_d2 = cur_d2;  // Lf starts at Lp
+      e0_from = net::kNoNode;
+      e0_to = net::kNoNode;
+      e0_traversed = false;
+      const NodeId next_p =
+          choose_perimeter_edge(angle_of(pc, dest), net::kNoNode);
+      if (next_p == net::kNoNode) break;
+      if (e0_from == net::kNoNode) {  // no face change happened in selection
+        e0_from = cur;
+        e0_to = next_p;
+        e0_traversed = false;
+      }
+      if (cur == e0_from && next_p == e0_to) {
+        if (e0_traversed) {  // full tour with no progress: home node is cur
+          result.delivered = cur;
+          result.exact = false;
+          return result;
+        }
+        e0_traversed = true;
+      }
+      prev = cur;
+      cur = next_p;
+      result.path.push_back(cur);
+      ++result.perimeter_hops;
+      continue;
+    }
+
+    // Perimeter mode.
+    if (cur_d2 < lp_d2) {  // progress: resume greedy
+      mode = Mode::Greedy;
+      e0_from = net::kNoNode;
+      e0_to = net::kNoNode;
+      e0_traversed = false;
+      continue;  // no hop consumed
+    }
+    POOLNET_ASSERT(prev != net::kNoNode);
+    const double ref = angle_of(pc, net_.position(prev));
+    const NodeId next = choose_perimeter_edge(ref, prev);
+    if (next == net::kNoNode) break;
+    if (cur == e0_from && next == e0_to) {
+      if (e0_traversed) {  // completed the tour of the face containing dest
+        result.delivered = cur;
+        result.exact = false;
+        return result;
+      }
+      e0_traversed = true;
+    }
+    prev = cur;
+    cur = next;
+    result.path.push_back(cur);
+    ++result.perimeter_hops;
+  }
+
+  // Hop budget exhausted or dead end; deliver at the closest node seen.
+  // This indicates a disconnected network (callers validate connectivity).
+  POOLNET_WARN("GPSR: undelivered packet, falling back to best-seen node "
+               << best_seen << " after " << result.path.size() - 1 << " hops");
+  // Truncate the path at the last visit to best_seen so accounting does not
+  // charge the fruitless tail.
+  for (std::size_t i = result.path.size(); i-- > 0;) {
+    if (result.path[i] == best_seen) {
+      result.path.resize(i + 1);
+      break;
+    }
+  }
+  result.delivered = best_seen;
+  result.exact = false;
+  return result;
+}
+
+}  // namespace poolnet::routing

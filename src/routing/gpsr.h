@@ -1,0 +1,79 @@
+// GPSR — Greedy Perimeter Stateless Routing (Karp & Kung, MobiCom 2000).
+//
+// The routing substrate shared by Pool, DIM, and GHT-style schemes. Routes
+// a packet toward a geographic destination:
+//  * greedy mode: forward to the neighbor strictly closest to the
+//    destination, while one exists;
+//  * perimeter mode: on a local minimum, walk faces of the planarized
+//    graph with the right-hand rule, changing faces where edges cross the
+//    line from the perimeter-entry point to the destination, until a node
+//    closer than the entry point is found (then back to greedy).
+//
+// Termination: the distance of successive perimeter-entry points to the
+// destination strictly decreases, so a packet to a reachable node position
+// always arrives. A packet to an arbitrary location terminates when a
+// perimeter tour would re-traverse its first edge — it is then delivered
+// at the node that started the tour (the GHT "home node" convention, used
+// by data-centric storage to make locations addressable).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "net/network.h"
+#include "routing/planarization.h"
+
+namespace poolnet::routing {
+
+/// Outcome of one routed packet.
+struct RouteResult {
+  /// Nodes visited, source first, delivery node last. Consecutive entries
+  /// are radio neighbors; hops() = path.size() - 1.
+  std::vector<net::NodeId> path;
+
+  /// Node where the packet was delivered.
+  net::NodeId delivered = net::kNoNode;
+
+  /// True when `delivered` sits exactly at the requested location (always
+  /// true for route_to_node on a connected network).
+  bool exact = false;
+
+  /// Hops spent in perimeter mode (diagnostic; 0 on pure-greedy paths).
+  std::size_t perimeter_hops = 0;
+
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+class Gpsr {
+ public:
+  /// Builds the planarized view once; the router itself is stateless
+  /// per-packet, exactly like the protocol.
+  explicit Gpsr(const net::Network& network,
+                PlanarizationRule rule = PlanarizationRule::Gabriel);
+
+  /// Route from `src` to the position of `dst`. On a connected network
+  /// this always delivers at `dst`.
+  RouteResult route_to_node(net::NodeId src, net::NodeId dst) const;
+
+  /// Route from `src` toward an arbitrary location; delivers at the home
+  /// node (the node whose face tour encloses the location).
+  RouteResult route_to_location(net::NodeId src, Point dest) const;
+
+  const PlanarGraph& planar() const { return planar_; }
+
+ private:
+  RouteResult route_impl(net::NodeId src, Point dest,
+                         net::NodeId exact_target) const;
+
+  /// First planar neighbor of `at` counter-clockwise from direction
+  /// `ref_angle`; `exclude_zero` skips an edge at exactly the reference
+  /// angle (used so the right-hand rule does not immediately bounce back).
+  net::NodeId first_ccw_neighbor(net::NodeId at, double ref_angle,
+                                 net::NodeId skip) const;
+
+  const net::Network& net_;
+  PlanarGraph planar_;
+};
+
+}  // namespace poolnet::routing

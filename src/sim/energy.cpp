@@ -1,0 +1,5 @@
+#include "sim/energy.h"
+
+// Header-only today; this TU anchors the library target and reserves room
+// for richer radio models (sleep currents, idle listening) without
+// churning the build.

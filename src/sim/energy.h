@@ -1,0 +1,28 @@
+// First-order radio energy model (Heinzelman et al.).
+//
+// The paper's metric is message count, but a credible sensor-net library
+// must expose energy; the benches report both. Transmitting b bits over
+// distance d costs  E_elec*b + eps_amp*b*d^2;  receiving costs E_elec*b.
+#pragma once
+
+#include <cstdint>
+
+namespace poolnet::sim {
+
+struct EnergyModel {
+  double elec_j_per_bit = 50e-9;       // electronics, J/bit
+  double amp_j_per_bit_m2 = 100e-12;   // amplifier, J/bit/m^2
+
+  /// Energy (J) to transmit `bits` over `dist_m` meters.
+  double tx_cost(std::uint64_t bits, double dist_m) const {
+    const double b = static_cast<double>(bits);
+    return elec_j_per_bit * b + amp_j_per_bit_m2 * b * dist_m * dist_m;
+  }
+
+  /// Energy (J) to receive `bits`.
+  double rx_cost(std::uint64_t bits) const {
+    return elec_j_per_bit * static_cast<double>(bits);
+  }
+};
+
+}  // namespace poolnet::sim

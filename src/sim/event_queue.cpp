@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include "common/assert.h"
+
+namespace poolnet::sim {
+
+void EventQueue::push(Time t, std::function<void()> action) {
+  heap_.push(SimEvent{t, next_seq_++, std::move(action)});
+}
+
+Time EventQueue::next_time() const {
+  POOLNET_ASSERT(!heap_.empty());
+  return heap_.top().time;
+}
+
+SimEvent EventQueue::pop() {
+  POOLNET_ASSERT(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small struct instead (the std::function move happens once
+  // per event and events are short-lived).
+  SimEvent ev = heap_.top();
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace poolnet::sim

@@ -1,0 +1,53 @@
+// Discrete-event queue.
+//
+// Events are (time, action) pairs; ties in time are broken by insertion
+// order (FIFO), which keeps runs deterministic — a requirement for the
+// reproducibility story in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace poolnet::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// A scheduled action.
+struct SimEvent {
+  Time time = 0.0;
+  std::uint64_t seq = 0;  // tie-breaker: earlier scheduling fires first
+  std::function<void()> action;
+};
+
+/// Min-heap of SimEvents ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Enqueue `action` at absolute time `t`.
+  void push(Time t, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the next event. Requires !empty().
+  Time next_time() const;
+
+  /// Remove and return the next event. Requires !empty().
+  SimEvent pop();
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace poolnet::sim

@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include "common/assert.h"
+
+namespace poolnet::sim {
+
+void Simulator::schedule_in(Time delay, std::function<void()> action) {
+  POOLNET_ASSERT(delay >= 0.0);
+  queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(Time t, std::function<void()> action) {
+  POOLNET_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(t, std::move(action));
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    SimEvent ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    SimEvent ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace poolnet::sim

@@ -1,0 +1,43 @@
+// The simulation clock and run loop.
+//
+// poolnet's experiments are transactional (insert all events, then issue
+// queries), so most call sites drive the systems synchronously and use the
+// Simulator only for timestamped workloads (examples) and for modeling
+// per-hop latency. The engine is nevertheless a complete DES: schedule
+// relative or absolute actions, run to quiescence or to a deadline.
+#pragma once
+
+#include "sim/event_queue.h"
+
+namespace poolnet::sim {
+
+class Simulator {
+ public:
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Schedule `action` to fire `delay` seconds from now (delay >= 0).
+  void schedule_in(Time delay, std::function<void()> action);
+
+  /// Schedule `action` at absolute time `t` (t >= now()).
+  void schedule_at(Time t, std::function<void()> action);
+
+  /// Run until the queue drains. Returns the number of events processed.
+  std::size_t run();
+
+  /// Run until the queue drains or the clock would pass `deadline`.
+  /// Events at exactly `deadline` are processed.
+  std::size_t run_until(Time deadline);
+
+  /// Discard all pending events; clock keeps its value.
+  void reset_queue() { queue_.clear(); }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+};
+
+}  // namespace poolnet::sim

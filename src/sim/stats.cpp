@@ -1,0 +1,86 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace poolnet::sim {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), buckets_(bucket_count, 0) {
+  POOLNET_ASSERT(bucket_width > 0.0 && bucket_count > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0.0) x = 0.0;
+  const auto idx = static_cast<std::size_t>(x / width_);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  POOLNET_ASSERT(i < buckets_.size());
+  return buckets_[i];
+}
+
+double Histogram::quantile(double q) const {
+  POOLNET_ASSERT(q > 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) return width_ * static_cast<double>(i + 1);
+  }
+  return width_ * static_cast<double>(buckets_.size());  // in overflow
+}
+
+void CounterSet::add(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+double CounterSet::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+}  // namespace poolnet::sim

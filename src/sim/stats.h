@@ -1,0 +1,70 @@
+// Statistics primitives shared by the traffic accounting and the benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace poolnet::sim {
+
+/// Streaming mean / variance / min / max (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * bucket_count); values
+/// beyond the last bucket land in an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const;
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Smallest x such that at least `q` (0..1] of samples are <= x,
+  /// resolved to bucket upper edges.
+  double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Named counters; cheap string-keyed registry used by the experiment
+/// driver to expose whatever a bench wants to print.
+class CounterSet {
+ public:
+  void add(const std::string& name, double delta = 1.0);
+  double get(const std::string& name) const;
+  const std::map<std::string, double>& all() const { return counters_; }
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace poolnet::sim

@@ -1,0 +1,67 @@
+#include "storage/aggregate.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace poolnet::storage {
+
+const char* to_string(AggregateKind k) {
+  switch (k) {
+    case AggregateKind::Count: return "COUNT";
+    case AggregateKind::Sum: return "SUM";
+    case AggregateKind::Min: return "MIN";
+    case AggregateKind::Max: return "MAX";
+    case AggregateKind::Average: return "AVG";
+  }
+  return "?";
+}
+
+void PartialAggregate::add(double v) {
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+  ++count;
+}
+
+void PartialAggregate::merge(const PartialAggregate& other) {
+  if (other.count == 0) return;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+}
+
+AggregateResult PartialAggregate::finalize(AggregateKind kind) const {
+  AggregateResult r;
+  r.count = count;
+  switch (kind) {
+    case AggregateKind::Count:
+      r.value = static_cast<double>(count);
+      r.valid = true;
+      break;
+    case AggregateKind::Sum:
+      r.value = sum;
+      r.valid = true;
+      break;
+    case AggregateKind::Min:
+      r.value = count ? min : 0.0;
+      r.valid = count > 0;
+      break;
+    case AggregateKind::Max:
+      r.value = count ? max : 0.0;
+      r.valid = count > 0;
+      break;
+    case AggregateKind::Average:
+      r.value = count ? sum / static_cast<double>(count) : 0.0;
+      r.valid = count > 0;
+      break;
+  }
+  return r;
+}
+
+std::ostream& operator<<(std::ostream& os, const AggregateResult& r) {
+  if (!r.valid) return os << "(empty)";
+  return os << r.value << " over " << r.count << " events";
+}
+
+}  // namespace poolnet::storage

@@ -1,0 +1,50 @@
+// Aggregate queries over a value dimension (Section 3.2.3).
+//
+// "The aggregate operations, which are frequently seen in sensor network
+// applications, can also be performed in each splitter so that the number
+// of events to be sent through the path can be greatly reduced." This
+// header defines the aggregate algebra: a PartialAggregate is the
+// mergeable in-network summary a cell or zone computes locally; splitters
+// (Pool) merge partials before anything travels to the sink.
+//
+// Section 4.1's tie rule matters here: because Pool stores exactly ONE
+// copy of an event even when its greatest value ties across dimensions,
+// SUM/COUNT/AVG aggregates are duplicate-free by construction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace poolnet::storage {
+
+enum class AggregateKind : std::uint8_t { Count, Sum, Min, Max, Average };
+
+const char* to_string(AggregateKind k);
+
+/// The final scalar answer. Min/Max/Average are undefined over an empty
+/// match set; `valid` is false in that case (Count/Sum report 0).
+struct AggregateResult {
+  double value = 0.0;
+  std::uint64_t count = 0;
+  bool valid = false;
+};
+
+/// Commutative, associative partial state: exactly what one storage node
+/// sends upstream instead of its raw events.
+struct PartialAggregate {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::uint64_t count = 0;
+
+  void add(double v);
+  void merge(const PartialAggregate& other);
+  bool empty() const { return count == 0; }
+
+  AggregateResult finalize(AggregateKind kind) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const AggregateResult& r);
+
+}  // namespace poolnet::storage

@@ -1,0 +1,117 @@
+#include "storage/brute_force_store.h"
+
+#include "common/error.h"
+#include "net/network.h"
+#include "routing/gpsr.h"
+
+namespace poolnet::storage {
+
+BruteForceStore::BruteForceStore(std::size_t dims) : dims_(dims) {
+  if (dims == 0 || dims > kMaxDims)
+    throw ConfigError("BruteForceStore: bad dimensionality");
+}
+
+BruteForceStore::BruteForceStore(std::size_t dims, net::Network& network,
+                                 const routing::Gpsr& gpsr,
+                                 net::NodeId sink_node)
+    : BruteForceStore(dims) {
+  network_ = &network;
+  gpsr_ = &gpsr;
+  base_station_ = sink_node;
+}
+
+InsertReceipt BruteForceStore::insert(net::NodeId source, const Event& event) {
+  validate_event(event);
+  if (event.dims() != dims_)
+    throw ConfigError("BruteForceStore: event dimensionality mismatch");
+  events_.push_back(event);
+  InsertReceipt receipt;
+  receipt.stored_at = base_station_ == net::kNoNode ? source : base_station_;
+  if (network_ != nullptr && base_station_ != net::kNoNode) {
+    const auto before = network_->traffic().total;
+    const auto route = gpsr_->route_to_node(source, base_station_);
+    network_->transmit_path(route.path, net::MessageKind::Insert,
+                            network_->sizes().event_bits(dims_));
+    receipt.messages = network_->traffic().total - before;
+  }
+  return receipt;
+}
+
+QueryReceipt BruteForceStore::query(net::NodeId sink, const RangeQuery& q) {
+  QueryReceipt receipt;
+  receipt.events = matching(q);
+  receipt.index_nodes_visited = 1;
+  if (network_ != nullptr && base_station_ != net::kNoNode) {
+    const auto before = network_->traffic();
+    // Query travels to the base station; replies come back packed.
+    const auto to_bs = gpsr_->route_to_node(sink, base_station_);
+    network_->transmit_path(to_bs.path, net::MessageKind::Query,
+                            network_->sizes().query_bits(dims_));
+    const auto back = gpsr_->route_to_node(base_station_, sink);
+    const auto& sizes = network_->sizes();
+    const std::uint64_t reply_count =
+        std::max<std::uint64_t>(sizes.reply_batches(receipt.events.size()), 1);
+    for (std::uint64_t i = 0; i < reply_count; ++i) {
+      network_->transmit_path(
+          back.path, net::MessageKind::Reply,
+          sizes.reply_bits(dims_, sizes.reply_payload(receipt.events.size())));
+    }
+    const auto delta = network_->traffic() - before;
+    receipt.messages = delta.total;
+    receipt.query_messages = delta.of(net::MessageKind::Query) +
+                             delta.of(net::MessageKind::SubQuery);
+    receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  }
+  return receipt;
+}
+
+AggregateResult BruteForceStore::aggregate_oracle(const RangeQuery& q,
+                                                  AggregateKind kind,
+                                                  std::size_t value_dim) const {
+  POOLNET_ASSERT(value_dim < dims_);
+  PartialAggregate partial;
+  for (const Event& e : events_) {
+    if (q.matches(e)) partial.add(e.values[value_dim]);
+  }
+  return partial.finalize(kind);
+}
+
+AggregateReceipt BruteForceStore::aggregate(net::NodeId sink,
+                                            const RangeQuery& q,
+                                            AggregateKind kind,
+                                            std::size_t value_dim) {
+  AggregateReceipt receipt;
+  receipt.result = aggregate_oracle(q, kind, value_dim);
+  receipt.index_nodes_visited = 1;
+  if (network_ != nullptr && base_station_ != net::kNoNode) {
+    const auto before = network_->traffic();
+    const auto to_bs = gpsr_->route_to_node(sink, base_station_);
+    network_->transmit_path(to_bs.path, net::MessageKind::Query,
+                            network_->sizes().query_bits(dims_));
+    const auto back = gpsr_->route_to_node(base_station_, sink);
+    network_->transmit_path(back.path, net::MessageKind::Reply,
+                            network_->sizes().aggregate_bits());
+    const auto delta = network_->traffic() - before;
+    receipt.messages = delta.total;
+    receipt.query_messages = delta.of(net::MessageKind::Query);
+    receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  }
+  return receipt;
+}
+
+std::size_t BruteForceStore::expire_before(double cutoff) {
+  const auto before = events_.size();
+  std::erase_if(events_,
+                [cutoff](const Event& e) { return e.detected_at < cutoff; });
+  return before - events_.size();
+}
+
+std::vector<Event> BruteForceStore::matching(const RangeQuery& q) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (q.matches(e)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace poolnet::storage

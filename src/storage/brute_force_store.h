@@ -1,0 +1,61 @@
+// Centralized reference store.
+//
+// Not a sensornet scheme — an oracle that holds every event in one place
+// and answers queries by linear scan. Tests compare Pool's and DIM's
+// result sets against it; it also implements DcsSystem with a naive
+// "flood to the sink" cost model so benches can show why centralized
+// collection is hopeless (the motivation in the paper's introduction).
+#pragma once
+
+#include <vector>
+
+#include "storage/dcs_system.h"
+
+namespace poolnet::net {
+class Network;
+}
+
+namespace poolnet::routing {
+class Gpsr;
+}
+
+namespace poolnet::storage {
+
+class BruteForceStore final : public DcsSystem {
+ public:
+  /// Pure-oracle construction: no network, zero message costs.
+  explicit BruteForceStore(std::size_t dims);
+
+  /// Networked construction: events are shipped to `sink_node` (external
+  /// storage / base station) at insert time; queries are answered there.
+  BruteForceStore(std::size_t dims, net::Network& network,
+                  const routing::Gpsr& gpsr, net::NodeId sink_node);
+
+  std::string name() const override { return "central"; }
+  std::size_t dims() const override { return dims_; }
+  InsertReceipt insert(net::NodeId source, const Event& event) override;
+  QueryReceipt query(net::NodeId sink, const RangeQuery& query) override;
+  AggregateReceipt aggregate(net::NodeId sink, const RangeQuery& query,
+                             AggregateKind kind,
+                             std::size_t value_dim) override;
+  std::size_t stored_count() const override { return events_.size(); }
+  std::size_t expire_before(double cutoff) override;
+
+  /// Oracle aggregate (no costs) — the reference for every system's tests.
+  AggregateResult aggregate_oracle(const RangeQuery& q, AggregateKind kind,
+                                   std::size_t value_dim) const;
+
+  /// All events matching `q` (oracle answer, no costs).
+  std::vector<Event> matching(const RangeQuery& q) const;
+
+  const std::vector<Event>& all() const { return events_; }
+
+ private:
+  std::size_t dims_;
+  std::vector<Event> events_;
+  net::Network* network_ = nullptr;        // null in oracle mode
+  const routing::Gpsr* gpsr_ = nullptr;    // null in oracle mode
+  net::NodeId base_station_ = net::kNoNode;
+};
+
+}  // namespace poolnet::storage

@@ -1,0 +1,81 @@
+// The common interface of data-centric storage systems.
+//
+// Both Pool (src/core) and DIM (src/dim) implement this, which is what
+// lets the experiment driver, the tests, and the benches treat the two
+// systems symmetrically — the comparison methodology of Section 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/node.h"
+#include "storage/aggregate.h"
+#include "storage/event.h"
+#include "storage/range_query.h"
+
+namespace poolnet::storage {
+
+/// Cost breakdown of one insertion.
+struct InsertReceipt {
+  net::NodeId stored_at = net::kNoNode;  ///< node now holding the event
+  std::uint64_t messages = 0;            ///< per-hop transmissions charged
+};
+
+/// Result and cost breakdown of one aggregate query.
+struct AggregateReceipt {
+  AggregateResult result;
+  std::uint64_t messages = 0;
+  std::uint64_t query_messages = 0;
+  std::uint64_t reply_messages = 0;
+  std::size_t index_nodes_visited = 0;
+};
+
+/// Result and cost breakdown of one query.
+struct QueryReceipt {
+  std::vector<Event> events;         ///< qualifying events, unordered
+  std::uint64_t messages = 0;        ///< total per-hop transmissions
+  std::uint64_t query_messages = 0;  ///< forwarding legs (query + subquery)
+  std::uint64_t reply_messages = 0;  ///< reply legs
+  std::size_t index_nodes_visited = 0;  ///< storage nodes that processed it
+};
+
+/// A deployed DCS system bound to a Network. insert() stores a detected
+/// event at the node the scheme maps it to; query() retrieves every stored
+/// event matching the query and charges all forwarding and reply traffic
+/// to the network ledger.
+class DcsSystem {
+ public:
+  virtual ~DcsSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Dimensionality this deployment is configured for.
+  virtual std::size_t dims() const = 0;
+
+  /// Store `event`, detected at `source`. Routing costs are charged to the
+  /// network ledger and reported in the receipt.
+  virtual InsertReceipt insert(net::NodeId source, const Event& event) = 0;
+
+  /// Evaluate `query` issued at `sink`; returns qualifying events plus the
+  /// message cost (forwarding + retrieval, the paper's metric).
+  virtual QueryReceipt query(net::NodeId sink, const RangeQuery& query) = 0;
+
+  /// Evaluate an aggregate of attribute `value_dim` over the events
+  /// matching `query` (Section 3.2.3). Storage nodes reply with mergeable
+  /// partial aggregates instead of raw events; schemes with in-network
+  /// merge points (Pool's splitters) collapse reply traffic further.
+  virtual AggregateReceipt aggregate(net::NodeId sink, const RangeQuery& query,
+                                     AggregateKind kind,
+                                     std::size_t value_dim) = 0;
+
+  /// Total events currently stored across all nodes.
+  virtual std::size_t stored_count() const = 0;
+
+  /// Data aging: every storage node locally discards events detected
+  /// before `cutoff` (timer-driven and local, so it costs no messages).
+  /// Returns the number of primary events removed.
+  virtual std::size_t expire_before(double cutoff) = 0;
+};
+
+}  // namespace poolnet::storage

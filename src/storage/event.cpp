@@ -1,0 +1,50 @@
+#include "storage/event.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace poolnet::storage {
+
+std::size_t Event::ranked_dim(std::size_t rank) const {
+  POOLNET_ASSERT(rank < dims());
+  std::array<std::size_t, kMaxDims> idx{};
+  std::iota(idx.begin(), idx.begin() + dims(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.begin() + dims(),
+                   [&](std::size_t a, std::size_t b) {
+                     return values[a] > values[b];
+                   });
+  return idx[rank];
+}
+
+FixedVec<std::size_t, kMaxDims> Event::max_dims() const {
+  POOLNET_ASSERT(dims() > 0);
+  double mx = values[0];
+  for (std::size_t i = 1; i < dims(); ++i) mx = std::max(mx, values[i]);
+  FixedVec<std::size_t, kMaxDims> out;
+  for (std::size_t i = 0; i < dims(); ++i)
+    if (values[i] == mx) out.push_back(i);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  os << "Event#" << e.id << '<';
+  for (std::size_t i = 0; i < e.dims(); ++i) {
+    if (i) os << ", ";
+    os << e.values[i];
+  }
+  return os << '>';
+}
+
+void validate_event(const Event& e) {
+  if (e.dims() == 0) throw ConfigError("event has no attributes");
+  for (std::size_t i = 0; i < e.dims(); ++i) {
+    if (!(e.values[i] >= 0.0 && e.values[i] <= 1.0))
+      throw ConfigError("event attribute outside [0,1]");
+  }
+}
+
+}  // namespace poolnet::storage

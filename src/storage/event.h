@@ -1,0 +1,57 @@
+// Multi-dimensional sensor events (Section 2 of the paper).
+//
+// An event is a tuple <V1..Vk> of normalized attribute values in [0, 1]
+// (temperature, humidity, light, ...). k is small; values live inline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/fixed_vec.h"
+#include "net/node.h"
+
+namespace poolnet::storage {
+
+/// Upper bound on event dimensionality supported without heap allocation.
+/// The paper evaluates k = 3; real multi-sensor boards top out well below 8.
+inline constexpr std::size_t kMaxDims = 8;
+
+using Values = FixedVec<double, kMaxDims>;
+
+struct Event {
+  /// Unique per workload; lets tests compare result sets exactly.
+  std::uint64_t id = 0;
+
+  /// Node that detected the event.
+  net::NodeId source = net::kNoNode;
+
+  /// Attribute values, each in [0, 1].
+  Values values;
+
+  /// Simulation time of detection, seconds. Drives data aging
+  /// (DcsSystem::expire_before); 0 for untimed workloads.
+  double detected_at = 0.0;
+
+  std::size_t dims() const { return values.size(); }
+
+  /// Index of the dimension with the i-th greatest value (0-based rank):
+  /// rank 0 is the paper's d^1 (greatest), rank 1 is d^2, etc. Ties are
+  /// broken toward the lower dimension index, matching the convention that
+  /// any maximal dimension is an admissible d^1 (Section 4.1 handles ties
+  /// explicitly at the storage layer).
+  std::size_t ranked_dim(std::size_t rank) const;
+
+  /// All dimension indices attaining the maximum value (Section 4.1).
+  FixedVec<std::size_t, kMaxDims> max_dims() const;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.id == b.id && a.source == b.source && a.values == b.values;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+/// Validates every value is within [0, 1]; throws ConfigError otherwise.
+void validate_event(const Event& e);
+
+}  // namespace poolnet::storage

@@ -1,0 +1,100 @@
+#include "storage/range_query.h"
+
+#include <ostream>
+
+#include "common/error.h"
+
+namespace poolnet::storage {
+
+const char* to_string(QueryType t) {
+  switch (t) {
+    case QueryType::ExactMatchPoint: return "exact-match point";
+    case QueryType::PartialMatchPoint: return "partial-match point";
+    case QueryType::ExactMatchRange: return "exact-match range";
+    case QueryType::PartialMatchRange: return "partial-match range";
+  }
+  return "?";
+}
+
+RangeQuery::RangeQuery(Bounds bounds) : bounds_(bounds) {
+  if (bounds_.empty()) throw ConfigError("query has no dimensions");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const auto b = bounds_[i];
+    if (b.empty() || b.lo < 0.0 || b.hi > 1.0)
+      throw ConfigError("query bound outside [0,1] or empty");
+    specified_.push_back(true);
+  }
+}
+
+RangeQuery::RangeQuery(Bounds bounds, FixedVec<bool, kMaxDims> specified)
+    : bounds_(bounds), specified_(specified) {
+  if (bounds_.empty()) throw ConfigError("query has no dimensions");
+  if (specified_.size() != bounds_.size())
+    throw ConfigError("specified mask size != bounds size");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!specified_[i]) {
+      bounds_[i] = {0.0, 1.0};  // the paper's rewriting rule
+    } else {
+      const auto b = bounds_[i];
+      if (b.empty() || b.lo < 0.0 || b.hi > 1.0)
+        throw ConfigError("query bound outside [0,1] or empty");
+    }
+  }
+}
+
+ClosedInterval RangeQuery::bound(std::size_t dim) const {
+  POOLNET_ASSERT(dim < bounds_.size());
+  return bounds_[dim];
+}
+
+bool RangeQuery::specified(std::size_t dim) const {
+  POOLNET_ASSERT(dim < specified_.size());
+  return specified_[dim];
+}
+
+std::size_t RangeQuery::specified_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < specified_.size(); ++i)
+    if (specified_[i]) ++n;
+  return n;
+}
+
+QueryType RangeQuery::type() const {
+  bool all_points = true;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (specified_[i] && bounds_[i].lo != bounds_[i].hi) all_points = false;
+  }
+  const bool partial = specified_count() < dims();
+  if (partial)
+    return all_points ? QueryType::PartialMatchPoint
+                      : QueryType::PartialMatchRange;
+  return all_points ? QueryType::ExactMatchPoint : QueryType::ExactMatchRange;
+}
+
+bool RangeQuery::matches(const Event& e) const {
+  if (e.dims() != dims()) return false;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    if (!bounds_[i].contains(e.values[i])) return false;
+  }
+  return true;
+}
+
+double RangeQuery::volume() const {
+  double v = 1.0;
+  for (std::size_t i = 0; i < dims(); ++i) v *= bounds_[i].length();
+  return v;
+}
+
+std::ostream& operator<<(std::ostream& os, const RangeQuery& q) {
+  os << '<';
+  for (std::size_t i = 0; i < q.dims(); ++i) {
+    if (i) os << ", ";
+    if (!q.specified(i))
+      os << '*';
+    else
+      os << q.bound(i);
+  }
+  return os << '>';
+}
+
+}  // namespace poolnet::storage

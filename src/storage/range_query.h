@@ -1,0 +1,68 @@
+// Multi-dimensional range queries (Section 2 of the paper).
+//
+// A query is <[L1,U1] .. [Lk,Uk]> over the k event attributes. Unspecified
+// ("don't care", the paper's '*') attributes are represented — as the paper
+// prescribes — by rewriting them to the full range [0, 1]; the original
+// specification mask is retained so the four query types of Section 2 can
+// still be distinguished.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/fixed_vec.h"
+#include "common/interval.h"
+#include "storage/event.h"
+
+namespace poolnet::storage {
+
+/// The paper's four query categories.
+enum class QueryType : std::uint8_t {
+  ExactMatchPoint,    ///< h = k, Li = Ui for all i
+  PartialMatchPoint,  ///< h < k, Li = Ui for specified i
+  ExactMatchRange,    ///< h = k, Li <= Ui
+  PartialMatchRange,  ///< h < k, Li < Ui for specified i
+};
+
+const char* to_string(QueryType t);
+
+class RangeQuery {
+ public:
+  using Bounds = FixedVec<ClosedInterval, kMaxDims>;
+
+  /// Fully specified query: one closed interval per dimension.
+  explicit RangeQuery(Bounds bounds);
+
+  /// Partial query: `specified[i] == false` marks a don't-care dimension,
+  /// rewritten internally to [0, 1]. `bounds[i]` is ignored for those.
+  RangeQuery(Bounds bounds, FixedVec<bool, kMaxDims> specified);
+
+  std::size_t dims() const { return bounds_.size(); }
+  ClosedInterval bound(std::size_t dim) const;
+  const Bounds& bounds() const { return bounds_; }
+
+  bool specified(std::size_t dim) const;
+  std::size_t specified_count() const;
+  /// Number of unspecified dimensions — the paper's m in "m-partial".
+  std::size_t partial_count() const { return dims() - specified_count(); }
+
+  QueryType type() const;
+
+  /// True when `e` satisfies every bound (Section 2's answer predicate).
+  bool matches(const Event& e) const;
+
+  /// Hyper-volume of the query box (diagnostic for selectivity reports).
+  double volume() const;
+
+  friend bool operator==(const RangeQuery& a, const RangeQuery& b) {
+    return a.bounds_ == b.bounds_ && a.specified_ == b.specified_;
+  }
+
+ private:
+  Bounds bounds_;
+  FixedVec<bool, kMaxDims> specified_;
+};
+
+std::ostream& operator<<(std::ostream& os, const RangeQuery& q);
+
+}  // namespace poolnet::storage

@@ -1,0 +1,56 @@
+// Renders deployments, Pool layouts, query footprints and routes to SVG.
+//
+// The output mirrors the paper's Figures 2, 4 and 5: the sensor field
+// with its grid, the k pools anchored at their pivots, the cells a query
+// touches, and (optionally) the GPSR paths a query actually traveled.
+#pragma once
+
+#include <string>
+
+#include "core/pool_system.h"
+#include "routing/gpsr.h"
+#include "viz/svg.h"
+
+namespace poolnet::viz {
+
+struct RenderOptions {
+  bool draw_grid = true;          ///< light α-cell grid lines
+  bool draw_nodes = true;         ///< every sensor as a dot
+  bool draw_index_nodes = true;   ///< pool index nodes, emphasized
+  bool draw_pool_labels = true;   ///< "P1".."Pk" at the pivot corners
+  double node_radius = 1.5;       ///< dot size, field meters
+};
+
+class FieldRenderer {
+ public:
+  explicit FieldRenderer(const core::PoolSystem& pool,
+                         RenderOptions options = {});
+
+  /// Base layer: field, grid, pools, sensors.
+  void draw_field();
+
+  /// Shades every cell relevant to `q` (one color per pool), i.e. the
+  /// paper's Figure 4/5 view.
+  void draw_query_footprint(const storage::RangeQuery& q);
+
+  /// Draws a route as a polyline through the visited node positions.
+  void draw_route(const routing::RouteResult& route, Color color,
+                  double width = 1.0);
+
+  /// Marks one node (e.g. the sink) with a ring + label.
+  void mark_node(net::NodeId node, const std::string& label, Color color);
+
+  const SvgDocument& document() const { return svg_; }
+  void write(const std::string& path) const { svg_.write(path); }
+
+ private:
+  Color pool_color(std::size_t pool_dim) const;
+  Rect cell_rect(core::CellCoord c) const;
+
+  const core::PoolSystem& pool_;
+  const net::Network& net_;
+  RenderOptions options_;
+  SvgDocument svg_;
+};
+
+}  // namespace poolnet::viz

@@ -1,0 +1,118 @@
+#include "viz/svg.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace poolnet::viz {
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+// Escapes the characters XML cares about in text content.
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Color::css() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {
+  if (width <= 0.0 || height <= 0.0)
+    throw ConfigError("SvgDocument: degenerate canvas");
+}
+
+void SvgDocument::circle(Point center, double radius, Color fill,
+                         double opacity) {
+  std::ostringstream oss;
+  oss << "<circle cx=\"" << fmt(center.x) << "\" cy=\"" << fmt(flip(center.y))
+      << "\" r=\"" << fmt(radius) << "\" fill=\"" << fill.css()
+      << "\" fill-opacity=\"" << fmt(opacity) << "\"/>";
+  elements_.push_back(oss.str());
+}
+
+void SvgDocument::line(Point a, Point b, Color stroke, double width,
+                       double opacity) {
+  std::ostringstream oss;
+  oss << "<line x1=\"" << fmt(a.x) << "\" y1=\"" << fmt(flip(a.y))
+      << "\" x2=\"" << fmt(b.x) << "\" y2=\"" << fmt(flip(b.y))
+      << "\" stroke=\"" << stroke.css() << "\" stroke-width=\"" << fmt(width)
+      << "\" stroke-opacity=\"" << fmt(opacity) << "\"/>";
+  elements_.push_back(oss.str());
+}
+
+void SvgDocument::rect(const Rect& r, Color stroke, double stroke_width,
+                       Color fill, double fill_opacity) {
+  std::ostringstream oss;
+  oss << "<rect x=\"" << fmt(r.min_x) << "\" y=\"" << fmt(flip(r.max_y))
+      << "\" width=\"" << fmt(r.width()) << "\" height=\"" << fmt(r.height())
+      << "\" stroke=\"" << stroke.css() << "\" stroke-width=\""
+      << fmt(stroke_width) << "\" fill=\"" << fill.css()
+      << "\" fill-opacity=\"" << fmt(fill_opacity) << "\"/>";
+  elements_.push_back(oss.str());
+}
+
+void SvgDocument::polyline(const std::vector<Point>& points, Color stroke,
+                           double width, double opacity) {
+  if (points.size() < 2) return;
+  std::ostringstream oss;
+  oss << "<polyline points=\"";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i) oss << ' ';
+    oss << fmt(points[i].x) << ',' << fmt(flip(points[i].y));
+  }
+  oss << "\" fill=\"none\" stroke=\"" << stroke.css() << "\" stroke-width=\""
+      << fmt(width) << "\" stroke-opacity=\"" << fmt(opacity) << "\"/>";
+  elements_.push_back(oss.str());
+}
+
+void SvgDocument::text(Point anchor, const std::string& content, double size,
+                       Color fill) {
+  std::ostringstream oss;
+  oss << "<text x=\"" << fmt(anchor.x) << "\" y=\"" << fmt(flip(anchor.y))
+      << "\" font-size=\"" << fmt(size) << "\" font-family=\"sans-serif\" "
+      << "fill=\"" << fill.css() << "\">" << xml_escape(content) << "</text>";
+  elements_.push_back(oss.str());
+}
+
+std::string SvgDocument::to_string() const {
+  std::ostringstream oss;
+  oss << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 "
+      << fmt(width_) << ' ' << fmt(height_) << "\">\n"
+      << "<rect x=\"0\" y=\"0\" width=\"" << fmt(width_) << "\" height=\""
+      << fmt(height_) << "\" fill=\"" << kWhite.css() << "\"/>\n";
+  for (const auto& el : elements_) oss << el << '\n';
+  oss << "</svg>\n";
+  return oss.str();
+}
+
+void SvgDocument::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("SvgDocument: cannot open " + path);
+  out << to_string();
+}
+
+}  // namespace poolnet::viz

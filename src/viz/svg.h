@@ -1,0 +1,59 @@
+// A minimal SVG document builder.
+//
+// Just enough vector drawing to render deployments, pools, routes and
+// query footprints (src/viz/field_renderer.h) without any external
+// dependency. Coordinates are in user units; callers set the viewBox.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace poolnet::viz {
+
+/// RGB color with CSS serialization.
+struct Color {
+  std::uint8_t r = 0, g = 0, b = 0;
+  std::string css() const;
+};
+
+inline constexpr Color kBlack{0, 0, 0};
+inline constexpr Color kWhite{255, 255, 255};
+
+class SvgDocument {
+ public:
+  /// Canvas spanning [0,width] x [0,height] user units. The y axis is
+  /// flipped so callers can draw in field coordinates (y grows upward).
+  SvgDocument(double width, double height);
+
+  void circle(Point center, double radius, Color fill,
+              double opacity = 1.0);
+  void line(Point a, Point b, Color stroke, double width,
+            double opacity = 1.0);
+  void rect(const Rect& r, Color stroke, double stroke_width,
+            Color fill, double fill_opacity);
+  void polyline(const std::vector<Point>& points, Color stroke,
+                double width, double opacity = 1.0);
+  void text(Point anchor, const std::string& content, double size,
+            Color fill);
+
+  /// Number of shape elements added so far.
+  std::size_t element_count() const { return elements_.size(); }
+
+  /// Serializes the document.
+  std::string to_string() const;
+
+  /// Writes to `path`; throws ConfigError when the file cannot be opened.
+  void write(const std::string& path) const;
+
+ private:
+  double flip(double y) const { return height_ - y; }
+
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace poolnet::viz

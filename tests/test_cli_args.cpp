@@ -1,0 +1,128 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace poolnet::cli {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test program");
+  p.add_option("nodes", "900", "network size");
+  p.add_option("name", "default", "a string");
+  p.add_option("ratio", "0.5", "a double");
+  p.add_flag("verbose", "chatty output");
+  return p;
+}
+
+bool parse(ArgParser& p, std::initializer_list<const char*> args,
+           std::string* error) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return p.parse(static_cast<int>(argv.size()), argv.data(), error);
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArguments) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {}, &error));
+  EXPECT_EQ(p.option("nodes"), "900");
+  EXPECT_FALSE(p.flag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--nodes", "1500", "--name", "hello"}, &error));
+  EXPECT_EQ(p.option("nodes"), "1500");
+  EXPECT_EQ(p.option("name"), "hello");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--nodes=1200", "--verbose"}, &error));
+  EXPECT_EQ(p.option("nodes"), "1200");
+  EXPECT_TRUE(p.flag("verbose"));
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  auto p = make_parser();
+  std::string error;
+  EXPECT_FALSE(parse(p, {"--bogus", "1"}, &error));
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  auto p = make_parser();
+  std::string error;
+  EXPECT_FALSE(parse(p, {"--nodes"}, &error));
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagWithValueFails) {
+  auto p = make_parser();
+  std::string error;
+  EXPECT_FALSE(parse(p, {"--verbose=yes"}, &error));
+}
+
+TEST(ArgParser, PositionalArgumentFails) {
+  auto p = make_parser();
+  std::string error;
+  EXPECT_FALSE(parse(p, {"stray"}, &error));
+}
+
+TEST(ArgParser, HelpRequested) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--help"}, &error));
+  EXPECT_TRUE(p.help_requested());
+  const auto h = p.help();
+  EXPECT_NE(h.find("--nodes"), std::string::npos);
+  EXPECT_NE(h.find("default: 900"), std::string::npos);
+}
+
+TEST(ArgParser, IntOptionParsesAndValidatesRange) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--nodes", "1200"}, &error));
+  EXPECT_EQ(p.int_option("nodes", 10, 10000, &error), 1200);
+  ASSERT_TRUE(parse(p, {"--nodes", "5"}, &error));
+  EXPECT_FALSE(p.int_option("nodes", 10, 10000, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(ArgParser, IntOptionRejectsGarbage) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--nodes", "12abc"}, &error));
+  EXPECT_FALSE(p.int_option("nodes", 0, 10000, &error).has_value());
+}
+
+TEST(ArgParser, DoubleOption) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--ratio", "0.75"}, &error));
+  EXPECT_DOUBLE_EQ(*p.double_option("ratio", 0.0, 1.0, &error), 0.75);
+  ASSERT_TRUE(parse(p, {"--ratio", "x"}, &error));
+  EXPECT_FALSE(p.double_option("ratio", 0.0, 1.0, &error).has_value());
+}
+
+TEST(ArgParser, ChoiceOption) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--name", "beta"}, &error));
+  EXPECT_EQ(p.choice_option("name", {"alpha", "beta"}, &error), "beta");
+  ASSERT_TRUE(parse(p, {"--name", "gamma"}, &error));
+  EXPECT_FALSE(p.choice_option("name", {"alpha", "beta"}, &error).has_value());
+  EXPECT_NE(error.find("alpha|beta"), std::string::npos);
+}
+
+TEST(ArgParser, LaterValueWins) {
+  auto p = make_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--nodes", "100", "--nodes", "200"}, &error));
+  EXPECT_EQ(p.option("nodes"), "200");
+}
+
+}  // namespace
+}  // namespace poolnet::cli

@@ -1,0 +1,112 @@
+#include "cli/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace poolnet::cli {
+namespace {
+
+CliConfig small_config() {
+  CliConfig config;
+  config.systems = {SystemChoice::Pool, SystemChoice::Dim};
+  config.nodes = 150;
+  config.queries = 10;
+  config.seed = 5;
+  return config;
+}
+
+TEST(CliRunner, RunsPoolAndDimWithZeroMismatches) {
+  std::ostringstream out;
+  const auto results = run_experiment(small_config(), out);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.mismatches, 0u);
+    EXPECT_GT(r.mean_messages, 0.0);
+    EXPECT_GT(r.insert_messages_per_event, 0.0);
+  }
+  const auto text = out.str();
+  EXPECT_NE(text.find("pool"), std::string::npos);
+  EXPECT_NE(text.find("dim"), std::string::npos);
+  EXPECT_NE(text.find("150 nodes"), std::string::npos);
+}
+
+TEST(CliRunner, GhtSystemRunsToo) {
+  auto config = small_config();
+  config.systems = {SystemChoice::Ght};
+  config.flavor = QueryFlavor::Point;
+  std::ostringstream out;
+  const auto results = run_experiment(config, out);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].mismatches, 0u);
+}
+
+TEST(CliRunner, PartialFlavorsWork) {
+  for (const auto flavor : {QueryFlavor::OnePartial, QueryFlavor::TwoPartial}) {
+    auto config = small_config();
+    config.flavor = flavor;
+    std::ostringstream out;
+    const auto results = run_experiment(config, out);
+    for (const auto& r : results) EXPECT_EQ(r.mismatches, 0u);
+  }
+}
+
+TEST(CliRunner, MultipleDeploymentsAggregate) {
+  auto config = small_config();
+  config.deployments = 2;
+  config.queries = 5;
+  std::ostringstream out;
+  const auto results = run_experiment(config, out);
+  EXPECT_EQ(results[0].mismatches, 0u);
+}
+
+TEST(CliRunner, CsvExportWritesHeaderOnceAndAppends) {
+  const std::string path = ::testing::TempDir() + "/poolnet_cli_test.csv";
+  std::filesystem::remove(path);
+
+  auto config = small_config();
+  config.csv_path = path;
+  std::ostringstream out;
+  run_experiment(config, out);
+  run_experiment(config, out);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0, headers = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.rfind("system,", 0) == 0) ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_EQ(lines, 1u + 2u * 2u);  // header + 2 systems x 2 runs
+  std::filesystem::remove(path);
+}
+
+TEST(CliRunner, RejectsEmptySystemList) {
+  auto config = small_config();
+  config.systems.clear();
+  std::ostringstream out;
+  EXPECT_THROW(run_experiment(config, out), poolnet::ConfigError);
+}
+
+TEST(CliRunner, RejectsPartialQueriesOnOneDimension) {
+  auto config = small_config();
+  config.dims = 1;
+  config.flavor = QueryFlavor::OnePartial;
+  std::ostringstream out;
+  EXPECT_THROW(run_experiment(config, out), poolnet::ConfigError);
+}
+
+TEST(CliRunner, NamesAreStable) {
+  EXPECT_STREQ(to_string(SystemChoice::Pool), "pool");
+  EXPECT_STREQ(to_string(SystemChoice::Ght), "ght");
+  EXPECT_STREQ(to_string(QueryFlavor::TwoPartial), "2-partial");
+}
+
+}  // namespace
+}  // namespace poolnet::cli

@@ -1,0 +1,86 @@
+#include "net/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace poolnet::net {
+namespace {
+
+TEST(Deployment, FieldSideMatchesDensityFormula) {
+  // density = 20 / (pi * 40^2); side = sqrt(900 / density) ~ 476 m.
+  const double side = field_side_for_density(900, 40.0, 20.0);
+  constexpr double kPi = 3.14159265358979323846;
+  const double density = 20.0 / (kPi * 40.0 * 40.0);
+  EXPECT_NEAR(side, std::sqrt(900.0 / density), 1e-9);
+}
+
+TEST(Deployment, FieldSideScalesWithSqrtN) {
+  const double s1 = field_side_for_density(300, 40.0, 20.0);
+  const double s4 = field_side_for_density(1200, 40.0, 20.0);
+  EXPECT_NEAR(s4 / s1, 2.0, 1e-9);
+}
+
+TEST(Deployment, FieldSideRejectsBadInput) {
+  EXPECT_THROW(field_side_for_density(0, 40.0, 20.0), ConfigError);
+  EXPECT_THROW(field_side_for_density(100, 0.0, 20.0), ConfigError);
+  EXPECT_THROW(field_side_for_density(100, 40.0, -1.0), ConfigError);
+}
+
+TEST(Deployment, UniformStaysInsideField) {
+  Rng rng(1);
+  const Rect field{10.0, 20.0, 110.0, 220.0};
+  const auto pts = deploy_uniform(500, field, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Point p : pts) EXPECT_TRUE(field.contains(p));
+}
+
+TEST(Deployment, UniformIsDeterministicPerSeed) {
+  const Rect field{0, 0, 100, 100};
+  Rng a(5), b(5);
+  const auto pa = deploy_uniform(50, field, a);
+  const auto pb = deploy_uniform(50, field, b);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(Deployment, UniformCoversAllQuadrants) {
+  Rng rng(3);
+  const Rect field{0, 0, 100, 100};
+  const auto pts = deploy_uniform(400, field, rng);
+  int q[4] = {0, 0, 0, 0};
+  for (const Point p : pts) q[(p.x >= 50 ? 1 : 0) + (p.y >= 50 ? 2 : 0)]++;
+  for (const int c : q) EXPECT_GT(c, 50);
+}
+
+TEST(Deployment, GridJitterStaysInsideField) {
+  Rng rng(7);
+  const Rect field{0, 0, 100, 100};
+  const auto pts = deploy_grid_jitter(90, field, 0.8, rng);
+  ASSERT_EQ(pts.size(), 90u);
+  for (const Point p : pts) EXPECT_TRUE(field.contains(p));
+}
+
+TEST(Deployment, GridJitterZeroIsRegular) {
+  Rng rng(7);
+  const Rect field{0, 0, 100, 100};
+  const auto pts = deploy_grid_jitter(4, field, 0.0, rng);
+  // 2x2 grid of cell centers.
+  EXPECT_EQ(pts[0], (Point{25, 25}));
+  EXPECT_EQ(pts[1], (Point{75, 25}));
+  EXPECT_EQ(pts[2], (Point{25, 75}));
+  EXPECT_EQ(pts[3], (Point{75, 75}));
+}
+
+TEST(Deployment, DegenerateFieldThrows) {
+  Rng rng(1);
+  EXPECT_THROW(deploy_uniform(10, Rect{0, 0, 0, 100}, rng), ConfigError);
+  EXPECT_THROW(deploy_grid_jitter(10, Rect{0, 0, 100, 0}, 0.5, rng),
+               ConfigError);
+  EXPECT_THROW(deploy_grid_jitter(10, Rect{0, 0, 100, 100}, 1.5, rng),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace poolnet::net

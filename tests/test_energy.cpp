@@ -1,0 +1,39 @@
+#include "sim/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace poolnet::sim {
+namespace {
+
+TEST(EnergyModel, TxGrowsQuadraticallyWithDistance) {
+  const EnergyModel m;
+  const auto near = m.tx_cost(1000, 10.0);
+  const auto far = m.tx_cost(1000, 20.0);
+  // Subtract the electronics term; the amplifier term must scale 4x.
+  const double elec = m.elec_j_per_bit * 1000;
+  EXPECT_NEAR((far - elec) / (near - elec), 4.0, 1e-9);
+}
+
+TEST(EnergyModel, TxLinearInBits) {
+  const EnergyModel m;
+  EXPECT_NEAR(m.tx_cost(2000, 40.0), 2.0 * m.tx_cost(1000, 40.0), 1e-15);
+}
+
+TEST(EnergyModel, RxIndependentOfDistance) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.rx_cost(1000), m.elec_j_per_bit * 1000);
+}
+
+TEST(EnergyModel, TxAlwaysCostsMoreThanRx) {
+  const EnergyModel m;
+  EXPECT_GT(m.tx_cost(100, 40.0), m.rx_cost(100));
+}
+
+TEST(EnergyModel, ZeroBitsCostNothing) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.tx_cost(0, 40.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.rx_cost(0), 0.0);
+}
+
+}  // namespace
+}  // namespace poolnet::sim

@@ -1,0 +1,79 @@
+#include "storage/event.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace poolnet::storage {
+namespace {
+
+Event make_event(std::initializer_list<double> vals) {
+  Event e;
+  e.id = 1;
+  e.source = 0;
+  for (const double v : vals) e.values.push_back(v);
+  return e;
+}
+
+TEST(Event, RankedDimOrdersByValue) {
+  // The paper's example: E = <0.3, 0.2, 0.1> has d1 = dim 0.
+  const auto e = make_event({0.3, 0.2, 0.1});
+  EXPECT_EQ(e.ranked_dim(0), 0u);
+  EXPECT_EQ(e.ranked_dim(1), 1u);
+  EXPECT_EQ(e.ranked_dim(2), 2u);
+}
+
+TEST(Event, RankedDimUnsortedValues) {
+  const auto e = make_event({0.1, 0.9, 0.5});
+  EXPECT_EQ(e.ranked_dim(0), 1u);
+  EXPECT_EQ(e.ranked_dim(1), 2u);
+  EXPECT_EQ(e.ranked_dim(2), 0u);
+}
+
+TEST(Event, RankedDimTieBreaksTowardLowerIndex) {
+  const auto e = make_event({0.4, 0.4, 0.2});
+  EXPECT_EQ(e.ranked_dim(0), 0u);
+  EXPECT_EQ(e.ranked_dim(1), 1u);
+}
+
+TEST(Event, MaxDimsSingleMaximum) {
+  const auto e = make_event({0.4, 0.3, 0.1});
+  const auto md = e.max_dims();
+  ASSERT_EQ(md.size(), 1u);
+  EXPECT_EQ(md[0], 0u);
+}
+
+TEST(Event, MaxDimsWithTies) {
+  // Section 4.1's example: <0.4, 0.4, 0.2>.
+  const auto e = make_event({0.4, 0.4, 0.2});
+  const auto md = e.max_dims();
+  ASSERT_EQ(md.size(), 2u);
+  EXPECT_EQ(md[0], 0u);
+  EXPECT_EQ(md[1], 1u);
+}
+
+TEST(Event, MaxDimsAllEqual) {
+  const auto e = make_event({0.5, 0.5, 0.5});
+  EXPECT_EQ(e.max_dims().size(), 3u);
+}
+
+TEST(Event, ValidateAcceptsNormalizedValues) {
+  EXPECT_NO_THROW(validate_event(make_event({0.0, 0.5, 1.0})));
+}
+
+TEST(Event, ValidateRejectsOutOfRange) {
+  EXPECT_THROW(validate_event(make_event({0.5, 1.2})), poolnet::ConfigError);
+  EXPECT_THROW(validate_event(make_event({-0.1})), poolnet::ConfigError);
+  EXPECT_THROW(validate_event(make_event({})), poolnet::ConfigError);
+}
+
+TEST(Event, EqualityByIdSourceValues) {
+  auto a = make_event({0.1, 0.2});
+  auto b = make_event({0.1, 0.2});
+  EXPECT_EQ(a, b);
+  b.id = 2;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace poolnet::storage

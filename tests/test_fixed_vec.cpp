@@ -1,0 +1,87 @@
+#include "common/fixed_vec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace poolnet {
+namespace {
+
+TEST(FixedVec, StartsEmpty) {
+  FixedVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(FixedVec, PushAndIndex) {
+  FixedVec<int, 4> v;
+  v.push_back(10);
+  v.push_back(20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 20);
+}
+
+TEST(FixedVec, InitializerList) {
+  const FixedVec<double, 8> v{0.1, 0.2, 0.3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 0.3);
+}
+
+TEST(FixedVec, CountValueConstructor) {
+  const FixedVec<bool, 8> v(5, true);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_TRUE(v[i]);
+}
+
+TEST(FixedVec, PopBack) {
+  FixedVec<int, 4> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(FixedVec, ClearAndResize) {
+  FixedVec<int, 4> v{1, 2, 3};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.resize(3, 7);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 7);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(FixedVec, IterationMatchesContents) {
+  const FixedVec<int, 8> v{4, 5, 6};
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 15);
+}
+
+TEST(FixedVec, EqualityComparesSizeAndElements) {
+  const FixedVec<int, 4> a{1, 2};
+  const FixedVec<int, 4> b{1, 2};
+  const FixedVec<int, 4> c{1, 2, 3};
+  const FixedVec<int, 4> d{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(FixedVec, OverflowThrowsAssertion) {
+  FixedVec<int, 2> v{1, 2};
+  EXPECT_THROW(v.push_back(3), AssertionError);
+}
+
+TEST(FixedVec, OutOfRangeIndexThrowsAssertion) {
+  FixedVec<int, 2> v{1};
+  EXPECT_THROW((void)v[1], AssertionError);
+  EXPECT_THROW(v.pop_back(); v.pop_back(), AssertionError);
+}
+
+}  // namespace
+}  // namespace poolnet

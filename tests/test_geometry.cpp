@@ -1,0 +1,133 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poolnet {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Geometry, PointArithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+}
+
+TEST(Geometry, DistanceMatchesSquaredDistance) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+}
+
+TEST(Geometry, DistanceIsSymmetric) {
+  const Point a{1.5, -2.5};
+  const Point b{-4.0, 7.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Geometry, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(dot({2, 3}, {4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);   // ccw
+  EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);  // cw
+}
+
+TEST(Geometry, OrientationSign) {
+  EXPECT_GT(orientation({0, 0}, {1, 0}, {1, 1}), 0.0);   // left turn
+  EXPECT_LT(orientation({0, 0}, {1, 0}, {1, -1}), 0.0);  // right turn
+  EXPECT_DOUBLE_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0.0);
+}
+
+TEST(Geometry, AngleOfCardinalDirections) {
+  const Point o{0, 0};
+  EXPECT_DOUBLE_EQ(angle_of(o, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(angle_of(o, {0, 1}), kPi / 2);
+  EXPECT_DOUBLE_EQ(angle_of(o, {-1, 0}), kPi);
+  EXPECT_DOUBLE_EQ(angle_of(o, {0, -1}), -kPi / 2);
+}
+
+TEST(Geometry, CcwSweepNormalizes) {
+  EXPECT_NEAR(ccw_sweep(0.0, kPi / 2), kPi / 2, 1e-12);
+  EXPECT_NEAR(ccw_sweep(kPi / 2, 0.0), 3 * kPi / 2, 1e-12);
+  EXPECT_NEAR(ccw_sweep(-kPi, kPi), 0.0, 1e-12);  // same direction
+  EXPECT_NEAR(ccw_sweep(0.1, 0.1), 0.0, 1e-12);
+}
+
+TEST(Geometry, RectContainsBoundaryInclusive) {
+  const Rect r{0, 0, 10, 5};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 5}));
+  EXPECT_TRUE(r.contains({5, 2.5}));
+  EXPECT_FALSE(r.contains({10.01, 5}));
+  EXPECT_FALSE(r.contains({-0.01, 0}));
+}
+
+TEST(Geometry, RectDimensionsAndCenter) {
+  const Rect r{1, 2, 5, 10};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_EQ(r.center(), (Point{3.0, 6.0}));
+}
+
+TEST(Geometry, RectIntersects) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.intersects({2, 2, 6, 6}));
+  EXPECT_TRUE(a.intersects({4, 4, 8, 8}));  // corner touch
+  EXPECT_FALSE(a.intersects({5, 5, 8, 8}));
+  EXPECT_TRUE(a.intersects({1, 1, 2, 2}));  // containment
+}
+
+TEST(Geometry, RectClamp) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_EQ(r.clamp({5, 5}), (Point{5, 5}));
+  EXPECT_EQ(r.clamp({-3, 5}), (Point{0, 5}));
+  EXPECT_EQ(r.clamp({12, 15}), (Point{10, 10}));
+}
+
+TEST(Geometry, SegmentsCrossingProperly) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+}
+
+TEST(Geometry, SegmentsSharedEndpoint) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(Geometry, SegmentsCollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(Geometry, SegmentTouchingMidpoint) {
+  // q1 lies on segment (p1,p2) — a T-junction.
+  EXPECT_TRUE(segments_intersect({0, 0}, {4, 0}, {2, 0}, {2, 3}));
+}
+
+TEST(Geometry, SegmentIntersectionPoint) {
+  const auto xi = segment_intersection({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  ASSERT_TRUE(xi.has_value());
+  EXPECT_NEAR(xi->x, 1.0, 1e-12);
+  EXPECT_NEAR(xi->y, 1.0, 1e-12);
+}
+
+TEST(Geometry, SegmentIntersectionParallelIsNull) {
+  EXPECT_FALSE(
+      segment_intersection({0, 0}, {1, 0}, {0, 1}, {1, 1}).has_value());
+  // Collinear overlap reports no single crossing point.
+  EXPECT_FALSE(
+      segment_intersection({0, 0}, {2, 0}, {1, 0}, {3, 0}).has_value());
+}
+
+TEST(Geometry, SegmentIntersectionDisjointIsNull) {
+  EXPECT_FALSE(
+      segment_intersection({0, 0}, {1, 1}, {5, 0}, {6, 1}).has_value());
+}
+
+}  // namespace
+}  // namespace poolnet

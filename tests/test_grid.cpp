@@ -1,0 +1,94 @@
+#include "core/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/deployment.h"
+
+namespace poolnet::core {
+namespace {
+
+using net::Network;
+
+Network make_net(std::size_t n = 100, double field_side = 100.0,
+                 std::uint64_t seed = 1) {
+  Rng rng(seed);
+  const Rect field{0, 0, field_side, field_side};
+  auto pts = net::deploy_uniform(n, field, rng);
+  return Network(std::move(pts), field, 40.0);
+}
+
+TEST(Grid, DimensionsFromFieldAndCellSize) {
+  const auto network = make_net(50, 100.0);
+  const Grid grid(network, 5.0);
+  EXPECT_EQ(grid.cols(), 20);
+  EXPECT_EQ(grid.rows(), 20);
+  EXPECT_DOUBLE_EQ(grid.cell_size(), 5.0);
+}
+
+TEST(Grid, NonDivisibleFieldRoundsUp) {
+  const auto network = make_net(50, 101.0);
+  const Grid grid(network, 5.0);
+  EXPECT_EQ(grid.cols(), 21);
+  EXPECT_EQ(grid.rows(), 21);
+}
+
+TEST(Grid, CellCenterMatchesCoordinates) {
+  const auto network = make_net();
+  const Grid grid(network, 5.0);
+  EXPECT_EQ(grid.cell_center({0, 0}), (Point{2.5, 2.5}));
+  EXPECT_EQ(grid.cell_center({3, 7}), (Point{17.5, 37.5}));
+}
+
+TEST(Grid, CellOfPositionInverseOfCenter) {
+  const auto network = make_net();
+  const Grid grid(network, 5.0);
+  for (std::int32_t x = 0; x < grid.cols(); x += 3) {
+    for (std::int32_t y = 0; y < grid.rows(); y += 3) {
+      EXPECT_EQ(grid.cell_of_position(grid.cell_center({x, y})),
+                (CellCoord{x, y}));
+    }
+  }
+}
+
+TEST(Grid, CellOfPositionClampsOutOfField) {
+  const auto network = make_net();
+  const Grid grid(network, 5.0);
+  EXPECT_EQ(grid.cell_of_position({-10, -10}), (CellCoord{0, 0}));
+  EXPECT_EQ(grid.cell_of_position({1000, 1000}),
+            (CellCoord{grid.cols() - 1, grid.rows() - 1}));
+}
+
+TEST(Grid, IndexNodeIsNearestToCenter) {
+  const auto network = make_net(200, 100.0, 7);
+  const Grid grid(network, 5.0);
+  for (std::int32_t x = 0; x < grid.cols(); x += 4) {
+    for (std::int32_t y = 0; y < grid.rows(); y += 4) {
+      const net::NodeId idx = grid.index_node({x, y});
+      EXPECT_EQ(idx, network.nearest_node(grid.cell_center({x, y})));
+    }
+  }
+}
+
+TEST(Grid, IndexNodeIsCachedAndStable) {
+  const auto network = make_net();
+  const Grid grid(network, 5.0);
+  const auto first = grid.index_node({4, 4});
+  EXPECT_EQ(grid.index_node({4, 4}), first);
+}
+
+TEST(Grid, RejectsBadCellSize) {
+  const auto network = make_net();
+  EXPECT_THROW(Grid(network, 0.0), poolnet::ConfigError);
+  EXPECT_THROW(Grid(network, -1.0), poolnet::ConfigError);
+}
+
+TEST(Grid, OutOfBoundsCellAsserts) {
+  const auto network = make_net();
+  const Grid grid(network, 5.0);
+  EXPECT_THROW(grid.cell_center({-1, 0}), poolnet::AssertionError);
+  EXPECT_THROW(grid.index_node({grid.cols(), 0}), poolnet::AssertionError);
+}
+
+}  // namespace
+}  // namespace poolnet::core

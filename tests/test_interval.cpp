@@ -1,0 +1,78 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace poolnet {
+namespace {
+
+TEST(ClosedInterval, ContainsEndpoints) {
+  const ClosedInterval i{0.2, 0.5};
+  EXPECT_TRUE(i.contains(0.2));
+  EXPECT_TRUE(i.contains(0.5));
+  EXPECT_TRUE(i.contains(0.35));
+  EXPECT_FALSE(i.contains(0.19));
+  EXPECT_FALSE(i.contains(0.51));
+}
+
+TEST(ClosedInterval, EmptyWhenReversed) {
+  // Theorem 3.2 legitimately produces ranges like [0.25, 0.24].
+  const ClosedInterval i{0.25, 0.24};
+  EXPECT_TRUE(i.empty());
+  EXPECT_FALSE(i.contains(0.245));
+  EXPECT_DOUBLE_EQ(i.length(), 0.0);
+}
+
+TEST(ClosedInterval, DegeneratePointNotEmpty) {
+  const ClosedInterval i{0.3, 0.3};
+  EXPECT_FALSE(i.empty());
+  EXPECT_TRUE(i.contains(0.3));
+}
+
+TEST(HalfOpenInterval, ExcludesUpperBound) {
+  const HalfOpenInterval i{0.2, 0.4};
+  EXPECT_TRUE(i.contains(0.2));
+  EXPECT_FALSE(i.contains(0.4));
+  EXPECT_TRUE(i.contains(0.399999));
+}
+
+TEST(HalfOpenInterval, EmptyWhenDegenerate) {
+  EXPECT_TRUE((HalfOpenInterval{0.3, 0.3}).empty());
+  EXPECT_TRUE((HalfOpenInterval{0.4, 0.3}).empty());
+}
+
+TEST(Intersects, HalfOpenVsClosed) {
+  const HalfOpenInterval cell{0.2, 0.4};
+  EXPECT_TRUE(intersects(cell, ClosedInterval{0.25, 0.3}));
+  EXPECT_TRUE(intersects(cell, ClosedInterval{0.0, 0.2}));   // touch at lo
+  EXPECT_FALSE(intersects(cell, ClosedInterval{0.4, 0.5}));  // hi excluded
+  EXPECT_TRUE(intersects(cell, ClosedInterval{0.39, 0.5}));
+  EXPECT_FALSE(intersects(cell, ClosedInterval{0.5, 0.6}));
+  EXPECT_FALSE(intersects(cell, ClosedInterval{0.0, 0.1}));
+}
+
+TEST(Intersects, EmptyNeverIntersects) {
+  const HalfOpenInterval cell{0.2, 0.4};
+  EXPECT_FALSE(intersects(cell, ClosedInterval{0.3, 0.25}));
+  EXPECT_FALSE(intersects(HalfOpenInterval{0.3, 0.3}, ClosedInterval{0, 1}));
+}
+
+TEST(Intersects, ClosedVsClosed) {
+  EXPECT_TRUE(intersects(ClosedInterval{0, 0.5}, ClosedInterval{0.5, 1}));
+  EXPECT_FALSE(intersects(ClosedInterval{0, 0.4}, ClosedInterval{0.5, 1}));
+}
+
+TEST(Intersects, HalfOpenVsHalfOpen) {
+  EXPECT_FALSE(intersects(HalfOpenInterval{0, 0.5}, HalfOpenInterval{0.5, 1}));
+  EXPECT_TRUE(intersects(HalfOpenInterval{0, 0.6}, HalfOpenInterval{0.5, 1}));
+}
+
+TEST(Intersect, ClosedIntersection) {
+  const auto r = intersect(ClosedInterval{0.2, 0.6}, ClosedInterval{0.4, 0.9});
+  EXPECT_DOUBLE_EQ(r.lo, 0.4);
+  EXPECT_DOUBLE_EQ(r.hi, 0.6);
+  EXPECT_TRUE(
+      intersect(ClosedInterval{0.0, 0.1}, ClosedInterval{0.2, 0.3}).empty());
+}
+
+}  // namespace
+}  // namespace poolnet

@@ -1,0 +1,115 @@
+// Lossy links with ARQ accounting: the substrate's unreliable-channel
+// model. Delivery stays guaranteed (persistent retransmission); the
+// LEDGER carries the cost.
+#include <gtest/gtest.h>
+
+#include "bench_support/experiment.h"
+#include "bench_support/testbed.h"
+#include "common/error.h"
+#include "net/deployment.h"
+#include "query/query_gen.h"
+
+namespace poolnet::net {
+namespace {
+
+Network line_net(LinkLossModel loss, std::uint64_t seed = 1) {
+  std::vector<Point> pts{{0, 0}, {30, 0}, {60, 0}, {90, 0}};
+  return Network(pts, Rect{0, 0, 100, 10}, 40.0, {}, {}, loss, seed);
+}
+
+TEST(LinkLoss, ZeroLossMatchesIdealAccounting) {
+  auto net = line_net({.loss_probability = 0.0});
+  net.transmit_path({0, 1, 2, 3}, MessageKind::Query, 64);
+  EXPECT_EQ(net.traffic().total, 3u);
+  EXPECT_EQ(net.node(0).tx_count, 1u);
+}
+
+TEST(LinkLoss, RetransmissionsInflateMessageCount) {
+  auto net = line_net({.loss_probability = 0.5});
+  for (int i = 0; i < 2000; ++i)
+    net.transmit(0, 1, MessageKind::Query, 64);
+  // Geometric attempts with p = 0.5: mean ~2 per hop.
+  const double per_hop =
+      static_cast<double>(net.traffic().total) / 2000.0;
+  EXPECT_GT(per_hop, 1.8);
+  EXPECT_LT(per_hop, 2.2);
+  // Receptions are charged once per delivered frame.
+  EXPECT_EQ(net.node(1).rx_count, 2000u);
+  EXPECT_EQ(net.node(0).tx_count, net.traffic().total);
+}
+
+TEST(LinkLoss, AttemptBudgetBoundsWorstCase) {
+  LinkLossModel loss{.loss_probability = 0.9, .max_attempts = 4};
+  auto net = line_net(loss);
+  for (int i = 0; i < 500; ++i) net.transmit(0, 1, MessageKind::Query, 64);
+  EXPECT_LE(net.traffic().total, 4u * 500u);
+  EXPECT_EQ(net.node(1).rx_count, 500u);  // delivery still guaranteed
+}
+
+TEST(LinkLoss, DeterministicPerSeed) {
+  auto a = line_net({.loss_probability = 0.3}, 7);
+  auto b = line_net({.loss_probability = 0.3}, 7);
+  for (int i = 0; i < 200; ++i) {
+    a.transmit(1, 2, MessageKind::Reply, 64);
+    b.transmit(1, 2, MessageKind::Reply, 64);
+  }
+  EXPECT_EQ(a.traffic().total, b.traffic().total);
+}
+
+TEST(LinkLoss, EnergyScalesWithAttempts) {
+  auto ideal = line_net({.loss_probability = 0.0});
+  auto lossy = line_net({.loss_probability = 0.5});
+  for (int i = 0; i < 500; ++i) {
+    ideal.transmit(0, 1, MessageKind::Query, 256);
+    lossy.transmit(0, 1, MessageKind::Query, 256);
+  }
+  EXPECT_GT(lossy.traffic().energy_j, 1.5 * ideal.traffic().energy_j);
+}
+
+TEST(LinkLoss, InvalidConfigsRejected) {
+  EXPECT_THROW(line_net({.loss_probability = 1.0}), poolnet::ConfigError);
+  EXPECT_THROW(line_net({.loss_probability = -0.1}), poolnet::ConfigError);
+  EXPECT_THROW(line_net({.loss_probability = 0.1, .max_attempts = 0}),
+               poolnet::ConfigError);
+}
+
+TEST(LinkLoss, SystemsStayExactOverLossyChannels) {
+  benchsup::TestbedConfig config;
+  config.nodes = 200;
+  config.seed = 9;
+  config.loss.loss_probability = 0.3;
+  benchsup::Testbed tb(config);
+  tb.insert_workload();
+  query::QueryGenerator qgen({.dims = 3}, 10);
+  const auto run = benchsup::run_paired_queries(
+      tb, benchsup::generate_queries(15, [&] { return qgen.exact_range(); }),
+      11);
+  EXPECT_EQ(run.pool_mismatches, 0u);
+  EXPECT_EQ(run.dim_mismatches, 0u);
+}
+
+TEST(LinkLoss, LossyChannelsCostMoreButPreserveOrdering) {
+  benchsup::TestbedConfig ideal_cfg, lossy_cfg;
+  ideal_cfg.nodes = lossy_cfg.nodes = 300;
+  ideal_cfg.seed = lossy_cfg.seed = 12;
+  lossy_cfg.loss.loss_probability = 0.3;
+  benchsup::Testbed ideal(ideal_cfg), lossy(lossy_cfg);
+  ideal.insert_workload();
+  lossy.insert_workload();
+  query::QueryGenerator qa({.dims = 3}, 13), qb({.dims = 3}, 13);
+  const auto ideal_run = benchsup::run_paired_queries(
+      ideal, benchsup::generate_queries(25, [&] { return qa.partial_range(1); }),
+      14);
+  const auto lossy_run = benchsup::run_paired_queries(
+      lossy, benchsup::generate_queries(25, [&] { return qb.partial_range(1); }),
+      14);
+  // ~1/(1-p) = 1.43x inflation for both systems; ordering unchanged.
+  EXPECT_GT(lossy_run.pool.messages.mean(),
+            1.2 * ideal_run.pool.messages.mean());
+  EXPECT_GT(lossy_run.dim.messages.mean(),
+            1.2 * ideal_run.dim.messages.mean());
+  EXPECT_LT(lossy_run.pool.messages.mean(), lossy_run.dim.messages.mean());
+}
+
+}  // namespace
+}  // namespace poolnet::net

@@ -1,0 +1,293 @@
+#include "core/pool_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace poolnet::core {
+namespace {
+
+using storage::Event;
+using storage::RangeQuery;
+
+Event make_event(std::initializer_list<double> vals) {
+  Event e;
+  e.id = 1;
+  e.source = 0;
+  for (const double v : vals) e.values.push_back(v);
+  return e;
+}
+
+// --- Equation 1 -----------------------------------------------------------
+
+TEST(Equation1, HorizontalRangesTileUnitInterval) {
+  for (const std::uint32_t l : {1u, 2u, 5u, 10u, 16u}) {
+    double expected_lo = 0.0;
+    for (std::uint32_t ho = 0; ho < l; ++ho) {
+      const auto r = range_h(ho, l);
+      EXPECT_DOUBLE_EQ(r.lo, expected_lo);
+      expected_lo = r.hi;
+    }
+    EXPECT_DOUBLE_EQ(expected_lo, 1.0);
+  }
+}
+
+TEST(Equation1, VerticalRangesTileColumnRange) {
+  // Per column ho, the l vertical ranges tile [0, (HO+1)/l).
+  const std::uint32_t l = 5;
+  for (std::uint32_t ho = 0; ho < l; ++ho) {
+    double expected_lo = 0.0;
+    for (std::uint32_t vo = 0; vo < l; ++vo) {
+      const auto r = range_v(ho, vo, l);
+      EXPECT_NEAR(r.lo, expected_lo, 1e-12);
+      expected_lo = r.hi;
+    }
+    EXPECT_NEAR(expected_lo, static_cast<double>(ho + 1) / l, 1e-12);
+  }
+}
+
+TEST(Equation1, PaperFigure3SecondColumn) {
+  // Figure 3, second column (HO=1) of an l=5 pool: horizontal [0.2, 0.4),
+  // vertical ranges [0,.08) [.08,.16) [.16,.24) [.24,.32) [.32,.4).
+  EXPECT_EQ(range_h(1, 5), (HalfOpenInterval{0.2, 0.4}));
+  EXPECT_EQ(range_v(1, 0, 5), (HalfOpenInterval{0.0, 0.08}));
+  EXPECT_EQ(range_v(1, 1, 5), (HalfOpenInterval{0.08, 0.16}));
+  EXPECT_EQ(range_v(1, 2, 5), (HalfOpenInterval{0.16, 0.24}));
+  EXPECT_EQ(range_v(1, 3, 5), (HalfOpenInterval{0.24, 0.32}));
+  EXPECT_EQ(range_v(1, 4, 5), (HalfOpenInterval{0.32, 0.4}));
+}
+
+TEST(Equation1, OutOfRangeOffsetsAssert) {
+  EXPECT_THROW(range_h(5, 5), AssertionError);
+  EXPECT_THROW(range_v(0, 5, 5), AssertionError);
+  EXPECT_THROW(range_h(0, 0), AssertionError);
+}
+
+// --- Theorem 3.1 -----------------------------------------------------------
+
+TEST(Theorem31, PaperWorkedExample) {
+  // E = <0.4, 0.3, 0.1>, l = 5: stored at HO=2, VO=2 (C(3,4) of a pool
+  // pivoted at C(1,2) in the paper's figure).
+  const auto off = cell_for_values(0.4, 0.3, 5);
+  EXPECT_EQ(off, (CellOffset{2, 2}));
+}
+
+TEST(Theorem31, ValuesLandInOwnCellRanges) {
+  // Consistency with Equation 1 — the invariant query resolving relies
+  // on: the computed cell's half-open ranges contain (v_d1, v_d2), with
+  // the only exception being values pinned at the very top of the space
+  // (clamped into the last column/row).
+  Rng rng(31);
+  for (const std::uint32_t l : {2u, 5u, 10u, 16u}) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      double a = rng.uniform(), b = rng.uniform();
+      if (rng.bernoulli(0.2)) {  // boundary-heavy draws
+        a = static_cast<double>(rng.uniform_int(0, l)) / l;
+        b = a * static_cast<double>(rng.uniform_int(0, 4)) / 4.0;
+      }
+      if (a < b) std::swap(a, b);  // a = greatest, b = second greatest
+      const auto off = cell_for_values(a, b, l);
+      EXPECT_TRUE(range_h(off.ho, l).contains(a) ||
+                  (off.ho == l - 1 && a >= range_h(off.ho, l).hi))
+          << "l=" << l << " a=" << a;
+      EXPECT_TRUE(range_v(off.ho, off.vo, l).contains(b) ||
+                  (off.vo == l - 1 && b >= range_v(off.ho, off.vo, l).hi))
+          << "l=" << l << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Theorem31, BoundaryValues) {
+  EXPECT_EQ(cell_for_values(0.0, 0.0, 10), (CellOffset{0, 0}));
+  EXPECT_EQ(cell_for_values(1.0, 1.0, 10), (CellOffset{9, 9}));
+  EXPECT_EQ(cell_for_values(1.0, 0.0, 10), (CellOffset{9, 0}));
+  // Exactly on a column boundary goes to the upper column.
+  EXPECT_EQ(cell_for_values(0.2, 0.1, 5).ho, 1u);
+}
+
+TEST(Theorem31, SecondValueAboveFirstAsserts) {
+  EXPECT_THROW(cell_for_values(0.3, 0.4, 5), AssertionError);
+}
+
+TEST(Theorem31, RejectsZeroSide) {
+  EXPECT_THROW(cell_for_values(0.5, 0.4, 0), poolnet::ConfigError);
+}
+
+// --- Theorem 3.2 -----------------------------------------------------------
+
+TEST(Theorem32, PaperExample31DerivedRanges) {
+  // Q = <[0.2,0.3], [0.25,0.35], [0.21,0.24]>.
+  const RangeQuery q({{0.2, 0.3}, {0.25, 0.35}, {0.21, 0.24}});
+  const auto r1 = derived_ranges(q, 0);
+  EXPECT_DOUBLE_EQ(r1.rh.lo, 0.25);
+  EXPECT_DOUBLE_EQ(r1.rh.hi, 0.30);
+  EXPECT_DOUBLE_EQ(r1.rv.lo, 0.25);
+  EXPECT_DOUBLE_EQ(r1.rv.hi, 0.30);
+
+  const auto r2 = derived_ranges(q, 1);
+  EXPECT_DOUBLE_EQ(r2.rh.lo, 0.25);
+  EXPECT_DOUBLE_EQ(r2.rh.hi, 0.35);
+  EXPECT_DOUBLE_EQ(r2.rv.lo, 0.21);
+  EXPECT_DOUBLE_EQ(r2.rv.hi, 0.30);
+
+  // P3's ranges are empty: [0.25, 0.24].
+  const auto r3 = derived_ranges(q, 2);
+  EXPECT_TRUE(r3.rh.empty());
+  EXPECT_DOUBLE_EQ(r3.rh.lo, 0.25);
+  EXPECT_DOUBLE_EQ(r3.rh.hi, 0.24);
+}
+
+TEST(Theorem32, PaperExample32PartialMatch) {
+  // Q = <*, *, [0.8, 0.84]>.
+  RangeQuery::Bounds b{{0, 0}, {0, 0}, {0.8, 0.84}};
+  FixedVec<bool, storage::kMaxDims> spec{false, false, true};
+  const RangeQuery q(b, spec);
+
+  const auto r1 = derived_ranges(q, 0);
+  EXPECT_EQ(r1.rh, (ClosedInterval{0.8, 1.0}));
+  EXPECT_EQ(r1.rv, (ClosedInterval{0.8, 1.0}));
+  const auto r2 = derived_ranges(q, 1);
+  EXPECT_EQ(r2.rh, (ClosedInterval{0.8, 1.0}));
+  EXPECT_EQ(r2.rv, (ClosedInterval{0.8, 1.0}));
+  const auto r3 = derived_ranges(q, 2);
+  EXPECT_EQ(r3.rh, (ClosedInterval{0.8, 0.84}));
+  EXPECT_EQ(r3.rv, (ClosedInterval{0.0, 0.84}));
+}
+
+// --- Algorithm 2 ------------------------------------------------------------
+
+TEST(Algorithm2, PaperExample31RelevantCells) {
+  const RangeQuery q({{0.2, 0.3}, {0.25, 0.35}, {0.21, 0.24}});
+  // P1: exactly offset (1,3) — the paper's C(2,5) from pivot C(1,2).
+  const auto c1 = relevant_cells(q, 0, 5);
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0], (CellOffset{1, 3}));
+  // P2: offsets (1,2) and (1,3) — C(3,12), C(3,13) from pivot C(2,10).
+  const auto c2 = relevant_cells(q, 1, 5);
+  ASSERT_EQ(c2.size(), 2u);
+  EXPECT_EQ(c2[0], (CellOffset{1, 2}));
+  EXPECT_EQ(c2[1], (CellOffset{1, 3}));
+  // P3: none.
+  EXPECT_TRUE(relevant_cells(q, 2, 5).empty());
+}
+
+TEST(Algorithm2, PaperExample32RelevantCells) {
+  RangeQuery::Bounds b{{0, 0}, {0, 0}, {0.8, 0.84}};
+  FixedVec<bool, storage::kMaxDims> spec{false, false, true};
+  const RangeQuery q(b, spec);
+  // P1 and P2: single top-corner cell (4,4).
+  const auto c1 = relevant_cells(q, 0, 5);
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0], (CellOffset{4, 4}));
+  const auto c2 = relevant_cells(q, 1, 5);
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_EQ(c2[0], (CellOffset{4, 4}));
+  // P3: the whole last column, C(11,3)..C(11,7) from pivot C(7,3).
+  const auto c3 = relevant_cells(q, 2, 5);
+  ASSERT_EQ(c3.size(), 5u);
+  for (std::uint32_t vo = 0; vo < 5; ++vo)
+    EXPECT_EQ(c3[vo], (CellOffset{4, vo}));
+}
+
+class Theorem32Soundness : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Theorem32Soundness, MatchingEventsAlwaysInRelevantCells) {
+  // The pruning must never lose answers: for every event E matching Q and
+  // every admissible storage choice of E (including ties), E's cell is in
+  // the relevant set of its pool.
+  const std::uint32_t l = GetParam();
+  Rng rng(320 + l);
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Random event and a query grown around it so it always matches.
+    const std::size_t dims = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    Event e;
+    e.id = 1;
+    e.source = 0;
+    RangeQuery::Bounds bounds;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double v = rng.uniform();
+      e.values.push_back(v);
+      const double lo = std::max(0.0, v - rng.uniform(0, 0.3));
+      const double hi = std::min(1.0, v + rng.uniform(0, 0.3));
+      bounds.push_back({lo, hi});
+    }
+    const RangeQuery q(bounds);
+    ASSERT_TRUE(q.matches(e));
+
+    for (const std::size_t d1 : e.max_dims()) {
+      const Placement pl = placement_for(e, d1);
+      const CellOffset cell = cell_for_values(pl.v_d1, pl.v_d2, l);
+      const auto relevant = relevant_cells(q, d1, l);
+      EXPECT_TRUE(std::find(relevant.begin(), relevant.end(), cell) !=
+                  relevant.end())
+          << "lost event " << e << " for query " << q << " in pool " << d1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SideLengths, Theorem32Soundness,
+                         ::testing::Values(2, 5, 10, 16));
+
+TEST(Algorithm2, RelevantCellsMatchRangeIntersection) {
+  // The returned set is exactly the cells whose ranges intersect R_H/R_V.
+  Rng rng(99);
+  const std::uint32_t l = 10;
+  for (int trial = 0; trial < 200; ++trial) {
+    RangeQuery::Bounds bounds;
+    for (int d = 0; d < 3; ++d) {
+      const double s = rng.uniform(0, 0.5);
+      const double lo = rng.uniform(0, 1 - s);
+      bounds.push_back({lo, lo + s});
+    }
+    const RangeQuery q(bounds);
+    for (std::size_t pool = 0; pool < 3; ++pool) {
+      const auto got = relevant_cells(q, pool, l);
+      const auto r = derived_ranges(q, pool);
+      std::vector<CellOffset> want;
+      if (!r.rh.empty() && !r.rv.empty()) {
+        for (std::uint32_t ho = 0; ho < l; ++ho) {
+          for (std::uint32_t vo = 0; vo < l; ++vo) {
+            if (intersects(range_h(ho, l), r.rh) &&
+                intersects(range_v(ho, vo, l), r.rv))
+              want.push_back({ho, vo});
+          }
+        }
+      }
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+    }
+  }
+}
+
+TEST(Algorithm2, PruningBeatsFullScanOnSelectiveQueries) {
+  // A narrow query touches a small fraction of the l^2 cells per pool.
+  const RangeQuery q({{0.72, 0.74}, {0.3, 0.32}, {0.1, 0.12}});
+  std::size_t total = 0;
+  for (std::size_t pool = 0; pool < 3; ++pool)
+    total += relevant_cells(q, pool, 10).size();
+  EXPECT_LT(total, 10u);  // out of 300 cells
+}
+
+TEST(PlacementFor, TieUsesRemainingMaximum) {
+  // <0.4, 0.4, 0.2>: placing in pool 0 uses v_d2 = 0.4 (dim 1's value).
+  const auto e = make_event({0.4, 0.4, 0.2});
+  const auto p0 = placement_for(e, 0);
+  EXPECT_DOUBLE_EQ(p0.v_d1, 0.4);
+  EXPECT_DOUBLE_EQ(p0.v_d2, 0.4);
+  const auto p1 = placement_for(e, 1);
+  EXPECT_DOUBLE_EQ(p1.v_d1, 0.4);
+  EXPECT_DOUBLE_EQ(p1.v_d2, 0.4);
+}
+
+TEST(PlacementFor, SingleDimensionHasZeroSecondValue) {
+  const auto e = make_event({0.7});
+  const auto p = placement_for(e, 0);
+  EXPECT_DOUBLE_EQ(p.v_d1, 0.7);
+  EXPECT_DOUBLE_EQ(p.v_d2, 0.0);
+}
+
+}  // namespace
+}  // namespace poolnet::core

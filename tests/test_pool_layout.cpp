@@ -1,0 +1,103 @@
+#include "core/pool_layout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/deployment.h"
+
+namespace poolnet::core {
+namespace {
+
+using net::Network;
+
+Network make_net(double field_side, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  const Rect field{0, 0, field_side, field_side};
+  auto pts = net::deploy_uniform(100, field, rng);
+  return Network(std::move(pts), field, 40.0);
+}
+
+TEST(PoolLayout, ExplicitLayoutValidatesFit) {
+  // 20x20 grid (100 m field, 5 m cells), pools of side 5.
+  EXPECT_NO_THROW(PoolLayout({{0, 0}, {15, 15}}, 5, 20, 20));
+  EXPECT_THROW(PoolLayout({{16, 0}}, 5, 20, 20), poolnet::ConfigError);
+  EXPECT_THROW(PoolLayout({{0, 16}}, 5, 20, 20), poolnet::ConfigError);
+  EXPECT_THROW(PoolLayout({{-1, 0}}, 5, 20, 20), poolnet::ConfigError);
+  EXPECT_THROW(PoolLayout({}, 5, 20, 20), poolnet::ConfigError);
+  EXPECT_THROW(PoolLayout({{0, 0}}, 0, 20, 20), poolnet::ConfigError);
+}
+
+TEST(PoolLayout, CellAddsOffsetToPivot) {
+  const PoolLayout layout({{1, 2}, {2, 10}, {7, 3}}, 5, 20, 20);
+  // The paper's Figure 2/4 coordinates: C(2,5) is offset (1,3) of P1.
+  EXPECT_EQ(layout.cell(0, {1, 3}), (CellCoord{2, 5}));
+  EXPECT_EQ(layout.cell(1, {1, 2}), (CellCoord{3, 12}));
+  EXPECT_EQ(layout.cell(2, {4, 0}), (CellCoord{11, 3}));
+  EXPECT_EQ(layout.pool_count(), 3u);
+  EXPECT_EQ(layout.side(), 5u);
+}
+
+TEST(PoolLayout, OffsetOutOfRangeAsserts) {
+  const PoolLayout layout({{0, 0}}, 5, 20, 20);
+  EXPECT_THROW(layout.cell(0, {5, 0}), poolnet::AssertionError);
+  EXPECT_THROW(layout.pivot(1), poolnet::AssertionError);
+}
+
+TEST(PoolLayout, RandomLayoutFitsGrid) {
+  const auto network = make_net(400.0);
+  const Grid grid(network, 5.0);  // 80x80 cells
+  Rng rng(5);
+  const auto layout = PoolLayout::random(grid, 3, 10, rng);
+  EXPECT_EQ(layout.pool_count(), 3u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    const auto pc = layout.pivot(p);
+    EXPECT_GE(pc.x, 0);
+    EXPECT_GE(pc.y, 0);
+    EXPECT_LE(pc.x + 10, grid.cols());
+    EXPECT_LE(pc.y + 10, grid.rows());
+  }
+}
+
+TEST(PoolLayout, RandomLayoutPrefersDisjointPools) {
+  const auto network = make_net(400.0);
+  const Grid grid(network, 5.0);
+  Rng rng(6);
+  const auto layout = PoolLayout::random(grid, 3, 10, rng);
+  EXPECT_FALSE(layout.has_overlap());
+}
+
+TEST(PoolLayout, RandomLayoutDeterministicPerSeed) {
+  const auto network = make_net(400.0);
+  const Grid grid(network, 5.0);
+  Rng a(9), b(9);
+  const auto la = PoolLayout::random(grid, 3, 10, a);
+  const auto lb = PoolLayout::random(grid, 3, 10, b);
+  for (std::size_t p = 0; p < 3; ++p) EXPECT_EQ(la.pivot(p), lb.pivot(p));
+}
+
+TEST(PoolLayout, RandomLayoutRejectsOversizedPool) {
+  const auto network = make_net(40.0);  // 8x8 grid
+  const Grid grid(network, 5.0);
+  Rng rng(7);
+  EXPECT_THROW(PoolLayout::random(grid, 3, 10, rng), poolnet::ConfigError);
+}
+
+TEST(PoolLayout, CrowdedGridFallsBackToOverlap) {
+  // 8x8 grid, three 5-cell pools cannot be pairwise disjoint... they can
+  // be tight; use pools of 7 cells which certainly overlap.
+  const auto network = make_net(40.0);
+  const Grid grid(network, 5.0);
+  Rng rng(8);
+  const auto layout = PoolLayout::random(grid, 3, 7, rng);
+  EXPECT_EQ(layout.pool_count(), 3u);
+  EXPECT_TRUE(layout.has_overlap());
+}
+
+TEST(PoolLayout, HasOverlapDetection) {
+  EXPECT_TRUE(PoolLayout({{0, 0}, {4, 4}}, 5, 20, 20).has_overlap());
+  EXPECT_FALSE(PoolLayout({{0, 0}, {5, 5}}, 5, 20, 20).has_overlap());
+  EXPECT_FALSE(PoolLayout({{0, 0}, {5, 0}}, 5, 20, 20).has_overlap());
+}
+
+}  // namespace
+}  // namespace poolnet::core

@@ -1,0 +1,129 @@
+#include "query/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace poolnet::query {
+namespace {
+
+using storage::QueryType;
+
+TEST(QueryGenerator, ExactRangeBoundsValid) {
+  QueryGenerator gen({.dims = 3}, 1);
+  for (int i = 0; i < 500; ++i) {
+    const auto q = gen.exact_range();
+    EXPECT_EQ(q.dims(), 3u);
+    EXPECT_EQ(q.partial_count(), 0u);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_GE(q.bound(d).lo, 0.0);
+      EXPECT_LE(q.bound(d).hi, 1.0);
+      EXPECT_LE(q.bound(d).lo, q.bound(d).hi);
+    }
+  }
+}
+
+TEST(QueryGenerator, UniformSizesSpreadWide) {
+  QueryGenerator gen({.dims = 3, .dist = RangeSizeDistribution::Uniform}, 2);
+  double mean = 0.0;
+  constexpr int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    const auto q = gen.exact_range();
+    mean += q.bound(0).length();
+  }
+  EXPECT_NEAR(mean / kN, 0.5, 0.03);
+}
+
+TEST(QueryGenerator, ExponentialSizesSkewSmall) {
+  QueryGenerator gen(
+      {.dims = 3, .dist = RangeSizeDistribution::Exponential, .exp_mean = 0.1},
+      3);
+  double mean = 0.0;
+  constexpr int kN = 3000;
+  for (int i = 0; i < kN; ++i) mean += gen.exact_range().bound(0).length();
+  EXPECT_NEAR(mean / kN, 0.1, 0.02);
+}
+
+TEST(QueryGenerator, PartialRangeHasExactlyMUnspecified) {
+  QueryGenerator gen({.dims = 3}, 4);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(gen.partial_range(1).partial_count(), 1u);
+    EXPECT_EQ(gen.partial_range(2).partial_count(), 2u);
+  }
+}
+
+TEST(QueryGenerator, PartialRangeSpecifiedSizesCapped) {
+  QueryGenerator gen({.dims = 3}, 5);
+  for (int i = 0; i < 500; ++i) {
+    const auto q = gen.partial_range(1);
+    for (std::size_t d = 0; d < 3; ++d) {
+      if (q.specified(d)) {
+        EXPECT_LE(q.bound(d).length(), 0.25);
+      } else {
+        EXPECT_EQ(q.bound(d), (ClosedInterval{0.0, 1.0}));
+      }
+    }
+    EXPECT_EQ(q.type(), QueryType::PartialMatchRange);
+  }
+}
+
+TEST(QueryGenerator, PartialRangeChoosesAllDimensions) {
+  QueryGenerator gen({.dims = 3}, 6);
+  bool unspec_seen[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    const auto q = gen.partial_range(1);
+    for (std::size_t d = 0; d < 3; ++d)
+      if (!q.specified(d)) unspec_seen[d] = true;
+  }
+  EXPECT_TRUE(unspec_seen[0] && unspec_seen[1] && unspec_seen[2]);
+}
+
+TEST(QueryGenerator, PartialAtPinsTheDimension) {
+  QueryGenerator gen({.dims = 3}, 7);
+  for (std::size_t n = 0; n < 3; ++n) {
+    for (int i = 0; i < 50; ++i) {
+      const auto q = gen.partial_at(n);
+      EXPECT_FALSE(q.specified(n));
+      EXPECT_EQ(q.partial_count(), 1u);
+    }
+  }
+}
+
+TEST(QueryGenerator, ExactPointHasDegenerateBounds) {
+  QueryGenerator gen({.dims = 3}, 8);
+  for (int i = 0; i < 100; ++i) {
+    const auto q = gen.exact_point();
+    EXPECT_EQ(q.type(), QueryType::ExactMatchPoint);
+    for (std::size_t d = 0; d < 3; ++d)
+      EXPECT_DOUBLE_EQ(q.bound(d).lo, q.bound(d).hi);
+  }
+}
+
+TEST(QueryGenerator, PartialPointClassification) {
+  QueryGenerator gen({.dims = 3}, 9);
+  const auto q = gen.partial_point(1);
+  EXPECT_EQ(q.type(), QueryType::PartialMatchPoint);
+}
+
+TEST(QueryGenerator, DeterministicPerSeed) {
+  QueryGenerator a({.dims = 3}, 10), b({.dims = 3}, 10);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.exact_range(), b.exact_range());
+    EXPECT_EQ(a.partial_range(1), b.partial_range(1));
+  }
+}
+
+TEST(QueryGenerator, RejectsBadConfigs) {
+  EXPECT_THROW(QueryGenerator({.dims = 0}, 1), poolnet::ConfigError);
+  EXPECT_THROW(QueryGenerator({.dims = 3, .exp_mean = 0.0}, 1),
+               poolnet::ConfigError);
+  EXPECT_THROW(QueryGenerator({.dims = 3, .partial_range_max = 0.0}, 1),
+               poolnet::ConfigError);
+  QueryGenerator gen({.dims = 3}, 1);
+  EXPECT_THROW(gen.partial_range(0), poolnet::ConfigError);
+  EXPECT_THROW(gen.partial_range(3), poolnet::ConfigError);
+  EXPECT_THROW(gen.partial_at(3), poolnet::ConfigError);
+}
+
+}  // namespace
+}  // namespace poolnet::query

@@ -1,0 +1,112 @@
+#include "storage/range_query.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace poolnet::storage {
+namespace {
+
+Event make_event(std::initializer_list<double> vals) {
+  Event e;
+  static std::uint64_t next_id = 1;
+  e.id = next_id++;
+  e.source = 0;
+  for (const double v : vals) e.values.push_back(v);
+  return e;
+}
+
+TEST(RangeQuery, ExactMatchRangeClassification) {
+  const RangeQuery q({{0.2, 0.3}, {0.25, 0.35}, {0.21, 0.24}});
+  EXPECT_EQ(q.type(), QueryType::ExactMatchRange);
+  EXPECT_EQ(q.dims(), 3u);
+  EXPECT_EQ(q.partial_count(), 0u);
+}
+
+TEST(RangeQuery, ExactMatchPointClassification) {
+  const RangeQuery q({{0.5, 0.5}, {0.7, 0.7}});
+  EXPECT_EQ(q.type(), QueryType::ExactMatchPoint);
+}
+
+TEST(RangeQuery, PartialMatchRewritesToFullRange) {
+  // The paper's <*, *, [0.8, 0.84]> becomes <[0,1], [0,1], [0.8,0.84]>.
+  RangeQuery::Bounds b{{0, 0}, {0, 0}, {0.8, 0.84}};
+  FixedVec<bool, kMaxDims> spec{false, false, true};
+  const RangeQuery q(b, spec);
+  EXPECT_EQ(q.type(), QueryType::PartialMatchRange);
+  EXPECT_EQ(q.bound(0), (ClosedInterval{0.0, 1.0}));
+  EXPECT_EQ(q.bound(1), (ClosedInterval{0.0, 1.0}));
+  EXPECT_EQ(q.bound(2), (ClosedInterval{0.8, 0.84}));
+  EXPECT_EQ(q.partial_count(), 2u);
+  EXPECT_FALSE(q.specified(0));
+  EXPECT_TRUE(q.specified(2));
+}
+
+TEST(RangeQuery, PartialMatchPointClassification) {
+  RangeQuery::Bounds b{{0.5, 0.5}, {0, 0}};
+  FixedVec<bool, kMaxDims> spec{true, false};
+  const RangeQuery q(b, spec);
+  EXPECT_EQ(q.type(), QueryType::PartialMatchPoint);
+}
+
+TEST(RangeQuery, MatchesIsClosedOnBothEnds) {
+  const RangeQuery q({{0.2, 0.4}, {0.0, 1.0}});
+  EXPECT_TRUE(q.matches(make_event({0.2, 0.5})));
+  EXPECT_TRUE(q.matches(make_event({0.4, 0.0})));
+  EXPECT_FALSE(q.matches(make_event({0.41, 0.5})));
+  EXPECT_FALSE(q.matches(make_event({0.19, 0.5})));
+}
+
+TEST(RangeQuery, MatchesRequiresAllDimensions) {
+  const RangeQuery q({{0.2, 0.4}, {0.6, 0.8}, {0.0, 0.1}});
+  EXPECT_TRUE(q.matches(make_event({0.3, 0.7, 0.05})));
+  EXPECT_FALSE(q.matches(make_event({0.3, 0.7, 0.2})));
+  EXPECT_FALSE(q.matches(make_event({0.3, 0.7})));  // dimensionality mismatch
+}
+
+TEST(RangeQuery, UnspecifiedDimensionAlwaysMatches) {
+  RangeQuery::Bounds b{{0, 0}, {0.3, 0.5}};
+  FixedVec<bool, kMaxDims> spec{false, true};
+  const RangeQuery q(b, spec);
+  EXPECT_TRUE(q.matches(make_event({0.99, 0.4})));
+  EXPECT_TRUE(q.matches(make_event({0.0, 0.4})));
+  EXPECT_FALSE(q.matches(make_event({0.5, 0.6})));
+}
+
+TEST(RangeQuery, VolumeIsProductOfLengths) {
+  const RangeQuery q({{0.0, 0.5}, {0.25, 0.75}});
+  EXPECT_DOUBLE_EQ(q.volume(), 0.25);
+}
+
+TEST(RangeQuery, RejectsInvalidBounds) {
+  EXPECT_THROW(RangeQuery({{0.5, 0.2}}), poolnet::ConfigError);     // reversed
+  EXPECT_THROW(RangeQuery({{-0.1, 0.2}}), poolnet::ConfigError);    // below 0
+  EXPECT_THROW(RangeQuery({{0.5, 1.2}}), poolnet::ConfigError);     // above 1
+  EXPECT_THROW(RangeQuery(RangeQuery::Bounds{}), poolnet::ConfigError);
+}
+
+TEST(RangeQuery, RejectsMismatchedMask) {
+  RangeQuery::Bounds b{{0.1, 0.2}, {0.1, 0.2}};
+  FixedVec<bool, kMaxDims> spec{true};
+  EXPECT_THROW(RangeQuery(b, spec), poolnet::ConfigError);
+}
+
+TEST(RangeQuery, StreamFormatShowsDontCares) {
+  RangeQuery::Bounds b{{0, 0}, {0.8, 0.84}};
+  FixedVec<bool, kMaxDims> spec{false, true};
+  std::ostringstream oss;
+  oss << RangeQuery(b, spec);
+  EXPECT_EQ(oss.str(), "<*, [0.8, 0.84]>");
+}
+
+TEST(QueryTypeNames, AllDistinct) {
+  EXPECT_STRNE(to_string(QueryType::ExactMatchPoint),
+               to_string(QueryType::PartialMatchPoint));
+  EXPECT_STRNE(to_string(QueryType::ExactMatchRange),
+               to_string(QueryType::PartialMatchRange));
+}
+
+}  // namespace
+}  // namespace poolnet::storage

@@ -1,0 +1,156 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace poolnet {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  // The child must differ from the parent's continuation.
+  Rng b(7);
+  (void)b.split();
+  EXPECT_NE(child(), a());
+}
+
+TEST(Rng, UniformWithinUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(42);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 2);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, ExponentialTruncatedStaysUnderCap) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.exponential_truncated(0.1, 1.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialTruncatedMeanApproximatesParameter) {
+  // With mean << cap the truncation barely matters.
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential_truncated(0.1, 1.0);
+  EXPECT_NEAR(sum / kN, 0.1, 0.005);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(2.0, 0.5);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.01);
+  EXPECT_NEAR(var, 0.25, 0.01);
+}
+
+TEST(Rng, ZipfWithinRangeAndSkewed) {
+  Rng rng(17);
+  std::int64_t ones = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto z = rng.zipf(100, 1.2);
+    EXPECT_GE(z, 1);
+    EXPECT_LE(z, 100);
+    if (z == 1) ++ones;
+  }
+  // Rank 1 must dominate any uniform share (1% of draws).
+  EXPECT_GT(ones, kN / 20);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(23);
+  const auto p = rng.permutation(50);
+  ASSERT_EQ(p.size(), 50u);
+  auto sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(23);
+  const auto p = rng.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (p[i] == i) ++fixed;
+  EXPECT_LT(fixed, 10u);  // identity permutation would be 50
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace poolnet

@@ -1,0 +1,94 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace poolnet::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunAdvancesClockToLastEvent) {
+  Simulator sim;
+  sim.schedule_in(2.0, [] {});
+  sim.schedule_in(5.0, [] {});
+  const auto n = sim.run();
+  EXPECT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ActionsSeeCurrentTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(1.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_in(3.0, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    if (fires < 5) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_in(1.0, tick);
+  sim.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  sim.schedule_in(3.0, [&] { ++fired; });
+  const auto n = sim.run_until(2.0);  // inclusive
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(4.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(Simulator, SchedulingIntoThePastAsserts) {
+  Simulator sim;
+  sim.schedule_in(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), poolnet::AssertionError);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), poolnet::AssertionError);
+}
+
+TEST(Simulator, ResetQueueDropsPendingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.reset_queue();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace poolnet::sim

@@ -1,0 +1,88 @@
+#include "net/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "net/deployment.h"
+
+namespace poolnet::net {
+namespace {
+
+std::vector<std::size_t> brute_within(const std::vector<Point>& pts, Point q,
+                                      double r) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (distance(pts[i], q) <= r) out.push_back(i);
+  return out;
+}
+
+std::size_t brute_nearest(const std::vector<Point>& pts, Point q) {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double d2 = distance_sq(pts[i], q);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+class SpatialIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpatialIndexProperty, WithinMatchesBruteForce) {
+  Rng rng(GetParam());
+  const Rect field{0, 0, 200, 200};
+  const auto pts = deploy_uniform(300, field, rng);
+  const SpatialIndex index(pts, field, 25.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.uniform(-20, 220), rng.uniform(-20, 220)};
+    const double r = rng.uniform(0, 60);
+    EXPECT_EQ(index.within(q, r), brute_within(pts, q, r));
+  }
+}
+
+TEST_P(SpatialIndexProperty, NearestMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const Rect field{0, 0, 200, 200};
+  const auto pts = deploy_uniform(300, field, rng);
+  const SpatialIndex index(pts, field, 25.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point q{rng.uniform(-50, 250), rng.uniform(-50, 250)};
+    const std::size_t got = index.nearest(q);
+    const std::size_t want = brute_nearest(pts, q);
+    EXPECT_DOUBLE_EQ(distance(pts[got], q), distance(pts[want], q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialIndexProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SpatialIndex, SinglePoint) {
+  const std::vector<Point> pts{{50, 50}};
+  const SpatialIndex index(pts, Rect{0, 0, 100, 100}, 10.0);
+  EXPECT_EQ(index.nearest({0, 0}), 0u);
+  EXPECT_EQ(index.within({50, 50}, 0.0), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(index.within({80, 80}, 5.0).empty());
+}
+
+TEST(SpatialIndex, QueryFarOutsideBounds) {
+  const std::vector<Point> pts{{10, 10}, {90, 90}};
+  const SpatialIndex index(pts, Rect{0, 0, 100, 100}, 10.0);
+  EXPECT_EQ(index.nearest({-1000, -1000}), 0u);
+  EXPECT_EQ(index.nearest({1000, 1000}), 1u);
+}
+
+TEST(SpatialIndex, DuplicatePointsTieBreakByIndex) {
+  const std::vector<Point> pts{{50, 50}, {50, 50}, {50, 50}};
+  const SpatialIndex index(pts, Rect{0, 0, 100, 100}, 10.0);
+  EXPECT_EQ(index.nearest({50, 50}), 0u);
+  EXPECT_EQ(index.within({50, 50}, 1.0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace poolnet::net

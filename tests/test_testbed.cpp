@@ -1,0 +1,106 @@
+#include "bench_support/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_support/experiment.h"
+#include "query/query_gen.h"
+
+namespace poolnet::benchsup {
+namespace {
+
+TestbedConfig small_config(std::uint64_t seed = 1, std::size_t nodes = 200) {
+  TestbedConfig config;
+  config.nodes = nodes;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Testbed, BuildsConnectedNetworksOverSamePositions) {
+  Testbed tb(small_config());
+  EXPECT_TRUE(tb.pool_network().is_connected());
+  EXPECT_TRUE(tb.dim_network().is_connected());
+  ASSERT_EQ(tb.pool_network().size(), tb.dim_network().size());
+  for (net::NodeId i = 0; i < tb.pool_network().size(); ++i)
+    EXPECT_EQ(tb.pool_network().position(i), tb.dim_network().position(i));
+}
+
+TEST(Testbed, DensityNearPaperTarget) {
+  Testbed tb(small_config(2, 900));
+  EXPECT_GT(tb.pool_network().average_degree(), 14.0);
+  EXPECT_LT(tb.pool_network().average_degree(), 22.0);
+}
+
+TEST(Testbed, InsertWorkloadFillsAllThreeStores) {
+  Testbed tb(small_config(3));
+  const auto n = tb.insert_workload();
+  EXPECT_EQ(n, 200u * 3u);
+  EXPECT_EQ(tb.pool().stored_count(), n);
+  EXPECT_EQ(tb.dim().stored_count(), n);
+  EXPECT_EQ(tb.oracle().stored_count(), n);
+}
+
+TEST(Testbed, InsertTrafficTrackedPerSystem) {
+  Testbed tb(small_config(4));
+  tb.insert_workload();
+  EXPECT_GT(tb.pool_insert_traffic().total, 0u);
+  EXPECT_GT(tb.dim_insert_traffic().total, 0u);
+  // Query-time ledgers start clean.
+  EXPECT_EQ(tb.pool_network().traffic().total, 0u);
+  EXPECT_EQ(tb.dim_network().traffic().total, 0u);
+}
+
+TEST(Testbed, DeterministicAcrossRebuilds) {
+  Testbed a(small_config(5));
+  Testbed b(small_config(5));
+  a.insert_workload();
+  b.insert_workload();
+  EXPECT_EQ(a.pool_insert_traffic().total, b.pool_insert_traffic().total);
+  EXPECT_EQ(a.dim_insert_traffic().total, b.dim_insert_traffic().total);
+}
+
+TEST(PairedRunner, BothSystemsMatchOracleEverywhere) {
+  Testbed tb(small_config(6));
+  tb.insert_workload();
+  query::QueryGenerator qgen({.dims = 3}, 66);
+  const auto queries =
+      generate_queries(25, [&] { return qgen.exact_range(); });
+  const auto run = run_paired_queries(tb, queries, 67);
+  EXPECT_EQ(run.queries, 25u);
+  EXPECT_EQ(run.pool_mismatches, 0u);
+  EXPECT_EQ(run.dim_mismatches, 0u);
+  EXPECT_GT(run.pool.messages.mean(), 0.0);
+  EXPECT_GT(run.dim.messages.mean(), 0.0);
+  EXPECT_GT(run.pool.energy_mj.mean(), 0.0);
+}
+
+TEST(PairedRunner, MergeAccumulates) {
+  Testbed tb(small_config(7));
+  tb.insert_workload();
+  query::QueryGenerator qgen({.dims = 3}, 77);
+  const auto queries =
+      generate_queries(10, [&] { return qgen.exact_range(); });
+  const auto a = run_paired_queries(tb, queries, 1);
+  auto total = run_paired_queries(tb, queries, 2);
+  merge_into(total, a);
+  EXPECT_EQ(total.queries, 20u);
+  EXPECT_EQ(total.pool.messages.count(), 20u);
+}
+
+TEST(Experiment, FmtFormatsFixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+  EXPECT_EQ(fmt(0.5), "0.5");
+}
+
+TEST(Experiment, GenerateQueriesCallsFactoryNTimes) {
+  int calls = 0;
+  const auto qs = generate_queries(7, [&] {
+    ++calls;
+    return storage::RangeQuery({{0.0, 1.0}});
+  });
+  EXPECT_EQ(qs.size(), 7u);
+  EXPECT_EQ(calls, 7);
+}
+
+}  // namespace
+}  // namespace poolnet::benchsup

@@ -1,0 +1,99 @@
+#include "query/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace poolnet::query {
+namespace {
+
+TEST(EventGenerator, SequentialIdsAndSource) {
+  EventGenerator gen({.dims = 3}, 1);
+  const auto a = gen.next(5);
+  const auto b = gen.next(9);
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_EQ(b.id, 2u);
+  EXPECT_EQ(a.source, 5u);
+  EXPECT_EQ(b.source, 9u);
+  EXPECT_EQ(gen.generated(), 2u);
+}
+
+TEST(EventGenerator, UniformValuesInRange) {
+  EventGenerator gen({.dims = 4}, 2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto e = gen.next(0);
+    ASSERT_EQ(e.dims(), 4u);
+    for (std::size_t d = 0; d < 4; ++d) {
+      EXPECT_GE(e.values[d], 0.0);
+      EXPECT_LE(e.values[d], 1.0);
+    }
+  }
+}
+
+TEST(EventGenerator, UniformCoversSpace) {
+  EventGenerator gen({.dims = 1}, 3);
+  int low = 0, high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = gen.next(0).values[0];
+    (v < 0.5 ? low : high)++;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / 2000, 0.5, 0.05);
+  (void)high;
+}
+
+TEST(EventGenerator, GaussianConcentratesAroundCenter) {
+  WorkloadConfig wc;
+  wc.dims = 3;
+  wc.dist = ValueDistribution::Gaussian;
+  wc.center = 0.8;
+  wc.spread = 0.05;
+  EventGenerator gen(wc, 4);
+  int inside = 0;
+  constexpr int kN = 1000;
+  for (int i = 0; i < kN; ++i) {
+    const auto e = gen.next(0);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_GE(e.values[d], 0.0);
+      EXPECT_LE(e.values[d], 1.0);
+    }
+    if (std::abs(e.values[0] - 0.8) < 0.15) ++inside;
+  }
+  EXPECT_GT(inside, kN * 9 / 10);
+}
+
+TEST(EventGenerator, HotspotMixesBackgroundAndBurst) {
+  WorkloadConfig wc;
+  wc.dims = 1;
+  wc.dist = ValueDistribution::Hotspot;
+  wc.center = 0.9;
+  wc.spread = 0.01;
+  wc.hotspot_fraction = 0.5;
+  EventGenerator gen(wc, 5);
+  int hot = 0, background_low = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = gen.next(0).values[0];
+    if (std::abs(v - 0.9) < 0.05) ++hot;
+    if (v < 0.5) ++background_low;
+  }
+  EXPECT_GT(hot, kN * 4 / 10);          // burst events present
+  EXPECT_GT(background_low, kN / 5);    // uniform background present
+}
+
+TEST(EventGenerator, DeterministicPerSeed) {
+  EventGenerator a({.dims = 3}, 6), b({.dims = 3}, 6);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(1), b.next(1));
+}
+
+TEST(EventGenerator, RejectsBadConfigs) {
+  EXPECT_THROW(EventGenerator({.dims = 0}, 1), poolnet::ConfigError);
+  WorkloadConfig bad_spread;
+  bad_spread.spread = -1.0;
+  EXPECT_THROW(EventGenerator(bad_spread, 1), poolnet::ConfigError);
+  WorkloadConfig bad_frac;
+  bad_frac.hotspot_fraction = 1.5;
+  EXPECT_THROW(EventGenerator(bad_frac, 1), poolnet::ConfigError);
+}
+
+}  // namespace
+}  // namespace poolnet::query

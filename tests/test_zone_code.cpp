@@ -1,0 +1,78 @@
+#include "dim/zone_code.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace poolnet::dim {
+namespace {
+
+TEST(ZoneCode, EmptyByDefault) {
+  const ZoneCode c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.length(), 0u);
+}
+
+TEST(ZoneCode, ChildAppendsBits) {
+  const ZoneCode c = ZoneCode{}.child(true).child(false).child(true);
+  EXPECT_EQ(c.length(), 3u);
+  EXPECT_TRUE(c.bit(0));
+  EXPECT_FALSE(c.bit(1));
+  EXPECT_TRUE(c.bit(2));
+  EXPECT_EQ(c.to_string(), "101");
+}
+
+TEST(ZoneCode, FromStringRoundTrip) {
+  const auto c = ZoneCode::from_string("1110");
+  EXPECT_EQ(c.length(), 4u);
+  EXPECT_EQ(c.to_string(), "1110");
+}
+
+TEST(ZoneCode, FromStringRejectsNonBinary) {
+  EXPECT_THROW(ZoneCode::from_string("10a"), poolnet::ConfigError);
+  EXPECT_THROW(ZoneCode::from_string(std::string(65, '0')),
+               poolnet::ConfigError);
+}
+
+TEST(ZoneCode, PrefixRelation) {
+  const auto p = ZoneCode::from_string("11");
+  EXPECT_TRUE(p.prefix_of(ZoneCode::from_string("1110")));
+  EXPECT_TRUE(p.prefix_of(ZoneCode::from_string("11")));
+  EXPECT_FALSE(p.prefix_of(ZoneCode::from_string("10")));
+  EXPECT_FALSE(p.prefix_of(ZoneCode::from_string("1")));
+  EXPECT_TRUE(ZoneCode{}.prefix_of(p));  // empty prefixes everything
+}
+
+TEST(ZoneCode, EqualityRequiresSameLengthAndBits) {
+  EXPECT_EQ(ZoneCode::from_string("101"), ZoneCode::from_string("101"));
+  EXPECT_FALSE(ZoneCode::from_string("101") == ZoneCode::from_string("1010"));
+  EXPECT_FALSE(ZoneCode::from_string("101") == ZoneCode::from_string("100"));
+  EXPECT_EQ(ZoneCode{}, ZoneCode{});
+}
+
+TEST(ZoneCode, MaxLengthSupported) {
+  ZoneCode c;
+  for (std::size_t i = 0; i < ZoneCode::kMaxLength; ++i)
+    c = c.child(i % 2 == 0);
+  EXPECT_EQ(c.length(), ZoneCode::kMaxLength);
+  EXPECT_TRUE(c.bit(0));
+  EXPECT_FALSE(c.bit(63));
+  EXPECT_THROW(c.child(true), poolnet::AssertionError);
+}
+
+TEST(ZoneCode, BitOutOfRangeAsserts) {
+  const auto c = ZoneCode::from_string("10");
+  EXPECT_THROW((void)c.bit(2), poolnet::AssertionError);
+}
+
+TEST(ZoneCode, StreamOutput) {
+  std::ostringstream oss;
+  oss << ZoneCode::from_string("0110");
+  EXPECT_EQ(oss.str(), "0110");
+}
+
+}  // namespace
+}  // namespace poolnet::dim

@@ -1,0 +1,192 @@
+#include "dim/zone_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "net/deployment.h"
+
+namespace poolnet::dim {
+namespace {
+
+using net::Network;
+using net::NodeId;
+using storage::Event;
+using storage::RangeQuery;
+
+Network random_net(std::uint64_t seed, std::size_t n = 200) {
+  Rng rng(seed);
+  const double side = net::field_side_for_density(n, 40.0, 20.0);
+  const Rect field{0, 0, side, side};
+  auto pts = net::deploy_uniform(n, field, rng);
+  return Network(std::move(pts), field, 40.0);
+}
+
+Event make_event(std::uint64_t id, std::initializer_list<double> vals) {
+  Event e;
+  e.id = id;
+  e.source = 0;
+  for (const double v : vals) e.values.push_back(v);
+  return e;
+}
+
+TEST(ZoneTree, EveryNodeOwnsExactlyOneLeaf) {
+  const auto net = random_net(1);
+  const ZoneTree tree(net, 3);
+  std::set<NodeId> owners;
+  std::size_t nonempty = 0;
+  for (const ZoneIndex li : tree.leaves()) {
+    const auto& z = tree.zone(li);
+    ASSERT_NE(z.owner, net::kNoNode);
+    if (z.region.contains(net.position(z.owner))) {
+      // Owner inside its region => a real (non-backup) zone.
+      owners.insert(z.owner);
+      ++nonempty;
+    }
+  }
+  EXPECT_EQ(owners.size(), net.size());
+  EXPECT_EQ(nonempty, net.size());
+}
+
+TEST(ZoneTree, LeafRegionsPartitionTheField) {
+  const auto net = random_net(2, 100);
+  const ZoneTree tree(net, 3);
+  double area = 0.0;
+  for (const ZoneIndex li : tree.leaves()) {
+    const auto& r = tree.zone(li).region;
+    area += r.width() * r.height();
+  }
+  const auto& f = net.field();
+  EXPECT_NEAR(area, f.width() * f.height(), 1e-6 * f.width() * f.height());
+}
+
+TEST(ZoneTree, LeafCodesArePrefixFree) {
+  const auto net = random_net(3, 100);
+  const ZoneTree tree(net, 3);
+  const auto& leaves = tree.leaves();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    for (std::size_t j = 0; j < leaves.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(
+          tree.zone(leaves[i]).code.prefix_of(tree.zone(leaves[j]).code));
+    }
+  }
+}
+
+TEST(ZoneTree, EventLandsInZoneWhoseRangesContainIt) {
+  const auto net = random_net(4);
+  const ZoneTree tree(net, 3);
+  Rng rng(44);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto e = make_event(
+        trial, {rng.uniform(), rng.uniform(), rng.uniform()});
+    const ZoneIndex li = tree.leaf_for_event(e);
+    const auto& z = tree.zone(li);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_TRUE(z.ranges[d].contains(e.values[d]))
+          << "dim " << d << " value " << e.values[d] << " range ["
+          << z.ranges[d].lo << "," << z.ranges[d].hi << ")";
+    }
+  }
+}
+
+TEST(ZoneTree, BoundaryValuesResolve) {
+  const auto net = random_net(5, 50);
+  const ZoneTree tree(net, 2);
+  // 0.0, 1.0 and exactly 0.5 must all map to some leaf without asserting.
+  for (const auto& vals : {std::pair{0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5},
+                           {0.0, 1.0}, {0.5, 1.0}}) {
+    const auto e = make_event(1, {vals.first, vals.second});
+    const ZoneIndex li = tree.leaf_for_event(e);
+    const auto& z = tree.zone(li);
+    EXPECT_TRUE(z.is_leaf());
+  }
+}
+
+TEST(ZoneTree, LeafForPositionFindsOwner) {
+  const auto net = random_net(6);
+  const ZoneTree tree(net, 3);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    const ZoneIndex li = tree.leaf_for_position(net.position(id));
+    EXPECT_EQ(tree.zone(li).owner, id);
+  }
+}
+
+TEST(ZoneTree, OverlappingLeavesMatchBruteForce) {
+  const auto net = random_net(7);
+  const ZoneTree tree(net, 3);
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double s0 = rng.uniform(0, 0.5), s1 = rng.uniform(0, 0.5),
+                 s2 = rng.uniform(0, 0.5);
+    const double l0 = rng.uniform(0, 1 - s0), l1 = rng.uniform(0, 1 - s1),
+                 l2 = rng.uniform(0, 1 - s2);
+    const RangeQuery q({{l0, l0 + s0}, {l1, l1 + s1}, {l2, l2 + s2}});
+    auto got = tree.leaves_overlapping(q);
+    std::sort(got.begin(), got.end());
+    std::vector<ZoneIndex> want;
+    for (const ZoneIndex li : tree.leaves()) {
+      if (ZoneTree::zone_intersects(tree.zone(li), q)) want.push_back(li);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ZoneTree, EnclosingZoneContainsQuery) {
+  const auto net = random_net(8);
+  const ZoneTree tree(net, 3);
+  Rng rng(88);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double s = rng.uniform(0, 0.3);
+    const double l0 = rng.uniform(0, 1 - s), l1 = rng.uniform(0, 1 - s),
+                 l2 = rng.uniform(0, 1 - s);
+    const RangeQuery q({{l0, l0 + s}, {l1, l1 + s}, {l2, l2 + s}});
+    const ZoneIndex zi = tree.enclosing_zone(q);
+    const auto& z = tree.zone(zi);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_LE(z.ranges[d].lo, q.bound(d).lo);
+      EXPECT_GE(z.ranges[d].hi, q.bound(d).hi);
+    }
+  }
+}
+
+TEST(ZoneTree, SmallQueriesPruneMostLeaves) {
+  // The k-d pruning must be effective: a tiny query box overlaps a small
+  // fraction of zones.
+  const auto net = random_net(9, 400);
+  const ZoneTree tree(net, 3);
+  const RangeQuery tiny({{0.30, 0.32}, {0.50, 0.52}, {0.70, 0.72}});
+  EXPECT_LT(tree.leaves_overlapping(tiny).size(), tree.leaf_count() / 10);
+}
+
+TEST(ZoneTree, FullQueryVisitsAllLeaves) {
+  const auto net = random_net(10, 100);
+  const ZoneTree tree(net, 3);
+  const RangeQuery all({{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}});
+  EXPECT_EQ(tree.leaves_overlapping(all).size(), tree.leaf_count());
+}
+
+TEST(ZoneTree, DimensionalityValidated) {
+  const auto net = random_net(11, 50);
+  EXPECT_THROW(ZoneTree(net, 0), poolnet::ConfigError);
+  EXPECT_THROW(ZoneTree(net, storage::kMaxDims + 1), poolnet::ConfigError);
+}
+
+TEST(ZoneTree, AttributeRangesHalveAlternately) {
+  // Depth d splits attribute d % k: the root's children halve attr 0.
+  const auto net = random_net(12, 100);
+  const ZoneTree tree(net, 3);
+  const auto& root = tree.zone(tree.root());
+  ASSERT_FALSE(root.is_leaf());
+  const auto& lo = tree.zone(root.lower);
+  const auto& hi = tree.zone(root.upper);
+  EXPECT_EQ(lo.ranges[0], (HalfOpenInterval{0.0, 0.5}));
+  EXPECT_EQ(hi.ranges[0], (HalfOpenInterval{0.5, 1.0}));
+  EXPECT_EQ(lo.ranges[1], (HalfOpenInterval{0.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace poolnet::dim
