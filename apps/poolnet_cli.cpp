@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_support/parallel.h"
 #include "cli/args.h"
 #include "cli/runner.h"
 
@@ -70,6 +71,12 @@ int main(int argc, char** argv) {
   parser.add_option("replicas", "0",
                     "resilience mirrors per event (0..dims-1)");
   parser.add_option("csv", "", "append results to this CSV file");
+  parser.add_option("threads", "0",
+                    "parallel deployments (0 = hardware concurrency, "
+                    "1 = serial)");
+  parser.add_option("route-cache", "on",
+                    "route memoization: on, off or lru:<bytes> (k/m/g "
+                    "suffixes ok)");
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -99,6 +106,7 @@ int main(int argc, char** argv) {
   const auto threshold =
       parser.int_option("share-threshold", 1, 1 << 20, &error);
   const auto replicas = parser.int_option("replicas", 0, 7, &error);
+  const auto threads = parser.int_option("threads", 0, 1024, &error);
   const auto qtype = parser.choice_option(
       "query-type", {"exact", "1-partial", "2-partial", "point"}, &error);
   const auto sdist =
@@ -106,8 +114,14 @@ int main(int argc, char** argv) {
   const auto wl = parser.choice_option(
       "workload", {"uniform", "gaussian", "hotspot"}, &error);
   if (!nodes || !dims || !epn || !queries || !seed || !seeds || !pool_side ||
-      !cell_size || !threshold || !replicas || !qtype || !sdist || !wl) {
+      !cell_size || !threshold || !replicas || !threads || !qtype || !sdist ||
+      !wl) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!routing::parse_route_cache_spec(parser.option("route-cache"),
+                                       &config.route_cache, &error)) {
+    std::fprintf(stderr, "error: --route-cache: %s\n", error.c_str());
     return 2;
   }
 
@@ -123,6 +137,8 @@ int main(int argc, char** argv) {
   config.pool.share_threshold = static_cast<std::uint32_t>(*threshold);
   config.pool.replicas = static_cast<std::uint32_t>(*replicas);
   config.csv_path = parser.option("csv");
+  config.threads = *threads == 0 ? benchsup::default_threads()
+                                 : static_cast<std::size_t>(*threads);
 
   config.flavor = *qtype == "exact"       ? cli::QueryFlavor::Exact
                   : *qtype == "1-partial" ? cli::QueryFlavor::OnePartial

@@ -6,12 +6,24 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+namespace {
+// One (k, seed) testbed yields BOTH batches from a single generator
+// stream (the partial queries continue where the exact draws stopped),
+// so the pair stays one job.
+struct SeedRun {
+  PairedRun exact;
+  PairedRun partial;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Ablation — event dimensionality k",
                "900 nodes; exact (exp sizes) and 1-partial queries; both "
                "systems as k varies (paper: k=3 only).");
@@ -19,44 +31,60 @@ int main() {
   constexpr int kSeeds = 3;
   constexpr int kQueries = 50;
 
+  const std::vector<std::size_t> all_dims = {2, 3, 4, 5, 6};
+  struct Job {
+    std::size_t group;
+    std::size_t dims;
+    int seed;
+  };
+  std::vector<Job> grid;
+  for (std::size_t g = 0; g < all_dims.size(); ++g)
+    for (int seed = 1; seed <= kSeeds; ++seed)
+      grid.push_back({g, all_dims[g], seed});
+
+  const auto runs = parallel_map<SeedRun>(
+      grid.size(), opts.threads, [&grid, &opts](std::size_t i) {
+        const auto [group, dims, seed] = grid[i];
+        (void)group;
+        TestbedConfig config;
+        config.nodes = 900;
+        config.dims = dims;
+        config.seed = static_cast<std::uint64_t>(seed);
+        config.route_cache = opts.route_cache;
+        Testbed tb(config);
+        tb.insert_workload();
+        query::QueryGenerator qgen(
+            {.dims = dims,
+             .dist = query::RangeSizeDistribution::Exponential,
+             .exp_mean = 0.1},
+            static_cast<std::uint64_t>(seed) * 47 + dims);
+        SeedRun out;
+        out.exact = run_paired_queries(
+            tb, generate_queries(kQueries, [&] { return qgen.exact_range(); }),
+            seed * 3 + 11);
+        out.partial = run_paired_queries(
+            tb,
+            generate_queries(kQueries, [&] { return qgen.partial_range(1); }),
+            seed * 3 + 12);
+        return out;
+      });
+
   TablePrinter table({"k", "exact Pool", "exact DIM", "1-part Pool",
                       "1-part DIM", "1-part DIM/Pool"});
-  for (const std::size_t dims : {std::size_t{2}, std::size_t{3},
-                                 std::size_t{4}, std::size_t{5},
-                                 std::size_t{6}}) {
+  for (std::size_t g = 0; g < all_dims.size(); ++g) {
     PairedRun exact_total, partial_total;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      TestbedConfig config;
-      config.nodes = 900;
-      config.dims = dims;
-      config.seed = static_cast<std::uint64_t>(seed);
-      Testbed tb(config);
-      tb.insert_workload();
-      query::QueryGenerator qgen(
-          {.dims = dims,
-           .dist = query::RangeSizeDistribution::Exponential,
-           .exp_mean = 0.1},
-          static_cast<std::uint64_t>(seed) * 47 + dims);
-      merge_into(exact_total,
-                 run_paired_queries(
-                     tb,
-                     generate_queries(kQueries,
-                                      [&] { return qgen.exact_range(); }),
-                     seed * 3 + 11));
-      merge_into(partial_total,
-                 run_paired_queries(
-                     tb,
-                     generate_queries(kQueries,
-                                      [&] { return qgen.partial_range(1); }),
-                     seed * 3 + 12));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].group != g) continue;
+      merge_into(exact_total, runs[i].exact);
+      merge_into(partial_total, runs[i].partial);
     }
     if (exact_total.pool_mismatches || exact_total.dim_mismatches ||
         partial_total.pool_mismatches || partial_total.dim_mismatches) {
-      std::fprintf(stderr, "CORRECTNESS VIOLATION at k=%zu\n", dims);
+      std::fprintf(stderr, "CORRECTNESS VIOLATION at k=%zu\n", all_dims[g]);
       return 1;
     }
     table.add_row(
-        {std::to_string(dims), fmt(exact_total.pool.messages.mean()),
+        {std::to_string(all_dims[g]), fmt(exact_total.pool.messages.mean()),
          fmt(exact_total.dim.messages.mean()),
          fmt(partial_total.pool.messages.mean()),
          fmt(partial_total.dim.messages.mean()),

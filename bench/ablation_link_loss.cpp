@@ -6,12 +6,21 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+namespace {
+struct SeedRun {
+  PairedRun exact;
+  PairedRun partial;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Ablation — per-hop link loss",
                "900 nodes; exact (exp sizes) and 1-partial queries; frame "
                "loss probability swept; ARQ retransmissions charged.");
@@ -19,42 +28,60 @@ int main() {
   constexpr int kSeeds = 3;
   constexpr int kQueries = 50;
 
+  const std::vector<double> losses = {0.0, 0.1, 0.2, 0.3, 0.5};
+  struct Job {
+    std::size_t group;
+    double loss;
+    int seed;
+  };
+  std::vector<Job> grid;
+  for (std::size_t g = 0; g < losses.size(); ++g)
+    for (int seed = 1; seed <= kSeeds; ++seed)
+      grid.push_back({g, losses[g], seed});
+
+  const auto runs = parallel_map<SeedRun>(
+      grid.size(), opts.threads, [&grid, &opts](std::size_t i) {
+        const auto [group, loss, seed] = grid[i];
+        (void)group;
+        TestbedConfig config;
+        config.nodes = 900;
+        config.seed = static_cast<std::uint64_t>(seed);
+        config.loss.loss_probability = loss;
+        config.route_cache = opts.route_cache;
+        Testbed tb(config);
+        tb.insert_workload();
+        query::QueryGenerator qgen(
+            {.dims = 3, .dist = query::RangeSizeDistribution::Exponential,
+             .exp_mean = 0.1},
+            static_cast<std::uint64_t>(seed) * 59 +
+                static_cast<std::uint64_t>(loss * 100));
+        SeedRun out;
+        out.exact = run_paired_queries(
+            tb, generate_queries(kQueries, [&] { return qgen.exact_range(); }),
+            seed * 7 + 31);
+        out.partial = run_paired_queries(
+            tb,
+            generate_queries(kQueries, [&] { return qgen.partial_range(1); }),
+            seed * 7 + 32);
+        return out;
+      });
+
   TablePrinter table({"loss %", "exact Pool", "exact DIM", "1-part Pool",
                       "1-part DIM", "1-part DIM/Pool", "energy Pool (mJ)"});
-  for (const double loss : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+  for (std::size_t g = 0; g < losses.size(); ++g) {
     PairedRun exact_total, partial_total;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      TestbedConfig config;
-      config.nodes = 900;
-      config.seed = static_cast<std::uint64_t>(seed);
-      config.loss.loss_probability = loss;
-      Testbed tb(config);
-      tb.insert_workload();
-      query::QueryGenerator qgen(
-          {.dims = 3, .dist = query::RangeSizeDistribution::Exponential,
-           .exp_mean = 0.1},
-          static_cast<std::uint64_t>(seed) * 59 +
-              static_cast<std::uint64_t>(loss * 100));
-      merge_into(exact_total,
-                 run_paired_queries(
-                     tb,
-                     generate_queries(kQueries,
-                                      [&] { return qgen.exact_range(); }),
-                     seed * 7 + 31));
-      merge_into(partial_total,
-                 run_paired_queries(
-                     tb,
-                     generate_queries(kQueries,
-                                      [&] { return qgen.partial_range(1); }),
-                     seed * 7 + 32));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].group != g) continue;
+      merge_into(exact_total, runs[i].exact);
+      merge_into(partial_total, runs[i].partial);
     }
     if (exact_total.pool_mismatches || exact_total.dim_mismatches ||
         partial_total.pool_mismatches || partial_total.dim_mismatches) {
-      std::fprintf(stderr, "CORRECTNESS VIOLATION at loss=%.1f\n", loss);
+      std::fprintf(stderr, "CORRECTNESS VIOLATION at loss=%.1f\n", losses[g]);
       return 1;
     }
     table.add_row(
-        {fmt(loss * 100, 0), fmt(exact_total.pool.messages.mean()),
+        {fmt(losses[g] * 100, 0), fmt(exact_total.pool.messages.mean()),
          fmt(exact_total.dim.messages.mean()),
          fmt(partial_total.pool.messages.mean()),
          fmt(partial_total.dim.messages.mean()),

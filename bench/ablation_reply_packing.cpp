@@ -7,12 +7,21 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+namespace {
+struct SeedRun {
+  PairedRun exact;
+  PairedRun partial;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Ablation — reply packing (events per reply message)",
                "900 nodes; exact uniform-size and 1-partial queries; the "
                "DIM/Pool ratio under different packing factors.");
@@ -20,40 +29,57 @@ int main() {
   constexpr int kSeeds = 3;
   constexpr int kQueries = 50;
 
+  // pack = 0 is the default "one reply per answering node" convention.
+  const std::vector<std::uint32_t> packs = {0u, 1u, 2u, 4u, 8u, 16u};
+  struct Job {
+    std::size_t group;
+    std::uint32_t pack;
+    int seed;
+  };
+  std::vector<Job> grid;
+  for (std::size_t g = 0; g < packs.size(); ++g)
+    for (int seed = 1; seed <= kSeeds; ++seed) grid.push_back({g, packs[g], seed});
+
+  const auto runs = parallel_map<SeedRun>(
+      grid.size(), opts.threads, [&grid, &opts](std::size_t i) {
+        const auto [group, pack, seed] = grid[i];
+        (void)group;
+        TestbedConfig config;
+        config.nodes = 900;
+        config.seed = static_cast<std::uint64_t>(seed);
+        config.sizes.events_per_message = pack;
+        config.route_cache = opts.route_cache;
+        Testbed tb(config);
+        tb.insert_workload();
+        query::QueryGenerator qgen(
+            {.dims = 3}, static_cast<std::uint64_t>(seed) * 53 + pack);
+        SeedRun out;
+        out.exact = run_paired_queries(
+            tb, generate_queries(kQueries, [&] { return qgen.exact_range(); }),
+            seed * 5 + 21);
+        out.partial = run_paired_queries(
+            tb,
+            generate_queries(kQueries, [&] { return qgen.partial_range(1); }),
+            seed * 5 + 22);
+        return out;
+      });
+
   TablePrinter table({"pack", "exact Pool", "exact DIM", "exact ratio",
                       "1-part Pool", "1-part DIM", "1-part ratio"});
-  // pack = 0 is the default "one reply per answering node" convention.
-  for (const std::uint32_t pack : {0u, 1u, 2u, 4u, 8u, 16u}) {
+  for (std::size_t g = 0; g < packs.size(); ++g) {
     PairedRun exact_total, partial_total;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      TestbedConfig config;
-      config.nodes = 900;
-      config.seed = static_cast<std::uint64_t>(seed);
-      config.sizes.events_per_message = pack;
-      Testbed tb(config);
-      tb.insert_workload();
-      query::QueryGenerator qgen(
-          {.dims = 3}, static_cast<std::uint64_t>(seed) * 53 + pack);
-      merge_into(exact_total,
-                 run_paired_queries(
-                     tb,
-                     generate_queries(kQueries,
-                                      [&] { return qgen.exact_range(); }),
-                     seed * 5 + 21));
-      merge_into(partial_total,
-                 run_paired_queries(
-                     tb,
-                     generate_queries(kQueries,
-                                      [&] { return qgen.partial_range(1); }),
-                     seed * 5 + 22));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].group != g) continue;
+      merge_into(exact_total, runs[i].exact);
+      merge_into(partial_total, runs[i].partial);
     }
     if (exact_total.pool_mismatches || exact_total.dim_mismatches ||
         partial_total.pool_mismatches || partial_total.dim_mismatches) {
-      std::fprintf(stderr, "CORRECTNESS VIOLATION at pack=%u\n", pack);
+      std::fprintf(stderr, "CORRECTNESS VIOLATION at pack=%u\n", packs[g]);
       return 1;
     }
     table.add_row(
-        {pack == 0 ? "inf" : std::to_string(pack),
+        {packs[g] == 0 ? "inf" : std::to_string(packs[g]),
          fmt(exact_total.pool.messages.mean()),
          fmt(exact_total.dim.messages.mean()),
          fmt(exact_total.dim.messages.mean() /

@@ -5,13 +5,18 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "ght/ght_system.h"
 #include "query/query_gen.h"
+#include "routing/gpsr.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+int main(int argc, char** argv) {
+  // Single-deployment serial comparison: --threads is accepted for CLI
+  // uniformity but there is nothing to parallelize here.
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("DCS generations — GHT vs DIM vs Pool",
                "900 nodes; point, range, partial and aggregate queries; "
                "mean messages per query (GHT floods non-point queries).");
@@ -19,6 +24,7 @@ int main() {
   TestbedConfig config;
   config.nodes = 900;
   config.seed = 3;
+  config.route_cache = opts.route_cache;
   Testbed tb(config);
   tb.insert_workload();
 
@@ -31,7 +37,11 @@ int main() {
       }(),
       tb.pool_network().field(), config.radio_range, config.sizes);
   const routing::Gpsr ght_gpsr(ght_net);
-  ght::GhtSystem ght(ght_net, ght_gpsr, 3);
+  const routing::RouteCache ght_cache(ght_gpsr, opts.route_cache);
+  const routing::Router& ght_router =
+      opts.route_cache.enabled ? static_cast<const routing::Router&>(ght_cache)
+                               : ght_gpsr;
+  ght::GhtSystem ght(ght_net, ght_router, 3);
   for (const auto& e : tb.oracle().all()) ght.insert(e.source, e);
   ght_net.reset_traffic();
 

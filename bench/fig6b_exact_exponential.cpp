@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Figure 6(b) — exact match, exponential range sizes",
                "Mean messages per 3-d exact-match range query; range sizes "
                "~ Exp(0.1) truncated to [0,1]; other settings as Fig 6(a).");
@@ -20,30 +22,43 @@ int main() {
   constexpr int kSeeds = 3;
   constexpr int kQueriesPerSeed = 60;
 
+  std::vector<std::size_t> sizes;
+  for (std::size_t nodes = 300; nodes <= 2700; nodes += 300)
+    sizes.push_back(nodes);
+
+  std::vector<SweepJob> jobs;
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      jobs.push_back({g, [nodes = sizes[g], seed, &opts] {
+        TestbedConfig config;
+        config.nodes = nodes;
+        config.seed = static_cast<std::uint64_t>(seed);
+        config.route_cache = opts.route_cache;
+        Testbed tb(config);
+        tb.insert_workload();
+        query::QueryGenerator qgen(
+            {.dims = 3,
+             .dist = query::RangeSizeDistribution::Exponential,
+             .exp_mean = 0.1},
+            static_cast<std::uint64_t>(seed) * 131 + nodes);
+        const auto queries = generate_queries(
+            kQueriesPerSeed, [&] { return qgen.exact_range(); });
+        return run_paired_queries(tb, queries, seed * 11 + 3);
+      }});
+    }
+  }
+  const auto totals = run_sweep_parallel(sizes.size(), std::move(jobs),
+                                         opts.threads);
+
   TablePrinter table({"nodes", "Pool msgs", "DIM msgs", "DIM/Pool",
                       "Pool cells", "DIM zones", "results/query"});
-  for (std::size_t nodes = 300; nodes <= 2700; nodes += 300) {
-    PairedRun total;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      TestbedConfig config;
-      config.nodes = nodes;
-      config.seed = static_cast<std::uint64_t>(seed);
-      Testbed tb(config);
-      tb.insert_workload();
-      query::QueryGenerator qgen(
-          {.dims = 3,
-           .dist = query::RangeSizeDistribution::Exponential,
-           .exp_mean = 0.1},
-          static_cast<std::uint64_t>(seed) * 131 + nodes);
-      const auto queries = generate_queries(
-          kQueriesPerSeed, [&] { return qgen.exact_range(); });
-      merge_into(total, run_paired_queries(tb, queries, seed * 11 + 3));
-    }
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    const PairedRun& total = totals[g];
     if (total.pool_mismatches || total.dim_mismatches) {
-      std::fprintf(stderr, "CORRECTNESS VIOLATION at n=%zu\n", nodes);
+      std::fprintf(stderr, "CORRECTNESS VIOLATION at n=%zu\n", sizes[g]);
       return 1;
     }
-    table.add_row({std::to_string(nodes), fmt(total.pool.messages.mean()),
+    table.add_row({std::to_string(sizes[g]), fmt(total.pool.messages.mean()),
                    fmt(total.dim.messages.mean()),
                    fmt(total.dim.messages.mean() / total.pool.messages.mean(), 2),
                    fmt(total.pool.index_nodes.mean()),

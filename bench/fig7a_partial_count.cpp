@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Figure 7(a) — partial match, number of unspecified dims",
                "Mean messages per 3-d m-partial range query at 900 nodes; "
                "specified dims sized U[0, 0.25]; uniform events.");
@@ -20,28 +22,38 @@ int main() {
   constexpr int kSeeds = 5;
   constexpr int kQueriesPerSeed = 80;
 
+  const std::vector<std::size_t> partials = {1, 2};
+  std::vector<SweepJob> jobs;
+  for (std::size_t g = 0; g < partials.size(); ++g) {
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      jobs.push_back({g, [m = partials[g], seed, &opts] {
+        TestbedConfig config;
+        config.nodes = 900;
+        config.seed = static_cast<std::uint64_t>(seed);
+        config.route_cache = opts.route_cache;
+        Testbed tb(config);
+        tb.insert_workload();
+        query::QueryGenerator qgen({.dims = 3},
+                                   static_cast<std::uint64_t>(seed) * 17 + m);
+        const auto queries = generate_queries(
+            kQueriesPerSeed, [&] { return qgen.partial_range(m); });
+        return run_paired_queries(tb, queries, seed * 19 + 5);
+      }});
+    }
+  }
+  const auto totals = run_sweep_parallel(partials.size(), std::move(jobs),
+                                         opts.threads);
+
   TablePrinter table({"m-partial", "Pool msgs", "DIM msgs", "DIM/Pool",
                       "DIM overhead", "results/query"});
-  for (const std::size_t m : {std::size_t{1}, std::size_t{2}}) {
-    PairedRun total;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      TestbedConfig config;
-      config.nodes = 900;
-      config.seed = static_cast<std::uint64_t>(seed);
-      Testbed tb(config);
-      tb.insert_workload();
-      query::QueryGenerator qgen({.dims = 3},
-                                 static_cast<std::uint64_t>(seed) * 17 + m);
-      const auto queries = generate_queries(
-          kQueriesPerSeed, [&] { return qgen.partial_range(m); });
-      merge_into(total, run_paired_queries(tb, queries, seed * 19 + 5));
-    }
+  for (std::size_t g = 0; g < partials.size(); ++g) {
+    const PairedRun& total = totals[g];
     if (total.pool_mismatches || total.dim_mismatches) {
-      std::fprintf(stderr, "CORRECTNESS VIOLATION at m=%zu\n", m);
+      std::fprintf(stderr, "CORRECTNESS VIOLATION at m=%zu\n", partials[g]);
       return 1;
     }
     const double ratio = total.dim.messages.mean() / total.pool.messages.mean();
-    table.add_row({std::to_string(m) + "-partial",
+    table.add_row({std::to_string(partials[g]) + "-partial",
                    fmt(total.pool.messages.mean()),
                    fmt(total.dim.messages.mean()), fmt(ratio, 2),
                    "+" + fmt((ratio - 1.0) * 100.0, 0) + "%",

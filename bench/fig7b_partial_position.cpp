@@ -8,12 +8,14 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Figure 7(b) — 1@n-partial match position",
                "Mean messages per 3-d 1@n-partial range query at 900 nodes; "
                "n picks the unspecified dimension (paper's 1@1..1@3).");
@@ -21,22 +23,32 @@ int main() {
   constexpr int kSeeds = 5;
   constexpr int kQueriesPerSeed = 80;
 
+  constexpr std::size_t kPositions = 3;
+  std::vector<SweepJob> jobs;
+  for (std::size_t n = 0; n < kPositions; ++n) {
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      jobs.push_back({n, [n, seed, &opts] {
+        TestbedConfig config;
+        config.nodes = 900;
+        config.seed = static_cast<std::uint64_t>(seed);
+        config.route_cache = opts.route_cache;
+        Testbed tb(config);
+        tb.insert_workload();
+        query::QueryGenerator qgen({.dims = 3},
+                                   static_cast<std::uint64_t>(seed) * 23 + n);
+        const auto queries = generate_queries(
+            kQueriesPerSeed, [&] { return qgen.partial_at(n); });
+        return run_paired_queries(tb, queries, seed * 29 + 7);
+      }});
+    }
+  }
+  const auto totals = run_sweep_parallel(kPositions, std::move(jobs),
+                                         opts.threads);
+
   TablePrinter table({"position", "Pool msgs", "DIM msgs", "DIM/Pool",
                       "results/query"});
-  for (std::size_t n = 0; n < 3; ++n) {
-    PairedRun total;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      TestbedConfig config;
-      config.nodes = 900;
-      config.seed = static_cast<std::uint64_t>(seed);
-      Testbed tb(config);
-      tb.insert_workload();
-      query::QueryGenerator qgen({.dims = 3},
-                                 static_cast<std::uint64_t>(seed) * 23 + n);
-      const auto queries = generate_queries(
-          kQueriesPerSeed, [&] { return qgen.partial_at(n); });
-      merge_into(total, run_paired_queries(tb, queries, seed * 29 + 7));
-    }
+  for (std::size_t n = 0; n < kPositions; ++n) {
+    const PairedRun& total = totals[n];
     if (total.pool_mismatches || total.dim_mismatches) {
       std::fprintf(stderr, "CORRECTNESS VIOLATION at 1@%zu\n", n + 1);
       return 1;

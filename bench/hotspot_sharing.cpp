@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
@@ -26,7 +27,8 @@ struct Outcome {
   std::size_t mismatches = 0;
 };
 
-Outcome run(bool sharing, std::uint32_t threshold, std::uint64_t seed) {
+Outcome run(bool sharing, std::uint32_t threshold, std::uint64_t seed,
+            const routing::RouteCacheConfig& route_cache) {
   TestbedConfig config;
   config.nodes = 900;
   config.seed = seed;
@@ -36,6 +38,7 @@ Outcome run(bool sharing, std::uint32_t threshold, std::uint64_t seed) {
   config.workload.hotspot_fraction = 0.8;
   config.pool.workload_sharing = sharing;
   config.pool.share_threshold = threshold;
+  config.route_cache = route_cache;
   Testbed tb(config);
   tb.insert_workload();
 
@@ -67,33 +70,55 @@ Outcome run(bool sharing, std::uint32_t threshold, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Hotspot workload sharing (Section 4.2)",
                "900 nodes; 80% of events Gaussian(0.85, 0.03) on every "
                "attribute; Pool with and without workload sharing.");
 
   constexpr int kSeeds = 3;
+  const std::vector<std::tuple<const char*, bool, std::uint32_t>> configs = {
+      {"sharing off", false, 0u},
+      {"sharing on (T=32)", true, 32u},
+      {"sharing on (T=64)", true, 64u},
+      {"sharing on (T=128)", true, 128u}};
+
+  struct Job {
+    std::size_t group;
+    bool sharing;
+    std::uint32_t threshold;
+    int seed;
+  };
+  std::vector<Job> grid;
+  for (std::size_t g = 0; g < configs.size(); ++g)
+    for (int seed = 1; seed <= kSeeds; ++seed)
+      grid.push_back({g, std::get<1>(configs[g]), std::get<2>(configs[g]),
+                      seed});
+
+  const auto runs = parallel_map<Outcome>(
+      grid.size(), opts.threads, [&grid, &opts](std::size_t i) {
+        const Job& j = grid[i];
+        return run(j.sharing, j.threshold,
+                   static_cast<std::uint64_t>(j.seed), opts.route_cache);
+      });
+
   TablePrinter table({"configuration", "max node load", "p99 load",
                       "insert msgs", "hot-query msgs", "exact results"});
-
-  for (const auto& [label, sharing, threshold] :
-       {std::tuple{"sharing off", false, 0u},
-        std::tuple{"sharing on (T=32)", true, 32u},
-        std::tuple{"sharing on (T=64)", true, 64u},
-        std::tuple{"sharing on (T=128)", true, 128u}}) {
+  for (std::size_t g = 0; g < configs.size(); ++g) {
     std::uint64_t max_load = 0, insert_msgs = 0;
     double p99 = 0, hot = 0;
     std::size_t mismatches = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      const auto o = run(sharing, threshold, static_cast<std::uint64_t>(seed));
-      max_load = std::max(max_load, o.max_load);
-      p99 += o.p99_load;
-      insert_msgs += o.insert_msgs;
-      hot += o.hot_query_msgs;
-      mismatches += o.mismatches;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].group != g) continue;
+      max_load = std::max(max_load, runs[i].max_load);
+      p99 += runs[i].p99_load;
+      insert_msgs += runs[i].insert_msgs;
+      hot += runs[i].hot_query_msgs;
+      mismatches += runs[i].mismatches;
     }
-    table.add_row({label, std::to_string(max_load), fmt(p99 / kSeeds),
-                   std::to_string(insert_msgs / kSeeds), fmt(hot / kSeeds),
+    table.add_row({std::get<0>(configs[g]), std::to_string(max_load),
+                   fmt(p99 / kSeeds), std::to_string(insert_msgs / kSeeds),
+                   fmt(hot / kSeeds),
                    mismatches == 0 ? "yes" : "NO"});
   }
   table.print();

@@ -85,6 +85,20 @@ void BM_GpsrRouteAcrossField(benchmark::State& state) {
 }
 BENCHMARK(BM_GpsrRouteAcrossField);
 
+void BM_CachedRouteAcrossField(benchmark::State& state) {
+  // Same cross-field route through a RouteCache: after the first miss every
+  // iteration is a hash lookup plus a RouteResult copy.
+  auto& tb = shared_testbed();
+  const routing::RouteCache cache(tb.pool_gpsr());
+  const auto src = tb.pool_network().nearest_node({0, 0});
+  const auto dst = tb.pool_network().nearest_node(
+      {tb.pool_network().field().max_x, tb.pool_network().field().max_y});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.route_to_node(src, dst));
+  }
+}
+BENCHMARK(BM_CachedRouteAcrossField);
+
 void BM_PoolInsert(benchmark::State& state) {
   benchsup::TestbedConfig config;
   config.nodes = 300;

@@ -1,0 +1,154 @@
+// Performance smoke test: a downsized Figure 6(a) sweep run twice —
+// serial with the route cache off, then parallel with it on — verifying
+// that the two configurations produce IDENTICAL message statistics while
+// reporting the wall-clock ratio and cache hit rates. Emits
+// BENCH_perf.json for CI trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
+#include "query/query_gen.h"
+
+using namespace poolnet;
+using namespace poolnet::benchsup;
+
+namespace {
+
+constexpr int kSeeds = 2;
+constexpr int kQueriesPerSeed = 30;
+const std::vector<std::size_t> kSizes = {300, 600, 900};
+
+struct SweepOutcome {
+  std::vector<PairedRun> totals;
+  double wall_ms = 0;
+  double pool_hit_rate = 0;  ///< mean over testbeds; 0 when cache off
+  double dim_hit_rate = 0;
+};
+
+struct SeedRun {
+  PairedRun run;
+  routing::RouteCacheStats pool_cache, dim_cache;
+};
+
+SweepOutcome run_sweep(std::size_t threads,
+                       const routing::RouteCacheConfig& route_cache) {
+  struct Job {
+    std::size_t group;
+    std::size_t nodes;
+    int seed;
+  };
+  std::vector<Job> grid;
+  for (std::size_t g = 0; g < kSizes.size(); ++g)
+    for (int seed = 1; seed <= kSeeds; ++seed) grid.push_back({g, kSizes[g], seed});
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto runs = parallel_map<SeedRun>(
+      grid.size(), threads, [&grid, &route_cache](std::size_t i) {
+        const Job& j = grid[i];
+        TestbedConfig config;
+        config.nodes = j.nodes;
+        config.seed = static_cast<std::uint64_t>(j.seed);
+        config.route_cache = route_cache;
+        Testbed tb(config);
+        tb.insert_workload();
+        query::QueryGenerator qgen(
+            {.dims = 3, .dist = query::RangeSizeDistribution::Uniform},
+            static_cast<std::uint64_t>(j.seed) * 101 + j.nodes);
+        const auto queries = generate_queries(
+            kQueriesPerSeed, [&] { return qgen.exact_range(); });
+        SeedRun out;
+        out.run = run_paired_queries(tb, queries, j.seed * 7 + 1);
+        if (tb.pool_route_cache()) out.pool_cache = tb.pool_route_cache()->stats();
+        if (tb.dim_route_cache()) out.dim_cache = tb.dim_route_cache()->stats();
+        return out;
+      });
+  const auto end = std::chrono::steady_clock::now();
+
+  SweepOutcome out;
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  out.totals.resize(kSizes.size());
+  double pool_hits = 0, dim_hits = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    merge_into(out.totals[grid[i].group], runs[i].run);
+    pool_hits += runs[i].pool_cache.hit_rate();
+    dim_hits += runs[i].dim_cache.hit_rate();
+  }
+  out.pool_hit_rate = pool_hits / static_cast<double>(grid.size());
+  out.dim_hit_rate = dim_hits / static_cast<double>(grid.size());
+  return out;
+}
+
+bool stats_equal(const PairedRun& a, const PairedRun& b) {
+  const auto same = [](const SystemQueryStats& x, const SystemQueryStats& y) {
+    return x.messages.mean() == y.messages.mean() &&
+           x.messages.count() == y.messages.count() &&
+           x.query_messages.mean() == y.query_messages.mean() &&
+           x.reply_messages.mean() == y.reply_messages.mean() &&
+           x.index_nodes.mean() == y.index_nodes.mean() &&
+           x.results.mean() == y.results.mean();
+  };
+  return same(a.pool, b.pool) && same(a.dim, b.dim) &&
+         a.queries == b.queries && a.pool_mismatches == b.pool_mismatches &&
+         a.dim_mismatches == b.dim_mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  print_banner("Performance smoke — serial/uncached vs parallel/cached",
+               "Downsized Fig-6(a) sweep (300..900 nodes, 2 seeds); message "
+               "stats must be identical across configurations.");
+
+  routing::RouteCacheConfig off;
+  off.enabled = false;
+  routing::RouteCacheConfig on = opts.route_cache;
+  on.enabled = true;
+
+  const auto serial = run_sweep(1, off);
+  const auto parallel = run_sweep(opts.threads, on);
+
+  bool identical = true;
+  for (std::size_t g = 0; g < kSizes.size(); ++g)
+    if (!stats_equal(serial.totals[g], parallel.totals[g])) identical = false;
+
+  const double speedup =
+      parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0;
+  TablePrinter table({"configuration", "wall ms", "Pool hit rate",
+                      "DIM hit rate"});
+  table.add_row({"serial, cache off", fmt(serial.wall_ms, 1), "-", "-"});
+  table.add_row({"parallel x" + std::to_string(opts.threads) + ", cache on",
+                 fmt(parallel.wall_ms, 1), fmt(parallel.pool_hit_rate, 3),
+                 fmt(parallel.dim_hit_rate, 3)});
+  table.print();
+  std::printf("\nspeedup: %.2fx (%zu threads); stats identical: %s\n",
+              speedup, opts.threads, identical ? "yes" : "NO");
+
+  const double msgs_per_query = serial.totals.back().pool.messages.mean();
+  std::FILE* f = std::fopen("BENCH_perf.json", "w");
+  if (f) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"perf_smoke\",\n"
+        "  \"threads\": %zu,\n"
+        "  \"serial_uncached_ms\": %.1f,\n"
+        "  \"parallel_cached_ms\": %.1f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"pool_cache_hit_rate\": %.4f,\n"
+        "  \"dim_cache_hit_rate\": %.4f,\n"
+        "  \"pool_messages_per_query_900\": %.2f,\n"
+        "  \"stats_identical\": %s\n"
+        "}\n",
+        opts.threads, serial.wall_ms, parallel.wall_ms, speedup,
+        parallel.pool_hit_rate, parallel.dim_hit_rate, msgs_per_query,
+        identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_perf.json\n");
+  }
+  return identical ? 0 : 1;
+}

@@ -6,49 +6,91 @@
 #include <cstdio>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
 
-int main() {
+namespace {
+struct SeedRun {
+  double insert_per_event = 0;
+  std::size_t primaries = 0, recovered = 0, lost = 0, total = 0;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_banner("Replication survivability (extension, cf. paper ref [7])",
                "900 nodes; uniform workload; random node failures; events "
                "lost / recovered by rotated-pool mirrors.");
 
   constexpr int kSeeds = 3;
 
-  TablePrinter table({"replicas", "fail %", "insert msgs/event",
-                      "primaries lost", "recovered", "lost", "lost %"});
-  for (const std::uint32_t replicas : {0u, 1u, 2u}) {
-    for (const double fail_frac : {0.05, 0.10, 0.20}) {
-      double insert_per_event = 0;
-      std::size_t primaries = 0, recovered = 0, lost = 0, total = 0;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
+  const std::vector<std::uint32_t> replica_counts = {0u, 1u, 2u};
+  const std::vector<double> fail_fracs = {0.05, 0.10, 0.20};
+  struct Job {
+    std::size_t group;
+    std::uint32_t replicas;
+    double fail_frac;
+    int seed;
+  };
+  std::vector<Job> grid;
+  std::size_t group = 0;
+  for (const std::uint32_t replicas : replica_counts) {
+    for (const double fail_frac : fail_fracs) {
+      for (int seed = 1; seed <= kSeeds; ++seed)
+        grid.push_back({group, replicas, fail_frac, seed});
+      ++group;
+    }
+  }
+
+  const auto runs = parallel_map<SeedRun>(
+      grid.size(), opts.threads, [&grid, &opts](std::size_t i) {
+        const Job& j = grid[i];
         TestbedConfig config;
         config.nodes = 900;
-        config.seed = static_cast<std::uint64_t>(seed);
-        config.pool.replicas = replicas;
+        config.seed = static_cast<std::uint64_t>(j.seed);
+        config.pool.replicas = j.replicas;
+        config.route_cache = opts.route_cache;
         Testbed tb(config);
         const auto events = tb.insert_workload();
-        insert_per_event +=
+        SeedRun out;
+        out.insert_per_event =
             static_cast<double>(tb.pool_insert_traffic().total) /
             static_cast<double>(events);
 
-        Rng rng(static_cast<std::uint64_t>(seed) * 77 + replicas);
+        Rng rng(static_cast<std::uint64_t>(j.seed) * 77 + j.replicas);
         std::vector<net::NodeId> dead;
         const auto want =
-            static_cast<std::size_t>(fail_frac * config.nodes);
+            static_cast<std::size_t>(j.fail_frac * config.nodes);
         while (dead.size() < want) {
-          const auto n = static_cast<net::NodeId>(
-              rng.uniform_int(0, static_cast<std::int64_t>(config.nodes) - 1));
+          const auto n = static_cast<net::NodeId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(config.nodes) - 1));
           if (std::find(dead.begin(), dead.end(), n) == dead.end())
             dead.push_back(n);
         }
         const auto report = tb.pool().survivability(dead);
-        primaries += report.primaries_lost;
-        recovered += report.recovered;
-        lost += report.lost;
-        total += report.total_events;
+        out.primaries = report.primaries_lost;
+        out.recovered = report.recovered;
+        out.lost = report.lost;
+        out.total = report.total_events;
+        return out;
+      });
+
+  TablePrinter table({"replicas", "fail %", "insert msgs/event",
+                      "primaries lost", "recovered", "lost", "lost %"});
+  group = 0;
+  for (const std::uint32_t replicas : replica_counts) {
+    for (const double fail_frac : fail_fracs) {
+      double insert_per_event = 0;
+      std::size_t primaries = 0, recovered = 0, lost = 0, total = 0;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (grid[i].group != group) continue;
+        insert_per_event += runs[i].insert_per_event;
+        primaries += runs[i].primaries;
+        recovered += runs[i].recovered;
+        lost += runs[i].lost;
+        total += runs[i].total;
       }
       table.add_row(
           {std::to_string(replicas), fmt(fail_frac * 100, 0),
@@ -56,6 +98,7 @@ int main() {
            std::to_string(recovered), std::to_string(lost),
            fmt(100.0 * static_cast<double>(lost) / static_cast<double>(total),
                2)});
+      ++group;
     }
   }
   table.print();

@@ -14,6 +14,7 @@
 #include "bench_support/experiment.h"
 #include "bench_support/testbed.h"
 #include "query/query_gen.h"
+#include "routing/gpsr.h"
 #include "storage/brute_force_store.h"
 
 using namespace poolnet;

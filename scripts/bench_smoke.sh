@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Perf smoke check: run the route-cache + parallel-engine benchmark and
+# verify it produced its machine-readable report. Exits nonzero when the
+# serial/uncached and parallel/cached statistics diverge (perf_smoke's own
+# exit status) or when BENCH_perf.json is missing.
+#
+#   scripts/bench_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+SMOKE="$BUILD/bench/perf_smoke"
+
+if [[ ! -x "$SMOKE" ]]; then
+  echo "error: $SMOKE not built (cmake -B $BUILD && cmake --build $BUILD)" >&2
+  exit 1
+fi
+
+"$SMOKE"
+
+if [[ ! -s BENCH_perf.json ]]; then
+  echo "error: perf_smoke did not write BENCH_perf.json" >&2
+  exit 1
+fi
+
+echo "bench smoke OK:"
+cat BENCH_perf.json

@@ -1,0 +1,155 @@
+#include "bench_support/parallel.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace poolnet::benchsup {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++pending_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t worker, std::function<void()>& task) {
+  // Own deque first (front = oldest of my own submissions)...
+  {
+    std::lock_guard<std::mutex> lock(queues_[worker]->mu);
+    if (!queues_[worker]->tasks.empty()) {
+      task = std::move(queues_[worker]->tasks.front());
+      queues_[worker]->tasks.pop_front();
+      return true;
+    }
+  }
+  // ...then steal from the back of a sibling's.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    const std::size_t victim = (worker + k) % queues_.size();
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    if (!queues_[victim]->tasks.empty()) {
+      task = std::move(queues_[victim]->tasks.back());
+      queues_[victim]->tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(worker, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (stop_) return;
+    // Re-check under the lock: a submit between try_pop and here would
+    // otherwise be sleepable-through.
+    work_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
+
+std::size_t default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::vector<PairedRun> run_sweep_parallel(std::size_t n_groups,
+                                          std::vector<SweepJob> jobs,
+                                          std::size_t threads) {
+  auto results = parallel_map<PairedRun>(
+      jobs.size(), threads, [&jobs](std::size_t i) { return jobs[i].run(); });
+  std::vector<PairedRun> merged(n_groups);
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    merge_into(merged[jobs[i].group], results[i]);
+  return merged;
+}
+
+namespace {
+[[noreturn]] void usage_error(const char* prog, const std::string& detail) {
+  std::fprintf(stderr,
+               "%s: %s\nusage: %s [--threads N] "
+               "[--route-cache=on|off|lru:<bytes>]\n",
+               prog, detail.c_str(), prog);
+  std::exit(2);
+}
+}  // namespace
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions opts;
+  opts.threads = default_threads();
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads") {
+      if (i + 1 >= argc) usage_error(prog, "--threads needs a value");
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(10);
+    } else if (arg == "--route-cache" || arg.rfind("--route-cache=", 0) == 0) {
+      std::string spec;
+      if (arg == "--route-cache") {
+        if (i + 1 >= argc) usage_error(prog, "--route-cache needs a value");
+        spec = argv[++i];
+      } else {
+        spec = arg.substr(14);
+      }
+      std::string error;
+      if (!parse_route_cache_spec(spec, &opts.route_cache, &error))
+        usage_error(prog, error);
+      continue;
+    } else {
+      usage_error(prog, "unknown argument '" + arg + "'");
+    }
+    try {
+      const long n = std::stol(value);
+      if (n < 1) throw std::invalid_argument("");
+      opts.threads = static_cast<std::size_t>(n);
+    } catch (const std::exception&) {
+      usage_error(prog, "bad --threads value '" + value + "'");
+    }
+  }
+  return opts;
+}
+
+}  // namespace poolnet::benchsup

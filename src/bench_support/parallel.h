@@ -1,0 +1,126 @@
+// Parallel experiment engine: run independent (config, seed) testbeds on
+// a work-stealing thread pool and merge their results deterministically.
+//
+// Every figure sweep is embarrassingly parallel — each Testbed owns its
+// RNGs, Networks, routers and route caches, so two testbeds never share
+// mutable state. The engine exploits that: jobs are full testbed runs
+// (deploy + insert + query batch), results come back in SUBMISSION order,
+// and the per-group merge applies the same merge_into calls in the same
+// order as the serial loop — the merged PairedRun is byte-identical at
+// any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "routing/route_cache.h"
+
+namespace poolnet::benchsup {
+
+/// Work-stealing pool: one deque per worker, submissions round-robin,
+/// idle workers steal from the back of their siblings' deques. Tasks are
+/// coarse (whole testbeds, tens of milliseconds to minutes), so per-deque
+/// mutexes are plenty — the pool spends its life inside tasks, not locks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; runnable immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool try_pop(std::size_t worker, std::function<void()>& task);
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex state_mu_;
+  std::condition_variable work_cv_;   ///< wakes sleeping workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle
+  std::size_t pending_ = 0;           ///< submitted, not yet finished
+  std::size_t next_queue_ = 0;        ///< round-robin submission target
+  bool stop_ = false;
+};
+
+/// Number of workers to use when the user didn't say: the hardware
+/// concurrency, or 1 when the runtime can't report it.
+std::size_t default_threads();
+
+/// Evaluates `fn(i)` for i in [0, n) on `threads` workers and returns the
+/// results indexed by i — identical to the serial loop in content and
+/// order. threads <= 1 (or n <= 1) runs serially in the caller. The first
+/// exception (by index) is rethrown after all jobs finish.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, std::size_t threads, Fn&& fn) {
+  std::vector<T> out(n);
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  {
+    ThreadPool pool(std::min(threads, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&out, &errors, &fn, i] {
+        try {
+          out[i] = fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return out;
+}
+
+/// One unit of sweep work: produces a PairedRun that belongs to result
+/// group `group` (e.g. one network size in a Fig-6 sweep; the seeds of a
+/// size share a group).
+struct SweepJob {
+  std::size_t group = 0;
+  std::function<PairedRun()> run;
+};
+
+/// Runs every job (any order, `threads` wide) and merges each group's
+/// results IN SUBMISSION ORDER via merge_into — the exact float-operation
+/// sequence of the serial `for (seed) merge_into(acc, run)` loop, so the
+/// returned per-group PairedRuns are byte-identical at 1 or N threads.
+std::vector<PairedRun> run_sweep_parallel(std::size_t n_groups,
+                                          std::vector<SweepJob> jobs,
+                                          std::size_t threads);
+
+/// Shared bench command line: --threads N (default: hardware concurrency)
+/// and --route-cache=on|off|lru:<bytes>. Prints usage and exits(2) on
+/// anything it doesn't recognize.
+struct BenchOptions {
+  std::size_t threads = 1;
+  routing::RouteCacheConfig route_cache;
+};
+BenchOptions parse_bench_options(int argc, char** argv);
+
+}  // namespace poolnet::benchsup

@@ -37,10 +37,27 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
       sim::EnergyModel{}, config.loss, config.seed * 3 + 2);
   pool_gpsr_ = std::make_unique<routing::Gpsr>(*pool_net_);
   dim_gpsr_ = std::make_unique<routing::Gpsr>(*dim_net_);
-  pool_ = std::make_unique<core::PoolSystem>(*pool_net_, *pool_gpsr_,
+  if (config.route_cache.enabled) {
+    routing::RouteCacheConfig cc = config.route_cache;
+    cc.location_quantum = config.pool.cell_size;  // α-grid bucketing
+    pool_cache_ = std::make_unique<routing::RouteCache>(*pool_gpsr_, cc);
+    dim_cache_ = std::make_unique<routing::RouteCache>(*dim_gpsr_, cc);
+  }
+  pool_ = std::make_unique<core::PoolSystem>(*pool_net_, pool_router(),
                                              config.dims, config.pool);
-  dim_ = std::make_unique<dim::DimSystem>(*dim_net_, *dim_gpsr_, config.dims);
+  dim_ = std::make_unique<dim::DimSystem>(*dim_net_, dim_router(),
+                                          config.dims);
   oracle_ = std::make_unique<storage::BruteForceStore>(config.dims);
+}
+
+const routing::Router& Testbed::pool_router() const {
+  if (pool_cache_) return *pool_cache_;
+  return *pool_gpsr_;
+}
+
+const routing::Router& Testbed::dim_router() const {
+  if (dim_cache_) return *dim_cache_;
+  return *dim_gpsr_;
 }
 
 std::size_t Testbed::insert_workload() {

@@ -18,6 +18,7 @@
 #include "net/network.h"
 #include "query/workload.h"
 #include "routing/gpsr.h"
+#include "routing/route_cache.h"
 #include "storage/brute_force_store.h"
 
 namespace poolnet::benchsup {
@@ -33,6 +34,11 @@ struct TestbedConfig {
   std::uint64_t seed = 1;           ///< master seed (deployment + workload)
   net::MessageSizes sizes;          ///< packet size model
   net::LinkLossModel loss;          ///< per-hop loss + ARQ (default ideal)
+
+  /// Route memoization over both GPSR instances. `location_quantum` is
+  /// overridden with the Pool α at construction so cell-center routes
+  /// share hash buckets.
+  routing::RouteCacheConfig route_cache;
 };
 
 class Testbed {
@@ -50,6 +56,19 @@ class Testbed {
   storage::BruteForceStore& oracle() { return *oracle_; }
   const routing::Gpsr& pool_gpsr() const { return *pool_gpsr_; }
   const routing::Gpsr& dim_gpsr() const { return *dim_gpsr_; }
+
+  /// The router each system actually sees: the cache when enabled,
+  /// otherwise the raw Gpsr.
+  const routing::Router& pool_router() const;
+  const routing::Router& dim_router() const;
+
+  /// Null when the cache is disabled.
+  const routing::RouteCache* pool_route_cache() const {
+    return pool_cache_.get();
+  }
+  const routing::RouteCache* dim_route_cache() const {
+    return dim_cache_.get();
+  }
 
   /// Generates events_per_node events at every node and inserts each into
   /// Pool, DIM, and the oracle. Returns the number of events inserted.
@@ -69,6 +88,8 @@ class Testbed {
   std::unique_ptr<net::Network> dim_net_;
   std::unique_ptr<routing::Gpsr> pool_gpsr_;
   std::unique_ptr<routing::Gpsr> dim_gpsr_;
+  std::unique_ptr<routing::RouteCache> pool_cache_;
+  std::unique_ptr<routing::RouteCache> dim_cache_;
   std::unique_ptr<core::PoolSystem> pool_;
   std::unique_ptr<dim::DimSystem> dim_;
   std::unique_ptr<storage::BruteForceStore> oracle_;

@@ -9,9 +9,12 @@
 #include <sstream>
 
 #include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
 #include "common/error.h"
 #include "ght/ght_system.h"
 #include "query/query_gen.h"
+#include "routing/gpsr.h"
+#include "routing/route_cache.h"
 
 namespace poolnet::cli {
 
@@ -64,6 +67,99 @@ void record(Accumulator& acc, const storage::QueryReceipt& r,
   if (r.events.size() != oracle_count) ++acc.mismatches;
 }
 
+void merge(Accumulator& into, const Accumulator& from) {
+  into.messages.merge(from.messages);
+  into.query_messages.merge(from.query_messages);
+  into.reply_messages.merge(from.reply_messages);
+  into.results.merge(from.results);
+  into.visited.merge(from.visited);
+  into.insert_msgs += from.insert_msgs;
+  into.events += from.events;
+  into.mismatches += from.mismatches;
+}
+
+/// One deployment, start to finish: the unit of parallelism. Each call
+/// owns every bit of mutable state it touches (testbed, GHT copy, RNGs),
+/// so deployments can run on any thread; results merge in deployment
+/// order, making the aggregates independent of the thread count.
+std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
+                                                   std::size_t dep) {
+  std::map<SystemChoice, Accumulator> acc;
+  for (const auto s : config.systems) acc[s];
+  const bool want_ght = acc.count(SystemChoice::Ght) > 0;
+
+  benchsup::TestbedConfig tb_config;
+  tb_config.nodes = config.nodes;
+  tb_config.dims = config.dims;
+  tb_config.events_per_node = config.events_per_node;
+  tb_config.seed = config.seed + dep;
+  tb_config.pool = config.pool;
+  tb_config.workload.dist = config.workload;
+  tb_config.route_cache = config.route_cache;
+  benchsup::Testbed tb(tb_config);
+  const auto events = tb.insert_workload();
+
+  // GHT rides on its own network copy, like the Testbed systems.
+  std::unique_ptr<net::Network> ght_net;
+  std::unique_ptr<routing::Gpsr> ght_gpsr;
+  std::unique_ptr<routing::RouteCache> ght_cache;
+  std::unique_ptr<ght::GhtSystem> ght_sys;
+  if (want_ght) {
+    std::vector<Point> pts;
+    for (const auto& n : tb.pool_network().nodes()) pts.push_back(n.pos);
+    ght_net = std::make_unique<net::Network>(
+        std::move(pts), tb.pool_network().field(), tb_config.radio_range);
+    ght_gpsr = std::make_unique<routing::Gpsr>(*ght_net);
+    const routing::Router* ght_router = ght_gpsr.get();
+    if (config.route_cache.enabled) {
+      ght_cache = std::make_unique<routing::RouteCache>(*ght_gpsr,
+                                                        config.route_cache);
+      ght_router = ght_cache.get();
+    }
+    ght_sys =
+        std::make_unique<ght::GhtSystem>(*ght_net, *ght_router, config.dims);
+    for (const auto& e : tb.oracle().all()) ght_sys->insert(e.source, e);
+    acc[SystemChoice::Ght].insert_msgs +=
+        static_cast<double>(ght_net->traffic().total);
+    acc[SystemChoice::Ght].events += events;
+    ght_net->reset_traffic();
+  }
+  if (acc.count(SystemChoice::Pool)) {
+    acc[SystemChoice::Pool].insert_msgs +=
+        static_cast<double>(tb.pool_insert_traffic().total);
+    acc[SystemChoice::Pool].events += events;
+  }
+  if (acc.count(SystemChoice::Dim)) {
+    acc[SystemChoice::Dim].insert_msgs +=
+        static_cast<double>(tb.dim_insert_traffic().total);
+    acc[SystemChoice::Dim].events += events;
+  }
+
+  query::QueryGenerator qgen(
+      {.dims = config.dims, .dist = config.size_dist},
+      config.seed * 1000003 + dep * 101 + 7);
+  Rng sink_rng(config.seed * 31 + dep * 13 + 1);
+  for (std::size_t i = 0; i < config.queries; ++i) {
+    const auto q = make_query(qgen, config.flavor);
+    const auto sink = tb.random_node(sink_rng);
+    const auto oracle_count = tb.oracle().matching(q).size();
+    for (const auto s : config.systems) {
+      switch (s) {
+        case SystemChoice::Pool:
+          record(acc[s], tb.pool().query(sink, q), oracle_count);
+          break;
+        case SystemChoice::Dim:
+          record(acc[s], tb.dim().query(sink, q), oracle_count);
+          break;
+        case SystemChoice::Ght:
+          record(acc[s], ght_sys->query(sink, q), oracle_count);
+          break;
+      }
+    }
+  }
+  return acc;
+}
+
 }  // namespace
 
 std::vector<CliResult> run_experiment(const CliConfig& config,
@@ -74,76 +170,15 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
       config.flavor != QueryFlavor::Point && config.dims < 2)
     throw ConfigError("run_experiment: partial queries need dims >= 2");
 
+  using AccMap = std::map<SystemChoice, Accumulator>;
+  const auto per_dep = benchsup::parallel_map<AccMap>(
+      config.deployments, config.threads,
+      [&config](std::size_t dep) { return run_deployment(config, dep); });
+
   std::map<SystemChoice, Accumulator> acc;
   for (const auto s : config.systems) acc[s];
-
-  const bool want_ght = acc.count(SystemChoice::Ght) > 0;
-
-  for (std::size_t dep = 0; dep < config.deployments; ++dep) {
-    benchsup::TestbedConfig tb_config;
-    tb_config.nodes = config.nodes;
-    tb_config.dims = config.dims;
-    tb_config.events_per_node = config.events_per_node;
-    tb_config.seed = config.seed + dep;
-    tb_config.pool = config.pool;
-    tb_config.workload.dist = config.workload;
-    benchsup::Testbed tb(tb_config);
-    const auto events = tb.insert_workload();
-
-    // GHT rides on its own network copy, like the Testbed systems.
-    std::unique_ptr<net::Network> ght_net;
-    std::unique_ptr<routing::Gpsr> ght_gpsr;
-    std::unique_ptr<ght::GhtSystem> ght_sys;
-    if (want_ght) {
-      std::vector<Point> pts;
-      for (const auto& n : tb.pool_network().nodes()) pts.push_back(n.pos);
-      ght_net = std::make_unique<net::Network>(
-          std::move(pts), tb.pool_network().field(), tb_config.radio_range);
-      ght_gpsr = std::make_unique<routing::Gpsr>(*ght_net);
-      ght_sys =
-          std::make_unique<ght::GhtSystem>(*ght_net, *ght_gpsr, config.dims);
-      for (const auto& e : tb.oracle().all()) ght_sys->insert(e.source, e);
-      if (acc.count(SystemChoice::Ght)) {
-        acc[SystemChoice::Ght].insert_msgs +=
-            static_cast<double>(ght_net->traffic().total);
-        acc[SystemChoice::Ght].events += events;
-      }
-      ght_net->reset_traffic();
-    }
-    if (acc.count(SystemChoice::Pool)) {
-      acc[SystemChoice::Pool].insert_msgs +=
-          static_cast<double>(tb.pool_insert_traffic().total);
-      acc[SystemChoice::Pool].events += events;
-    }
-    if (acc.count(SystemChoice::Dim)) {
-      acc[SystemChoice::Dim].insert_msgs +=
-          static_cast<double>(tb.dim_insert_traffic().total);
-      acc[SystemChoice::Dim].events += events;
-    }
-
-    query::QueryGenerator qgen(
-        {.dims = config.dims, .dist = config.size_dist},
-        config.seed * 1000003 + dep * 101 + 7);
-    Rng sink_rng(config.seed * 31 + dep * 13 + 1);
-    for (std::size_t i = 0; i < config.queries; ++i) {
-      const auto q = make_query(qgen, config.flavor);
-      const auto sink = tb.random_node(sink_rng);
-      const auto oracle_count = tb.oracle().matching(q).size();
-      for (const auto s : config.systems) {
-        switch (s) {
-          case SystemChoice::Pool:
-            record(acc[s], tb.pool().query(sink, q), oracle_count);
-            break;
-          case SystemChoice::Dim:
-            record(acc[s], tb.dim().query(sink, q), oracle_count);
-            break;
-          case SystemChoice::Ght:
-            record(acc[s], ght_sys->query(sink, q), oracle_count);
-            break;
-        }
-      }
-    }
-  }
+  for (const auto& dep_acc : per_dep)
+    for (const auto& [s, a] : dep_acc) merge(acc[s], a);
 
   std::vector<CliResult> results;
   for (const auto s : config.systems) {

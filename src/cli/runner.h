@@ -32,6 +32,8 @@ struct CliConfig {
   std::size_t deployments = 1;  // averaged over this many seeds
   core::PoolConfig pool;
   std::string csv_path;  // empty = no CSV
+  std::size_t threads = 1;  // deployments run in parallel when > 1
+  routing::RouteCacheConfig route_cache;  // route memoization (default on)
 };
 
 /// One result row (per system).

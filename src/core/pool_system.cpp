@@ -22,16 +22,18 @@ PoolLayout make_random_layout(const Grid& grid, std::size_t dims,
 }
 }  // namespace
 
-PoolSystem::PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
-                       std::size_t dims, PoolConfig config)
-    : PoolSystem(network, gpsr, dims, config,
+PoolSystem::PoolSystem(net::Network& network,
+                       const routing::Router& router, std::size_t dims,
+                       PoolConfig config)
+    : PoolSystem(network, router, dims, config,
                  make_random_layout(Grid(network, config.cell_size), dims,
                                     config)) {}
 
-PoolSystem::PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
-                       std::size_t dims, PoolConfig config, PoolLayout layout)
+PoolSystem::PoolSystem(net::Network& network,
+                       const routing::Router& router, std::size_t dims,
+                       PoolConfig config, PoolLayout layout)
     : net_(network),
-      gpsr_(gpsr),
+      router_(router),
       dims_(dims),
       config_(config),
       grid_(network, config.cell_size),
@@ -47,6 +49,7 @@ PoolSystem::PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
         "PoolSystem: replicas must be < dims (one rotated pool per mirror)");
   cells_.resize(dims * static_cast<std::size_t>(config_.side) * config_.side);
   cell_subs_.resize(cells_.size());
+  splitter_cache_.assign(dims * net_.size(), net::kNoNode);
 
   if (config_.charge_dht_lookup) {
     pivot_cache_.assign(net_.size() * dims_, 0);
@@ -55,7 +58,7 @@ PoolSystem::PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
     for (std::size_t p = 0; p < dims_; ++p) {
       const net::NodeId publisher = grid_.index_node(layout_.pivot(p));
       const net::NodeId home = directory_home(p);
-      const auto leg = gpsr_.route_to_node(publisher, home);
+      const auto leg = router_.route_to_node(publisher, home);
       net_.transmit_path(leg.path, net::MessageKind::Control,
                          net_.sizes().control_bits);
     }
@@ -82,10 +85,10 @@ void PoolSystem::charge_pivot_lookup(net::NodeId node, std::size_t pool_dim) {
   if (cached) return;
   cached = 1;
   const net::NodeId home = directory_home(pool_dim);
-  const auto out = gpsr_.route_to_node(node, home);
+  const auto out = router_.route_to_node(node, home);
   net_.transmit_path(out.path, net::MessageKind::Control,
                      net_.sizes().control_bits);
-  const auto back = gpsr_.route_to_node(home, node);
+  const auto back = router_.route_to_node(home, node);
   net_.transmit_path(back.path, net::MessageKind::Control,
                      net_.sizes().control_bits);
 }
@@ -148,7 +151,7 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
 
   // Algorithm 1, lines 5-6: route the event to the cell's location; the
   // index node (nearest the center) receives it.
-  const auto route = gpsr_.route_to_node(source, choice.index_node);
+  const auto route = router_.route_to_node(source, choice.index_node);
   net_.transmit_path(route.path, net::MessageKind::Insert,
                      net_.sizes().event_bits(dims_));
 
@@ -183,7 +186,7 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
                                 config_.side - 1 - choice.offset.vo};
     const CellCoord mirror_coord = layout_.cell(mirror_pool, mirror_off);
     const net::NodeId mirror_idx = grid_.index_node(mirror_coord);
-    const auto mirror_route = gpsr_.route_to_node(source, mirror_idx);
+    const auto mirror_route = router_.route_to_node(source, mirror_idx);
     net_.transmit_path(mirror_route.path, net::MessageKind::Insert,
                        net_.sizes().event_bits(dims_));
     cells_[cell_key(mirror_pool, mirror_off)].push_back(
@@ -198,7 +201,7 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
     auto& sub = subscriptions_.at(sid);
     if (!sub.query.matches(event)) continue;
     if (holder != sub.sink) {
-      const auto notify = gpsr_.route_to_node(holder, sub.sink);
+      const auto notify = router_.route_to_node(holder, sub.sink);
       net_.transmit_path(notify.path, net::MessageKind::Reply,
                          net_.sizes().reply_bits(dims_, 1));
     }
@@ -214,6 +217,8 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
 net::NodeId PoolSystem::splitter_for(std::size_t pool_dim,
                                      net::NodeId sink) const {
   POOLNET_ASSERT(pool_dim < dims_);
+  net::NodeId& memo = splitter_cache_[pool_dim * net_.size() + sink];
+  if (memo != net::kNoNode) return memo;
   const Point sink_pos = net_.position(sink);
   net::NodeId best = net::kNoNode;
   double best_d2 = std::numeric_limits<double>::infinity();
@@ -228,6 +233,7 @@ net::NodeId PoolSystem::splitter_for(std::size_t pool_dim,
       }
     }
   }
+  memo = best;
   return best;
 }
 
@@ -255,14 +261,14 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
     charge_pivot_lookup(sink, pool_dim);
 
     const net::NodeId splitter = splitter_for(pool_dim, sink);
-    const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+    const auto to_splitter = router_.route_to_node(sink, splitter);
     net_.transmit_path(to_splitter.path, net::MessageKind::Query,
                        net_.sizes().query_bits(dims_));
 
     std::uint32_t pool_matches = 0;
     for (const CellOffset off : cells) {
       const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      const auto leg = gpsr_.route_to_node(splitter, idx);
+      const auto leg = router_.route_to_node(splitter, idx);
       net_.transmit_path(leg.path, net::MessageKind::SubQuery,
                          net_.sizes().query_bits(dims_));
       ++receipt.index_nodes_visited;
@@ -296,7 +302,7 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
 
       // Cell replies travel back to the splitter along the tree.
       if (here > 0 && idx != splitter) {
-        const auto back = gpsr_.route_to_node(idx, splitter);
+        const auto back = router_.route_to_node(idx, splitter);
         const std::uint64_t batches = sizes.reply_batches(here);
         for (std::uint64_t b = 0; b < batches; ++b) {
           net_.transmit_path(back.path, net::MessageKind::Reply,
@@ -309,7 +315,7 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
     // The splitter aggregates the pool's events and returns them to the
     // sink (and would apply aggregate operators here; Section 3.2.3).
     if (pool_matches > 0 && splitter != sink) {
-      const auto back = gpsr_.route_to_node(splitter, sink);
+      const auto back = router_.route_to_node(splitter, sink);
       const std::uint64_t batches = sizes.reply_batches(pool_matches);
       for (std::uint64_t b = 0; b < batches; ++b) {
         net_.transmit_path(
@@ -347,14 +353,14 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
     charge_pivot_lookup(sink, pool_dim);
 
     const net::NodeId splitter = splitter_for(pool_dim, sink);
-    const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+    const auto to_splitter = router_.route_to_node(sink, splitter);
     net_.transmit_path(to_splitter.path, net::MessageKind::Query,
                        sizes.query_bits(dims_));
 
     storage::PartialAggregate pool_partial;
     for (const CellOffset off : cells) {
       const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      const auto leg = gpsr_.route_to_node(splitter, idx);
+      const auto leg = router_.route_to_node(splitter, idx);
       net_.transmit_path(leg.path, net::MessageKind::SubQuery,
                          sizes.query_bits(dims_));
       ++receipt.index_nodes_visited;
@@ -382,7 +388,7 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
       if (!cell_partial.empty()) {
         pool_partial.merge(cell_partial);
         if (idx != splitter) {
-          const auto back = gpsr_.route_to_node(idx, splitter);
+          const auto back = router_.route_to_node(idx, splitter);
           net_.transmit_path(back.path, net::MessageKind::Reply,
                              sizes.aggregate_bits());
         }
@@ -392,7 +398,7 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
     if (!pool_partial.empty()) {
       total.merge(pool_partial);
       if (splitter != sink) {
-        const auto back = gpsr_.route_to_node(splitter, sink);
+        const auto back = router_.route_to_node(splitter, sink);
         net_.transmit_path(back.path, net::MessageKind::Reply,
                            sizes.aggregate_bits());
       }
@@ -418,12 +424,12 @@ void PoolSystem::walk_registration_tree(
     charge_pivot_lookup(sink, pool_dim);
 
     const net::NodeId splitter = splitter_for(pool_dim, sink);
-    const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+    const auto to_splitter = router_.route_to_node(sink, splitter);
     net_.transmit_path(to_splitter.path, net::MessageKind::Control,
                        sizes.query_bits(dims_));
     for (const CellOffset off : cells) {
       const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      const auto leg = gpsr_.route_to_node(splitter, idx);
+      const auto leg = router_.route_to_node(splitter, idx);
       net_.transmit_path(leg.path, net::MessageKind::Control,
                          sizes.query_bits(dims_));
       per_cell(cell_key(pool_dim, off));
@@ -505,7 +511,7 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
       charge_pivot_lookup(sink, pool_dim);
 
       const net::NodeId splitter = splitter_for(pool_dim, sink);
-      const auto to_splitter = gpsr_.route_to_node(sink, splitter);
+      const auto to_splitter = router_.route_to_node(sink, splitter);
       net_.transmit_path(to_splitter.path, net::MessageKind::Query,
                          sizes.query_bits(dims_));
 
@@ -513,7 +519,7 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
       for (const CellOffset off : fresh) {
         visited[cell_key(pool_dim, off)] = 1;
         const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-        const auto leg = gpsr_.route_to_node(splitter, idx);
+        const auto leg = router_.route_to_node(splitter, idx);
         net_.transmit_path(leg.path, net::MessageKind::SubQuery,
                            sizes.query_bits(dims_));
         ++receipt.index_nodes_visited;
@@ -537,7 +543,7 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
           }
         }
         if (cell_has_candidate && idx != splitter) {
-          const auto back = gpsr_.route_to_node(idx, splitter);
+          const auto back = router_.route_to_node(idx, splitter);
           net_.transmit_path(back.path, net::MessageKind::Reply,
                              sizes.reply_bits(dims_, 1));
           pool_has_candidate = true;
@@ -546,7 +552,7 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
         }
       }
       if (pool_has_candidate && splitter != sink) {
-        const auto back = gpsr_.route_to_node(splitter, sink);
+        const auto back = router_.route_to_node(splitter, sink);
         net_.transmit_path(back.path, net::MessageKind::Reply,
                            sizes.reply_bits(dims_, 1));
       }

@@ -30,7 +30,7 @@
 #include "core/pool_geometry.h"
 #include "core/pool_layout.h"
 #include "net/network.h"
-#include "routing/gpsr.h"
+#include "routing/router.h"
 #include "storage/dcs_system.h"
 
 namespace poolnet::core {
@@ -64,11 +64,11 @@ struct PoolConfig {
 class PoolSystem final : public storage::DcsSystem {
  public:
   /// Random pool layout derived from `config.layout_seed`.
-  PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
+  PoolSystem(net::Network& network, const routing::Router& router,
              std::size_t dims, PoolConfig config = {});
 
   /// Explicit layout (tests and worked-example reproduction).
-  PoolSystem(net::Network& network, const routing::Gpsr& gpsr,
+  PoolSystem(net::Network& network, const routing::Router& router,
              std::size_t dims, PoolConfig config, PoolLayout layout);
 
   std::string name() const override { return "Pool"; }
@@ -202,7 +202,7 @@ class PoolSystem final : public storage::DcsSystem {
   net::NodeId directory_home(std::size_t pool_dim) const;
 
   net::Network& net_;
-  const routing::Gpsr& gpsr_;
+  const routing::Router& router_;
   std::size_t dims_;
   PoolConfig config_;
   Grid grid_;
@@ -214,6 +214,11 @@ class PoolSystem final : public storage::DcsSystem {
   /// pivot_cache_[node * dims + pool] — set once the node has looked the
   /// pivot up (only allocated when charge_dht_lookup is on).
   std::vector<char> pivot_cache_;
+
+  /// splitter_cache_[pool * n + sink] — the splitter depends only on the
+  /// static layout and the sink position, so the l² index-node scan runs
+  /// once per (pool, sink) and replays thereafter.
+  mutable std::vector<net::NodeId> splitter_cache_;
 
   // --- continuous-query state ---
   struct Subscription {

@@ -9,10 +9,10 @@ using storage::InsertReceipt;
 using storage::QueryReceipt;
 using storage::RangeQuery;
 
-DimSystem::DimSystem(net::Network& network, const routing::Gpsr& gpsr,
-                     std::size_t dims)
+DimSystem::DimSystem(net::Network& network,
+                     const routing::Router& router, std::size_t dims)
     : net_(network),
-      gpsr_(gpsr),
+      router_(router),
       tree_(network, dims),
       store_(tree_.size()),
       rep_cache_(tree_.size(), net::kNoNode) {}
@@ -35,7 +35,7 @@ InsertReceipt DimSystem::insert(net::NodeId source, const Event& event) {
   const net::NodeId owner = tree_.zone(leaf).owner;
 
   const auto before = net_.traffic().total;
-  const auto route = gpsr_.route_to_node(source, owner);
+  const auto route = router_.route_to_node(source, owner);
   net_.transmit_path(route.path, net::MessageKind::Insert,
                      net_.sizes().event_bits(dims()));
 
@@ -61,7 +61,7 @@ QueryReceipt DimSystem::query(net::NodeId sink, const RangeQuery& q) {
   const ZoneIndex start = tree_.enclosing_zone(q);
   if (ZoneTree::zone_intersects(tree_.zone(start), q)) {
     const net::NodeId entry = representative(start);
-    const auto leg = gpsr_.route_to_node(sink, entry);
+    const auto leg = router_.route_to_node(sink, entry);
     net_.transmit_path(leg.path, net::MessageKind::Query,
                        net_.sizes().query_bits(dims()));
     process_subtree(entry, start, q, sink, receipt);
@@ -82,7 +82,7 @@ void DimSystem::walk_subtree(net::NodeId carrier, ZoneIndex zidx,
   if (z.is_leaf()) {
     // Final leg to the zone owner, then the leaf-local action.
     if (carrier != z.owner) {
-      const auto leg = gpsr_.route_to_node(carrier, z.owner);
+      const auto leg = router_.route_to_node(carrier, z.owner);
       net_.transmit_path(leg.path, net::MessageKind::SubQuery,
                          net_.sizes().query_bits(dims()));
     }
@@ -97,7 +97,7 @@ void DimSystem::walk_subtree(net::NodeId carrier, ZoneIndex zidx,
     for (const ZoneIndex child : {z.lower, z.upper}) {
       const net::NodeId next = representative(child);
       if (next != carrier) {
-        const auto leg = gpsr_.route_to_node(carrier, next);
+        const auto leg = router_.route_to_node(carrier, next);
         net_.transmit_path(leg.path, net::MessageKind::SubQuery,
                            net_.sizes().query_bits(dims()));
       }
@@ -124,7 +124,7 @@ void DimSystem::process_subtree(net::NodeId carrier, ZoneIndex zidx,
       }
     }
     if (found > 0 && z.owner != sink) {
-      const auto back = gpsr_.route_to_node(z.owner, sink);
+      const auto back = router_.route_to_node(z.owner, sink);
       const auto& sizes = net_.sizes();
       const std::uint64_t n_msgs = sizes.reply_batches(found);
       for (std::uint64_t i = 0; i < n_msgs; ++i) {
@@ -152,7 +152,7 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
   const ZoneIndex start = tree_.enclosing_zone(q);
   if (ZoneTree::zone_intersects(tree_.zone(start), q)) {
     const net::NodeId entry = representative(start);
-    const auto leg = gpsr_.route_to_node(sink, entry);
+    const auto leg = router_.route_to_node(sink, entry);
     net_.transmit_path(leg.path, net::MessageKind::Query,
                        net_.sizes().query_bits(dims()));
     walk_subtree(entry, start, q, [&](ZoneIndex leaf) {
@@ -166,7 +166,7 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
         total.merge(partial);
         if (z.owner != sink) {
           // One fixed-size partial straight to the sink.
-          const auto back = gpsr_.route_to_node(z.owner, sink);
+          const auto back = router_.route_to_node(z.owner, sink);
           net_.transmit_path(back.path, net::MessageKind::Reply,
                              net_.sizes().aggregate_bits());
         }

@@ -12,14 +12,14 @@
 
 #include "dim/zone_tree.h"
 #include "net/network.h"
-#include "routing/gpsr.h"
+#include "routing/router.h"
 #include "storage/dcs_system.h"
 
 namespace poolnet::dim {
 
 class DimSystem final : public storage::DcsSystem {
  public:
-  DimSystem(net::Network& network, const routing::Gpsr& gpsr,
+  DimSystem(net::Network& network, const routing::Router& router,
             std::size_t dims);
 
   std::string name() const override { return "DIM"; }
@@ -66,7 +66,7 @@ class DimSystem final : public storage::DcsSystem {
                        storage::QueryReceipt& receipt);
 
   net::Network& net_;
-  const routing::Gpsr& gpsr_;
+  const routing::Router& router_;
   ZoneTree tree_;
   std::vector<std::vector<storage::Event>> store_;  // indexed by ZoneIndex
   std::size_t stored_count_ = 0;

@@ -20,10 +20,11 @@ std::uint64_t mix(std::uint64_t z) {
 }
 }  // namespace
 
-GhtSystem::GhtSystem(net::Network& network, const routing::Gpsr& gpsr,
-                     std::size_t dims, GhtConfig config)
+GhtSystem::GhtSystem(net::Network& network,
+                     const routing::Router& router, std::size_t dims,
+                     GhtConfig config)
     : net_(network),
-      gpsr_(gpsr),
+      router_(router),
       dims_(dims),
       config_(config),
       store_(network.size()) {
@@ -54,7 +55,10 @@ Point GhtSystem::location_of(std::uint64_t key) const {
 }
 
 net::NodeId GhtSystem::home_node(const storage::Values& values) const {
-  return net_.nearest_node(location_of(key_of(values)));
+  const std::uint64_t key = key_of(values);
+  const auto [it, fresh] = home_cache_.try_emplace(key, net::kNoNode);
+  if (fresh) it->second = net_.nearest_node(location_of(key));
+  return it->second;
 }
 
 InsertReceipt GhtSystem::insert(net::NodeId source, const Event& event) {
@@ -64,7 +68,7 @@ InsertReceipt GhtSystem::insert(net::NodeId source, const Event& event) {
 
   const net::NodeId home = home_node(event.values);
   const auto before = net_.traffic().total;
-  const auto route = gpsr_.route_to_node(source, home);
+  const auto route = router_.route_to_node(source, home);
   net_.transmit_path(route.path, net::MessageKind::Insert,
                      net_.sizes().event_bits(dims_));
   store_[home].push_back(event);
@@ -115,7 +119,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
     storage::Values point;
     for (std::size_t d = 0; d < dims_; ++d) point.push_back(q.bound(d).lo);
     const net::NodeId home = home_node(point);
-    const auto leg = gpsr_.route_to_node(sink, home);
+    const auto leg = router_.route_to_node(sink, home);
     net_.transmit_path(leg.path, net::MessageKind::Query,
                        sizes.query_bits(dims_));
     receipt.index_nodes_visited = 1;
@@ -127,7 +131,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
       }
     }
     if (found > 0 && home != sink) {
-      const auto back = gpsr_.route_to_node(home, sink);
+      const auto back = router_.route_to_node(home, sink);
       const std::uint64_t batches = sizes.reply_batches(found);
       for (std::uint64_t b = 0; b < batches; ++b) {
         net_.transmit_path(back.path, net::MessageKind::Reply,
@@ -149,7 +153,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
       if (found > 0) {
         ++receipt.index_nodes_visited;
         if (n != sink) {
-          const auto back = gpsr_.route_to_node(n, sink);
+          const auto back = router_.route_to_node(n, sink);
           const std::uint64_t batches = sizes.reply_batches(found);
           for (std::uint64_t b = 0; b < batches; ++b) {
             net_.transmit_path(
@@ -213,7 +217,7 @@ storage::AggregateReceipt GhtSystem::aggregate(net::NodeId sink,
       ++receipt.index_nodes_visited;
       total.merge(partial);
       if (n != sink) {
-        const auto back = gpsr_.route_to_node(n, sink);
+        const auto back = router_.route_to_node(n, sink);
         net_.transmit_path(back.path, net::MessageKind::Reply,
                            net_.sizes().aggregate_bits());
       }

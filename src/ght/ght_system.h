@@ -19,10 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
-#include "routing/gpsr.h"
+#include "routing/router.h"
 #include "storage/dcs_system.h"
 
 namespace poolnet::ght {
@@ -38,7 +39,7 @@ struct GhtConfig {
 
 class GhtSystem final : public storage::DcsSystem {
  public:
-  GhtSystem(net::Network& network, const routing::Gpsr& gpsr,
+  GhtSystem(net::Network& network, const routing::Router& router,
             std::size_t dims, GhtConfig config = {});
 
   std::string name() const override { return "GHT"; }
@@ -74,11 +75,16 @@ class GhtSystem final : public storage::DcsSystem {
   std::size_t charge_flood(net::NodeId sink);
 
   net::Network& net_;
-  const routing::Gpsr& gpsr_;
+  const routing::Router& router_;
   std::size_t dims_;
   GhtConfig config_;
   std::vector<std::vector<storage::Event>> store_;  // per home node
   std::size_t stored_count_ = 0;
+
+  /// Quantized-key → home node; the nearest_node expanding-ring search
+  /// runs once per distinct key (the hash is deterministic, so so is the
+  /// home node).
+  mutable std::unordered_map<std::uint64_t, net::NodeId> home_cache_;
 };
 
 }  // namespace poolnet::ght

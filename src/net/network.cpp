@@ -39,8 +39,9 @@ Network::Network(std::vector<Point> positions, Rect field,
     nodes_[i].pos = positions[i];
   }
   // Neighbor tables via the spatial index (the paper's periodic beacons).
+  // Tables must stay ascending: are_neighbors binary-searches them.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    auto near = index_.within(nodes_[i].pos, radio_range_);
+    auto near = index_.within(nodes_[i].pos, radio_range_, /*sorted=*/true);
     auto& nb = nodes_[i].neighbors;
     nb.reserve(near.size());
     for (const std::size_t j : near) {
@@ -70,7 +71,7 @@ NodeId Network::nearest_node(Point p) const {
 
 std::vector<NodeId> Network::nodes_within(Point p, double radius) const {
   std::vector<NodeId> out;
-  for (const std::size_t i : index_.within(p, radius))
+  for (const std::size_t i : index_.within(p, radius, /*sorted=*/false))
     out.push_back(static_cast<NodeId>(i));
   return out;
 }

@@ -36,7 +36,8 @@ std::size_t SpatialIndex::cell_of(Point p) const {
   return static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx);
 }
 
-std::vector<std::size_t> SpatialIndex::within(Point q, double radius) const {
+std::vector<std::size_t> SpatialIndex::within(Point q, double radius,
+                                              bool sorted) const {
   POOLNET_ASSERT(radius >= 0.0);
   std::vector<std::size_t> out;
   const double r2 = radius * radius;
@@ -57,7 +58,7 @@ std::vector<std::size_t> SpatialIndex::within(Point q, double radius) const {
       }
     }
   }
-  std::sort(out.begin(), out.end());
+  if (sorted) std::sort(out.begin(), out.end());
   return out;
 }
 

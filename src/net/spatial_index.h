@@ -21,9 +21,12 @@ class SpatialIndex {
   SpatialIndex(const std::vector<Point>& points, const Rect& bounds,
                double cell_size);
 
-  /// Indices of points with distance(p, q) <= radius, in ascending index
-  /// order. `q` need not be inside bounds.
-  std::vector<std::size_t> within(Point q, double radius) const;
+  /// Indices of points with distance(p, q) <= radius. Ascending index
+  /// order when `sorted` (callers that binary_search the result need it);
+  /// pass false to skip the sort when only membership or cardinality
+  /// matters. `q` need not be inside bounds.
+  std::vector<std::size_t> within(Point q, double radius,
+                                  bool sorted = true) const;
 
   /// Index of the point nearest to q (ties by lowest index). Requires a
   /// non-empty point set.

@@ -49,6 +49,13 @@ NodeId Gpsr::first_ccw_neighbor(NodeId at, double ref_angle,
 RouteResult Gpsr::route_impl(NodeId src, Point dest,
                              NodeId exact_target) const {
   RouteResult result;
+  // One reallocation for the common case: the greedy path length is about
+  // the line-of-sight distance in radio ranges; leave headroom for detours.
+  result.path.reserve(static_cast<std::size_t>(distance(net_.position(src),
+                                                        dest) /
+                                               net_.radio_range()) *
+                          2 +
+                      8);
   result.path.push_back(src);
 
   enum class Mode { Greedy, Perimeter };

@@ -23,29 +23,11 @@
 #include "common/geometry.h"
 #include "net/network.h"
 #include "routing/planarization.h"
+#include "routing/router.h"
 
 namespace poolnet::routing {
 
-/// Outcome of one routed packet.
-struct RouteResult {
-  /// Nodes visited, source first, delivery node last. Consecutive entries
-  /// are radio neighbors; hops() = path.size() - 1.
-  std::vector<net::NodeId> path;
-
-  /// Node where the packet was delivered.
-  net::NodeId delivered = net::kNoNode;
-
-  /// True when `delivered` sits exactly at the requested location (always
-  /// true for route_to_node on a connected network).
-  bool exact = false;
-
-  /// Hops spent in perimeter mode (diagnostic; 0 on pure-greedy paths).
-  std::size_t perimeter_hops = 0;
-
-  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
-};
-
-class Gpsr {
+class Gpsr final : public Router {
  public:
   /// Builds the planarized view once; the router itself is stateless
   /// per-packet, exactly like the protocol.
@@ -54,11 +36,11 @@ class Gpsr {
 
   /// Route from `src` to the position of `dst`. On a connected network
   /// this always delivers at `dst`.
-  RouteResult route_to_node(net::NodeId src, net::NodeId dst) const;
+  RouteResult route_to_node(net::NodeId src, net::NodeId dst) const override;
 
   /// Route from `src` toward an arbitrary location; delivers at the home
   /// node (the node whose face tour encloses the location).
-  RouteResult route_to_location(net::NodeId src, Point dest) const;
+  RouteResult route_to_location(net::NodeId src, Point dest) const override;
 
   const PlanarGraph& planar() const { return planar_; }
 

@@ -1,0 +1,203 @@
+#include "routing/route_cache.h"
+
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace poolnet::routing {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool parse_route_cache_spec(const std::string& spec, RouteCacheConfig* config,
+                            std::string* error) {
+  if (spec == "on") {
+    config->enabled = true;
+    config->max_bytes = 0;
+    return true;
+  }
+  if (spec == "off") {
+    config->enabled = false;
+    return true;
+  }
+  if (spec.rfind("lru:", 0) == 0) {
+    const std::string num = spec.substr(4);
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    double scale = 1.0;
+    if (end != num.c_str() && *end != '\0') {
+      switch (std::tolower(static_cast<unsigned char>(*end))) {
+        case 'k': scale = 1e3; ++end; break;
+        case 'm': scale = 1e6; ++end; break;
+        case 'g': scale = 1e9; ++end; break;
+        default: break;
+      }
+    }
+    if (end == num.c_str() || *end != '\0' || v <= 0.0) {
+      *error = "route-cache: bad byte bound '" + num + "'";
+      return false;
+    }
+    config->enabled = true;
+    config->max_bytes = static_cast<std::size_t>(v * scale);
+    return true;
+  }
+  *error = "route-cache: expected on, off or lru:<bytes>, got '" + spec + "'";
+  return false;
+}
+
+RouteCache::RouteCache(const Router& inner, RouteCacheConfig config)
+    : inner_(inner), config_(config) {}
+
+std::size_t RouteCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = mix64(k.src_kind);
+  h = mix64(h ^ static_cast<std::uint64_t>(k.a));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.b));
+  return static_cast<std::size_t>(h);
+}
+
+RouteCache::Key RouteCache::node_key(net::NodeId src, net::NodeId dst) const {
+  return Key{static_cast<std::uint64_t>(src) << 1,
+             static_cast<std::int64_t>(dst), 0};
+}
+
+RouteCache::Key RouteCache::location_key(net::NodeId src, Point dest) const {
+  Key key;
+  key.src_kind = (static_cast<std::uint64_t>(src) << 1) | 1u;
+  if (config_.location_quantum > 0.0) {
+    key.a = static_cast<std::int64_t>(
+        std::floor(dest.x / config_.location_quantum));
+    key.b = static_cast<std::int64_t>(
+        std::floor(dest.y / config_.location_quantum));
+  } else {
+    key.a = std::bit_cast<std::int64_t>(dest.x);
+    key.b = std::bit_cast<std::int64_t>(dest.y);
+  }
+  return key;
+}
+
+std::size_t RouteCache::result_bytes(const RouteResult& r) {
+  // Path storage dominates; the constant approximates the map node, the
+  // LRU list node and the Entry bookkeeping.
+  constexpr std::size_t kEntryOverhead = 128;
+  return r.path.size() * sizeof(net::NodeId) + kEntryOverhead;
+}
+
+RouteCache::Entry& RouteCache::touch(
+    std::unordered_map<Key, Entry, KeyHash>::iterator it) const {
+  // The LRU list only matters under a byte budget; unbounded caches skip
+  // its pointer churn entirely (lru_pos is never read without a budget).
+  if (config_.max_bytes != 0)
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second;
+}
+
+void RouteCache::account_and_evict(std::size_t delta) const {
+  stats_.bytes += delta;
+  stats_.entries = map_.size() + flat_entries_;
+  if (config_.max_bytes == 0) return;
+  while (stats_.bytes > config_.max_bytes && !lru_.empty()) {
+    const auto victim = map_.find(lru_.back());
+    stats_.bytes -= victim->second.bytes;
+    ++stats_.evictions;
+    map_.erase(victim);
+    lru_.pop_back();
+  }
+  stats_.entries = map_.size() + flat_entries_;
+}
+
+RouteResult RouteCache::route_to_node(net::NodeId src, net::NodeId dst) const {
+  if (!config_.enabled) return inner_.route_to_node(src, dst);
+
+  if (config_.max_bytes == 0) {
+    if (src < by_src_.size()) {
+      for (const NodeEntry& e : by_src_[src]) {
+        if (e.dst == dst) {
+          ++stats_.hits;
+          return e.result;
+        }
+      }
+    }
+    ++stats_.misses;
+    RouteResult result = inner_.route_to_node(src, dst);
+    if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
+      return result;
+    if (src >= by_src_.size()) by_src_.resize(src + 1);
+    by_src_[src].push_back(NodeEntry{dst, result});
+    ++flat_entries_;
+    stats_.entries = map_.size() + flat_entries_;
+    stats_.bytes += result_bytes(result);
+    return result;
+  }
+
+  const Key key = node_key(src, dst);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    ++stats_.hits;
+    return touch(it).items.front().second;
+  }
+  ++stats_.misses;
+  RouteResult result = inner_.route_to_node(src, dst);
+  if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
+    return result;  // one-shot long leg: storing it costs more than it saves
+  if (config_.max_bytes != 0) lru_.push_front(key);
+  Entry& entry = map_[key];
+  if (config_.max_bytes != 0) entry.lru_pos = lru_.begin();
+  entry.items.emplace_back(Point{}, result);
+  entry.bytes = result_bytes(result);
+  account_and_evict(entry.bytes);
+  return result;
+}
+
+RouteResult RouteCache::route_to_location(net::NodeId src, Point dest) const {
+  if (!config_.enabled) return inner_.route_to_location(src, dest);
+
+  const Key key = location_key(src, dest);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Exactness check: the bucket may hold routes to several distinct
+    // points of the same α-cell; only a bit-identical destination hits.
+    for (const auto& [point, result] : it->second.items) {
+      if (point.x == dest.x && point.y == dest.y) {
+        ++stats_.hits;
+        touch(it);
+        return result;
+      }
+    }
+  }
+  ++stats_.misses;
+  RouteResult result = inner_.route_to_location(src, dest);
+  if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
+    return result;  // one-shot long leg: storing it costs more than it saves
+  const std::size_t added = result_bytes(result);
+  if (it != map_.end()) {
+    touch(it);
+    it->second.items.emplace_back(dest, result);
+    it->second.bytes += added;
+  } else {
+    if (config_.max_bytes != 0) lru_.push_front(key);
+    Entry& entry = map_[key];
+    if (config_.max_bytes != 0) entry.lru_pos = lru_.begin();
+    entry.items.emplace_back(dest, result);
+    entry.bytes = added;
+  }
+  account_and_evict(added);
+  return result;
+}
+
+void RouteCache::clear() {
+  map_.clear();
+  lru_.clear();
+  by_src_.clear();
+  flat_entries_ = 0;
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace poolnet::routing

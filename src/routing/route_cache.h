@@ -1,0 +1,139 @@
+// Memoizing decorator over any Router (normally Gpsr).
+//
+// GPSR is deterministic over a static unit-disk graph, so a (src, dst)
+// pair always yields the same path — yet Pool recomputes the same
+// splitter→cell legs for every query and DIM re-walks the same zone legs.
+// RouteCache stores each computed RouteResult and replays it verbatim, so
+// the traffic ledger sees byte-identical paths whether the cache is on or
+// off; only wall-clock changes.
+//
+// Keying: node routes are keyed (src, dst). Location routes are bucketed
+// by (src, ⌊x/q⌋, ⌊y/q⌋) with q = location_quantum (the Pool α-grid, so
+// every cell-center route of a cell lands in one bucket); the exact
+// destination point is stored alongside and compared on lookup, which
+// makes quantization a pure hashing concern — a cached result is only
+// returned for the bit-identical destination that produced it.
+//
+// Bounded-memory mode: max_bytes > 0 turns on LRU eviction over an
+// approximate per-entry byte count (path storage + bookkeeping).
+//
+// NOT thread-safe: one RouteCache per testbed, like the Network it routes
+// over. The parallel experiment engine gives each concurrent testbed its
+// own networks, routers and caches.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "routing/router.h"
+
+namespace poolnet::routing {
+
+struct RouteCacheConfig {
+  bool enabled = true;
+
+  /// LRU byte budget; 0 = unbounded (no eviction).
+  std::size_t max_bytes = 0;
+
+  /// Bucket pitch for location-route keys, in meters (use the Pool cell
+  /// size α so cell-center routes share buckets). <= 0 buckets by the
+  /// exact coordinate bits.
+  double location_quantum = 5.0;
+
+  /// Routes LONGER than this many hops are recomputed rather than
+  /// stored (0 = store everything). Counterintuitive but measured: the
+  /// routes that repeat across queries are the short intra-pool and
+  /// zone-adjacency legs, while long cross-field legs are sink-specific
+  /// one-shots — storing those only bloats the table past the CPU cache
+  /// and slows every probe. See DESIGN.md "Performance engineering".
+  std::size_t max_hops = 6;
+};
+
+struct RouteCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< approximate resident size
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// Parses a --route-cache spec: "on", "off" or "lru:<bytes>" (with
+/// optional k/m/g suffix on the byte count). Returns false and sets
+/// `error` on a malformed spec; `config->location_quantum` is untouched.
+bool parse_route_cache_spec(const std::string& spec, RouteCacheConfig* config,
+                            std::string* error);
+
+class RouteCache final : public Router {
+ public:
+  explicit RouteCache(const Router& inner, RouteCacheConfig config = {});
+
+  RouteResult route_to_node(net::NodeId src, net::NodeId dst) const override;
+  RouteResult route_to_location(net::NodeId src, Point dest) const override;
+
+  const RouteCacheConfig& config() const { return config_; }
+  const RouteCacheStats& stats() const { return stats_; }
+
+  /// Drops every entry (stats counters are kept).
+  void clear();
+
+ private:
+  /// One cache key: node routes use (src, dst, kind 0); location routes
+  /// use (src, ⌊x/q⌋, ⌊y/q⌋, kind 1).
+  struct Key {
+    std::uint64_t src_kind = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  /// Location buckets hold (exact destination, result) pairs; node routes
+  /// always hold exactly one pair with an ignored Point.
+  struct Entry {
+    std::vector<std::pair<Point, RouteResult>> items;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  /// Unbounded-mode fast path for node routes: one flat bucket per source
+  /// (max_hops keeps each to the handful of repeating short legs), probed
+  /// by linear scan — an indexed load plus a few compares beats a hash of
+  /// the same data. LRU mode falls back to the map so eviction stays
+  /// uniform.
+  struct NodeEntry {
+    net::NodeId dst;
+    RouteResult result;
+  };
+
+  Key node_key(net::NodeId src, net::NodeId dst) const;
+  Key location_key(net::NodeId src, Point dest) const;
+
+  /// Moves `it` to the MRU position and returns its entry.
+  Entry& touch(std::unordered_map<Key, Entry, KeyHash>::iterator it) const;
+
+  /// Charges `delta` fresh bytes and evicts LRU entries past the budget.
+  void account_and_evict(std::size_t delta) const;
+
+  static std::size_t result_bytes(const RouteResult& r);
+
+  const Router& inner_;
+  RouteCacheConfig config_;
+  mutable std::unordered_map<Key, Entry, KeyHash> map_;
+  mutable std::list<Key> lru_;  ///< front = most recently used
+  mutable std::vector<std::vector<NodeEntry>> by_src_;  ///< unbounded mode
+  mutable std::size_t flat_entries_ = 0;  ///< total items across by_src_
+  mutable RouteCacheStats stats_;
+};
+
+}  // namespace poolnet::routing

@@ -1,0 +1,53 @@
+// The routing abstraction shared by every DCS system.
+//
+// Pool, DIM, GHT and the centralized oracle only ever ask two questions of
+// the substrate: "route to this node" and "route toward this location".
+// Router is that two-method interface; Gpsr is the protocol implementation
+// and RouteCache a memoizing decorator over any Router. Systems hold a
+// `const Router&` so a testbed can interpose the cache without the systems
+// knowing — the returned RouteResult is identical either way, which keeps
+// every message count bit-identical with caching on or off.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "net/node.h"
+
+namespace poolnet::routing {
+
+/// Outcome of one routed packet.
+struct RouteResult {
+  /// Nodes visited, source first, delivery node last. Consecutive entries
+  /// are radio neighbors; hops() = path.size() - 1.
+  std::vector<net::NodeId> path;
+
+  /// Node where the packet was delivered.
+  net::NodeId delivered = net::kNoNode;
+
+  /// True when `delivered` sits exactly at the requested location (always
+  /// true for route_to_node on a connected network).
+  bool exact = false;
+
+  /// Hops spent in perimeter mode (diagnostic; 0 on pure-greedy paths).
+  std::size_t perimeter_hops = 0;
+
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Route from `src` to the position of `dst`. On a connected network
+  /// this always delivers at `dst`.
+  virtual RouteResult route_to_node(net::NodeId src,
+                                    net::NodeId dst) const = 0;
+
+  /// Route from `src` toward an arbitrary location; delivers at the home
+  /// node (the node whose face tour encloses the location).
+  virtual RouteResult route_to_location(net::NodeId src, Point dest) const = 0;
+};
+
+}  // namespace poolnet::routing

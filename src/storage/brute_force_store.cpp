@@ -2,7 +2,7 @@
 
 #include "common/error.h"
 #include "net/network.h"
-#include "routing/gpsr.h"
+#include "routing/router.h"
 
 namespace poolnet::storage {
 
@@ -12,11 +12,11 @@ BruteForceStore::BruteForceStore(std::size_t dims) : dims_(dims) {
 }
 
 BruteForceStore::BruteForceStore(std::size_t dims, net::Network& network,
-                                 const routing::Gpsr& gpsr,
+                                 const routing::Router& router,
                                  net::NodeId sink_node)
     : BruteForceStore(dims) {
   network_ = &network;
-  gpsr_ = &gpsr;
+  router_ = &router;
   base_station_ = sink_node;
 }
 
@@ -29,7 +29,7 @@ InsertReceipt BruteForceStore::insert(net::NodeId source, const Event& event) {
   receipt.stored_at = base_station_ == net::kNoNode ? source : base_station_;
   if (network_ != nullptr && base_station_ != net::kNoNode) {
     const auto before = network_->traffic().total;
-    const auto route = gpsr_->route_to_node(source, base_station_);
+    const auto route = router_->route_to_node(source, base_station_);
     network_->transmit_path(route.path, net::MessageKind::Insert,
                             network_->sizes().event_bits(dims_));
     receipt.messages = network_->traffic().total - before;
@@ -44,10 +44,10 @@ QueryReceipt BruteForceStore::query(net::NodeId sink, const RangeQuery& q) {
   if (network_ != nullptr && base_station_ != net::kNoNode) {
     const auto before = network_->traffic();
     // Query travels to the base station; replies come back packed.
-    const auto to_bs = gpsr_->route_to_node(sink, base_station_);
+    const auto to_bs = router_->route_to_node(sink, base_station_);
     network_->transmit_path(to_bs.path, net::MessageKind::Query,
                             network_->sizes().query_bits(dims_));
-    const auto back = gpsr_->route_to_node(base_station_, sink);
+    const auto back = router_->route_to_node(base_station_, sink);
     const auto& sizes = network_->sizes();
     const std::uint64_t reply_count =
         std::max<std::uint64_t>(sizes.reply_batches(receipt.events.size()), 1);
@@ -85,10 +85,10 @@ AggregateReceipt BruteForceStore::aggregate(net::NodeId sink,
   receipt.index_nodes_visited = 1;
   if (network_ != nullptr && base_station_ != net::kNoNode) {
     const auto before = network_->traffic();
-    const auto to_bs = gpsr_->route_to_node(sink, base_station_);
+    const auto to_bs = router_->route_to_node(sink, base_station_);
     network_->transmit_path(to_bs.path, net::MessageKind::Query,
                             network_->sizes().query_bits(dims_));
-    const auto back = gpsr_->route_to_node(base_station_, sink);
+    const auto back = router_->route_to_node(base_station_, sink);
     network_->transmit_path(back.path, net::MessageKind::Reply,
                             network_->sizes().aggregate_bits());
     const auto delta = network_->traffic() - before;

@@ -16,7 +16,7 @@ class Network;
 }
 
 namespace poolnet::routing {
-class Gpsr;
+class Router;
 }
 
 namespace poolnet::storage {
@@ -29,7 +29,7 @@ class BruteForceStore final : public DcsSystem {
   /// Networked construction: events are shipped to `sink_node` (external
   /// storage / base station) at insert time; queries are answered there.
   BruteForceStore(std::size_t dims, net::Network& network,
-                  const routing::Gpsr& gpsr, net::NodeId sink_node);
+                  const routing::Router& router, net::NodeId sink_node);
 
   std::string name() const override { return "central"; }
   std::size_t dims() const override { return dims_; }
@@ -54,7 +54,7 @@ class BruteForceStore final : public DcsSystem {
   std::size_t dims_;
   std::vector<Event> events_;
   net::Network* network_ = nullptr;        // null in oracle mode
-  const routing::Gpsr* gpsr_ = nullptr;    // null in oracle mode
+  const routing::Router* router_ = nullptr;  // null in oracle mode
   net::NodeId base_station_ = net::kNoNode;
 };
 

@@ -8,6 +8,7 @@
 #include "net/deployment.h"
 #include "query/query_gen.h"
 #include "query/workload.h"
+#include "routing/gpsr.h"
 #include "storage/brute_force_store.h"
 
 namespace poolnet::dim {

@@ -7,6 +7,7 @@
 #include "bench_support/testbed.h"
 #include "ght/ght_system.h"
 #include "query/workload.h"
+#include "routing/gpsr.h"
 
 namespace poolnet::storage {
 namespace {

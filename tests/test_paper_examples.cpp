@@ -8,6 +8,7 @@
 
 #include "core/pool_system.h"
 #include "net/deployment.h"
+#include "routing/gpsr.h"
 #include "storage/brute_force_store.h"
 
 namespace poolnet::core {

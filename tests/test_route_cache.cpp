@@ -1,0 +1,312 @@
+#include "routing/route_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
+#include "bench_support/testbed.h"
+#include "net/deployment.h"
+#include "query/query_gen.h"
+#include "routing/gpsr.h"
+
+namespace poolnet::routing {
+namespace {
+
+using net::Network;
+using net::NodeId;
+
+Network random_connected_net(std::uint64_t seed, std::size_t n) {
+  const double side = net::field_side_for_density(n, 40.0, 20.0);
+  const Rect field{0, 0, side, side};
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    Rng rng(seed + attempt * 1000003);
+    auto pts = net::deploy_uniform(n, field, rng);
+    Network net(std::move(pts), field, 40.0);
+    if (net.is_connected()) return net;
+  }
+}
+
+void expect_same_result(const RouteResult& a, const RouteResult& b) {
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.perimeter_hops, b.perimeter_hops);
+}
+
+// The core invariant: the cache replays exactly what GPSR would compute,
+// for every pair, no matter how often or in what order pairs repeat.
+TEST(RouteCache, CachedEqualsUncachedOverRandomPairs) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const auto net = random_connected_net(seed, 250);
+    const Gpsr gpsr(net);
+    const RouteCache cache(gpsr);  // unbounded, default max_hops
+    Rng rng(seed ^ 0xabcd);
+    const auto n = static_cast<std::int64_t>(net.size());
+    for (int trial = 0; trial < 1000; ++trial) {
+      const auto src = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      const auto dst = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      expect_same_result(cache.route_to_node(src, dst),
+                         gpsr.route_to_node(src, dst));
+    }
+    EXPECT_GT(cache.stats().hits, 0u) << "pairs repeat at this draw count";
+  }
+}
+
+TEST(RouteCache, CachedEqualsUncachedOverLocations) {
+  const auto net = random_connected_net(7, 200);
+  const Gpsr gpsr(net);
+  RouteCacheConfig config;
+  config.location_quantum = 5.0;
+  config.max_hops = 0;  // store everything
+  const RouteCache cache(gpsr, config);
+  Rng rng(77);
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i)
+    points.push_back({rng.uniform(0, net.field().max_x),
+                      rng.uniform(0, net.field().max_y)});
+  // Two passes: the second is all cache hits and must replay verbatim.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& p : points) {
+      expect_same_result(cache.route_to_location(3, p),
+                         gpsr.route_to_location(3, p));
+    }
+  }
+  EXPECT_GE(cache.stats().hits, 100u);
+}
+
+// Quantized bucketing must never alias two distinct destinations: points
+// closer together than the quantum share a bucket but each must get its
+// own route.
+TEST(RouteCache, QuantizedBucketsKeepExactDestinations) {
+  const auto net = random_connected_net(8, 200);
+  const Gpsr gpsr(net);
+  RouteCacheConfig config;
+  config.location_quantum = 1000.0;  // everything in one bucket
+  config.max_hops = 0;
+  const RouteCache cache(gpsr, config);
+  Rng rng(88);
+  for (int i = 0; i < 50; ++i) {
+    const Point p{rng.uniform(0, net.field().max_x),
+                  rng.uniform(0, net.field().max_y)};
+    expect_same_result(cache.route_to_location(0, p),
+                       gpsr.route_to_location(0, p));
+  }
+}
+
+TEST(RouteCache, CountsHitsAndMisses) {
+  const auto net = random_connected_net(9, 150);
+  const Gpsr gpsr(net);
+  const RouteCache cache(gpsr);
+  cache.route_to_node(0, 100);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  cache.route_to_node(0, 100);
+  cache.route_to_node(0, 100);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_NEAR(cache.stats().hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RouteCache, DisabledCacheDelegatesWithoutStoring) {
+  const auto net = random_connected_net(10, 150);
+  const Gpsr gpsr(net);
+  RouteCacheConfig config;
+  config.enabled = false;
+  const RouteCache cache(gpsr, config);
+  expect_same_result(cache.route_to_node(1, 140), gpsr.route_to_node(1, 140));
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// max_hops is a storage filter, never a correctness filter: routes longer
+// than the cap are recomputed each call but still returned exactly.
+TEST(RouteCache, MaxHopsFiltersStorageNotResults) {
+  const auto net = random_connected_net(11, 300);
+  const Gpsr gpsr(net);
+  RouteCacheConfig config;
+  config.max_hops = 2;
+  const RouteCache cache(gpsr, config);
+  Rng rng(111);
+  const auto n = static_cast<std::int64_t>(net.size());
+  std::size_t long_routes = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto dst = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto direct = gpsr.route_to_node(src, dst);
+    expect_same_result(cache.route_to_node(src, dst), direct);
+    if (direct.path.size() > 2) ++long_routes;
+  }
+  ASSERT_GT(long_routes, 0u) << "field must produce routes above the cap";
+  // Every stored entry is a short route; at 300 nodes there are far fewer
+  // short pairs than draws, so the table stays well below the draw count.
+  EXPECT_LT(cache.stats().entries, 200u - long_routes + 1u);
+}
+
+TEST(RouteCache, LruEvictionRespectsByteBound) {
+  const auto net = random_connected_net(12, 400);
+  const Gpsr gpsr(net);
+  RouteCacheConfig config;
+  config.max_bytes = 8 * 1024;
+  config.max_hops = 0;  // store everything: maximum pressure on the bound
+  const RouteCache cache(gpsr, config);
+  Rng rng(1212);
+  const auto n = static_cast<std::int64_t>(net.size());
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto dst = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    cache.route_to_node(src, dst);
+    ASSERT_LE(cache.stats().bytes, config.max_bytes)
+        << "after trial " << trial;
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.stats().entries, 0u);
+  // Evicted entries recompute correctly on their next use.
+  Rng rng2(1212);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto src = static_cast<NodeId>(rng2.uniform_int(0, n - 1));
+    const auto dst = static_cast<NodeId>(rng2.uniform_int(0, n - 1));
+    expect_same_result(cache.route_to_node(src, dst),
+                       gpsr.route_to_node(src, dst));
+  }
+}
+
+TEST(RouteCache, ClearDropsEntriesKeepsCounters) {
+  const auto net = random_connected_net(13, 150);
+  const Gpsr gpsr(net);
+  RouteCache cache(gpsr);
+  cache.route_to_node(0, 100);
+  cache.route_to_node(0, 100);
+  ASSERT_GT(cache.stats().entries, 0u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // counters survive
+  cache.route_to_node(0, 100);
+  EXPECT_EQ(cache.stats().misses, 2u);  // refilled after clear
+}
+
+TEST(RouteCacheSpec, ParsesOnOffAndLru) {
+  RouteCacheConfig config;
+  std::string error;
+  ASSERT_TRUE(parse_route_cache_spec("off", &config, &error));
+  EXPECT_FALSE(config.enabled);
+  ASSERT_TRUE(parse_route_cache_spec("on", &config, &error));
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.max_bytes, 0u);
+  ASSERT_TRUE(parse_route_cache_spec("lru:4096", &config, &error));
+  EXPECT_EQ(config.max_bytes, 4096u);
+  ASSERT_TRUE(parse_route_cache_spec("lru:64k", &config, &error));
+  EXPECT_EQ(config.max_bytes, 64000u);
+  ASSERT_TRUE(parse_route_cache_spec("lru:2m", &config, &error));
+  EXPECT_EQ(config.max_bytes, 2000000u);
+  EXPECT_FALSE(parse_route_cache_spec("lru:", &config, &error));
+  EXPECT_FALSE(parse_route_cache_spec("lru:-3", &config, &error));
+  EXPECT_FALSE(parse_route_cache_spec("sometimes", &config, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep determinism: the whole point of the engine is that thread
+// count is invisible in the numbers.
+
+bool bit_identical(const sim::RunningStat& a, const sim::RunningStat& b) {
+  return a.count() == b.count() &&
+         std::memcmp(&a, &b, sizeof(sim::RunningStat)) == 0;
+}
+
+bool bit_identical(const benchsup::SystemQueryStats& a,
+                   const benchsup::SystemQueryStats& b) {
+  return bit_identical(a.messages, b.messages) &&
+         bit_identical(a.query_messages, b.query_messages) &&
+         bit_identical(a.reply_messages, b.reply_messages) &&
+         bit_identical(a.index_nodes, b.index_nodes) &&
+         bit_identical(a.results, b.results) &&
+         bit_identical(a.energy_mj, b.energy_mj);
+}
+
+bool bit_identical(const benchsup::PairedRun& a, const benchsup::PairedRun& b) {
+  return a.queries == b.queries && a.pool_mismatches == b.pool_mismatches &&
+         a.dim_mismatches == b.dim_mismatches &&
+         bit_identical(a.pool, b.pool) && bit_identical(a.dim, b.dim);
+}
+
+benchsup::PairedRun sweep_job(std::size_t size, std::uint64_t seed,
+                              const RouteCacheConfig& route_cache) {
+  benchsup::TestbedConfig config;
+  config.nodes = size;
+  config.seed = seed;
+  config.route_cache = route_cache;
+  benchsup::Testbed tb(config);
+  tb.insert_workload();
+  query::QueryGenerator qgen({.dims = config.dims}, seed * 7919 + 5);
+  const auto queries = benchsup::generate_queries(
+      6, [&qgen] { return qgen.exact_range(); });
+  return benchsup::run_paired_queries(tb, queries, seed * 31 + 9);
+}
+
+std::vector<benchsup::SweepJob> make_jobs(const RouteCacheConfig& rc) {
+  std::vector<benchsup::SweepJob> jobs;
+  const std::vector<std::size_t> sizes{150, 250};
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      jobs.push_back({g, [size = sizes[g], seed, rc] {
+                        return sweep_job(size, seed, rc);
+                      }});
+    }
+  }
+  return jobs;
+}
+
+TEST(RunSweepParallel, ThreadCountIsInvisibleInResults) {
+  const RouteCacheConfig rc;  // cache on, defaults
+  const auto serial = benchsup::run_sweep_parallel(2, make_jobs(rc), 1);
+  ASSERT_EQ(serial.size(), 2u);
+  EXPECT_EQ(serial[0].pool_mismatches, 0u);
+  EXPECT_EQ(serial[0].dim_mismatches, 0u);
+  EXPECT_EQ(serial[0].queries, 12u);  // 6 queries x 2 seeds
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto parallel =
+        benchsup::run_sweep_parallel(2, make_jobs(rc), threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t g = 0; g < serial.size(); ++g) {
+      EXPECT_TRUE(bit_identical(serial[g], parallel[g]))
+          << "group " << g << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(RunSweepParallel, RouteCacheIsInvisibleInResults) {
+  RouteCacheConfig off;
+  off.enabled = false;
+  const auto uncached = benchsup::run_sweep_parallel(2, make_jobs(off), 1);
+  const auto cached = benchsup::run_sweep_parallel(2, make_jobs({}), 4);
+  ASSERT_EQ(uncached.size(), cached.size());
+  for (std::size_t g = 0; g < uncached.size(); ++g) {
+    EXPECT_TRUE(bit_identical(uncached[g], cached[g])) << "group " << g;
+  }
+}
+
+TEST(ParallelMap, SerialAndParallelAgree) {
+  const auto square = [](std::size_t i) { return i * i; };
+  const auto serial = benchsup::parallel_map<std::size_t>(100, 1, square);
+  const auto parallel = benchsup::parallel_map<std::size_t>(100, 8, square);
+  EXPECT_EQ(serial, parallel);
+  ASSERT_EQ(parallel.size(), 100u);
+  EXPECT_EQ(parallel[99], 99u * 99u);
+}
+
+TEST(ParallelMap, PropagatesFirstExceptionByIndex) {
+  EXPECT_THROW(
+      benchsup::parallel_map<int>(64, 4,
+                                  [](std::size_t i) {
+                                    if (i % 7 == 3)
+                                      throw std::runtime_error("boom");
+                                    return static_cast<int>(i);
+                                  }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace poolnet::routing

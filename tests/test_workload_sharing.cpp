@@ -7,6 +7,7 @@
 #include "core/pool_system.h"
 #include "net/deployment.h"
 #include "query/workload.h"
+#include "routing/gpsr.h"
 #include "storage/brute_force_store.h"
 
 namespace poolnet::core {
