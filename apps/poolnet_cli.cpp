@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
   parser.add_option("route-cache", "on",
                     "route memoization: on, off or lru:<bytes> (k/m/g "
                     "suffixes ok)");
+  cli::add_engine_options(parser);
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -122,6 +123,10 @@ int main(int argc, char** argv) {
   if (!routing::parse_route_cache_spec(parser.option("route-cache"),
                                        &config.route_cache, &error)) {
     std::fprintf(stderr, "error: --route-cache: %s\n", error.c_str());
+    return 2;
+  }
+  if (!cli::parse_engine_options(parser, &config.engine, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
 

@@ -10,6 +10,7 @@
 
 #include "bench_support/experiment.h"
 #include "bench_support/parallel.h"
+#include "engine/query_engine.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
@@ -82,6 +83,72 @@ SweepOutcome run_sweep(std::size_t threads,
   return out;
 }
 
+/// Query-engine probe for the CI trend file: one 300-node testbed serves
+/// a 32-query half-overlapping workload three ways — serial, batched by
+/// 16, and serial-with-cache replayed twice (so every repeat hits).
+struct EngineProbe {
+  std::uint64_t serial_messages = 0;
+  std::uint64_t batched_messages = 0;
+  double message_savings = 0;  ///< fraction of serial traffic avoided
+  double dedup_ratio = 1;
+  double cache_hit_rate = 0;
+};
+
+EngineProbe run_engine_probe() {
+  TestbedConfig config;
+  config.nodes = 300;
+  config.seed = 1;
+  Testbed tb(config);
+  tb.insert_workload();
+  Rng sink_rng(17);
+  const net::NodeId sink = tb.random_node(sink_rng);
+
+  query::QueryGenerator qgen(
+      {.dims = 3, .dist = query::RangeSizeDistribution::Exponential}, 57);
+  std::vector<storage::RangeQuery> templates;
+  for (int i = 0; i < 4; ++i) templates.push_back(qgen.exact_range());
+  Rng pick(23);
+  std::vector<storage::RangeQuery> queries;
+  for (int i = 0; i < 32; ++i) {
+    const auto fresh = qgen.exact_range();
+    const auto slot = static_cast<std::size_t>(pick.uniform_int(0, 3));
+    queries.push_back(pick.uniform() < 0.5 ? templates[slot] : fresh);
+  }
+
+  EngineProbe out;
+  {
+    engine::QueryEngine serial(tb.pool(), {});
+    for (const auto& q : queries) serial.take(serial.submit(sink, q));
+    out.serial_messages = serial.stats().messages;
+  }
+  {
+    engine::QueryEngineConfig cfg;
+    cfg.batch_size = 16;
+    cfg.batch_deadline = std::uint64_t{1} << 40;
+    engine::QueryEngine batched(tb.pool(), cfg);
+    std::vector<engine::QueryEngine::Ticket> tickets;
+    for (const auto& q : queries) tickets.push_back(batched.submit(sink, q));
+    batched.flush();
+    for (const auto t : tickets) batched.take(t);
+    out.batched_messages = batched.stats().messages;
+    out.dedup_ratio = batched.stats().overall_dedup_ratio();
+  }
+  if (out.serial_messages > 0) {
+    out.message_savings =
+        1.0 - static_cast<double>(out.batched_messages) /
+                  static_cast<double>(out.serial_messages);
+  }
+  {
+    engine::QueryEngineConfig cfg;
+    cfg.cache.enabled = true;
+    engine::QueryEngine cached(tb.pool(), cfg);
+    for (int round = 0; round < 2; ++round)
+      for (const auto& q : queries) cached.take(cached.submit(sink, q));
+    out.cache_hit_rate = cached.cache_stats().hit_rate();
+  }
+  return out;
+}
+
 bool stats_equal(const PairedRun& a, const PairedRun& b) {
   const auto same = [](const SystemQueryStats& x, const SystemQueryStats& y) {
     return x.messages.mean() == y.messages.mean() &&
@@ -128,6 +195,15 @@ int main(int argc, char** argv) {
   std::printf("\nspeedup: %.2fx (%zu threads); stats identical: %s\n",
               speedup, opts.threads, identical ? "yes" : "NO");
 
+  const EngineProbe probe = run_engine_probe();
+  std::printf(
+      "query engine: %llu serial msgs -> %llu batched (%.1f%% saved, "
+      "dedup %.2f, cache hit rate %.3f)\n",
+      static_cast<unsigned long long>(probe.serial_messages),
+      static_cast<unsigned long long>(probe.batched_messages),
+      100.0 * probe.message_savings, probe.dedup_ratio,
+      probe.cache_hit_rate);
+
   const double msgs_per_query = serial.totals.back().pool.messages.mean();
   std::FILE* f = std::fopen("BENCH_perf.json", "w");
   if (f) {
@@ -142,11 +218,21 @@ int main(int argc, char** argv) {
         "  \"pool_cache_hit_rate\": %.4f,\n"
         "  \"dim_cache_hit_rate\": %.4f,\n"
         "  \"pool_messages_per_query_900\": %.2f,\n"
-        "  \"stats_identical\": %s\n"
+        "  \"stats_identical\": %s,\n"
+        "  \"query_engine\": {\n"
+        "    \"serial_messages\": %llu,\n"
+        "    \"batched_messages\": %llu,\n"
+        "    \"message_savings\": %.4f,\n"
+        "    \"dedup_ratio\": %.4f,\n"
+        "    \"cache_hit_rate\": %.4f\n"
+        "  }\n"
         "}\n",
         opts.threads, serial.wall_ms, parallel.wall_ms, speedup,
         parallel.pool_hit_rate, parallel.dim_hit_rate, msgs_per_query,
-        identical ? "true" : "false");
+        identical ? "true" : "false",
+        static_cast<unsigned long long>(probe.serial_messages),
+        static_cast<unsigned long long>(probe.batched_messages),
+        probe.message_savings, probe.dedup_ratio, probe.cache_hit_rate);
     std::fclose(f);
     std::printf("wrote BENCH_perf.json\n");
   }

@@ -1,0 +1,242 @@
+// query_engine_throughput — batch size x query overlap sweep for the
+// sink-side query engine (ISSUE 2 tentpole evaluation).
+//
+// A fixed testbed serves a 64-query workload whose overlap fraction p
+// redirects each query, with probability p, to one of 8 popular
+// templates (the rest are fresh draws). Every (overlap, batch) cell
+// replays the SAME workload through a fresh QueryEngine over Pool and
+// DIM, so message deltas are attributable to batching alone. Each
+// batched run is cross-checked event-for-event against the serial run —
+// the engine's contract is byte-identical answers, cheaper delivery.
+//
+//   $ query_engine_throughput                 # full sweep
+//   $ query_engine_throughput --batch 16      # serial vs one batch size
+//
+// Emits query_engine_throughput.csv; exits nonzero if any batched
+// result set differs from serial.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/parallel.h"
+#include "engine/query_engine.h"
+#include "query/query_gen.h"
+
+using namespace poolnet;
+using namespace poolnet::benchsup;
+
+namespace {
+
+constexpr std::size_t kNodes = 600;
+constexpr std::size_t kQueries = 64;
+constexpr std::size_t kTemplates = 8;
+constexpr std::uint64_t kSeed = 1;
+const std::vector<double> kOverlaps = {0.0, 0.25, 0.5, 0.75};
+
+struct CellResult {
+  std::uint64_t messages = 0;
+  std::uint64_t messages_saved = 0;
+  double dedup_ratio = 1.0;
+  double wall_ms = 0.0;
+  bool identical = true;  ///< events match the serial run of this overlap
+};
+
+std::vector<storage::RangeQuery> make_workload(double overlap) {
+  // Template and fresh-query streams are seeded independently of the
+  // overlap draw so the popular set is shared across overlap levels.
+  query::QueryGenerator tmpl_gen(
+      {.dims = 3, .dist = query::RangeSizeDistribution::Exponential},
+      kSeed * 7919 + 11);
+  std::vector<storage::RangeQuery> templates;
+  for (std::size_t i = 0; i < kTemplates; ++i)
+    templates.push_back(tmpl_gen.exact_range());
+
+  query::QueryGenerator fresh_gen(
+      {.dims = 3, .dist = query::RangeSizeDistribution::Exponential},
+      kSeed * 104729 + 23);
+  Rng pick(kSeed * 31 + 5);
+  std::vector<storage::RangeQuery> out;
+  out.reserve(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    // Draw both streams every round so the fresh queries are identical
+    // across overlap levels; only the selection differs.
+    const storage::RangeQuery fresh = fresh_gen.exact_range();
+    const std::size_t slot =
+        static_cast<std::size_t>(pick.uniform_int(0, kTemplates - 1));
+    const bool popular = pick.uniform() < overlap;
+    out.push_back(popular ? templates[slot] : fresh);
+  }
+  return out;
+}
+
+/// Replays `queries` from one sink through a fresh engine over `system`.
+CellResult run_cell(storage::DcsSystem& system, net::NodeId sink,
+                    const std::vector<storage::RangeQuery>& queries,
+                    std::size_t batch_size,
+                    const std::vector<storage::QueryReceipt>* serial) {
+  engine::QueryEngineConfig cfg;
+  cfg.batch_size = batch_size;
+  // The sweep isolates the size trigger; the deadline trigger has its
+  // own tests.
+  cfg.batch_deadline = std::uint64_t{1} << 40;
+  engine::QueryEngine eng(system, cfg);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<engine::QueryEngine::Ticket> tickets;
+  tickets.reserve(queries.size());
+  for (const auto& q : queries) tickets.push_back(eng.submit(sink, q));
+  eng.flush();
+  std::vector<storage::QueryReceipt> receipts;
+  receipts.reserve(tickets.size());
+  for (const auto t : tickets) receipts.push_back(eng.take(t));
+  const auto end = std::chrono::steady_clock::now();
+
+  CellResult out;
+  out.messages = eng.stats().messages;
+  out.messages_saved = eng.stats().messages_saved;
+  out.dedup_ratio = eng.stats().overall_dedup_ratio();
+  out.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  if (serial) {
+    for (std::size_t i = 0; i < receipts.size(); ++i)
+      if (receipts[i].events != (*serial)[i].events) out.identical = false;
+  }
+  return out;
+}
+
+std::vector<storage::QueryReceipt> run_serial(
+    storage::DcsSystem& system, net::NodeId sink,
+    const std::vector<storage::RangeQuery>& queries, CellResult* cell) {
+  engine::QueryEngine eng(system, {});
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<storage::QueryReceipt> receipts;
+  receipts.reserve(queries.size());
+  for (const auto& q : queries) receipts.push_back(eng.take(eng.submit(sink, q)));
+  const auto end = std::chrono::steady_clock::now();
+  cell->messages = eng.stats().messages;
+  cell->messages_saved = 0;
+  cell->dedup_ratio = 1.0;
+  cell->wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  return receipts;
+}
+
+double savings_pct(std::uint64_t serial, std::uint64_t batched) {
+  if (serial == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(batched) /
+                            static_cast<double>(serial));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  print_banner("Query-engine throughput — batch size x query overlap",
+               "64 exact-range queries from one sink over 600 nodes; each "
+               "batched run must reproduce the serial result sets exactly.");
+
+  // --batch N narrows the sweep to {serial, N}; the default covers the
+  // usual doubling ladder.
+  std::vector<std::size_t> batches;
+  if (opts.engine.batch_size > 1) {
+    batches = {opts.engine.batch_size};
+  } else {
+    batches = {2, 4, 8, 16, 32};
+  }
+
+  TestbedConfig config;
+  config.nodes = kNodes;
+  config.seed = kSeed;
+  config.route_cache = opts.route_cache;
+  Testbed tb(config);
+  tb.insert_workload();
+  Rng sink_rng(kSeed * 13 + 3);
+  const net::NodeId sink = tb.random_node(sink_rng);
+
+  std::FILE* csv = std::fopen("query_engine_throughput.csv", "w");
+  if (csv) {
+    std::fprintf(csv,
+                 "system,overlap,batch,messages,serial_messages,"
+                 "savings_pct,messages_saved,dedup_ratio,wall_ms\n");
+  }
+
+  TablePrinter table({"overlap", "batch", "Pool msgs", "Pool saved",
+                      "DIM msgs", "DIM saved", "Pool dedup", "DIM dedup",
+                      "identical"});
+  bool all_identical = true;
+  double pool_savings_at_accept = 0.0, dim_savings_at_accept = 0.0;
+  const std::size_t accept_batch = batches.back();
+
+  for (const double overlap : kOverlaps) {
+    const auto queries = make_workload(overlap);
+
+    CellResult pool_serial, dim_serial;
+    const auto pool_base = run_serial(tb.pool(), sink, queries, &pool_serial);
+    const auto dim_base = run_serial(tb.dim(), sink, queries, &dim_serial);
+    table.add_row({fmt(overlap, 2), "off",
+                   std::to_string(pool_serial.messages), "-",
+                   std::to_string(dim_serial.messages), "-", "1.00", "1.00",
+                   "yes"});
+    if (csv) {
+      for (const char* sys : {"pool", "dim"}) {
+        const CellResult& c =
+            sys[0] == 'p' ? pool_serial : dim_serial;
+        std::fprintf(csv, "%s,%.2f,0,%llu,%llu,0.0,0,1.0,%.2f\n", sys,
+                     overlap, static_cast<unsigned long long>(c.messages),
+                     static_cast<unsigned long long>(c.messages), c.wall_ms);
+      }
+    }
+
+    for (const std::size_t b : batches) {
+      const auto pool_cell = run_cell(tb.pool(), sink, queries, b, &pool_base);
+      const auto dim_cell = run_cell(tb.dim(), sink, queries, b, &dim_base);
+      const double pool_saved =
+          savings_pct(pool_serial.messages, pool_cell.messages);
+      const double dim_saved =
+          savings_pct(dim_serial.messages, dim_cell.messages);
+      const bool identical = pool_cell.identical && dim_cell.identical;
+      all_identical = all_identical && identical;
+      table.add_row({fmt(overlap, 2), std::to_string(b),
+                     std::to_string(pool_cell.messages),
+                     fmt(pool_saved, 1) + "%",
+                     std::to_string(dim_cell.messages),
+                     fmt(dim_saved, 1) + "%", fmt(pool_cell.dedup_ratio, 2),
+                     fmt(dim_cell.dedup_ratio, 2), identical ? "yes" : "NO"});
+      if (csv) {
+        std::fprintf(
+            csv, "pool,%.2f,%zu,%llu,%llu,%.2f,%llu,%.4f,%.2f\n", overlap, b,
+            static_cast<unsigned long long>(pool_cell.messages),
+            static_cast<unsigned long long>(pool_serial.messages), pool_saved,
+            static_cast<unsigned long long>(pool_cell.messages_saved),
+            pool_cell.dedup_ratio, pool_cell.wall_ms);
+        std::fprintf(
+            csv, "dim,%.2f,%zu,%llu,%llu,%.2f,%llu,%.4f,%.2f\n", overlap, b,
+            static_cast<unsigned long long>(dim_cell.messages),
+            static_cast<unsigned long long>(dim_serial.messages), dim_saved,
+            static_cast<unsigned long long>(dim_cell.messages_saved),
+            dim_cell.dedup_ratio, dim_cell.wall_ms);
+      }
+      if (overlap == 0.5 && b == accept_batch) {
+        pool_savings_at_accept = pool_saved;
+        dim_savings_at_accept = dim_saved;
+      }
+    }
+  }
+  table.print();
+  if (csv) {
+    std::fclose(csv);
+    std::printf("\nwrote query_engine_throughput.csv\n");
+  }
+
+  std::printf(
+      "\nbatch %zu @ 50%% overlap: Pool %.1f%%, DIM %.1f%% fewer messages "
+      "than serial issue\n",
+      accept_batch, pool_savings_at_accept, dim_savings_at_accept);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "CORRECTNESS VIOLATION: a batched result set differed from "
+                 "serial execution\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,68 +1,90 @@
 #!/usr/bin/env python3
-"""Chart poolnet CLI sweep results (CSV from poolnet_cli --csv).
+"""Chart poolnet benchmark CSVs.
 
 Usage:
-    scripts/plot_results.py sweep_results.csv [out-prefix]
+    scripts/plot_results.py results.csv [out-prefix] [--x COL] [--y COL]
+                            [--group COL]
 
-Produces <prefix>_fig6_<dist>.png (cost vs network size, per size
-distribution) and <prefix>_fig7.png (cost vs partial-match class) when
-matplotlib is available; otherwise prints the aggregated series as text
-so the data is still usable.
+Columns are discovered from the CSV header, not hard-coded. Files
+written by poolnet_cli --csv (system/nodes/flavor/size_dist/... columns)
+get the paper-style figures: <prefix>_fig6_<dist>.png (cost vs network
+size per size distribution) and <prefix>_fig7.png (cost vs
+partial-match class). Any other CSV — e.g. query_engine_throughput.csv —
+gets a generic grouped line chart: the x axis, y axis and grouping
+column are inferred (numeric column with the most distinct values;
+message-like numeric column; first categorical column) and can be
+overridden with --x/--y/--group. Without matplotlib the aggregated
+series print as text, so the data stays usable.
 """
 import csv
 import sys
 from collections import defaultdict
 
+LEGACY_COLUMNS = {"system", "nodes", "flavor", "size_dist", "mean_messages"}
+
 
 def load(path):
     with open(path, newline="") as f:
-        return list(csv.DictReader(f))
+        reader = csv.DictReader(f)
+        return list(reader), list(reader.fieldnames or [])
 
 
-def series(rows, key_fields, value_field="mean_messages"):
-    """Groups rows by (system, *key_fields) and averages the value."""
-    acc = defaultdict(list)
+def is_numeric(rows, col):
+    seen = False
     for r in rows:
-        key = (r["system"],) + tuple(r[k] for k in key_fields)
-        acc[key].append(float(r[value_field]))
-    return {k: sum(v) / len(v) for k, v in acc.items()}
+        v = (r.get(col) or "").strip()
+        if not v:
+            continue
+        seen = True
+        try:
+            float(v)
+        except ValueError:
+            return False
+    return seen
 
 
-def main():
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 1
-    rows = load(sys.argv[1])
-    prefix = sys.argv[2] if len(sys.argv) > 2 else "poolnet"
-
-    exact = [r for r in rows if r["flavor"] == "exact"]
-    partial = [r for r in rows if r["flavor"].endswith("-partial")]
-
+def try_matplotlib():
     try:
         import matplotlib
 
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
 
-        have_mpl = True
+        return plt
     except ImportError:
-        have_mpl = False
+        return None
+
+
+def series(rows, key_fields, value_field):
+    """Groups rows by (*key_fields) and averages the value."""
+    acc = defaultdict(list)
+    for r in rows:
+        key = tuple(r[k] for k in key_fields)
+        acc[key].append(float(r[value_field]))
+    return {k: sum(v) / len(v) for k, v in acc.items()}
+
+
+def plot_legacy(rows, prefix, plt):
+    exact = [r for r in rows if r["flavor"] == "exact"]
+    partial = [r for r in rows if r["flavor"].endswith("-partial")]
 
     # Figure 6 style: cost vs nodes, one chart per size distribution.
     for dist in sorted({r["size_dist"] for r in exact}):
         sub = [r for r in exact if r["size_dist"] == dist]
-        data = series(sub, ["nodes"])
+        data = series(sub, ["system", "nodes"], "mean_messages")
         systems = sorted({k[0] for k in data})
         nodes = sorted({int(k[1]) for k in data})
         print(f"\n# exact match, {dist} range sizes")
         print("nodes " + " ".join(f"{s:>10}" for s in systems))
         for n in nodes:
-            line = f"{n:5d} " + " ".join(
-                f"{data.get((s, str(n)), float('nan')):10.1f}"
-                for s in systems
+            print(
+                f"{n:5d} "
+                + " ".join(
+                    f"{data.get((s, str(n)), float('nan')):10.1f}"
+                    for s in systems
+                )
             )
-            print(line)
-        if have_mpl and nodes:
+        if plt and nodes:
             plt.figure(figsize=(6, 4))
             for s in systems:
                 plt.plot(
@@ -82,7 +104,7 @@ def main():
 
     # Figure 7 style: cost per partial-match class.
     if partial:
-        data = series(partial, ["flavor"])
+        data = series(partial, ["system", "flavor"], "mean_messages")
         systems = sorted({k[0] for k in data})
         flavors = sorted({k[1] for k in data})
         print("\n# partial match")
@@ -90,10 +112,12 @@ def main():
         for fl in flavors:
             print(
                 f"{fl:10s} "
-                + " ".join(f"{data.get((s, fl), float('nan')):10.1f}"
-                           for s in systems)
+                + " ".join(
+                    f"{data.get((s, fl), float('nan')):10.1f}"
+                    for s in systems
+                )
             )
-        if have_mpl:
+        if plt:
             import numpy as np
 
             x = np.arange(len(flavors))
@@ -115,7 +139,125 @@ def main():
             plt.savefig(out, dpi=150, bbox_inches="tight")
             print(f"wrote {out}")
 
+
+def infer_roles(rows, columns, overrides):
+    """Picks (x, y, group) columns from whatever the CSV contains."""
+    numeric = [c for c in columns if is_numeric(rows, c)]
+    categorical = [c for c in columns if c not in numeric]
+
+    y = overrides.get("y")
+    if y is None:
+        message_like = [c for c in numeric if "message" in c or "msgs" in c]
+        y = message_like[0] if message_like else (numeric[-1] if numeric else None)
+
+    def integer_valued(col):
+        return all(
+            float(r[col]).is_integer() for r in rows if (r.get(col) or "").strip()
+        )
+
+    x = overrides.get("x")
+    if x is None:
+        candidates = [
+            c for c in numeric if c != y and len({r[c] for r in rows}) > 1
+        ]
+        # Swept parameters (batch, nodes, ...) are integer-valued and come
+        # before the measurements in the header; prefer those, in header
+        # order.
+        candidates.sort(
+            key=lambda c: (not integer_valued(c), columns.index(c))
+        )
+        x = candidates[0] if candidates else None
+
+    group = overrides.get("group")
+    if group is None:
+        group_candidates = categorical + [
+            c for c in numeric if c not in (x, y)
+        ]
+        group = group_candidates[0] if group_candidates else None
+    return x, y, group
+
+
+def plot_generic(rows, columns, prefix, overrides, plt):
+    x_col, y_col, group_col = infer_roles(rows, columns, overrides)
+    if x_col is None or y_col is None:
+        print(
+            f"cannot infer axes from columns {columns}; "
+            "pass --x and --y explicitly"
+        )
+        return 1
+
+    keys = [group_col, x_col] if group_col else [x_col]
+    data = series(rows, keys, y_col)
+    groups = sorted({k[0] for k in data}) if group_col else [None]
+    xs = sorted(
+        {k[-1] for k in data}, key=lambda v: float(v) if v else float("nan")
+    )
+
+    label = group_col or "all"
+    print(f"\n# {y_col} vs {x_col}, grouped by {label}")
+    print(f"{x_col:>12} " + " ".join(f"{str(g):>12}" for g in groups))
+    for xv in xs:
+        cells = []
+        for g in groups:
+            key = (g, xv) if group_col else (xv,)
+            cells.append(f"{data.get(key, float('nan')):12.2f}")
+        print(f"{xv:>12} " + " ".join(cells))
+
+    if plt:
+        plt.figure(figsize=(6, 4))
+        for g in groups:
+            ys = [
+                data.get((g, xv) if group_col else (xv,)) for xv in xs
+            ]
+            plt.plot(
+                [float(v) for v in xs],
+                ys,
+                marker="o",
+                label=str(g) if group_col else y_col,
+            )
+        plt.xlabel(x_col)
+        plt.ylabel(y_col)
+        plt.title(f"{y_col} vs {x_col}")
+        plt.legend()
+        plt.grid(alpha=0.3)
+        out = f"{prefix}_{y_col}_vs_{x_col}.png"
+        plt.savefig(out, dpi=150, bbox_inches="tight")
+        print(f"wrote {out}")
     return 0
+
+
+def main():
+    args = sys.argv[1:]
+    overrides = {}
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] in ("--x", "--y", "--group") and i + 1 < len(args):
+            overrides[args[i][2:]] = args[i + 1]
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if not positional:
+        print(__doc__)
+        return 1
+
+    rows, columns = load(positional[0])
+    if not rows:
+        print(f"{positional[0]}: no data rows")
+        return 1
+    prefix = positional[1] if len(positional) > 1 else "poolnet"
+    plt = try_matplotlib()
+
+    for col, val in overrides.items():
+        if val not in columns:
+            print(f"--{col}: no column named '{val}' (have: {columns})")
+            return 1
+
+    if LEGACY_COLUMNS.issubset(columns) and not overrides:
+        plot_legacy(rows, prefix, plt)
+        return 0
+    return plot_generic(rows, columns, prefix, overrides, plt)
 
 
 if __name__ == "__main__":

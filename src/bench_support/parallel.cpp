@@ -3,8 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 #include <string>
+
+#include "cli/args.h"
 
 namespace poolnet::benchsup {
 
@@ -104,51 +105,38 @@ std::vector<PairedRun> run_sweep_parallel(std::size_t n_groups,
   return merged;
 }
 
-namespace {
-[[noreturn]] void usage_error(const char* prog, const std::string& detail) {
-  std::fprintf(stderr,
-               "%s: %s\nusage: %s [--threads N] "
-               "[--route-cache=on|off|lru:<bytes>]\n",
-               prog, detail.c_str(), prog);
-  std::exit(2);
-}
-}  // namespace
-
 BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions opts;
   opts.threads = default_threads();
   const char* prog = argc > 0 ? argv[0] : "bench";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string value;
-    if (arg == "--threads") {
-      if (i + 1 >= argc) usage_error(prog, "--threads needs a value");
-      value = argv[++i];
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      value = arg.substr(10);
-    } else if (arg == "--route-cache" || arg.rfind("--route-cache=", 0) == 0) {
-      std::string spec;
-      if (arg == "--route-cache") {
-        if (i + 1 >= argc) usage_error(prog, "--route-cache needs a value");
-        spec = argv[++i];
-      } else {
-        spec = arg.substr(14);
-      }
-      std::string error;
-      if (!parse_route_cache_spec(spec, &opts.route_cache, &error))
-        usage_error(prog, error);
-      continue;
-    } else {
-      usage_error(prog, "unknown argument '" + arg + "'");
-    }
-    try {
-      const long n = std::stol(value);
-      if (n < 1) throw std::invalid_argument("");
-      opts.threads = static_cast<std::size_t>(n);
-    } catch (const std::exception&) {
-      usage_error(prog, "bad --threads value '" + value + "'");
-    }
+
+  cli::ArgParser parser(prog, "poolnet benchmark");
+  parser.add_option("threads", "0",
+                    "worker threads (0 = hardware concurrency)");
+  parser.add_option("route-cache", "on",
+                    "route memoization: on, off or lru:<bytes> (k/m/g "
+                    "suffixes ok)");
+  cli::add_engine_options(parser);
+
+  std::string error;
+  const auto fail = [&]() {
+    std::fprintf(stderr, "%s: %s\n\n%s", prog, error.c_str(),
+                 parser.help().c_str());
+    std::exit(2);
+  };
+  if (!parser.parse(argc, argv, &error)) fail();
+  if (parser.help_requested()) {
+    std::fputs(parser.help().c_str(), stdout);
+    std::exit(0);
   }
+  const auto threads = parser.int_option("threads", 0, 1024, &error);
+  if (!threads) fail();
+  if (*threads > 0) opts.threads = static_cast<std::size_t>(*threads);
+  if (!parse_route_cache_spec(parser.option("route-cache"),
+                              &opts.route_cache, &error)) {
+    fail();
+  }
+  if (!cli::parse_engine_options(parser, &opts.engine, &error)) fail();
   return opts;
 }
 

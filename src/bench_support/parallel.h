@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_support/experiment.h"
+#include "engine/query_engine.h"
 #include "routing/route_cache.h"
 
 namespace poolnet::benchsup {
@@ -114,12 +115,17 @@ std::vector<PairedRun> run_sweep_parallel(std::size_t n_groups,
                                           std::vector<SweepJob> jobs,
                                           std::size_t threads);
 
-/// Shared bench command line: --threads N (default: hardware concurrency)
-/// and --route-cache=on|off|lru:<bytes>. Prints usage and exits(2) on
-/// anything it doesn't recognize.
+/// Shared bench command line, parsed through the cli::ArgParser option
+/// table so every bench and the CLI accept identical spellings:
+/// --threads N (default: hardware concurrency),
+/// --route-cache=on|off|lru:<bytes>, and the query-engine trio
+/// --batch=<n|off>, --batch-deadline=<events>, --qcache=on|off|ttl:<n>.
+/// Prints usage and exits(2) on anything it doesn't recognize; --help
+/// prints the generated help and exits(0).
 struct BenchOptions {
   std::size_t threads = 1;
   routing::RouteCacheConfig route_cache;
+  engine::QueryEngineConfig engine;
 };
 BenchOptions parse_bench_options(int argc, char** argv);
 

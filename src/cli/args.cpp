@@ -149,4 +149,29 @@ std::optional<std::string> ArgParser::choice_option(
   return std::nullopt;
 }
 
+void add_engine_options(ArgParser& parser) {
+  parser.add_option("batch", "off",
+                    "query engine epoch size: off, or queries per merged "
+                    "dissemination");
+  parser.add_option("batch-deadline", "16",
+                    "flush a pending epoch after this many engine events");
+  parser.add_option("qcache", "off",
+                    "sink result cache: on, off or ttl:<events>");
+}
+
+bool parse_engine_options(const ArgParser& parser,
+                          engine::QueryEngineConfig* config,
+                          std::string* error) {
+  if (!engine::parse_batch_spec(parser.option("batch"), &config->batch_size,
+                                error)) {
+    return false;
+  }
+  const auto deadline =
+      parser.int_option("batch-deadline", 1, 1 << 30, error);
+  if (!deadline) return false;
+  config->batch_deadline = static_cast<std::uint64_t>(*deadline);
+  return engine::parse_qcache_spec(parser.option("qcache"), &config->cache,
+                                   error);
+}
+
 }  // namespace poolnet::cli

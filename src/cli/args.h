@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/query_engine.h"
+
 namespace poolnet::cli {
 
 class ArgParser {
@@ -66,5 +68,21 @@ class ArgParser {
   std::map<std::string, bool> flags_;
   bool help_requested_ = false;
 };
+
+// --- the shared query-engine option table ---------------------------------
+//
+// The CLI and every bench accept the same three engine flags with the same
+// spellings, defaults and error messages. Declaring them through this pair
+// (instead of per-binary re-declarations) is what keeps them identical.
+
+/// Declares --batch <n|off>, --batch-deadline <events> and
+/// --qcache <on|off|ttl:<n>> on `parser` with engine defaults.
+void add_engine_options(ArgParser& parser);
+
+/// Parses the three engine options into `config`. Returns false and sets
+/// `error` on a malformed spec. Call after parser.parse().
+bool parse_engine_options(const ArgParser& parser,
+                          engine::QueryEngineConfig* config,
+                          std::string* error);
 
 }  // namespace poolnet::cli

@@ -135,6 +135,26 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
     acc[SystemChoice::Dim].events += events;
   }
 
+  // Every query flows through a per-system QueryEngine. With batching and
+  // the cache off the engine executes each submit immediately — the exact
+  // call sequence of the direct loop — so default runs are unchanged;
+  // with --batch/--qcache the engine merges and caches per its config.
+  std::map<SystemChoice, std::unique_ptr<engine::QueryEngine>> engines;
+  for (const auto s : config.systems) {
+    storage::DcsSystem& sys =
+        s == SystemChoice::Pool ? static_cast<storage::DcsSystem&>(tb.pool())
+        : s == SystemChoice::Dim ? static_cast<storage::DcsSystem&>(tb.dim())
+                                 : static_cast<storage::DcsSystem&>(*ght_sys);
+    engines[s] = std::make_unique<engine::QueryEngine>(sys, config.engine);
+  }
+
+  struct Issued {
+    std::size_t oracle_count;
+    std::map<SystemChoice, engine::QueryEngine::Ticket> tickets;
+  };
+  std::vector<Issued> issued;
+  issued.reserve(config.queries);
+
   query::QueryGenerator qgen(
       {.dims = config.dims, .dist = config.size_dist},
       config.seed * 1000003 + dep * 101 + 7);
@@ -142,20 +162,16 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
   for (std::size_t i = 0; i < config.queries; ++i) {
     const auto q = make_query(qgen, config.flavor);
     const auto sink = tb.random_node(sink_rng);
-    const auto oracle_count = tb.oracle().matching(q).size();
-    for (const auto s : config.systems) {
-      switch (s) {
-        case SystemChoice::Pool:
-          record(acc[s], tb.pool().query(sink, q), oracle_count);
-          break;
-        case SystemChoice::Dim:
-          record(acc[s], tb.dim().query(sink, q), oracle_count);
-          break;
-        case SystemChoice::Ght:
-          record(acc[s], ght_sys->query(sink, q), oracle_count);
-          break;
-      }
-    }
+    Issued row;
+    row.oracle_count = tb.oracle().matching(q).size();
+    for (const auto s : config.systems)
+      row.tickets[s] = engines[s]->submit(sink, q);
+    issued.push_back(std::move(row));
+  }
+  for (const auto s : config.systems) engines[s]->flush();
+  for (const Issued& row : issued) {
+    for (const auto s : config.systems)
+      record(acc[s], engines[s]->take(row.tickets.at(s)), row.oracle_count);
   }
   return acc;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_support/testbed.h"
+#include "engine/query_engine.h"
 #include "query/query_gen.h"
 
 namespace poolnet::cli {
@@ -34,6 +35,11 @@ struct CliConfig {
   std::string csv_path;  // empty = no CSV
   std::size_t threads = 1;  // deployments run in parallel when > 1
   routing::RouteCacheConfig route_cache;  // route memoization (default on)
+
+  /// Query-engine serving layer (batching + result cache). The default —
+  /// batching off, cache off — routes every query through the engine
+  /// unbatched, which is bit-identical to calling the systems directly.
+  engine::QueryEngineConfig engine;
 };
 
 /// One result row (per system).

@@ -333,6 +333,185 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
   return receipt;
 }
 
+storage::BatchQueryReceipt PoolSystem::query_batch(
+    net::NodeId sink, const std::vector<RangeQuery>& queries) {
+  // A batch of 0 or 1 gains nothing from merging; fall back to the
+  // serial default so single-query receipts stay exact.
+  if (queries.size() < 2) return DcsSystem::query_batch(sink, queries);
+  for (const RangeQuery& q : queries)
+    if (q.dims() != dims_)
+      throw ConfigError("PoolSystem: query dimensionality mismatch");
+
+  storage::BatchQueryReceipt batch;
+  batch.per_query.resize(queries.size());
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+  const auto hops = [](const routing::RouteResult& r) -> std::uint64_t {
+    return static_cast<std::uint64_t>(r.hops());
+  };
+  // What issuing each query alone would have charged, accumulated from
+  // the hop counts of the legs the merged walk computes (every serial
+  // leg is also a union leg, so the routes are already at hand).
+  std::uint64_t serial_cost = 0;
+
+  for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
+    std::vector<std::vector<CellOffset>> qcells(queries.size());
+    std::vector<std::size_t> users;  // queries with relevant cells here
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      qcells[qi] = relevant_cells(queries[qi], pool_dim, config_.side);
+      if (!qcells[qi].empty()) users.push_back(qi);
+    }
+    if (users.empty()) continue;
+
+    {
+      // The pivot lookup is cached per (node, pool), so serial execution
+      // would charge exactly the same first-use round trip.
+      const auto t0 = net_.traffic().total;
+      charge_pivot_lookup(sink, pool_dim);
+      serial_cost += net_.traffic().total - t0;
+    }
+
+    const net::NodeId splitter = splitter_for(pool_dim, sink);
+    const auto to_splitter = router_.route_to_node(sink, splitter);
+    net_.transmit_path(to_splitter.path, net::MessageKind::Query,
+                       sizes.query_bits(dims_));
+    serial_cost += users.size() * hops(to_splitter);
+
+    // Union of relevant cells in first-seen order, with the member
+    // queries that asked for each cell.
+    struct Visit {
+      CellOffset off;
+      std::vector<std::size_t> members;
+    };
+    std::vector<Visit> visits;
+    std::unordered_map<std::size_t, std::size_t> visit_at;  // key → index
+    for (const std::size_t qi : users) {
+      for (const CellOffset off : qcells[qi]) {
+        const auto [it, fresh] =
+            visit_at.try_emplace(cell_key(pool_dim, off), visits.size());
+        if (fresh) visits.push_back({off, {}});
+        visits[it->second].members.push_back(qi);
+      }
+      batch.serial_cell_visits += qcells[qi].size();
+      batch.per_query[qi].index_nodes_visited += qcells[qi].size();
+    }
+    batch.unique_cell_visits += visits.size();
+    batch.index_nodes_visited += visits.size();
+
+    std::map<std::size_t, std::uint32_t> pool_matches;  // per member query
+    std::uint32_t pool_union = 0;
+
+    for (const Visit& v : visits) {
+      const std::size_t key = cell_key(pool_dim, v.off);
+      const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, v.off));
+      const auto leg = router_.route_to_node(splitter, idx);
+      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+                         sizes.query_bits(dims_));
+      serial_cost += v.members.size() * hops(leg);
+
+      // One scan of the cell serves every member: count each member's
+      // matches (split by holder, for the delegate economics) and the
+      // DISTINCT matching events that actually travel back.
+      std::uint32_t union_here = 0;
+      std::map<net::NodeId, std::uint32_t> union_at_delegate;
+      std::vector<std::uint32_t> member_total(v.members.size(), 0);
+      std::map<net::NodeId, std::vector<std::uint32_t>> member_at_delegate;
+      for (const StoredEvent& se : cells_[key]) {
+        if (se.is_replica) continue;
+        bool any = false;
+        for (std::size_t mi = 0; mi < v.members.size(); ++mi) {
+          if (!queries[v.members[mi]].matches(se.event)) continue;
+          any = true;
+          ++member_total[mi];
+          if (se.holder != idx) {
+            auto& per = member_at_delegate[se.holder];
+            if (per.empty()) per.assign(v.members.size(), 0);
+            ++per[mi];
+          }
+        }
+        if (!any) continue;
+        if (se.holder == idx) {
+          ++union_here;
+        } else {
+          ++union_at_delegate[se.holder];
+        }
+      }
+
+      std::uint32_t union_total = union_here;
+      for (const auto& [delegate, found] : union_at_delegate) {
+        // The index node polls the delegate once for all members.
+        net_.transmit(idx, delegate, net::MessageKind::SubQuery,
+                      sizes.query_bits(dims_));
+        const std::uint64_t batches = sizes.reply_batches(found);
+        for (std::uint64_t b = 0; b < batches; ++b) {
+          net_.transmit(delegate, idx, net::MessageKind::Reply,
+                        sizes.reply_bits(dims_, sizes.reply_payload(found)));
+        }
+        union_total += found;
+        // Serial: each member with matches at this delegate would poll it
+        // and pull its own reply batches, all single-hop.
+        const auto& per = member_at_delegate.at(delegate);
+        for (std::size_t mi = 0; mi < v.members.size(); ++mi) {
+          if (per[mi] > 0) serial_cost += 1 + sizes.reply_batches(per[mi]);
+        }
+      }
+
+      if (union_total > 0 && idx != splitter) {
+        const auto back = router_.route_to_node(idx, splitter);
+        const std::uint64_t batches = sizes.reply_batches(union_total);
+        for (std::uint64_t b = 0; b < batches; ++b) {
+          net_.transmit_path(
+              back.path, net::MessageKind::Reply,
+              sizes.reply_bits(dims_, sizes.reply_payload(union_total)));
+        }
+        for (std::size_t mi = 0; mi < v.members.size(); ++mi) {
+          serial_cost += sizes.reply_batches(member_total[mi]) * hops(back);
+        }
+      }
+      for (std::size_t mi = 0; mi < v.members.size(); ++mi)
+        pool_matches[v.members[mi]] += member_total[mi];
+      pool_union += union_total;
+    }
+
+    if (pool_union > 0 && splitter != sink) {
+      const auto back = router_.route_to_node(splitter, sink);
+      const std::uint64_t batches = sizes.reply_batches(pool_union);
+      for (std::uint64_t b = 0; b < batches; ++b) {
+        net_.transmit_path(
+            back.path, net::MessageKind::Reply,
+            sizes.reply_bits(dims_, sizes.reply_payload(pool_union)));
+      }
+      for (const auto& [qi, matched] : pool_matches)
+        serial_cost += sizes.reply_batches(matched) * hops(back);
+    }
+
+    // Demultiplex: each query collects its events by walking ITS OWN
+    // relevant-cell list in resolver order — exactly the order serial
+    // query() appends in, so the per-query result is identical even
+    // though the union visited the cells in a different order.
+    for (const std::size_t qi : users) {
+      auto& events = batch.per_query[qi].events;
+      for (const CellOffset off : qcells[qi]) {
+        for (const StoredEvent& se : cells_[cell_key(pool_dim, off)]) {
+          if (!se.is_replica && queries[qi].matches(se.event))
+            events.push_back(se.event);
+        }
+      }
+    }
+  }
+
+  const auto delta = net_.traffic() - before;
+  batch.messages = delta.total;
+  batch.query_messages = delta.of(net::MessageKind::Query) +
+                         delta.of(net::MessageKind::SubQuery);
+  batch.reply_messages = delta.of(net::MessageKind::Reply);
+  if (net_.loss_model().loss_probability == 0.0)
+    POOLNET_ASSERT(serial_cost >= delta.total);
+  batch.messages_saved =
+      serial_cost >= delta.total ? serial_cost - delta.total : 0;
+  return batch;
+}
+
 storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
                                                 const RangeQuery& q,
                                                 storage::AggregateKind kind,

@@ -79,6 +79,17 @@ class PoolSystem final : public storage::DcsSystem {
   storage::QueryReceipt query(net::NodeId sink,
                               const storage::RangeQuery& query) override;
 
+  /// Merged multi-query execution: per pool, the relevant-cell sets of
+  /// every query in the batch are unioned (Theorem 3.2 resolving is pure
+  /// arithmetic, so the sink merges before transmitting anything), ONE
+  /// probe travels the splitter tree over the union, and each visited
+  /// cell replies once with the distinct matching events of all askers.
+  /// Per-query results are identical to serial query() calls;
+  /// messages_saved is exact on ideal links (DESIGN.md §8).
+  storage::BatchQueryReceipt query_batch(
+      net::NodeId sink,
+      const std::vector<storage::RangeQuery>& queries) override;
+
   /// In-network aggregation (Section 3.2.3): each relevant cell reduces
   /// its matching events to one fixed-size partial, each splitter merges
   /// its pool's partials, and exactly one aggregate reply per involved

@@ -136,6 +136,131 @@ void DimSystem::process_subtree(net::NodeId carrier, ZoneIndex zidx,
   });
 }
 
+void DimSystem::serial_probe(
+    net::NodeId carrier, ZoneIndex zidx, const RangeQuery& q,
+    std::map<std::pair<net::NodeId, net::NodeId>, routing::RouteResult>& legs,
+    std::uint64_t& cost,
+    const std::function<void(ZoneIndex)>& on_leaf) const {
+  const auto take_leg = [&](net::NodeId from, net::NodeId to) {
+    const auto [it, fresh] = legs.try_emplace({from, to});
+    if (fresh) it->second = router_.route_to_node(from, to);
+    cost += it->second.hops();
+  };
+  const ZoneNode& z = tree_.zone(zidx);
+  if (z.is_leaf()) {
+    if (carrier != z.owner) take_leg(carrier, z.owner);
+    on_leaf(zidx);
+    return;
+  }
+  const bool lower_hit = ZoneTree::zone_intersects(tree_.zone(z.lower), q);
+  const bool upper_hit = ZoneTree::zone_intersects(tree_.zone(z.upper), q);
+  if (lower_hit && upper_hit) {
+    for (const ZoneIndex child : {z.lower, z.upper}) {
+      const net::NodeId next = representative(child);
+      if (next != carrier) take_leg(carrier, next);
+      serial_probe(next, child, q, legs, cost, on_leaf);
+    }
+  } else if (lower_hit) {
+    serial_probe(carrier, z.lower, q, legs, cost, on_leaf);
+  } else if (upper_hit) {
+    serial_probe(carrier, z.upper, q, legs, cost, on_leaf);
+  }
+}
+
+storage::BatchQueryReceipt DimSystem::query_batch(
+    net::NodeId sink, const std::vector<RangeQuery>& queries) {
+  if (queries.size() < 2) return DcsSystem::query_batch(sink, queries);
+  for (const RangeQuery& q : queries)
+    if (q.dims() != dims())
+      throw ConfigError("DIM: query dimensionality mismatch");
+
+  storage::BatchQueryReceipt batch;
+  batch.per_query.resize(queries.size());
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+  std::uint64_t serial_cost = 0;
+
+  using LegMap =
+      std::map<std::pair<net::NodeId, net::NodeId>, routing::RouteResult>;
+  LegMap entry_legs;  // sink → enclosing-zone representative (Query kind)
+  LegMap walk_legs;   // split-and-forward legs (SubQuery kind)
+  // Per visited leaf: this batch's match count per query (visits with no
+  // matches still count as visits, like serial index_nodes_visited).
+  std::map<ZoneIndex, std::vector<std::uint32_t>> leaf_found;
+
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const RangeQuery& q = queries[qi];
+    const ZoneIndex start = tree_.enclosing_zone(q);
+    if (!ZoneTree::zone_intersects(tree_.zone(start), q)) continue;
+    const net::NodeId entry = representative(start);
+    {
+      const auto [it, fresh] = entry_legs.try_emplace({sink, entry});
+      if (fresh) it->second = router_.route_to_node(sink, entry);
+      serial_cost += it->second.hops();
+    }
+    serial_probe(entry, start, q, walk_legs, serial_cost, [&](ZoneIndex leaf) {
+      auto [it, fresh] = leaf_found.try_emplace(leaf);
+      if (fresh) it->second.assign(queries.size(), 0);
+      ++batch.per_query[qi].index_nodes_visited;
+      ++batch.serial_cell_visits;
+      for (const Event& e : store_[leaf]) {
+        if (q.matches(e)) {
+          batch.per_query[qi].events.push_back(e);
+          ++it->second[qi];
+        }
+      }
+    });
+  }
+  batch.unique_cell_visits = leaf_found.size();
+  batch.index_nodes_visited = leaf_found.size();
+
+  // Ship the merged probe: every distinct serial leg exactly once. Legs
+  // shared by several queries carry all of them in one message.
+  for (const auto& [key, leg] : entry_legs)
+    net_.transmit_path(leg.path, net::MessageKind::Query,
+                       sizes.query_bits(dims()));
+  for (const auto& [key, leg] : walk_legs)
+    net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+                       sizes.query_bits(dims()));
+
+  // Each answering leaf replies once with the distinct matching events of
+  // all askers; serial execution would have paid per asker.
+  for (const auto& [leaf, counts] : leaf_found) {
+    std::uint32_t union_found = 0;
+    for (const Event& e : store_[leaf]) {
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        if (counts[qi] > 0 && queries[qi].matches(e)) {
+          ++union_found;
+          break;
+        }
+      }
+    }
+    if (union_found == 0) continue;
+    const ZoneNode& z = tree_.zone(leaf);
+    if (z.owner == sink) continue;
+    const auto back = router_.route_to_node(z.owner, sink);
+    const std::uint64_t batches = sizes.reply_batches(union_found);
+    for (std::uint64_t b = 0; b < batches; ++b) {
+      net_.transmit_path(
+          back.path, net::MessageKind::Reply,
+          sizes.reply_bits(dims(), sizes.reply_payload(union_found)));
+    }
+    for (std::size_t qi = 0; qi < queries.size(); ++qi)
+      serial_cost += sizes.reply_batches(counts[qi]) * back.hops();
+  }
+
+  const auto delta = net_.traffic() - before;
+  batch.messages = delta.total;
+  batch.query_messages = delta.of(net::MessageKind::Query) +
+                         delta.of(net::MessageKind::SubQuery);
+  batch.reply_messages = delta.of(net::MessageKind::Reply);
+  if (net_.loss_model().loss_probability == 0.0)
+    POOLNET_ASSERT(serial_cost >= delta.total);
+  batch.messages_saved =
+      serial_cost >= delta.total ? serial_cost - delta.total : 0;
+  return batch;
+}
+
 storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
                                                const RangeQuery& q,
                                                storage::AggregateKind kind,

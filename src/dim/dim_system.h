@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "dim/zone_tree.h"
@@ -29,6 +32,16 @@ class DimSystem final : public storage::DcsSystem {
                                 const storage::Event& event) override;
   storage::QueryReceipt query(net::NodeId sink,
                               const storage::RangeQuery& query) override;
+
+  /// Merged multi-query execution: the shared dissemination tree is the
+  /// UNION of each query's serial forwarding legs with identical legs
+  /// charged once, and each answering leaf replies once with the distinct
+  /// matching events of all askers — so the batch never costs more than
+  /// the serial sum, even for disjoint queries whose zone walks diverge.
+  /// Per-query results are identical to serial query() calls (DESIGN.md §8).
+  storage::BatchQueryReceipt query_batch(
+      net::NodeId sink,
+      const std::vector<storage::RangeQuery>& queries) override;
 
   /// Aggregates are computed per leaf zone; each answering owner sends a
   /// fixed-size partial straight to the sink (DIM has no in-network merge
@@ -64,6 +77,17 @@ class DimSystem final : public storage::DcsSystem {
   void process_subtree(net::NodeId carrier, ZoneIndex zidx,
                        const storage::RangeQuery& q, net::NodeId sink,
                        storage::QueryReceipt& receipt);
+
+  /// Replays one query's serial walk WITHOUT charging the ledger: records
+  /// every leg walk_subtree would transmit into `legs` (computing each
+  /// route once), adds the legs' hop counts to `cost`, and fires on_leaf
+  /// at every relevant leaf in serial visit order.
+  void serial_probe(net::NodeId carrier, ZoneIndex zidx,
+                    const storage::RangeQuery& q,
+                    std::map<std::pair<net::NodeId, net::NodeId>,
+                             routing::RouteResult>& legs,
+                    std::uint64_t& cost,
+                    const std::function<void(ZoneIndex)>& on_leaf) const;
 
   net::Network& net_;
   const routing::Router& router_;

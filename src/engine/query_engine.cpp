@@ -1,0 +1,184 @@
+#include "engine/query_engine.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.h"
+
+namespace poolnet::engine {
+
+bool parse_batch_spec(const std::string& spec, std::size_t* batch_size,
+                      std::string* error) {
+  if (spec == "off") {
+    *batch_size = 0;
+    return true;
+  }
+  if (spec.empty() ||
+      spec.find_first_not_of("0123456789") != std::string::npos) {
+    *error = "bad --batch spec '" + spec + "' (want off or a positive count)";
+    return false;
+  }
+  errno = 0;
+  const unsigned long long n = std::strtoull(spec.c_str(), nullptr, 10);
+  if (errno != 0 || n == 0 || n > 1000000) {
+    *error = "bad --batch size '" + spec + "' (want 1..1000000)";
+    return false;
+  }
+  *batch_size = static_cast<std::size_t>(n);
+  return true;
+}
+
+QueryEngine::QueryEngine(storage::DcsSystem& system, QueryEngineConfig config)
+    : system_(system), config_(config), cache_(config.cache) {}
+
+void QueryEngine::advance_clock(std::uint64_t events) {
+  now_ += events;
+  if (!pending_.empty() && now_ - epoch_opened_ >= config_.batch_deadline)
+    flush();
+}
+
+void QueryEngine::tick(std::uint64_t events) { advance_clock(events); }
+
+QueryEngine::Ticket QueryEngine::submit(net::NodeId sink,
+                                        const storage::RangeQuery& query) {
+  advance_clock(1);
+  ++stats_.submitted;
+  const Ticket ticket = next_ticket_++;
+
+  if (const auto* cached = cache_.lookup(query, now_)) {
+    // Served entirely at the sink: zero network traffic.
+    ++stats_.cache_hits;
+    storage::QueryReceipt receipt;
+    receipt.events = *cached;
+    results_.emplace(ticket, std::move(receipt));
+    return ticket;
+  }
+
+  if (config_.batch_size <= 1) {
+    execute_serial({ticket, sink, query});
+    return ticket;
+  }
+
+  if (pending_.empty()) epoch_opened_ = now_;
+  pending_.push_back({ticket, sink, query});
+  if (pending_.size() >= config_.batch_size) flush();
+  return ticket;
+}
+
+void QueryEngine::execute_serial(const PendingQuery& p) {
+  storage::QueryReceipt receipt = system_.query(p.sink, p.query);
+  ++stats_.serial_executions;
+  stats_.messages += receipt.messages;
+  stats_.serial_cell_visits += receipt.index_nodes_visited;
+  stats_.unique_cell_visits += receipt.index_nodes_visited;
+  stats_.batch_occupancy.add(1.0);
+  finish(p.ticket, p.query, std::move(receipt));
+}
+
+void QueryEngine::finish(Ticket ticket, const storage::RangeQuery& q,
+                         storage::QueryReceipt receipt) {
+  cache_.store(q, receipt.events, now_);
+  results_.emplace(ticket, std::move(receipt));
+}
+
+void QueryEngine::flush() {
+  if (pending_.empty()) return;
+  std::vector<PendingQuery> epoch;
+  epoch.swap(pending_);
+
+  // Group by sink in first-appearance order; queries from different sinks
+  // share no dissemination tree, so each group merges independently.
+  struct Group {
+    net::NodeId sink;
+    std::vector<PendingQuery> members;
+  };
+  std::vector<Group> groups;
+  for (PendingQuery& p : epoch) {
+    Group* g = nullptr;
+    for (Group& cand : groups) {
+      if (cand.sink == p.sink) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back({p.sink, {}});
+      g = &groups.back();
+    }
+    g->members.push_back(std::move(p));
+  }
+
+  for (Group& g : groups) {
+    if (g.members.size() == 1) {
+      execute_serial(g.members.front());
+      continue;
+    }
+    std::vector<storage::RangeQuery> queries;
+    queries.reserve(g.members.size());
+    for (const PendingQuery& p : g.members) queries.push_back(p.query);
+
+    storage::BatchQueryReceipt batch = system_.query_batch(g.sink, queries);
+    ++stats_.batches;
+    stats_.messages += batch.messages;
+    stats_.messages_saved += batch.messages_saved;
+    stats_.serial_cell_visits += batch.serial_cell_visits;
+    stats_.unique_cell_visits += batch.unique_cell_visits;
+    stats_.batch_occupancy.add(static_cast<double>(g.members.size()));
+    stats_.dedup_ratio.add(
+        batch.unique_cell_visits > 0
+            ? static_cast<double>(batch.serial_cell_visits) /
+                  static_cast<double>(batch.unique_cell_visits)
+            : 1.0);
+
+    // The transport was shared, so per-query attribution is a policy
+    // choice: amortize each message field evenly across the batch
+    // (remainder to the earliest queries) unless the implementation
+    // already attributed exactly.
+    std::uint64_t attributed = 0;
+    for (const auto& r : batch.per_query) attributed += r.messages;
+    if (attributed != batch.messages) {
+      const auto spread = [&](std::uint64_t total,
+                              std::uint64_t storage::QueryReceipt::*field) {
+        const std::uint64_t n = batch.per_query.size();
+        const std::uint64_t base = total / n;
+        const std::uint64_t rem = total % n;
+        for (std::uint64_t i = 0; i < n; ++i)
+          batch.per_query[i].*field = base + (i < rem ? 1 : 0);
+      };
+      spread(batch.messages, &storage::QueryReceipt::messages);
+      spread(batch.query_messages, &storage::QueryReceipt::query_messages);
+      spread(batch.reply_messages, &storage::QueryReceipt::reply_messages);
+    }
+
+    for (std::size_t i = 0; i < g.members.size(); ++i) {
+      finish(g.members[i].ticket, g.members[i].query,
+             std::move(batch.per_query[i]));
+    }
+  }
+}
+
+storage::QueryReceipt QueryEngine::take(Ticket ticket) {
+  if (!ready(ticket)) flush();
+  const auto it = results_.find(ticket);
+  if (it == results_.end())
+    throw ConfigError("QueryEngine: unknown or already-taken ticket");
+  storage::QueryReceipt receipt = std::move(it->second);
+  results_.erase(it);
+  return receipt;
+}
+
+storage::InsertReceipt QueryEngine::insert(net::NodeId source,
+                                           const storage::Event& e) {
+  advance_clock(1);
+  const storage::InsertReceipt receipt = system_.insert(source, e);
+  cache_.invalidate_containing(e.values);
+  return receipt;
+}
+
+std::size_t QueryEngine::expire_before(double cutoff) {
+  cache_.clear();
+  return system_.expire_before(cutoff);
+}
+
+}  // namespace poolnet::engine

@@ -1,0 +1,141 @@
+// The sink-side batched query engine — the serving layer over any
+// DcsSystem (Pool, DIM, GHT all pluggable).
+//
+// Callers submit() RangeQueries and redeem tickets; the engine collects
+// concurrent submissions into EPOCHS, flushed when the epoch reaches
+// batch_size queries or batch_deadline logical events pass (every
+// submit/insert/tick advances the clock). At flush the pending queries
+// are grouped by sink and each group ships as ONE merged dissemination
+// via DcsSystem::query_batch, which unions relevant-cell sets, dedupes
+// cell visits and replies once per answering node — then the engine
+// demultiplexes, handing every caller a result byte-identical to serial
+// execution (DESIGN.md §8 has the argument).
+//
+// A ResultCache keyed on normalized query rectangles short-circuits
+// repeat queries entirely (zero messages); inserts routed through the
+// engine invalidate exactly the cached rectangles that contain the new
+// event, so hits can never be stale.
+//
+// Timing semantics: a batched query observes the store AS OF ITS FLUSH,
+// so an insert landing between submit and flush is visible — the same
+// answer a serial query issued at the flush instant would return.
+// NOT thread-safe, by design: one engine per testbed, like the Network
+// and RouteCache underneath it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/result_cache.h"
+#include "sim/stats.h"
+#include "storage/dcs_system.h"
+
+namespace poolnet::engine {
+
+struct QueryEngineConfig {
+  /// Queries per epoch before a forced flush. 0 or 1 = serial issue
+  /// (every submit executes immediately, nothing is ever held).
+  std::size_t batch_size = 0;
+
+  /// A pending epoch also flushes once this many logical events have
+  /// passed since it opened.
+  std::uint64_t batch_deadline = 16;
+
+  ResultCacheConfig cache;
+};
+
+/// Parses a --batch spec: "off" or a positive epoch size. Returns false
+/// and sets `error` on a malformed spec.
+bool parse_batch_spec(const std::string& spec, std::size_t* batch_size,
+                      std::string* error);
+
+struct EngineStats {
+  std::uint64_t submitted = 0;    ///< queries accepted by submit()
+  std::uint64_t cache_hits = 0;   ///< answered from the result cache
+  std::uint64_t batches = 0;      ///< merged rounds (>= 2 queries) executed
+  std::uint64_t serial_executions = 0;  ///< queries issued unbatched
+
+  std::uint64_t messages = 0;        ///< per-hop transmissions charged
+  std::uint64_t messages_saved = 0;  ///< vs. serial issue (batch receipts)
+  std::uint64_t serial_cell_visits = 0;
+  std::uint64_t unique_cell_visits = 0;
+
+  sim::RunningStat batch_occupancy;  ///< queries per flushed sink-group
+  sim::RunningStat dedup_ratio;      ///< serial / unique visits, per batch
+
+  /// Σ serial visits / Σ unique visits across every executed batch;
+  /// >= 1 whenever batching found any overlap.
+  double overall_dedup_ratio() const {
+    return unique_cell_visits > 0
+               ? static_cast<double>(serial_cell_visits) /
+                     static_cast<double>(unique_cell_visits)
+               : 1.0;
+  }
+};
+
+class QueryEngine {
+ public:
+  using Ticket = std::uint64_t;
+
+  explicit QueryEngine(storage::DcsSystem& system, QueryEngineConfig config = {});
+
+  const QueryEngineConfig& config() const { return config_; }
+  storage::DcsSystem& system() { return system_; }
+
+  /// Logical engine clock: advances by one per submit/insert and by
+  /// `events` per tick. TTLs and deadlines are measured in these units.
+  std::uint64_t now() const { return now_; }
+  void tick(std::uint64_t events = 1);
+
+  /// Admits a query issued at `sink`. Cache hits and serial mode resolve
+  /// immediately; otherwise the query joins the pending epoch.
+  Ticket submit(net::NodeId sink, const storage::RangeQuery& query);
+
+  /// Executes every pending query now, regardless of epoch triggers.
+  void flush();
+
+  bool ready(Ticket ticket) const { return results_.count(ticket) > 0; }
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Redeems a ticket, flushing first if its query is still pending.
+  /// Throws on unknown (or already-taken) tickets.
+  storage::QueryReceipt take(Ticket ticket);
+
+  /// Routes an insert through the engine so the cache invalidates every
+  /// rectangle containing the new event before it can serve stale hits.
+  storage::InsertReceipt insert(net::NodeId source, const storage::Event& e);
+
+  /// Data aging passthrough; clears the cache (aging shrinks answers
+  /// without touching any particular rectangle).
+  std::size_t expire_before(double cutoff);
+
+  const EngineStats& stats() const { return stats_; }
+  const ResultCacheStats& cache_stats() const { return cache_.stats(); }
+
+ private:
+  struct PendingQuery {
+    Ticket ticket;
+    net::NodeId sink;
+    storage::RangeQuery query;
+  };
+
+  /// Flushes the pending epoch when its deadline has passed.
+  void advance_clock(std::uint64_t events);
+  void execute_serial(const PendingQuery& p);
+  void finish(Ticket ticket, const storage::RangeQuery& q,
+              storage::QueryReceipt receipt);
+
+  storage::DcsSystem& system_;
+  QueryEngineConfig config_;
+  ResultCache cache_;
+  std::vector<PendingQuery> pending_;
+  std::uint64_t epoch_opened_ = 0;  ///< now() when pending_ got its first entry
+  std::unordered_map<Ticket, storage::QueryReceipt> results_;
+  EngineStats stats_;
+  std::uint64_t now_ = 0;
+  Ticket next_ticket_ = 1;
+};
+
+}  // namespace poolnet::engine

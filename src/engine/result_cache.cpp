@@ -1,0 +1,122 @@
+#include "engine/result_cache.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace poolnet::engine {
+
+namespace {
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+}  // namespace
+
+bool parse_qcache_spec(const std::string& spec, ResultCacheConfig* config,
+                       std::string* error) {
+  if (spec == "on") {
+    config->enabled = true;
+    config->ttl = 0;
+    return true;
+  }
+  if (spec == "off") {
+    config->enabled = false;
+    return true;
+  }
+  if (spec.rfind("ttl:", 0) == 0) {
+    const std::string digits = spec.substr(4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      *error = "bad --qcache ttl '" + spec + "' (want ttl:<events>)";
+      return false;
+    }
+    errno = 0;
+    const unsigned long long ttl = std::strtoull(digits.c_str(), nullptr, 10);
+    if (errno != 0 || ttl == 0) {
+      *error = "bad --qcache ttl '" + spec + "' (want a positive count)";
+      return false;
+    }
+    config->enabled = true;
+    config->ttl = static_cast<std::uint64_t>(ttl);
+    return true;
+  }
+  *error = "bad --qcache spec '" + spec + "' (want on, off or ttl:<n>)";
+  return false;
+}
+
+std::size_t ResultCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL ^ k.dims;
+  for (std::size_t i = 0; i < 2 * k.dims; ++i) h = mix(h ^ k.bits[i]);
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::Key ResultCache::key_of(const storage::RangeQuery& q) {
+  Key k;
+  k.dims = q.dims();
+  for (std::size_t d = 0; d < q.dims(); ++d) {
+    const ClosedInterval b = q.bound(d);
+    k.bits[2 * d] = bits_of(b.lo);
+    k.bits[2 * d + 1] = bits_of(b.hi);
+  }
+  return k;
+}
+
+const std::vector<storage::Event>* ResultCache::lookup(
+    const storage::RangeQuery& q, std::uint64_t now) {
+  if (!config_.enabled) return nullptr;
+  const auto it = entries_.find(key_of(q));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (expired(it->second, now)) {
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.events;
+}
+
+void ResultCache::store(const storage::RangeQuery& q,
+                        std::vector<storage::Event> events,
+                        std::uint64_t now) {
+  if (!config_.enabled) return;
+  Entry& e = entries_[key_of(q)];
+  e.rect = q.bounds();
+  e.events = std::move(events);
+  e.stored_at = now;
+  ++stats_.insertions;
+}
+
+std::size_t ResultCache::invalidate_containing(const storage::Values& values) {
+  if (!config_.enabled || entries_.empty()) return 0;
+  std::size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = it->second;
+    bool inside = e.rect.size() == values.size();
+    for (std::size_t d = 0; inside && d < values.size(); ++d)
+      inside = e.rect[d].contains(values[d]);
+    if (inside) {
+      it = entries_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += erased;
+  return erased;
+}
+
+void ResultCache::clear() { entries_.clear(); }
+
+}  // namespace poolnet::engine

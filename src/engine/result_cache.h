@@ -1,0 +1,103 @@
+// Sink-side result cache for the query engine.
+//
+// Keyed on the NORMALIZED query rectangle — the bounds after don't-care
+// rewriting, which is exactly the predicate matches() evaluates — so two
+// queries differing only in their specification mask share one entry.
+// Entries age out after a TTL of logical engine events, and invalidation
+// is PRECISE: an insert whose value vector falls inside a cached
+// rectangle erases that entry, while an insert outside it provably cannot
+// change the answer and leaves the entry alone. expire_before-style data
+// aging shrinks answers without touching any particular rectangle, so the
+// engine clears the whole cache on expiry instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/event.h"
+#include "storage/range_query.h"
+
+namespace poolnet::engine {
+
+struct ResultCacheConfig {
+  bool enabled = false;
+
+  /// Entry lifetime in logical engine events (see QueryEngine::now());
+  /// 0 = entries never expire by age.
+  std::uint64_t ttl = 0;
+};
+
+/// Parses a --qcache spec: "on", "off" or "ttl:<events>". Returns false
+/// and sets `error` on a malformed spec.
+bool parse_qcache_spec(const std::string& spec, ResultCacheConfig* config,
+                       std::string* error);
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t invalidations = 0;  ///< entries erased by a covering insert
+  std::uint64_t expirations = 0;    ///< entries erased by TTL
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheConfig config) : config_(config) {}
+
+  bool enabled() const { return config_.enabled; }
+  const ResultCacheConfig& config() const { return config_; }
+  const ResultCacheStats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Fresh cached result for `q`, or nullptr (counting a miss). An entry
+  /// older than the TTL is erased on contact and reported as a miss.
+  const std::vector<storage::Event>* lookup(const storage::RangeQuery& q,
+                                            std::uint64_t now);
+
+  /// Stores (or refreshes) the result set for `q` stamped at `now`.
+  void store(const storage::RangeQuery& q,
+             std::vector<storage::Event> events, std::uint64_t now);
+
+  /// Erases every entry whose rectangle contains `values` (the precise
+  /// invalidation rule for an insert). Returns entries erased.
+  std::size_t invalidate_containing(const storage::Values& values);
+
+  /// Drops everything (stats counters are kept).
+  void clear();
+
+ private:
+  /// Bit patterns of the normalized per-dimension bounds. Sound as a key
+  /// because RangeQuery::matches tests only the normalized bounds.
+  struct Key {
+    std::array<std::uint64_t, 2 * storage::kMaxDims> bits{};
+    std::size_t dims = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    storage::RangeQuery::Bounds rect;
+    std::vector<storage::Event> events;
+    std::uint64_t stored_at = 0;
+  };
+
+  static Key key_of(const storage::RangeQuery& q);
+  bool expired(const Entry& e, std::uint64_t now) const {
+    return config_.ttl > 0 && now - e.stored_at >= config_.ttl;
+  }
+
+  ResultCacheConfig config_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace poolnet::engine

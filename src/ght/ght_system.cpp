@@ -173,6 +173,136 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
   return receipt;
 }
 
+storage::BatchQueryReceipt GhtSystem::query_batch(
+    net::NodeId sink, const std::vector<RangeQuery>& queries) {
+  if (queries.size() < 2) return DcsSystem::query_batch(sink, queries);
+  for (const RangeQuery& q : queries)
+    if (q.dims() != dims_)
+      throw ConfigError("GHT: query dimensionality mismatch");
+
+  storage::BatchQueryReceipt batch;
+  batch.per_query.resize(queries.size());
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+  std::uint64_t serial_cost = 0;
+
+  std::vector<std::size_t> points, floods;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    (queries[qi].type() == storage::QueryType::ExactMatchPoint ? points
+                                                               : floods)
+        .push_back(qi);
+  }
+
+  // Point queries: probes to the same home node merge into one. The
+  // home reply carries the distinct matches of every asker.
+  struct HomeGroup {
+    net::NodeId home;
+    std::vector<std::size_t> members;
+  };
+  std::vector<HomeGroup> groups;
+  std::unordered_map<net::NodeId, std::size_t> group_at;
+  for (const std::size_t qi : points) {
+    storage::Values point;
+    for (std::size_t d = 0; d < dims_; ++d)
+      point.push_back(queries[qi].bound(d).lo);
+    const net::NodeId home = home_node(point);
+    const auto [it, fresh] = group_at.try_emplace(home, groups.size());
+    if (fresh) groups.push_back({home, {}});
+    groups[it->second].members.push_back(qi);
+  }
+  for (const HomeGroup& g : groups) {
+    const auto leg = router_.route_to_node(sink, g.home);
+    net_.transmit_path(leg.path, net::MessageKind::Query,
+                       sizes.query_bits(dims_));
+    serial_cost += g.members.size() * leg.hops();
+    ++batch.unique_cell_visits;
+    ++batch.index_nodes_visited;
+    batch.serial_cell_visits += g.members.size();
+
+    std::vector<std::uint32_t> member_found(g.members.size(), 0);
+    std::uint32_t union_found = 0;
+    for (const Event& e : store_[g.home]) {
+      bool any = false;
+      for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+        if (queries[g.members[mi]].matches(e)) {
+          any = true;
+          ++member_found[mi];
+          batch.per_query[g.members[mi]].events.push_back(e);
+        }
+      }
+      if (any) ++union_found;
+    }
+    for (const std::size_t qi : g.members)
+      batch.per_query[qi].index_nodes_visited = 1;
+    if (union_found > 0 && g.home != sink) {
+      const auto back = router_.route_to_node(g.home, sink);
+      const std::uint64_t batches = sizes.reply_batches(union_found);
+      for (std::uint64_t b = 0; b < batches; ++b) {
+        net_.transmit_path(
+            back.path, net::MessageKind::Reply,
+            sizes.reply_bits(dims_, sizes.reply_payload(union_found)));
+      }
+      for (std::size_t mi = 0; mi < g.members.size(); ++mi)
+        serial_cost += sizes.reply_batches(member_found[mi]) * back.hops();
+    }
+  }
+
+  // Range/partial queries: one flood serves every member — serial
+  // execution floods once PER query, the dominant saving here.
+  if (!floods.empty()) {
+    const std::size_t reached = charge_flood(sink);
+    serial_cost +=
+        floods.size() * static_cast<std::uint64_t>(reached - 1);
+    for (net::NodeId n = 0; n < net_.size(); ++n) {
+      if (store_[n].empty()) continue;
+      std::vector<std::uint32_t> member_found(floods.size(), 0);
+      std::uint32_t union_found = 0;
+      for (const Event& e : store_[n]) {
+        bool any = false;
+        for (std::size_t mi = 0; mi < floods.size(); ++mi) {
+          if (queries[floods[mi]].matches(e)) {
+            any = true;
+            ++member_found[mi];
+            batch.per_query[floods[mi]].events.push_back(e);
+          }
+        }
+        if (any) ++union_found;
+      }
+      for (std::size_t mi = 0; mi < floods.size(); ++mi) {
+        if (member_found[mi] > 0)
+          ++batch.per_query[floods[mi]].index_nodes_visited;
+      }
+      batch.serial_cell_visits += floods.size();
+      ++batch.unique_cell_visits;
+      if (union_found > 0) {
+        ++batch.index_nodes_visited;
+        if (n != sink) {
+          const auto back = router_.route_to_node(n, sink);
+          const std::uint64_t batches = sizes.reply_batches(union_found);
+          for (std::uint64_t b = 0; b < batches; ++b) {
+            net_.transmit_path(
+                back.path, net::MessageKind::Reply,
+                sizes.reply_bits(dims_, sizes.reply_payload(union_found)));
+          }
+          for (std::size_t mi = 0; mi < floods.size(); ++mi)
+            serial_cost += sizes.reply_batches(member_found[mi]) * back.hops();
+        }
+      }
+    }
+  }
+
+  const auto delta = net_.traffic() - before;
+  batch.messages = delta.total;
+  batch.query_messages = delta.of(net::MessageKind::Query) +
+                         delta.of(net::MessageKind::SubQuery);
+  batch.reply_messages = delta.of(net::MessageKind::Reply);
+  if (net_.loss_model().loss_probability == 0.0)
+    POOLNET_ASSERT(serial_cost >= delta.total);
+  batch.messages_saved =
+      serial_cost >= delta.total ? serial_cost - delta.total : 0;
+  return batch;
+}
+
 std::size_t GhtSystem::expire_before(double cutoff) {
   std::size_t removed = 0;
   for (net::NodeId n = 0; n < net_.size(); ++n) {

@@ -40,6 +40,32 @@ struct QueryReceipt {
   std::size_t index_nodes_visited = 0;  ///< storage nodes that processed it
 };
 
+/// Result of one merged multi-query execution (see query_batch).
+struct BatchQueryReceipt {
+  /// One receipt per input query, in input order. `events` is identical
+  /// (content AND order) to what a serial query() from the same sink
+  /// would have returned, and `index_nodes_visited` is that query's own
+  /// relevant-visit count. The per-receipt message fields stay zero in
+  /// merging implementations — transport cost is shared and reported only
+  /// in the batch totals below.
+  std::vector<QueryReceipt> per_query;
+
+  std::uint64_t messages = 0;        ///< total per-hop transmissions
+  std::uint64_t query_messages = 0;  ///< forwarding legs (query + subquery)
+  std::uint64_t reply_messages = 0;  ///< reply legs
+
+  std::size_t index_nodes_visited = 0;  ///< distinct storage nodes probed
+  std::size_t serial_cell_visits = 0;   ///< Σ per-query relevant visits
+  std::size_t unique_cell_visits = 0;   ///< deduped visits actually made
+
+  /// Per-hop transmissions a serial per-query execution would have
+  /// charged, minus what the merged execution charged. Exact on ideal
+  /// links (computed from the hop counts of the very routes the merged
+  /// walk uses); clamped at 0 under link loss, where retransmission
+  /// draws make the comparison stochastic.
+  std::uint64_t messages_saved = 0;
+};
+
 /// A deployed DCS system bound to a Network. insert() stores a detected
 /// event at the node the scheme maps it to; query() retrieves every stored
 /// event matching the query and charges all forwarding and reply traffic
@@ -60,6 +86,29 @@ class DcsSystem {
   /// Evaluate `query` issued at `sink`; returns qualifying events plus the
   /// message cost (forwarding + retrieval, the paper's metric).
   virtual QueryReceipt query(net::NodeId sink, const RangeQuery& query) = 0;
+
+  /// Evaluate several queries issued together from one sink as a single
+  /// merged dissemination. Every per-query result set must be identical
+  /// (content and order) to a serial query() call; only the transport may
+  /// be shared. The default runs the queries serially — no sharing, so
+  /// messages_saved stays 0 — which keeps third-party DcsSystem
+  /// implementations correct without opting into merging.
+  virtual BatchQueryReceipt query_batch(net::NodeId sink,
+                                        const std::vector<RangeQuery>& queries) {
+    BatchQueryReceipt batch;
+    batch.per_query.reserve(queries.size());
+    for (const RangeQuery& q : queries) {
+      QueryReceipt r = query(sink, q);
+      batch.messages += r.messages;
+      batch.query_messages += r.query_messages;
+      batch.reply_messages += r.reply_messages;
+      batch.index_nodes_visited += r.index_nodes_visited;
+      batch.serial_cell_visits += r.index_nodes_visited;
+      batch.unique_cell_visits += r.index_nodes_visited;
+      batch.per_query.push_back(std::move(r));
+    }
+    return batch;
+  }
 
   /// Evaluate an aggregate of attribute `value_dim` over the events
   /// matching `query` (Section 3.2.3). Storage nodes reply with mergeable
