@@ -174,4 +174,17 @@ bool parse_engine_options(const ArgParser& parser,
                                    error);
 }
 
+void add_fault_options(ArgParser& parser) {
+  parser.add_option(
+      "faults", "off",
+      "live failure plan: off, or ';'-joined kill:<frac>@<t>, node:<id>@<t>, "
+      "blackout:<x>,<y>,<r>@<t>, degrade:<p>@<t0>-<t1>, seed:<n> "
+      "(t = query index)");
+}
+
+bool parse_fault_options(const ArgParser& parser, sim::FaultPlan* plan,
+                         std::string* error) {
+  return sim::parse_fault_spec(parser.option("faults"), plan, error);
+}
+
 }  // namespace poolnet::cli

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "sim/fault_plan.h"
 
 namespace poolnet::cli {
 
@@ -84,5 +85,16 @@ void add_engine_options(ArgParser& parser);
 bool parse_engine_options(const ArgParser& parser,
                           engine::QueryEngineConfig* config,
                           std::string* error);
+
+/// Declares --faults <spec> (default "off") on `parser`. The spec grammar
+/// lives in sim::parse_fault_spec: ';'-separated clauses of
+/// kill:<frac>@<t>, node:<id>@<t>, blackout:<x>,<y>,<r>@<t>,
+/// degrade:<p>@<t0>-<t1> and seed:<n>, with t in query indices.
+void add_fault_options(ArgParser& parser);
+
+/// Parses --faults into `plan`. Returns false and sets `error` on a
+/// malformed spec. Call after parser.parse().
+bool parse_fault_options(const ArgParser& parser, sim::FaultPlan* plan,
+                         std::string* error);
 
 }  // namespace poolnet::cli

@@ -12,9 +12,11 @@
 #include "bench_support/parallel.h"
 #include "common/error.h"
 #include "ght/ght_system.h"
+#include "net/fault_injector.h"
 #include "query/query_gen.h"
 #include "routing/gpsr.h"
 #include "routing/route_cache.h"
+#include "sim/stats.h"
 
 namespace poolnet::cli {
 
@@ -45,6 +47,10 @@ struct Accumulator {
   double insert_msgs = 0.0;
   std::size_t events = 0;
   std::size_t mismatches = 0;
+  sim::RecallStat recall;
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t events_lost = 0;
 };
 
 storage::RangeQuery make_query(query::QueryGenerator& gen, QueryFlavor f) {
@@ -58,13 +64,17 @@ storage::RangeQuery make_query(query::QueryGenerator& gen, QueryFlavor f) {
 }
 
 void record(Accumulator& acc, const storage::QueryReceipt& r,
-            std::size_t oracle_count) {
+            std::size_t oracle_count, bool faults_on) {
   acc.messages.add(static_cast<double>(r.messages));
   acc.query_messages.add(static_cast<double>(r.query_messages));
   acc.reply_messages.add(static_cast<double>(r.reply_messages));
   acc.results.add(static_cast<double>(r.events.size()));
   acc.visited.add(static_cast<double>(r.index_nodes_visited));
-  if (r.events.size() != oracle_count) ++acc.mismatches;
+  acc.recall.add(r.events.size(), oracle_count);
+  // Under injected failures the oracle still counts destroyed events, so
+  // a shortfall is expected degradation (reported as recall), not a
+  // correctness violation.
+  if (!faults_on && r.events.size() != oracle_count) ++acc.mismatches;
 }
 
 void merge(Accumulator& into, const Accumulator& from) {
@@ -76,6 +86,10 @@ void merge(Accumulator& into, const Accumulator& from) {
   into.insert_msgs += from.insert_msgs;
   into.events += from.events;
   into.mismatches += from.mismatches;
+  into.recall.merge(from.recall);
+  into.retries += from.retries;
+  into.failovers += from.failovers;
+  into.events_lost += from.events_lost;
 }
 
 /// One deployment, start to finish: the unit of parallelism. Each call
@@ -148,6 +162,17 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
     engines[s] = std::make_unique<engine::QueryEngine>(sys, config.engine);
   }
 
+  // Live failure injection: the plan's action times are query indices,
+  // advanced just before each query is issued. Every network (including
+  // GHT's copy) sees the same kills, so the systems stay in one world.
+  const bool faults_on = config.faults.enabled();
+  std::unique_ptr<net::FaultInjector> injector;
+  if (faults_on) {
+    std::vector<net::Network*> nets{&tb.pool_network(), &tb.dim_network()};
+    if (want_ght) nets.push_back(ght_net.get());
+    injector = std::make_unique<net::FaultInjector>(config.faults, nets);
+  }
+
   struct Issued {
     std::size_t oracle_count;
     std::map<SystemChoice, engine::QueryEngine::Ticket> tickets;
@@ -160,8 +185,17 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
       config.seed * 1000003 + dep * 101 + 7);
   Rng sink_rng(config.seed * 31 + dep * 13 + 1);
   for (std::size_t i = 0; i < config.queries; ++i) {
+    if (injector) injector->advance(static_cast<double>(i));
     const auto q = make_query(qgen, config.flavor);
-    const auto sink = tb.random_node(sink_rng);
+    auto sink = tb.random_node(sink_rng);
+    if (injector) {
+      // A dead sink cannot issue anything; redraw (bounded, in case a
+      // blackout leaves almost nobody standing). Extra draws only happen
+      // on a redraw, so fault-free runs consume the identical stream.
+      for (std::size_t tries = 0;
+           !tb.pool_network().alive(sink) && tries < 1000; ++tries)
+        sink = tb.random_node(sink_rng);
+    }
     Issued row;
     row.oracle_count = tb.oracle().matching(q).size();
     for (const auto s : config.systems)
@@ -171,7 +205,16 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
   for (const auto s : config.systems) engines[s]->flush();
   for (const Issued& row : issued) {
     for (const auto s : config.systems)
-      record(acc[s], engines[s]->take(row.tickets.at(s)), row.oracle_count);
+      record(acc[s], engines[s]->take(row.tickets.at(s)), row.oracle_count,
+             faults_on);
+  }
+  // Deployment-local systems start with zeroed fault counters, so the
+  // final totals are exactly this run's fault activity.
+  for (const auto s : config.systems) {
+    const storage::FaultStats& f = engines[s]->system().fault_stats();
+    acc[s].retries += f.retries;
+    acc[s].failovers += f.failovers;
+    acc[s].events_lost += f.events_lost;
   }
   return acc;
 }
@@ -209,13 +252,18 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
     r.insert_messages_per_event =
         a.events ? a.insert_msgs / static_cast<double>(a.events) : 0.0;
     r.mismatches = a.mismatches;
+    r.recall = a.recall.weighted();
+    r.retries = a.retries;
+    r.failovers = a.failovers;
+    r.events_lost = a.events_lost;
     results.push_back(r);
   }
 
+  const bool faults_on = config.faults.enabled();
   out << "poolnet experiment: " << config.nodes << " nodes, " << config.dims
       << "-d events, " << config.queries << " " << to_string(config.flavor)
       << " queries x " << config.deployments << " deployment(s), seed "
-      << config.seed << "\n\n";
+      << config.seed << (faults_on ? ", faults on" : "") << "\n\n";
   // TablePrinter prints to stdout; reproduce rows into `out` via a string
   // table for stream-agnostic output.
   {
@@ -226,6 +274,12 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
                                      "reply msgs", "results",
                                      "nodes visited", "insert msgs/event",
                                      "mismatches"};
+    // Degradation accounting rides along only when failures were injected,
+    // keeping fault-free output byte-identical.
+    if (faults_on) {
+      headers.insert(headers.end(),
+                     {"recall", "retries", "failovers", "events lost"});
+    }
     for (const auto& r : results) {
       rows.push_back({to_string(r.system), benchsup::fmt(r.mean_messages),
                       benchsup::fmt(r.mean_query_messages),
@@ -234,6 +288,13 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
                       benchsup::fmt(r.mean_nodes_visited),
                       benchsup::fmt(r.insert_messages_per_event, 2),
                       std::to_string(r.mismatches)});
+      if (faults_on) {
+        auto& row = rows.back();
+        row.push_back(benchsup::fmt(r.recall, 3));
+        row.push_back(std::to_string(r.retries));
+        row.push_back(std::to_string(r.failovers));
+        row.push_back(std::to_string(r.events_lost));
+      }
     }
     std::vector<std::size_t> widths(headers.size());
     for (std::size_t c = 0; c < headers.size(); ++c) {
@@ -262,13 +323,16 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
 void append_csv(const std::string& path, const CliConfig& config,
                 const std::vector<CliResult>& results) {
   const bool fresh = !std::filesystem::exists(path);
+  const bool faults_on = config.faults.enabled();
   std::ofstream out(path, std::ios::app);
   if (!out) throw ConfigError("append_csv: cannot open " + path);
   if (fresh) {
     out << "system,nodes,dims,events_per_node,queries,flavor,size_dist,"
            "workload,seed,deployments,mean_messages,mean_query_messages,"
            "mean_reply_messages,mean_results,mean_nodes_visited,"
-           "insert_messages_per_event,mismatches\n";
+           "insert_messages_per_event,mismatches";
+    if (faults_on) out << ",recall,retries,failovers,events_lost";
+    out << '\n';
   }
   for (const auto& r : results) {
     out << to_string(r.system) << ',' << config.nodes << ',' << config.dims
@@ -279,7 +343,12 @@ void append_csv(const std::string& path, const CliConfig& config,
         << config.deployments << ',' << r.mean_messages << ','
         << r.mean_query_messages << ',' << r.mean_reply_messages << ','
         << r.mean_results << ',' << r.mean_nodes_visited << ','
-        << r.insert_messages_per_event << ',' << r.mismatches << '\n';
+        << r.insert_messages_per_event << ',' << r.mismatches;
+    if (faults_on) {
+      out << ',' << r.recall << ',' << r.retries << ',' << r.failovers << ','
+          << r.events_lost;
+    }
+    out << '\n';
   }
 }
 

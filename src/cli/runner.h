@@ -10,6 +10,7 @@
 #include "bench_support/testbed.h"
 #include "engine/query_engine.h"
 #include "query/query_gen.h"
+#include "sim/fault_plan.h"
 
 namespace poolnet::cli {
 
@@ -40,6 +41,12 @@ struct CliConfig {
   /// batching off, cache off — routes every query through the engine
   /// unbatched, which is bit-identical to calling the systems directly.
   engine::QueryEngineConfig engine;
+
+  /// Live failure plan, injected into every selected system's network as
+  /// the query phase progresses (action times are query indices). The
+  /// default (disabled) leaves every run bit-identical to a build without
+  /// fault support.
+  sim::FaultPlan faults;
 };
 
 /// One result row (per system).
@@ -52,6 +59,13 @@ struct CliResult {
   double mean_nodes_visited = 0.0;
   double insert_messages_per_event = 0.0;
   std::size_t mismatches = 0;  ///< result sets differing from the oracle
+
+  /// Answered events / oracle events over the whole run (1.0 fault-free;
+  /// under --faults this is the survivability headline number).
+  double recall = 1.0;
+  std::uint64_t retries = 0;      ///< reliable-leg retransmission rounds
+  std::uint64_t failovers = 0;    ///< index/owner/home re-elections
+  std::uint64_t events_lost = 0;  ///< stored events destroyed or dropped
 };
 
 /// Runs the experiment, prints a table to `out`, appends CSV when

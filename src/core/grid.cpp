@@ -41,8 +41,19 @@ net::NodeId Grid::index_node(CellCoord c) const {
       static_cast<std::size_t>(c.y) * static_cast<std::size_t>(cols_) +
       static_cast<std::size_t>(c.x);
   net::NodeId& memo = index_cache_[key];
-  if (memo == net::kNoNode) memo = net_.nearest_node(cell_center(c));
+  if (memo == net::kNoNode) memo = net_.nearest_alive_node(cell_center(c));
   return memo;
+}
+
+std::size_t Grid::evict_node(net::NodeId dead) {
+  std::size_t evicted = 0;
+  for (net::NodeId& memo : index_cache_) {
+    if (memo == dead) {
+      memo = net::kNoNode;
+      ++evicted;
+    }
+  }
+  return evicted;
 }
 
 }  // namespace poolnet::core

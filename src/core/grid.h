@@ -46,7 +46,14 @@ class Grid {
   CellCoord cell_of_position(Point p) const;
 
   /// The cell's index node — the sensor nearest its center (cached).
+  /// After failures this is the nearest SURVIVOR to the center (the
+  /// paper's §2 election rule applied to the survivor set).
   net::NodeId index_node(CellCoord c) const;
+
+  /// Failover: forget every cached election of `dead` so affected cells
+  /// re-elect the nearest survivor on their next index_node() call.
+  /// Returns the number of cells that lost their index node.
+  std::size_t evict_node(net::NodeId dead);
 
  private:
   const net::Network& net_;

@@ -128,6 +128,7 @@ net::NodeId PoolSystem::pick_delegate(net::NodeId index_node) const {
   net::NodeId best = net::kNoNode;
   std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
   for (const net::NodeId nb : net_.neighbors(index_node)) {
+    if (!net_.alive(nb)) continue;
     const std::uint64_t load = net_.node(nb).stored_events;
     if (load < best_load || (load == best_load && nb < best)) {
       best_load = load;
@@ -135,6 +136,114 @@ net::NodeId PoolSystem::pick_delegate(net::NodeId index_node) const {
     }
   }
   return best;
+}
+
+routing::LegOutcome PoolSystem::send_leg(net::NodeId from, net::NodeId to,
+                                         net::MessageKind kind,
+                                         std::uint64_t bits) {
+  routing::LegOutcome out =
+      routing::send_reliable(net_, router_, from, to, kind, bits);
+  fault_stats_.retries += out.retries;
+  if (!out.delivered) ++fault_stats_.failed_legs;
+  for (const net::NodeId d : out.dead_found) handle_node_failure(d);
+  return out;
+}
+
+void PoolSystem::absorb_dead_holders(std::size_t key) {
+  std::vector<net::NodeId> dead;
+  for (const StoredEvent& se : cells_[key]) {
+    if (net_.alive(se.holder)) continue;
+    if (std::find(dead.begin(), dead.end(), se.holder) == dead.end())
+      dead.push_back(se.holder);
+  }
+  for (const net::NodeId d : dead) handle_node_failure(d);
+}
+
+void PoolSystem::handle_node_failure(net::NodeId dead) {
+  if (dead >= net_.size()) return;
+  if (known_dead_.empty()) known_dead_.assign(net_.size(), 0);
+  if (known_dead_[dead]) return;
+  known_dead_[dead] = 1;
+
+  // (1) Re-elect: affected cells pick the nearest survivor to their
+  // center on next use; splitters pointing at the dead node re-scan.
+  fault_stats_.failovers += grid_.evict_node(dead);
+  for (net::NodeId& s : splitter_cache_)
+    if (s == dead) s = net::kNoNode;
+
+  // (2) Data resident at the dead node. Pure state first (no traffic
+  // while we iterate), restoration traffic after.
+  const std::uint32_t side = config_.side;
+  const std::size_t l2 = static_cast<std::size_t>(side) * side;
+  struct Restore {
+    Event event;
+    net::NodeId mirror_holder;
+    std::size_t key;        // primary's cell
+    CellCoord coord;        // primary's cell coordinate
+  };
+  std::vector<Restore> restores;
+  for (std::size_t key = 0; key < cells_.size(); ++key) {
+    auto& cell = cells_[key];
+    const std::size_t pool_dim = key / l2;
+    const CellOffset off{static_cast<std::uint32_t>(key % side),
+                         static_cast<std::uint32_t>((key / side) % side)};
+    std::erase_if(cell, [&](const StoredEvent& se) {
+      if (se.holder != dead) return false;
+      --net_.node_mut(dead).stored_events;
+      if (se.is_replica) {
+        --replica_count_;
+        return true;
+      }
+      // Primary destroyed: a surviving mirror (reflected offset, rotated
+      // pool) can re-materialize it at the cell's new index node.
+      for (std::uint32_t r = 1; r <= config_.replicas; ++r) {
+        const std::size_t mirror_pool = (pool_dim + r) % dims_;
+        const CellOffset mirror_off{side - 1 - off.ho, side - 1 - off.vo};
+        for (const StoredEvent& m : cells_[cell_key(mirror_pool, mirror_off)]) {
+          if (!m.is_replica || m.event.id != se.event.id) continue;
+          if (!net_.alive(m.holder)) continue;
+          restores.push_back(
+              {se.event, m.holder, key, layout_.cell(pool_dim, off)});
+          return true;
+        }
+      }
+      --stored_count_;
+      ++fault_stats_.events_lost;
+      return true;
+    });
+  }
+
+  // (3) Restoration traffic: one Insert leg mirror-holder → new index
+  // node per rescued event. Newly-discovered deaths are deferred until
+  // this node's repair finishes (no re-entrant cell mutation).
+  std::vector<net::NodeId> discovered;
+  for (Restore& r : restores) {
+    const net::NodeId new_idx = grid_.index_node(r.coord);
+    bool stored = false;
+    if (new_idx != net::kNoNode) {
+      const auto leg = routing::send_reliable(net_, router_, r.mirror_holder,
+                                              new_idx, net::MessageKind::Insert,
+                                              net_.sizes().event_bits(dims_));
+      fault_stats_.retries += leg.retries;
+      for (const net::NodeId d : leg.dead_found)
+        if (std::find(discovered.begin(), discovered.end(), d) ==
+            discovered.end())
+          discovered.push_back(d);
+      if (leg.delivered) {
+        cells_[r.key].push_back(
+            {std::move(r.event), new_idx, /*is_replica=*/false});
+        ++net_.node_mut(new_idx).stored_events;
+        ++fault_stats_.events_restored;
+        stored = true;
+      }
+    }
+    if (!stored) {
+      ++fault_stats_.failed_legs;
+      --stored_count_;
+      ++fault_stats_.events_lost;
+    }
+  }
+  for (const net::NodeId d : discovered) handle_node_failure(d);
 }
 
 InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
@@ -150,12 +259,29 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
   const CellChoice choice = choose_cell(source, event);
 
   // Algorithm 1, lines 5-6: route the event to the cell's location; the
-  // index node (nearest the center) receives it.
-  const auto route = router_.route_to_node(source, choice.index_node);
-  net_.transmit_path(route.path, net::MessageKind::Insert,
+  // index node (nearest the center) receives it. If delivery exposes a
+  // dead index node, failover re-elects the nearest survivor and the
+  // source retries once toward the new election.
+  net::NodeId target = choice.index_node;
+  auto leg = send_leg(source, target, net::MessageKind::Insert,
+                      net_.sizes().event_bits(dims_));
+  if (!leg.delivered && net_.has_failures()) {
+    const net::NodeId reelected = grid_.index_node(choice.coord);
+    if (reelected != target && reelected != net::kNoNode) {
+      target = reelected;
+      leg = send_leg(source, target, net::MessageKind::Insert,
                      net_.sizes().event_bits(dims_));
+    }
+  }
+  if (!leg.delivered) {
+    // Event lost in transit (unreachable cell under heavy failure).
+    ++fault_stats_.events_lost;
+    InsertReceipt receipt;
+    receipt.messages = net_.traffic().total - before;
+    return receipt;
+  }
 
-  net::NodeId holder = choice.index_node;
+  net::NodeId holder = target;
   if (config_.workload_sharing &&
       net_.node(holder).stored_events >= config_.share_threshold) {
     const net::NodeId delegate = pick_delegate(holder);
@@ -163,9 +289,9 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
         net_.node(delegate).stored_events <
             net_.node(holder).stored_events) {
       // One-hop handoff to the delegate (Section 4.2's workload transfer).
-      net_.transmit(holder, delegate, net::MessageKind::Insert,
-                    net_.sizes().event_bits(dims_));
-      holder = delegate;
+      if (net_.transmit(holder, delegate, net::MessageKind::Insert,
+                        net_.sizes().event_bits(dims_)))
+        holder = delegate;
     }
   }
 
@@ -185,10 +311,18 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
     const CellOffset mirror_off{config_.side - 1 - choice.offset.ho,
                                 config_.side - 1 - choice.offset.vo};
     const CellCoord mirror_coord = layout_.cell(mirror_pool, mirror_off);
-    const net::NodeId mirror_idx = grid_.index_node(mirror_coord);
-    const auto mirror_route = router_.route_to_node(source, mirror_idx);
-    net_.transmit_path(mirror_route.path, net::MessageKind::Insert,
-                       net_.sizes().event_bits(dims_));
+    net::NodeId mirror_idx = grid_.index_node(mirror_coord);
+    auto mirror_leg = send_leg(source, mirror_idx, net::MessageKind::Insert,
+                               net_.sizes().event_bits(dims_));
+    if (!mirror_leg.delivered && net_.has_failures()) {
+      const net::NodeId reelected = grid_.index_node(mirror_coord);
+      if (reelected != mirror_idx && reelected != net::kNoNode) {
+        mirror_idx = reelected;
+        mirror_leg = send_leg(source, mirror_idx, net::MessageKind::Insert,
+                              net_.sizes().event_bits(dims_));
+      }
+    }
+    if (!mirror_leg.delivered) continue;  // this mirror copy just isn't made
     cells_[cell_key(mirror_pool, mirror_off)].push_back(
         {event, mirror_idx, /*is_replica=*/true});
     ++net_.node_mut(mirror_idx).stored_events;
@@ -200,6 +334,7 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
   for (const SubscriptionId sid : cell_subs_[key]) {
     auto& sub = subscriptions_.at(sid);
     if (!sub.query.matches(event)) continue;
+    if (!net_.alive(sub.sink)) continue;  // subscriber died; drop silently
     if (holder != sub.sink) {
       const auto notify = router_.route_to_node(holder, sub.sink);
       net_.transmit_path(notify.path, net::MessageKind::Reply,
@@ -260,17 +395,38 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
     if (cells.empty()) continue;
     charge_pivot_lookup(sink, pool_dim);
 
-    const net::NodeId splitter = splitter_for(pool_dim, sink);
-    const auto to_splitter = router_.route_to_node(sink, splitter);
-    net_.transmit_path(to_splitter.path, net::MessageKind::Query,
-                       net_.sizes().query_bits(dims_));
+    net::NodeId splitter = splitter_for(pool_dim, sink);
+    auto to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
+                                net_.sizes().query_bits(dims_));
+    if (!to_splitter.delivered && net_.has_failures()) {
+      // The splitter died: failover re-picked it (splitter_cache_ entry
+      // was reset); retry once toward the new election.
+      const net::NodeId repicked = splitter_for(pool_dim, sink);
+      if (repicked != splitter) {
+        splitter = repicked;
+        to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
+                               net_.sizes().query_bits(dims_));
+      }
+    }
+    if (!to_splitter.delivered) continue;  // pool unreachable this query
 
     std::uint32_t pool_matches = 0;
     for (const CellOffset off : cells) {
-      const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      const auto leg = router_.route_to_node(splitter, idx);
-      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+      const std::size_t key = cell_key(pool_dim, off);
+      if (net_.has_failures()) absorb_dead_holders(key);
+      net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
+      auto leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                          net_.sizes().query_bits(dims_));
+      if (!leg.delivered && net_.has_failures()) {
+        const net::NodeId reelected =
+            grid_.index_node(layout_.cell(pool_dim, off));
+        if (reelected != idx && reelected != net::kNoNode) {
+          idx = reelected;
+          leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
                          net_.sizes().query_bits(dims_));
+        }
+      }
+      if (!leg.delivered) continue;  // cell unreachable this query
       ++receipt.index_nodes_visited;
 
       // Scan the cell; with workload sharing some events sit one hop away
@@ -278,8 +434,7 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
       // index node.
       std::uint32_t here = 0;
       std::unordered_map<net::NodeId, std::uint32_t> at_delegate;
-      for (const StoredEvent& se :
-           cells_[cell_key(pool_dim, off)]) {
+      for (const StoredEvent& se : cells_[key]) {
         if (se.is_replica || !q.matches(se.event)) continue;
         receipt.events.push_back(se.event);
         if (se.holder == idx) {
@@ -302,11 +457,14 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
 
       // Cell replies travel back to the splitter along the tree.
       if (here > 0 && idx != splitter) {
-        const auto back = router_.route_to_node(idx, splitter);
-        const std::uint64_t batches = sizes.reply_batches(here);
-        for (std::uint64_t b = 0; b < batches; ++b) {
-          net_.transmit_path(back.path, net::MessageKind::Reply,
-                             sizes.reply_bits(dims_, sizes.reply_payload(here)));
+        const std::uint64_t bits =
+            sizes.reply_bits(dims_, sizes.reply_payload(here));
+        const auto back = send_leg(idx, splitter, net::MessageKind::Reply,
+                                   bits);
+        if (back.delivered) {
+          const std::uint64_t batches = sizes.reply_batches(here);
+          for (std::uint64_t b = 1; b < batches; ++b)
+            net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
         }
       }
       pool_matches += here;
@@ -315,12 +473,14 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
     // The splitter aggregates the pool's events and returns them to the
     // sink (and would apply aggregate operators here; Section 3.2.3).
     if (pool_matches > 0 && splitter != sink) {
-      const auto back = router_.route_to_node(splitter, sink);
-      const std::uint64_t batches = sizes.reply_batches(pool_matches);
-      for (std::uint64_t b = 0; b < batches; ++b) {
-        net_.transmit_path(
-            back.path, net::MessageKind::Reply,
-            sizes.reply_bits(dims_, sizes.reply_payload(pool_matches)));
+      const std::uint64_t bits =
+          sizes.reply_bits(dims_, sizes.reply_payload(pool_matches));
+      const auto back = send_leg(splitter, sink, net::MessageKind::Reply,
+                                 bits);
+      if (back.delivered) {
+        const std::uint64_t batches = sizes.reply_batches(pool_matches);
+        for (std::uint64_t b = 1; b < batches; ++b)
+          net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
       }
     }
   }
@@ -338,6 +498,11 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
   // A batch of 0 or 1 gains nothing from merging; fall back to the
   // serial default so single-query receipts stay exact.
   if (queries.size() < 2) return DcsSystem::query_batch(sink, queries);
+  // Merged execution assumes a static, fully-alive network (its savings
+  // accounting rides on shared loss-free routes). Once nodes have died,
+  // run serially — the serial path carries the detection/retry/failover
+  // machinery.
+  if (net_.has_failures()) return DcsSystem::query_batch(sink, queries);
   for (const RangeQuery& q : queries)
     if (q.dims() != dims_)
       throw ConfigError("PoolSystem: query dimensionality mismatch");
@@ -505,7 +670,7 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
   batch.query_messages = delta.of(net::MessageKind::Query) +
                          delta.of(net::MessageKind::SubQuery);
   batch.reply_messages = delta.of(net::MessageKind::Reply);
-  if (net_.loss_model().loss_probability == 0.0)
+  if (net_.loss_model().loss_probability == 0.0 && net_.extra_loss() == 0.0)
     POOLNET_ASSERT(serial_cost >= delta.total);
   batch.messages_saved =
       serial_cost >= delta.total ? serial_cost - delta.total : 0;
@@ -531,22 +696,41 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
     if (cells.empty()) continue;
     charge_pivot_lookup(sink, pool_dim);
 
-    const net::NodeId splitter = splitter_for(pool_dim, sink);
-    const auto to_splitter = router_.route_to_node(sink, splitter);
-    net_.transmit_path(to_splitter.path, net::MessageKind::Query,
-                       sizes.query_bits(dims_));
+    net::NodeId splitter = splitter_for(pool_dim, sink);
+    auto to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
+                                sizes.query_bits(dims_));
+    if (!to_splitter.delivered && net_.has_failures()) {
+      const net::NodeId repicked = splitter_for(pool_dim, sink);
+      if (repicked != splitter) {
+        splitter = repicked;
+        to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
+                               sizes.query_bits(dims_));
+      }
+    }
+    if (!to_splitter.delivered) continue;
 
     storage::PartialAggregate pool_partial;
     for (const CellOffset off : cells) {
-      const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      const auto leg = router_.route_to_node(splitter, idx);
-      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+      const std::size_t key = cell_key(pool_dim, off);
+      if (net_.has_failures()) absorb_dead_holders(key);
+      net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
+      auto leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                          sizes.query_bits(dims_));
+      if (!leg.delivered && net_.has_failures()) {
+        const net::NodeId reelected =
+            grid_.index_node(layout_.cell(pool_dim, off));
+        if (reelected != idx && reelected != net::kNoNode) {
+          idx = reelected;
+          leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
                          sizes.query_bits(dims_));
+        }
+      }
+      if (!leg.delivered) continue;
       ++receipt.index_nodes_visited;
 
       storage::PartialAggregate cell_partial;
       std::unordered_map<net::NodeId, storage::PartialAggregate> at_delegate;
-      for (const StoredEvent& se : cells_[cell_key(pool_dim, off)]) {
+      for (const StoredEvent& se : cells_[key]) {
         if (se.is_replica || !q.matches(se.event)) continue;
         const double v = se.event.values[value_dim];
         if (se.holder == idx) {
@@ -566,21 +750,17 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
 
       if (!cell_partial.empty()) {
         pool_partial.merge(cell_partial);
-        if (idx != splitter) {
-          const auto back = router_.route_to_node(idx, splitter);
-          net_.transmit_path(back.path, net::MessageKind::Reply,
-                             sizes.aggregate_bits());
-        }
+        if (idx != splitter)
+          send_leg(idx, splitter, net::MessageKind::Reply,
+                   sizes.aggregate_bits());
       }
     }
 
     if (!pool_partial.empty()) {
       total.merge(pool_partial);
-      if (splitter != sink) {
-        const auto back = router_.route_to_node(splitter, sink);
-        net_.transmit_path(back.path, net::MessageKind::Reply,
-                           sizes.aggregate_bits());
-      }
+      if (splitter != sink)
+        send_leg(splitter, sink, net::MessageKind::Reply,
+                 sizes.aggregate_bits());
     }
   }
 

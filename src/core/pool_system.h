@@ -30,6 +30,7 @@
 #include "core/pool_geometry.h"
 #include "core/pool_layout.h"
 #include "net/network.h"
+#include "routing/reliable.h"
 #include "routing/router.h"
 #include "storage/dcs_system.h"
 
@@ -102,6 +103,14 @@ class PoolSystem final : public storage::DcsSystem {
 
   std::size_t stored_count() const override { return stored_count_; }
   std::size_t expire_before(double cutoff) override;
+
+  /// Online failover (the paper's §2 rule on the survivor set): affected
+  /// cells re-elect the nearest SURVIVOR to their center as index node,
+  /// splitters pointing at the dead node are re-picked on next use, and
+  /// events resident at the dead node are restored from surviving mirrors
+  /// (replicas > 0) — charged as Insert traffic from the mirror holder to
+  /// the new index node — or counted lost. Idempotent per node.
+  void handle_node_failure(net::NodeId dead) override;
 
   /// Nearest-neighbor query in ATTRIBUTE space (the paper's stated future
   /// work: "continuous monitoring of the nearest neighbor queries").
@@ -205,6 +214,16 @@ class PoolSystem final : public storage::DcsSystem {
   std::size_t cell_key(std::size_t pool_dim, CellOffset offset) const;
   net::NodeId pick_delegate(net::NodeId index_node) const;
 
+  /// One reliable leg: send, accumulate retry/failure stats, and run
+  /// failover for every node the delivery discovered dead.
+  routing::LegOutcome send_leg(net::NodeId from, net::NodeId to,
+                               net::MessageKind kind, std::uint64_t bits);
+
+  /// Repairs a cell whose holders include silently-dead nodes (the index
+  /// node's beacon table exposes them) so a query never fabricates
+  /// answers from destroyed storage. No-op while everything is alive.
+  void absorb_dead_holders(std::size_t key);
+
   /// Charges the DHT round trip for `node`'s first use of `pool_dim`'s
   /// pivot (no-op when lookups are free or already cached).
   void charge_pivot_lookup(net::NodeId node, std::size_t pool_dim);
@@ -230,6 +249,10 @@ class PoolSystem final : public storage::DcsSystem {
   /// static layout and the sink position, so the l² index-node scan runs
   /// once per (pool, sink) and replays thereafter.
   mutable std::vector<net::NodeId> splitter_cache_;
+
+  /// Nodes whose failure has already been absorbed (failover is
+  /// idempotent per node). Allocated lazily on the first failure.
+  std::vector<char> known_dead_;
 
   // --- continuous-query state ---
   struct Subscription {

@@ -21,9 +21,60 @@ net::NodeId DimSystem::representative(ZoneIndex zidx) const {
   net::NodeId& memo = rep_cache_[zidx];
   if (memo == net::kNoNode) {
     const ZoneNode& z = tree_.zone(zidx);
-    memo = z.is_leaf() ? z.owner : net_.nearest_node(z.region.center());
+    memo = z.is_leaf() ? z.owner : net_.nearest_alive_node(z.region.center());
   }
   return memo;
+}
+
+routing::LegOutcome DimSystem::send_leg(net::NodeId from, net::NodeId to,
+                                        net::MessageKind kind,
+                                        std::uint64_t bits) {
+  if (from == to) {
+    // Mirror the historical bare leg exactly (self-routes still pay a
+    // router lookup and a no-op path transmit) so fault-free ledgers and
+    // route-cache stats stay byte-identical.
+    routing::LegOutcome out;
+    out.route = router_.route_to_node(from, to);
+    net_.transmit_path(out.route.path, kind, bits);
+    out.delivered = true;
+    out.reached = to;
+    return out;
+  }
+  routing::LegOutcome out =
+      routing::send_reliable(net_, router_, from, to, kind, bits);
+  fault_stats_.retries += out.retries;
+  if (!out.delivered) ++fault_stats_.failed_legs;
+  for (const net::NodeId d : out.dead_found) handle_node_failure(d);
+  return out;
+}
+
+void DimSystem::handle_node_failure(net::NodeId dead) {
+  if (dead >= net_.size()) return;
+  if (known_dead_.empty()) known_dead_.assign(net_.size(), 0);
+  if (known_dead_[dead]) return;
+  known_dead_[dead] = 1;
+
+  // Forget every cached representative that points at the dead node:
+  // internal zones re-elect the nearest survivor, leaves re-read their
+  // (possibly reassigned) owner on the next lookup.
+  for (net::NodeId& memo : rep_cache_)
+    if (memo == dead) memo = net::kNoNode;
+
+  for (const ZoneIndex leaf : tree_.leaves()) {
+    if (tree_.zone(leaf).owner != dead) continue;
+    auto& events = store_[leaf];
+    if (!events.empty()) {
+      // DIM keeps a single copy per event, so storage that was resident
+      // at the dead owner is gone for good.
+      fault_stats_.events_lost += events.size();
+      stored_count_ -= events.size();
+      net_.node_mut(dead).stored_events -= events.size();
+      events.clear();
+    }
+    // Zone-tree neighbor adoption; kNoNode when nobody survives at all.
+    tree_.reassign_leaf(leaf, tree_.adopting_neighbor(leaf, net_));
+    ++fault_stats_.failovers;
+  }
 }
 
 InsertReceipt DimSystem::insert(net::NodeId source, const Event& event) {
@@ -32,18 +83,38 @@ InsertReceipt DimSystem::insert(net::NodeId source, const Event& event) {
     throw ConfigError("DIM: event dimensionality mismatch");
 
   const ZoneIndex leaf = tree_.leaf_for_event(event);
-  const net::NodeId owner = tree_.zone(leaf).owner;
+  net::NodeId owner = tree_.zone(leaf).owner;
 
   const auto before = net_.traffic().total;
-  const auto route = router_.route_to_node(source, owner);
-  net_.transmit_path(route.path, net::MessageKind::Insert,
-                     net_.sizes().event_bits(dims()));
+  InsertReceipt receipt;
+  if (owner == net::kNoNode) {  // every candidate owner already dead
+    ++fault_stats_.events_lost;
+    receipt.stored_at = net::kNoNode;
+    return receipt;
+  }
+
+  const std::uint64_t bits = net_.sizes().event_bits(dims());
+  auto leg = send_leg(source, owner, net::MessageKind::Insert, bits);
+  if (!leg.delivered) {
+    // The failed delivery triggered failover; retry once toward the
+    // zone's adopted owner.
+    const net::NodeId adopted = tree_.zone(leaf).owner;
+    if (adopted != owner && adopted != net::kNoNode) {
+      owner = adopted;
+      leg = send_leg(source, owner, net::MessageKind::Insert, bits);
+    }
+  }
+  if (!leg.delivered) {
+    ++fault_stats_.events_lost;
+    receipt.stored_at = net::kNoNode;
+    receipt.messages = net_.traffic().total - before;
+    return receipt;
+  }
 
   store_[leaf].push_back(event);
   ++stored_count_;
   ++net_.node_mut(owner).stored_events;
 
-  InsertReceipt receipt;
   receipt.stored_at = owner;
   receipt.messages = net_.traffic().total - before;
   return receipt;
@@ -60,11 +131,23 @@ QueryReceipt DimSystem::query(net::NodeId sink, const RangeQuery& q) {
   // routes it there; refinement then happens inside the zone.
   const ZoneIndex start = tree_.enclosing_zone(q);
   if (ZoneTree::zone_intersects(tree_.zone(start), q)) {
-    const net::NodeId entry = representative(start);
-    const auto leg = router_.route_to_node(sink, entry);
-    net_.transmit_path(leg.path, net::MessageKind::Query,
-                       net_.sizes().query_bits(dims()));
-    process_subtree(entry, start, q, sink, receipt);
+    const std::uint64_t qbits = net_.sizes().query_bits(dims());
+    net::NodeId entry = representative(start);
+    bool arrived = entry != net::kNoNode;
+    if (arrived) {
+      auto leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
+      if (!leg.delivered) {
+        // Failover just re-elected the zone's representative; retry once.
+        const net::NodeId re = representative(start);
+        arrived = false;
+        if (re != entry && re != net::kNoNode) {
+          entry = re;
+          leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
+          arrived = leg.delivered;
+        }
+      }
+    }
+    if (arrived) process_subtree(entry, start, q, sink, receipt);
   }
 
   const auto delta = net_.traffic() - before;
@@ -79,12 +162,25 @@ template <typename LeafFn>
 void DimSystem::walk_subtree(net::NodeId carrier, ZoneIndex zidx,
                              const RangeQuery& q, LeafFn&& on_leaf) {
   const ZoneNode& z = tree_.zone(zidx);
+  const std::uint64_t qbits = net_.sizes().query_bits(dims());
   if (z.is_leaf()) {
-    // Final leg to the zone owner, then the leaf-local action.
-    if (carrier != z.owner) {
-      const auto leg = router_.route_to_node(carrier, z.owner);
-      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
-                         net_.sizes().query_bits(dims()));
+    // Final leg to the zone owner, then the leaf-local action. Note that
+    // a failed leg runs failover, which rewrites z.owner in place — fetch
+    // the adopted owner through the tree, not the (stale) local binding.
+    const net::NodeId owner = z.owner;
+    if (owner == net::kNoNode) return;
+    if (carrier != owner) {
+      auto leg = send_leg(carrier, owner, net::MessageKind::SubQuery, qbits);
+      if (!leg.delivered) {
+        const net::NodeId adopted = tree_.zone(zidx).owner;
+        if (adopted == owner || adopted == net::kNoNode ||
+            !net_.alive(adopted))
+          return;
+        if (carrier != adopted) {
+          leg = send_leg(carrier, adopted, net::MessageKind::SubQuery, qbits);
+          if (!leg.delivered) return;
+        }
+      }
     }
     on_leaf(zidx);
     return;
@@ -95,11 +191,20 @@ void DimSystem::walk_subtree(net::NodeId carrier, ZoneIndex zidx,
   if (lower_hit && upper_hit) {
     // The query splits here: one subquery message per child region.
     for (const ZoneIndex child : {z.lower, z.upper}) {
-      const net::NodeId next = representative(child);
+      net::NodeId next = representative(child);
+      if (next == net::kNoNode) continue;
       if (next != carrier) {
-        const auto leg = router_.route_to_node(carrier, next);
-        net_.transmit_path(leg.path, net::MessageKind::SubQuery,
-                           net_.sizes().query_bits(dims()));
+        auto leg = send_leg(carrier, next, net::MessageKind::SubQuery, qbits);
+        if (!leg.delivered) {
+          // Failover re-elected the child's representative; retry once.
+          const net::NodeId re = representative(child);
+          if (re == next || re == net::kNoNode) continue;
+          next = re;
+          if (next != carrier) {
+            leg = send_leg(carrier, next, net::MessageKind::SubQuery, qbits);
+            if (!leg.delivered) continue;
+          }
+        }
       }
       walk_subtree(next, child, q, on_leaf);
     }
@@ -114,25 +219,32 @@ void DimSystem::process_subtree(net::NodeId carrier, ZoneIndex zidx,
                                 const RangeQuery& q, net::NodeId sink,
                                 QueryReceipt& receipt) {
   walk_subtree(carrier, zidx, q, [&](ZoneIndex leaf) {
-    const ZoneNode& z = tree_.zone(leaf);
     ++receipt.index_nodes_visited;
-    std::uint32_t found = 0;
+    std::vector<Event> matched;
     for (const Event& e : store_[leaf]) {
-      if (q.matches(e)) {
-        receipt.events.push_back(e);
-        ++found;
-      }
+      if (q.matches(e)) matched.push_back(e);
     }
-    if (found > 0 && z.owner != sink) {
-      const auto back = router_.route_to_node(z.owner, sink);
+    const auto found = static_cast<std::uint32_t>(matched.size());
+    const net::NodeId owner = tree_.zone(leaf).owner;
+    bool returned = true;
+    if (found > 0 && owner != sink) {
       const auto& sizes = net_.sizes();
       const std::uint64_t n_msgs = sizes.reply_batches(found);
-      for (std::uint64_t i = 0; i < n_msgs; ++i) {
-        net_.transmit_path(
-            back.path, net::MessageKind::Reply,
-            sizes.reply_bits(dims(), sizes.reply_payload(found)));
-      }
+      const std::uint64_t bits =
+          sizes.reply_bits(dims(), sizes.reply_payload(found));
+      // First batch travels reliably; the remaining batches reuse the
+      // acked path (identical traffic to the historical one-route loop
+      // on a fault-free network).
+      const auto first = send_leg(owner, sink, net::MessageKind::Reply, bits);
+      returned = first.delivered;
+      for (std::uint64_t i = 1; returned && i < n_msgs; ++i)
+        net_.transmit_path(first.route.path, net::MessageKind::Reply, bits);
     }
+    // Answers only count once they actually reach the sink — a reply leg
+    // that dies en route must show up as recall loss, not as data.
+    if (returned)
+      receipt.events.insert(receipt.events.end(), matched.begin(),
+                            matched.end());
   });
 }
 
@@ -173,6 +285,10 @@ storage::BatchQueryReceipt DimSystem::query_batch(
   for (const RangeQuery& q : queries)
     if (q.dims() != dims())
       throw ConfigError("DIM: query dimensionality mismatch");
+  // With dead nodes around, the merged probe's cost accounting and
+  // pre-computed legs no longer hold; fall back to hardened serial
+  // execution (which retries and fails over per leg).
+  if (net_.has_failures()) return DcsSystem::query_batch(sink, queries);
 
   storage::BatchQueryReceipt batch;
   batch.per_query.resize(queries.size());
@@ -254,7 +370,7 @@ storage::BatchQueryReceipt DimSystem::query_batch(
   batch.query_messages = delta.of(net::MessageKind::Query) +
                          delta.of(net::MessageKind::SubQuery);
   batch.reply_messages = delta.of(net::MessageKind::Reply);
-  if (net_.loss_model().loss_probability == 0.0)
+  if (net_.loss_model().loss_probability == 0.0 && net_.extra_loss() == 0.0)
     POOLNET_ASSERT(serial_cost >= delta.total);
   batch.messages_saved =
       serial_cost >= delta.total ? serial_cost - delta.total : 0;
@@ -276,27 +392,42 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
 
   const ZoneIndex start = tree_.enclosing_zone(q);
   if (ZoneTree::zone_intersects(tree_.zone(start), q)) {
-    const net::NodeId entry = representative(start);
-    const auto leg = router_.route_to_node(sink, entry);
-    net_.transmit_path(leg.path, net::MessageKind::Query,
-                       net_.sizes().query_bits(dims()));
-    walk_subtree(entry, start, q, [&](ZoneIndex leaf) {
-      const ZoneNode& z = tree_.zone(leaf);
-      ++receipt.index_nodes_visited;
-      storage::PartialAggregate partial;
-      for (const Event& e : store_[leaf]) {
-        if (q.matches(e)) partial.add(e.values[value_dim]);
-      }
-      if (!partial.empty()) {
-        total.merge(partial);
-        if (z.owner != sink) {
-          // One fixed-size partial straight to the sink.
-          const auto back = router_.route_to_node(z.owner, sink);
-          net_.transmit_path(back.path, net::MessageKind::Reply,
-                             net_.sizes().aggregate_bits());
+    const std::uint64_t qbits = net_.sizes().query_bits(dims());
+    net::NodeId entry = representative(start);
+    bool arrived = entry != net::kNoNode;
+    if (arrived) {
+      auto leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
+      if (!leg.delivered) {
+        const net::NodeId re = representative(start);
+        arrived = false;
+        if (re != entry && re != net::kNoNode) {
+          entry = re;
+          leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
+          arrived = leg.delivered;
         }
       }
-    });
+    }
+    if (arrived) {
+      walk_subtree(entry, start, q, [&](ZoneIndex leaf) {
+        ++receipt.index_nodes_visited;
+        storage::PartialAggregate partial;
+        for (const Event& e : store_[leaf]) {
+          if (q.matches(e)) partial.add(e.values[value_dim]);
+        }
+        if (!partial.empty()) {
+          const net::NodeId owner = tree_.zone(leaf).owner;
+          if (owner == sink) {
+            total.merge(partial);
+          } else {
+            // One fixed-size partial straight to the sink; it only joins
+            // the aggregate if the leg actually delivers.
+            const auto back = send_leg(owner, sink, net::MessageKind::Reply,
+                                       net_.sizes().aggregate_bits());
+            if (back.delivered) total.merge(partial);
+          }
+        }
+      });
+    }
   }
 
   receipt.result = total.finalize(kind);
@@ -319,7 +450,8 @@ std::size_t DimSystem::expire_before(double cutoff) {
     const auto gone = before - events.size();
     if (gone > 0) {
       removed += gone;
-      net_.node_mut(tree_.zone(leaf).owner).stored_events -= gone;
+      const net::NodeId owner = tree_.zone(leaf).owner;
+      if (owner != net::kNoNode) net_.node_mut(owner).stored_events -= gone;
     }
   }
   stored_count_ -= removed;

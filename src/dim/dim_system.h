@@ -15,6 +15,7 @@
 
 #include "dim/zone_tree.h"
 #include "net/network.h"
+#include "routing/reliable.h"
 #include "routing/router.h"
 #include "storage/dcs_system.h"
 
@@ -54,6 +55,13 @@ class DimSystem final : public storage::DcsSystem {
   std::size_t stored_count() const override { return stored_count_; }
   std::size_t expire_before(double cutoff) override;
 
+  /// Online failover: orphaned leaf zones are adopted by the zone-tree
+  /// neighbor (the closest surviving owner in the nearest enclosing
+  /// sibling subtree — DIM's backup-zone rule applied at runtime). Events
+  /// resident at the dead owner are counted lost (DIM stores no mirrors);
+  /// cached representatives of the dead node are forgotten. Idempotent.
+  void handle_node_failure(net::NodeId dead) override;
+
   const ZoneTree& tree() const { return tree_; }
 
   /// Events resident in a given leaf zone (diagnostics, load analysis).
@@ -67,6 +75,11 @@ class DimSystem final : public storage::DcsSystem {
  private:
   /// Node a (sub)query is addressed to when targeting this zone.
   net::NodeId representative(ZoneIndex zidx) const;
+
+  /// One reliable leg: send, accumulate retry/failure stats, and run
+  /// failover for every node the delivery discovered dead.
+  routing::LegOutcome send_leg(net::NodeId from, net::NodeId to,
+                               net::MessageKind kind, std::uint64_t bits);
 
   /// Shared recursive split-and-forward walk. `on_leaf(zidx)` runs at the
   /// owner of every relevant leaf after the subquery legs are charged.
@@ -95,6 +108,10 @@ class DimSystem final : public storage::DcsSystem {
   std::vector<std::vector<storage::Event>> store_;  // indexed by ZoneIndex
   std::size_t stored_count_ = 0;
   mutable std::vector<net::NodeId> rep_cache_;
+
+  /// Nodes whose failure has already been absorbed (failover is
+  /// idempotent per node). Allocated lazily on the first failure.
+  std::vector<char> known_dead_;
 };
 
 }  // namespace poolnet::dim

@@ -156,6 +156,72 @@ std::vector<ZoneIndex> ZoneTree::leaves_overlapping(
   return out;
 }
 
+void ZoneTree::reassign_leaf(ZoneIndex leaf, net::NodeId new_owner) {
+  POOLNET_ASSERT(leaf < nodes_.size());
+  POOLNET_ASSERT(nodes_[leaf].is_leaf());
+  nodes_[leaf].owner = new_owner;
+}
+
+net::NodeId ZoneTree::adopting_neighbor(ZoneIndex leaf,
+                                        const net::Network& network) const {
+  POOLNET_ASSERT(leaf < nodes_.size() && nodes_[leaf].is_leaf());
+
+  // The tree stores no parent links (queries never need them); failover is
+  // rare enough that one O(n) scan per call is the simplest safe choice.
+  std::vector<ZoneIndex> parent(nodes_.size(), kNoZone);
+  for (ZoneIndex i = 0; i < nodes_.size(); ++i) {
+    const ZoneNode& z = nodes_[i];
+    if (z.is_leaf()) continue;
+    parent[z.lower] = i;
+    parent[z.upper] = i;
+  }
+
+  const Point orphan_center = nodes_[leaf].region.center();
+  const net::NodeId dead = nodes_[leaf].owner;
+
+  // Best surviving owner within a subtree, by distance to the orphaned
+  // zone's center (deterministic id tie-break).
+  const auto best_in = [&](ZoneIndex sub) {
+    net::NodeId best = net::kNoNode;
+    double best_d = 0.0;
+    std::vector<ZoneIndex> stack{sub};
+    while (!stack.empty()) {
+      const ZoneIndex i = stack.back();
+      stack.pop_back();
+      const ZoneNode& z = nodes_[i];
+      if (!z.is_leaf()) {
+        stack.push_back(z.upper);
+        stack.push_back(z.lower);
+        continue;
+      }
+      const net::NodeId cand = z.owner;
+      if (cand == net::kNoNode || cand == dead || !network.alive(cand))
+        continue;
+      const double d = distance(network.position(cand), orphan_center);
+      if (best == net::kNoNode || d < best_d ||
+          (d == best_d && cand < best)) {
+        best = cand;
+        best_d = d;
+      }
+    }
+    return best;
+  };
+
+  // Walk up: at each ancestor, search the sibling subtree we have not yet
+  // covered. The first level with a survivor is the nearest enclosing
+  // sibling subtree — DIM's backup-zone adoption applied to failures.
+  ZoneIndex cur = leaf;
+  while (parent[cur] != kNoZone) {
+    const ZoneIndex up = parent[cur];
+    const ZoneIndex sibling =
+        nodes_[up].lower == cur ? nodes_[up].upper : nodes_[up].lower;
+    const net::NodeId found = best_in(sibling);
+    if (found != net::kNoNode) return found;
+    cur = up;
+  }
+  return net::kNoNode;
+}
+
 ZoneIndex ZoneTree::enclosing_zone(const storage::RangeQuery& q) const {
   POOLNET_ASSERT(q.dims() == dims_);
   ZoneIndex cur = root();

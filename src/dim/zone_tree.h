@@ -76,6 +76,19 @@ class ZoneTree {
   /// True when the zone's value-range box intersects the query box.
   static bool zone_intersects(const ZoneNode& z, const storage::RangeQuery& q);
 
+  /// Online failover: moves ownership of `leaf` to `new_owner` (DIM's
+  /// backup-zone adoption applied at runtime). The zone keeps its code,
+  /// region and ranges; only ownership moves.
+  void reassign_leaf(ZoneIndex leaf, net::NodeId new_owner);
+
+  /// The zone-tree neighbor that should adopt `leaf` when its owner
+  /// dies: the surviving leaf owner in the nearest enclosing sibling
+  /// subtree (walking up ancestors until one holds a survivor) that sits
+  /// closest to the orphaned zone's region center. kNoNode when no owner
+  /// anywhere survives.
+  net::NodeId adopting_neighbor(ZoneIndex leaf,
+                                const net::Network& network) const;
+
  private:
   ZoneIndex build(Rect region, std::vector<net::NodeId>& ids, ZoneCode code,
                   const std::array<HalfOpenInterval, storage::kMaxDims>& ranges,

@@ -66,8 +66,18 @@ QueryEngine::Ticket QueryEngine::submit(net::NodeId sink,
   return ticket;
 }
 
+void QueryEngine::absorb_fault_stats() {
+  const storage::FaultStats& f = system_.fault_stats();
+  stats_.retries += f.retries - fault_seen_.retries;
+  stats_.failovers += f.failovers - fault_seen_.failovers;
+  stats_.failed_legs += f.failed_legs - fault_seen_.failed_legs;
+  stats_.events_lost += f.events_lost - fault_seen_.events_lost;
+  fault_seen_ = f;
+}
+
 void QueryEngine::execute_serial(const PendingQuery& p) {
   storage::QueryReceipt receipt = system_.query(p.sink, p.query);
+  absorb_fault_stats();
   ++stats_.serial_executions;
   stats_.messages += receipt.messages;
   stats_.serial_cell_visits += receipt.index_nodes_visited;
@@ -119,6 +129,7 @@ void QueryEngine::flush() {
     for (const PendingQuery& p : g.members) queries.push_back(p.query);
 
     storage::BatchQueryReceipt batch = system_.query_batch(g.sink, queries);
+    absorb_fault_stats();
     ++stats_.batches;
     stats_.messages += batch.messages;
     stats_.messages_saved += batch.messages_saved;
@@ -172,12 +183,16 @@ storage::InsertReceipt QueryEngine::insert(net::NodeId source,
                                            const storage::Event& e) {
   advance_clock(1);
   const storage::InsertReceipt receipt = system_.insert(source, e);
+  absorb_fault_stats();
   cache_.invalidate_containing(e.values);
   return receipt;
 }
 
 std::size_t QueryEngine::expire_before(double cutoff) {
-  cache_.clear();
+  // Aging removes exactly the stored events detected before the cutoff,
+  // so each cached answer stays exact after shedding those same events —
+  // surviving entries keep serving hits.
+  cache_.expire_data_before(cutoff);
   return system_.expire_before(cutoff);
 }
 

@@ -65,6 +65,13 @@ struct EngineStats {
   sim::RunningStat batch_occupancy;  ///< queries per flushed sink-group
   sim::RunningStat dedup_ratio;      ///< serial / unique visits, per batch
 
+  // Fault-tolerance counters, diffed from the system's FaultStats around
+  // engine-driven operations. All zero on a fault-free run.
+  std::uint64_t retries = 0;      ///< reliable-leg retransmission rounds
+  std::uint64_t failovers = 0;    ///< index/owner/home re-elections
+  std::uint64_t failed_legs = 0;  ///< legs abandoned after every retry
+  std::uint64_t events_lost = 0;  ///< stored events destroyed or dropped
+
   /// Σ serial visits / Σ unique visits across every executed batch;
   /// >= 1 whenever batching found any overlap.
   double overall_dedup_ratio() const {
@@ -107,8 +114,8 @@ class QueryEngine {
   /// rectangle containing the new event before it can serve stale hits.
   storage::InsertReceipt insert(net::NodeId source, const storage::Event& e);
 
-  /// Data aging passthrough; clears the cache (aging shrinks answers
-  /// without touching any particular rectangle).
+  /// Data aging passthrough. Cached entries shed their own aged events in
+  /// place (the exact post-aging answers) instead of being cleared.
   std::size_t expire_before(double cutoff);
 
   const EngineStats& stats() const { return stats_; }
@@ -127,6 +134,10 @@ class QueryEngine {
   void finish(Ticket ticket, const storage::RangeQuery& q,
               storage::QueryReceipt receipt);
 
+  /// Folds the system's fault counters accumulated since the last call
+  /// into the engine stats.
+  void absorb_fault_stats();
+
   storage::DcsSystem& system_;
   QueryEngineConfig config_;
   ResultCache cache_;
@@ -134,6 +145,7 @@ class QueryEngine {
   std::uint64_t epoch_opened_ = 0;  ///< now() when pending_ got its first entry
   std::unordered_map<Ticket, storage::QueryReceipt> results_;
   EngineStats stats_;
+  storage::FaultStats fault_seen_;  ///< system counters at the last absorb
   std::uint64_t now_ = 0;
   Ticket next_ticket_ = 1;
 };

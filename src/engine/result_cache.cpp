@@ -117,6 +117,19 @@ std::size_t ResultCache::invalidate_containing(const storage::Values& values) {
   return erased;
 }
 
+std::size_t ResultCache::expire_data_before(double cutoff) {
+  if (!config_.enabled || entries_.empty()) return 0;
+  std::size_t shrank = 0;
+  for (auto& [key, e] : entries_) {
+    const auto before = e.events.size();
+    std::erase_if(e.events, [cutoff](const storage::Event& ev) {
+      return ev.detected_at < cutoff;
+    });
+    if (e.events.size() != before) ++shrank;
+  }
+  return shrank;
+}
+
 void ResultCache::clear() { entries_.clear(); }
 
 }  // namespace poolnet::engine

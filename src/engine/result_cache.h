@@ -7,8 +7,9 @@
 // is PRECISE: an insert whose value vector falls inside a cached
 // rectangle erases that entry, while an insert outside it provably cannot
 // change the answer and leaves the entry alone. expire_before-style data
-// aging shrinks answers without touching any particular rectangle, so the
-// engine clears the whole cache on expiry instead.
+// aging removes exactly the stored events detected before the cutoff, so
+// cached answers stay exact after dropping those same events in place —
+// entries survive aging instead of being cleared wholesale.
 #pragma once
 
 #include <array>
@@ -69,6 +70,12 @@ class ResultCache {
   /// Erases every entry whose rectangle contains `values` (the precise
   /// invalidation rule for an insert). Returns entries erased.
   std::size_t invalidate_containing(const storage::Values& values);
+
+  /// Data aging: drops cached events detected before `cutoff` in place.
+  /// Aging removes exactly those events from the store, so every entry's
+  /// surviving set is the exact post-aging answer — no entry needs to be
+  /// erased. Returns the number of entries that shrank.
+  std::size_t expire_data_before(double cutoff);
 
   /// Drops everything (stats counters are kept).
   void clear();

@@ -57,8 +57,56 @@ Point GhtSystem::location_of(std::uint64_t key) const {
 net::NodeId GhtSystem::home_node(const storage::Values& values) const {
   const std::uint64_t key = key_of(values);
   const auto [it, fresh] = home_cache_.try_emplace(key, net::kNoNode);
-  if (fresh) it->second = net_.nearest_node(location_of(key));
+  if (fresh) it->second = net_.nearest_alive_node(location_of(key));
   return it->second;
+}
+
+routing::LegOutcome GhtSystem::send_leg(net::NodeId from, net::NodeId to,
+                                        net::MessageKind kind,
+                                        std::uint64_t bits) {
+  if (from == to) {
+    // Mirror the historical bare leg exactly (self-routes still pay a
+    // router lookup and a no-op path transmit) so fault-free ledgers and
+    // route-cache stats stay byte-identical.
+    routing::LegOutcome out;
+    out.route = router_.route_to_node(from, to);
+    net_.transmit_path(out.route.path, kind, bits);
+    out.delivered = true;
+    out.reached = to;
+    return out;
+  }
+  routing::LegOutcome out =
+      routing::send_reliable(net_, router_, from, to, kind, bits);
+  fault_stats_.retries += out.retries;
+  if (!out.delivered) ++fault_stats_.failed_legs;
+  for (const net::NodeId d : out.dead_found) handle_node_failure(d);
+  return out;
+}
+
+void GhtSystem::handle_node_failure(net::NodeId dead) {
+  if (dead >= net_.size()) return;
+  if (known_dead_.empty()) known_dead_.assign(net_.size(), 0);
+  if (known_dead_[dead]) return;
+  known_dead_[dead] = 1;
+
+  // GHT keeps one copy per key: whatever the dead home held is gone.
+  auto& events = store_[dead];
+  if (!events.empty()) {
+    fault_stats_.events_lost += events.size();
+    stored_count_ -= events.size();
+    net_.node_mut(dead).stored_events -= events.size();
+    events.clear();
+  }
+  // Forget every cached home at the dead node; the next use of each key
+  // re-walks to the nearest survivor.
+  for (auto it = home_cache_.begin(); it != home_cache_.end();) {
+    if (it->second == dead) {
+      it = home_cache_.erase(it);
+      ++fault_stats_.failovers;
+    } else {
+      ++it;
+    }
+  }
 }
 
 InsertReceipt GhtSystem::insert(net::NodeId source, const Event& event) {
@@ -66,16 +114,37 @@ InsertReceipt GhtSystem::insert(net::NodeId source, const Event& event) {
   if (event.dims() != dims_)
     throw ConfigError("GHT: event dimensionality mismatch");
 
-  const net::NodeId home = home_node(event.values);
+  net::NodeId home = home_node(event.values);
   const auto before = net_.traffic().total;
-  const auto route = router_.route_to_node(source, home);
-  net_.transmit_path(route.path, net::MessageKind::Insert,
-                     net_.sizes().event_bits(dims_));
+  InsertReceipt receipt;
+  if (home == net::kNoNode) {  // nobody left to store at
+    ++fault_stats_.events_lost;
+    receipt.stored_at = net::kNoNode;
+    return receipt;
+  }
+
+  const std::uint64_t bits = net_.sizes().event_bits(dims_);
+  auto leg = send_leg(source, home, net::MessageKind::Insert, bits);
+  if (!leg.delivered) {
+    // The failed delivery evicted the dead home from the cache; retry
+    // once toward the re-homed survivor.
+    const net::NodeId rehomed = home_node(event.values);
+    if (rehomed != home && rehomed != net::kNoNode) {
+      home = rehomed;
+      leg = send_leg(source, home, net::MessageKind::Insert, bits);
+    }
+  }
+  if (!leg.delivered) {
+    ++fault_stats_.events_lost;
+    receipt.stored_at = net::kNoNode;
+    receipt.messages = net_.traffic().total - before;
+    return receipt;
+  }
+
   store_[home].push_back(event);
   ++stored_count_;
   ++net_.node_mut(home).stored_events;
 
-  InsertReceipt receipt;
   receipt.stored_at = home;
   receipt.messages = net_.traffic().total - before;
   return receipt;
@@ -88,6 +157,7 @@ std::size_t GhtSystem::charge_flood(net::NodeId sink) {
   // GHT's favor; Pool still wins by orders of magnitude.)
   std::vector<char> seen(net_.size(), 0);
   std::queue<net::NodeId> frontier;
+  if (!net_.alive(sink)) return 0;
   frontier.push(sink);
   seen[sink] = 1;
   std::size_t reached = 1;
@@ -97,6 +167,9 @@ std::size_t GhtSystem::charge_flood(net::NodeId sink) {
     frontier.pop();
     for (const net::NodeId v : net_.neighbors(u)) {
       if (seen[v]) continue;
+      // Broadcasts are unacked: a dead neighbor simply never rebroadcasts,
+      // so the flood routes around it without charging extra attempts.
+      if (!net_.alive(v)) continue;
       seen[v] = 1;
       net_.transmit(u, v, net::MessageKind::Query, bits);
       frontier.push(v);
@@ -118,49 +191,76 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
     // Hash the queried point; only its home node can hold exact matches.
     storage::Values point;
     for (std::size_t d = 0; d < dims_; ++d) point.push_back(q.bound(d).lo);
-    const net::NodeId home = home_node(point);
-    const auto leg = router_.route_to_node(sink, home);
-    net_.transmit_path(leg.path, net::MessageKind::Query,
-                       sizes.query_bits(dims_));
-    receipt.index_nodes_visited = 1;
-    std::uint32_t found = 0;
-    for (const Event& e : store_[home]) {
-      if (q.matches(e)) {
-        receipt.events.push_back(e);
-        ++found;
+    net::NodeId home = home_node(point);
+    bool arrived = home != net::kNoNode;
+    if (arrived) {
+      auto leg = send_leg(sink, home, net::MessageKind::Query,
+                          sizes.query_bits(dims_));
+      if (!leg.delivered) {
+        // The dead home was evicted from the cache; retry once toward
+        // the re-homed survivor (which now holds nothing for this key).
+        const net::NodeId rehomed = home_node(point);
+        arrived = false;
+        if (rehomed != home && rehomed != net::kNoNode) {
+          home = rehomed;
+          leg = send_leg(sink, home, net::MessageKind::Query,
+                         sizes.query_bits(dims_));
+          arrived = leg.delivered;
+        }
       }
     }
-    if (found > 0 && home != sink) {
-      const auto back = router_.route_to_node(home, sink);
-      const std::uint64_t batches = sizes.reply_batches(found);
-      for (std::uint64_t b = 0; b < batches; ++b) {
-        net_.transmit_path(back.path, net::MessageKind::Reply,
-                           sizes.reply_bits(dims_, sizes.reply_payload(found)));
+    if (arrived) {
+      receipt.index_nodes_visited = 1;
+      std::vector<Event> matched;
+      for (const Event& e : store_[home]) {
+        if (q.matches(e)) matched.push_back(e);
       }
+      const auto found = static_cast<std::uint32_t>(matched.size());
+      bool returned = true;
+      if (found > 0 && home != sink) {
+        const std::uint64_t batches = sizes.reply_batches(found);
+        const std::uint64_t bits =
+            sizes.reply_bits(dims_, sizes.reply_payload(found));
+        const auto back = send_leg(home, sink, net::MessageKind::Reply, bits);
+        returned = back.delivered;
+        for (std::uint64_t b = 1; returned && b < batches; ++b)
+          net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
+      }
+      if (returned)
+        receipt.events.insert(receipt.events.end(), matched.begin(),
+                              matched.end());
     }
   } else {
     // No value locality: flood, then every holder replies directly.
     charge_flood(sink);
     for (net::NodeId n = 0; n < net_.size(); ++n) {
       if (store_[n].empty()) continue;
-      std::uint32_t found = 0;
-      for (const Event& e : store_[n]) {
-        if (q.matches(e)) {
-          receipt.events.push_back(e);
-          ++found;
-        }
+      if (!net_.alive(n)) {
+        // The flood just exposed a silently-dead holder: absorb the loss
+        // so no later query fabricates answers from destroyed storage.
+        handle_node_failure(n);
+        continue;
       }
+      std::vector<Event> matched;
+      for (const Event& e : store_[n]) {
+        if (q.matches(e)) matched.push_back(e);
+      }
+      const auto found = static_cast<std::uint32_t>(matched.size());
       if (found > 0) {
         ++receipt.index_nodes_visited;
+        bool returned = true;
         if (n != sink) {
-          const auto back = router_.route_to_node(n, sink);
           const std::uint64_t batches = sizes.reply_batches(found);
-          for (std::uint64_t b = 0; b < batches; ++b) {
-            net_.transmit_path(
-                back.path, net::MessageKind::Reply,
-                sizes.reply_bits(dims_, sizes.reply_payload(found)));
-          }
+          const std::uint64_t bits =
+              sizes.reply_bits(dims_, sizes.reply_payload(found));
+          const auto back = send_leg(n, sink, net::MessageKind::Reply, bits);
+          returned = back.delivered;
+          for (std::uint64_t b = 1; returned && b < batches; ++b)
+            net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
         }
+        if (returned)
+          receipt.events.insert(receipt.events.end(), matched.begin(),
+                                matched.end());
       }
     }
   }
@@ -179,6 +279,10 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
   for (const RangeQuery& q : queries)
     if (q.dims() != dims_)
       throw ConfigError("GHT: query dimensionality mismatch");
+  // With dead nodes around, the merged probe's cost accounting and
+  // pre-computed legs no longer hold; fall back to hardened serial
+  // execution (which retries and fails over per leg).
+  if (net_.has_failures()) return DcsSystem::query_batch(sink, queries);
 
   storage::BatchQueryReceipt batch;
   batch.per_query.resize(queries.size());
@@ -296,7 +400,7 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
   batch.query_messages = delta.of(net::MessageKind::Query) +
                          delta.of(net::MessageKind::SubQuery);
   batch.reply_messages = delta.of(net::MessageKind::Reply);
-  if (net_.loss_model().loss_probability == 0.0)
+  if (net_.loss_model().loss_probability == 0.0 && net_.extra_loss() == 0.0)
     POOLNET_ASSERT(serial_cost >= delta.total);
   batch.messages_saved =
       serial_cost >= delta.total ? serial_cost - delta.total : 0;
@@ -339,17 +443,23 @@ storage::AggregateReceipt GhtSystem::aggregate(net::NodeId sink,
   charge_flood(sink);
   for (net::NodeId n = 0; n < net_.size(); ++n) {
     if (store_[n].empty()) continue;
+    if (!net_.alive(n)) {
+      handle_node_failure(n);
+      continue;
+    }
     storage::PartialAggregate partial;
     for (const Event& e : store_[n]) {
       if (q.matches(e)) partial.add(e.values[value_dim]);
     }
     if (!partial.empty()) {
       ++receipt.index_nodes_visited;
-      total.merge(partial);
-      if (n != sink) {
-        const auto back = router_.route_to_node(n, sink);
-        net_.transmit_path(back.path, net::MessageKind::Reply,
-                           net_.sizes().aggregate_bits());
+      if (n == sink) {
+        total.merge(partial);
+      } else {
+        // The partial only joins the aggregate if its leg delivers.
+        const auto back = send_leg(n, sink, net::MessageKind::Reply,
+                                   net_.sizes().aggregate_bits());
+        if (back.delivered) total.merge(partial);
       }
     }
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "routing/reliable.h"
 #include "routing/router.h"
 #include "storage/dcs_system.h"
 
@@ -71,12 +72,23 @@ class GhtSystem final : public storage::DcsSystem {
   std::size_t stored_count() const override { return stored_count_; }
   std::size_t expire_before(double cutoff) override;
 
+  /// Online failover: the dead node's store is counted lost (GHT keeps a
+  /// single copy per key), and every cached home pointing at it is
+  /// forgotten so affected keys re-home at the nearest survivor — the
+  /// perimeter-walk convention applied to the survivor set. Idempotent.
+  void handle_node_failure(net::NodeId dead) override;
+
   /// Home node for an event's (quantized) value vector.
   net::NodeId home_node(const storage::Values& values) const;
 
  private:
   std::uint64_t key_of(const storage::Values& values) const;
   Point location_of(std::uint64_t key) const;
+
+  /// One reliable leg: send, accumulate retry/failure stats, and run
+  /// failover for every node the delivery discovered dead.
+  routing::LegOutcome send_leg(net::NodeId from, net::NodeId to,
+                               net::MessageKind kind, std::uint64_t bits);
 
   /// Charges a network-wide flood rooted at `sink` (each node rebroadcasts
   /// once: n-1 Query transmissions over a BFS tree) and returns per-node
@@ -94,6 +106,10 @@ class GhtSystem final : public storage::DcsSystem {
   /// runs once per distinct key (the hash is deterministic, so so is the
   /// home node).
   mutable std::unordered_map<std::uint64_t, net::NodeId> home_cache_;
+
+  /// Nodes whose failure has already been absorbed (failover is
+  /// idempotent per node). Allocated lazily on the first failure.
+  std::vector<char> known_dead_;
 };
 
 }  // namespace poolnet::ght

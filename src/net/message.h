@@ -98,6 +98,9 @@ struct LinkLossModel {
 struct TrafficTally {
   std::array<std::uint64_t, kMessageKindCount> by_kind{};
   std::uint64_t total = 0;
+  /// Messages whose final hop was addressed to a dead node: the sender
+  /// burned its full ARQ budget waiting for an ack that never came.
+  std::uint64_t lost = 0;
   double energy_j = 0.0;
 
   std::uint64_t of(MessageKind k) const {
@@ -107,6 +110,7 @@ struct TrafficTally {
   void clear() {
     by_kind.fill(0);
     total = 0;
+    lost = 0;
     energy_j = 0.0;
   }
 
@@ -114,6 +118,7 @@ struct TrafficTally {
     for (std::size_t i = 0; i < kMessageKindCount; ++i)
       a.by_kind[i] -= b.by_kind[i];
     a.total -= b.total;
+    a.lost -= b.lost;
     a.energy_j -= b.energy_j;
     return a;
   }

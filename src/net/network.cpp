@@ -69,6 +69,38 @@ NodeId Network::nearest_node(Point p) const {
   return static_cast<NodeId>(index_.nearest(p));
 }
 
+NodeId Network::nearest_alive_node(Point p) const {
+  const NodeId n = nearest_node(p);
+  if (dead_count_ == 0 || nodes_[n].alive) return n;
+  // Failover elections are rare; a linear scan over survivors is fine.
+  NodeId best = kNoNode;
+  double best_d2 = 0.0;
+  for (const Node& cand : nodes_) {
+    if (!cand.alive) continue;
+    const double dx = cand.pos.x - p.x;
+    const double dy = cand.pos.y - p.y;
+    const double d2 = dx * dx + dy * dy;
+    if (best == kNoNode || d2 < best_d2) {
+      best = cand.id;
+      best_d2 = d2;
+    }
+  }
+  return best;
+}
+
+void Network::kill(NodeId id) {
+  Node& n = node_mut(id);
+  if (!n.alive) return;
+  n.alive = false;
+  ++dead_count_;
+}
+
+void Network::set_extra_loss(double p) {
+  if (p < 0.0 || p >= 1.0)
+    throw ConfigError("Network: extra loss must be in [0, 1)");
+  extra_loss_ = p;
+}
+
 std::vector<NodeId> Network::nodes_within(Point p, double radius) const {
   std::vector<NodeId> out;
   for (const std::size_t i : index_.within(p, radius, /*sorted=*/false))
@@ -103,40 +135,68 @@ double Network::average_degree() const {
   return static_cast<double>(total) / static_cast<double>(nodes_.size());
 }
 
-void Network::transmit(NodeId from, NodeId to, MessageKind kind,
+bool Network::transmit(NodeId from, NodeId to, MessageKind kind,
                        std::uint64_t bits) {
-  if (from == to) return;  // local delivery, no radio use
+  if (from == to) return true;  // local delivery, no radio use
   POOLNET_ASSERT_MSG(are_neighbors(from, to),
                      "transmit between non-neighbors");
   Node& src = nodes_[from];
   Node& dst = nodes_[to];
+  if (!src.alive) return false;  // a crashed radio sends nothing
 
   // Link-layer ARQ: retransmit until the frame survives the channel (or
   // the attempt budget forces delivery). Every attempt is a message and
-  // costs transmit energy; reception is charged once.
+  // costs transmit energy; reception is charged once. A dead receiver
+  // never acks, so the sender always exhausts the budget — that exhausted
+  // burst IS the failure detection signal (and its cost).
+  const double loss_p =
+      extra_loss_ == 0.0
+          ? loss_.loss_probability
+          : 1.0 - (1.0 - loss_.loss_probability) * (1.0 - extra_loss_);
   std::uint32_t attempts = 1;
-  while (attempts < loss_.max_attempts &&
-         loss_.loss_probability > 0.0 &&
-         loss_rng_.bernoulli(loss_.loss_probability)) {
-    ++attempts;
+  if (!dst.alive) {
+    attempts = loss_.max_attempts;
+  } else {
+    while (attempts < loss_.max_attempts &&
+           loss_p > 0.0 &&
+           loss_rng_.bernoulli(loss_p)) {
+      ++attempts;
+    }
   }
 
   src.tx_count += attempts;
-  ++dst.rx_count;
   const double d = distance(src.pos, dst.pos);
   const double tx_e = energy_.tx_cost(bits, d) * attempts;
-  const double rx_e = energy_.rx_cost(bits);
   src.energy_spent_j += tx_e;
-  dst.energy_spent_j += rx_e;
   traffic_.by_kind[static_cast<std::size_t>(kind)] += attempts;
   traffic_.total += attempts;
+  if (!dst.alive) {
+    traffic_.energy_j += tx_e;
+    ++traffic_.lost;
+    return false;
+  }
+  ++dst.rx_count;
+  const double rx_e = energy_.rx_cost(bits);
+  dst.energy_spent_j += rx_e;
   traffic_.energy_j += tx_e + rx_e;
+  return true;
 }
 
-void Network::transmit_path(const std::vector<NodeId>& path, MessageKind kind,
-                            std::uint64_t bits) {
-  for (std::size_t i = 1; i < path.size(); ++i)
-    transmit(path[i - 1], path[i], kind, bits);
+Network::PathDelivery Network::transmit_path(const std::vector<NodeId>& path,
+                                             MessageKind kind,
+                                             std::uint64_t bits) {
+  PathDelivery out;
+  out.complete = true;
+  if (!path.empty()) out.reached = path[0];
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (!transmit(path[i - 1], path[i], kind, bits)) {
+      out.complete = false;
+      return out;
+    }
+    out.reached = path[i];
+    ++out.hops_delivered;
+  }
+  return out;
 }
 
 void Network::reset_traffic() { traffic_.clear(); }

@@ -45,6 +45,25 @@ class Network {
   /// Node nearest to an arbitrary location (the GHT-style "home node").
   NodeId nearest_node(Point p) const;
 
+  /// Nearest LIVING node to `p`. Identical to nearest_node() until a
+  /// fault plan kills something; kNoNode if every node is dead.
+  NodeId nearest_alive_node(Point p) const;
+
+  // --- fault state (all nodes start alive; see net::FaultInjector) ---
+  bool alive(NodeId id) const { return node(id).alive; }
+  std::size_t dead_count() const { return dead_count_; }
+  bool has_failures() const { return dead_count_ > 0; }
+
+  /// Crashes a node: it stops acking and forwarding. Idempotent. Its
+  /// stored events are NOT reclaimed here — that is the DCS layers'
+  /// failover job (DcsSystem::handle_node_failure).
+  void kill(NodeId id);
+
+  /// Transient link degradation: extra per-attempt loss composed with the
+  /// base model, effective = 1 - (1-base)(1-extra). 0 restores the base.
+  void set_extra_loss(double p);
+  double extra_loss() const { return extra_loss_; }
+
   /// All nodes within `radius` of `p`.
   std::vector<NodeId> nodes_within(Point p, double radius) const;
 
@@ -59,13 +78,26 @@ class Network {
   const LinkLossModel& loss_model() const { return loss_; }
 
   /// Charge one hop from `from` to `to` (must be neighbors or equal; a
-  /// self-delivery charges nothing).
-  void transmit(NodeId from, NodeId to, MessageKind kind, std::uint64_t bits);
+  /// self-delivery charges nothing). Returns true when the frame was
+  /// delivered. A dead sender transmits nothing (false, nothing charged).
+  /// A dead receiver never acks: the sender burns its full ARQ attempt
+  /// budget (all charged as messages + TX energy, no RX), the frame
+  /// counts in TrafficTally::lost, and the call returns false — this is
+  /// how upper layers DETECT a failure.
+  bool transmit(NodeId from, NodeId to, MessageKind kind, std::uint64_t bits);
 
-  /// Charge every hop of `path` (consecutive entries must be neighbors).
-  /// A path of size <2 charges nothing.
-  void transmit_path(const std::vector<NodeId>& path, MessageKind kind,
-                     std::uint64_t bits);
+  /// Delivery outcome of a multi-hop transmission.
+  struct PathDelivery {
+    NodeId reached = kNoNode;         ///< last node holding the message
+    std::size_t hops_delivered = 0;   ///< successful hops before any failure
+    bool complete = false;            ///< every hop of the path succeeded
+  };
+
+  /// Charge every hop of `path` (consecutive entries must be neighbors),
+  /// stopping at the first failed hop. A path of size <2 charges nothing
+  /// and is trivially complete.
+  PathDelivery transmit_path(const std::vector<NodeId>& path, MessageKind kind,
+                             std::uint64_t bits);
 
   const TrafficTally& traffic() const { return traffic_; }
   void reset_traffic();
@@ -83,6 +115,8 @@ class Network {
   Rng loss_rng_;
   SpatialIndex index_;
   TrafficTally traffic_;
+  std::size_t dead_count_ = 0;
+  double extra_loss_ = 0.0;
 };
 
 }  // namespace poolnet::net

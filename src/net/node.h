@@ -21,6 +21,10 @@ struct Node {
   NodeId id = kNoNode;
   Point pos;
 
+  /// False once a fault plan crashes the node: it stops forwarding,
+  /// acking, and answering; its stored events are gone with it.
+  bool alive = true;
+
   /// Neighbor ids within radio range, sorted by id (built by Network).
   std::vector<NodeId> neighbors;
 

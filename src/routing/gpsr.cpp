@@ -31,6 +31,7 @@ NodeId Gpsr::first_ccw_neighbor(NodeId at, double ref_angle,
   NodeId best = net::kNoNode;
   double best_sweep = kTwoPi + 1.0;
   for (const NodeId nb : planar_.neighbors(at)) {
+    if (!net_.alive(nb)) continue;  // dead nodes drop out of the face tour
     double sweep;
     if (nb == skip) {
       sweep = kTwoPi;  // bounce back only when nothing else exists
@@ -130,6 +131,7 @@ RouteResult Gpsr::route_impl(NodeId src, Point dest,
       NodeId next = net::kNoNode;
       double next_d2 = cur_d2;
       for (const NodeId nb : net_.neighbors(cur)) {
+        if (!net_.alive(nb)) continue;  // beacons stopped: not a candidate
         const double d2 = distance_sq(net_.position(nb), dest);
         if (d2 < next_d2 || (d2 == next_d2 && next != net::kNoNode && nb < next)) {
           next_d2 = d2;

@@ -1,0 +1,82 @@
+#include "routing/reliable.h"
+
+#include <algorithm>
+
+namespace poolnet::routing {
+
+namespace {
+
+void record_dead(LegOutcome* out, net::NodeId dead) {
+  if (std::find(out->dead_found.begin(), out->dead_found.end(), dead) ==
+      out->dead_found.end())
+    out->dead_found.push_back(dead);
+}
+
+}  // namespace
+
+LegOutcome send_reliable(net::Network& net, const Router& router,
+                         net::NodeId from, net::NodeId to,
+                         net::MessageKind kind, std::uint64_t bits,
+                         const ReliablePolicy& policy) {
+  LegOutcome out;
+  if (from == to) {
+    out.delivered = true;
+    out.reached = to;
+    out.route.path = {from};
+    out.route.delivered = to;
+    out.route.exact = true;
+    return out;
+  }
+  if (!net.alive(from)) {
+    out.reached = from;
+    return out;
+  }
+
+  net::NodeId cur = from;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    RouteResult route = router.route_to_node(cur, to);
+    const auto res = net.transmit_path(route.path, kind, bits);
+
+    if (res.complete && route.delivered == to) {
+      out.delivered = true;
+      out.reached = to;
+      out.route = std::move(route);
+      return out;
+    }
+
+    net::NodeId dead = net::kNoNode;
+    if (!res.complete) {
+      // A hop partway down the path never acked: its target is dead.
+      dead = route.path[res.hops_delivered + 1];
+      cur = res.reached;
+    } else {
+      // The survivor-aware router could not land on `to` — typically
+      // because `to` itself is dead and greedy/perimeter delivered
+      // nearby. If the final holder neighbors `to`, it performs the
+      // detection probe: one full ARQ burst with no ack.
+      cur = res.reached;
+      if (!net.alive(to)) {
+        if (net.are_neighbors(cur, to)) net.transmit(cur, to, kind, bits);
+        dead = to;
+      }
+    }
+
+    if (dead != net::kNoNode) {
+      router.note_dead(dead);
+      record_dead(&out, dead);
+    }
+
+    const bool target_dead = dead == to;
+    const bool unroutable = dead == net::kNoNode;  // partition, not a death
+    if (target_dead || unroutable || attempt >= policy.max_retries) {
+      out.reached = cur;
+      out.route = std::move(route);
+      return out;
+    }
+    ++out.retries;
+    out.backoff_ticks += static_cast<std::uint64_t>(policy.backoff_base)
+                         << attempt;
+  }
+}
+
+}  // namespace poolnet::routing

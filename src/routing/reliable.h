@@ -1,0 +1,56 @@
+// Reliable end-to-end delivery over an unreliable, possibly-failing
+// network: route, transmit, detect dead next-hops via exhausted ack/retry
+// budgets, invalidate stale cached routes, back off, and re-route from the
+// stall point.
+//
+// This is the layer between Router (path computation) and the DCS systems
+// (who want "get this message to that node, or tell me who died trying").
+// On a fully-alive network a send_reliable() call is EXACTLY one
+// route_to_node + one transmit_path — byte-identical accounting to the
+// bare legs the systems used before fault tolerance existed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "routing/router.h"
+
+namespace poolnet::routing {
+
+/// Retry policy for one end-to-end message.
+struct ReliablePolicy {
+  /// Route recomputations after the initial attempt. Each retry resumes
+  /// from the node where the message stalled, not from the source.
+  std::uint32_t max_retries = 4;
+
+  /// Sender-side backoff before the first retry, in abstract ticks;
+  /// doubles per retry (exponential backoff). Pure accounting — the
+  /// simulation has no clock to actually wait on.
+  std::uint32_t backoff_base = 1;
+};
+
+/// What happened to one reliably-sent message.
+struct LegOutcome {
+  RouteResult route;            ///< last route attempted
+  bool delivered = false;       ///< message reached `to`
+  net::NodeId reached = net::kNoNode;  ///< where the message ended up
+  std::uint32_t retries = 0;    ///< re-route attempts performed
+  std::uint64_t backoff_ticks = 0;     ///< total backoff charged
+  /// Nodes discovered dead while delivering (ack budget exhausted into
+  /// them). Callers feed these to DcsSystem::handle_node_failure.
+  std::vector<net::NodeId> dead_found;
+};
+
+/// Sends one `kind`/`bits` message from `from` to `to`. Detects dead
+/// next-hops (a transmit that burns its ARQ budget without an ack),
+/// reports them to `router.note_dead()` so cached paths through them are
+/// dropped, backs off exponentially, and re-routes from the stall point.
+/// Gives up when `to` itself is found dead, the retry budget runs out, or
+/// the router cannot reach `to` through the survivors.
+LegOutcome send_reliable(net::Network& net, const Router& router,
+                         net::NodeId from, net::NodeId to,
+                         net::MessageKind kind, std::uint64_t bits,
+                         const ReliablePolicy& policy = {});
+
+}  // namespace poolnet::routing

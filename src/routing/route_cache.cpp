@@ -191,6 +191,49 @@ RouteResult RouteCache::route_to_location(net::NodeId src, Point dest) const {
   return result;
 }
 
+void RouteCache::note_dead(net::NodeId dead) const {
+  const auto traverses = [dead](const RouteResult& r) {
+    for (const net::NodeId n : r.path)
+      if (n == dead) return true;
+    return false;
+  };
+
+  // Flat (unbounded) node-route storage.
+  for (auto& bucket : by_src_) {
+    for (std::size_t i = bucket.size(); i-- > 0;) {
+      if (!traverses(bucket[i].result)) continue;
+      stats_.bytes -= result_bytes(bucket[i].result);
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+      --flat_entries_;
+      ++stats_.invalidated;
+    }
+  }
+
+  // Map storage (LRU mode node routes + all location routes).
+  for (auto it = map_.begin(); it != map_.end();) {
+    auto& items = it->second.items;
+    for (std::size_t i = items.size(); i-- > 0;) {
+      if (!traverses(items[i].second)) continue;
+      const std::size_t freed = result_bytes(items[i].second);
+      it->second.bytes -= freed;
+      stats_.bytes -= freed;
+      items[i] = std::move(items.back());
+      items.pop_back();
+      ++stats_.invalidated;
+    }
+    if (items.empty()) {
+      if (config_.max_bytes != 0) lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.entries = map_.size() + flat_entries_;
+
+  inner_.note_dead(dead);
+}
+
 void RouteCache::clear() {
   map_.clear();
   lru_.clear();

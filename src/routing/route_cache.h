@@ -57,6 +57,7 @@ struct RouteCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t invalidated = 0;  ///< entries dropped by note_dead()
   std::size_t entries = 0;
   std::size_t bytes = 0;  ///< approximate resident size
 
@@ -78,6 +79,11 @@ class RouteCache final : public Router {
 
   RouteResult route_to_node(net::NodeId src, net::NodeId dst) const override;
   RouteResult route_to_location(net::NodeId src, Point dest) const override;
+
+  /// Drops every cached route whose path traverses `dead` (in both
+  /// storage modes) so a stale path through a crashed node is never
+  /// replayed, then forwards the notice to the inner router.
+  void note_dead(net::NodeId dead) const override;
 
   const RouteCacheConfig& config() const { return config_; }
   const RouteCacheStats& stats() const { return stats_; }

@@ -48,6 +48,14 @@ class Router {
   /// Route from `src` toward an arbitrary location; delivers at the home
   /// node (the node whose face tour encloses the location).
   virtual RouteResult route_to_location(net::NodeId src, Point dest) const = 0;
+
+  /// Failure feedback from the delivery layer: `dead` was discovered
+  /// unreachable (ack timeouts exhausted). Stateless routers ignore it;
+  /// caching decorators must drop every stored path traversing the node so
+  /// stale routes through dead nodes are never served again. `const`
+  /// because systems hold routers by const reference (caches mutate their
+  /// internal, already-mutable state).
+  virtual void note_dead(net::NodeId dead) const { (void)dead; }
 };
 
 }  // namespace poolnet::routing

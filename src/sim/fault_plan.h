@@ -1,0 +1,58 @@
+// Fault plans: scheduled failures injected into a live deployment.
+//
+// A FaultPlan is pure data — a sorted schedule of crash / blackout /
+// link-degradation actions on a logical time axis (the drivers use the
+// operation index: fault times are measured in queries issued). It knows
+// nothing about Network; net::FaultInjector replays a plan against one or
+// more Networks so co-deployed systems (Pool/DIM/GHT share positions) see
+// a consistent world.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace poolnet::sim {
+
+enum class FaultKind : std::uint8_t {
+  KillNode,      ///< crash one specific node id
+  KillFraction,  ///< crash a random fraction of the surviving nodes
+  Blackout,      ///< crash every node within a disc (regional outage)
+  DegradeStart,  ///< open a transient extra-link-loss window
+  DegradeEnd,    ///< close it
+};
+
+/// One scheduled action. Only the fields relevant to `kind` are used.
+struct FaultAction {
+  FaultKind kind = FaultKind::KillNode;
+  double at = 0.0;           ///< logical fire time (inclusive)
+  std::uint32_t node = 0;    ///< KillNode
+  double fraction = 0.0;     ///< KillFraction, in [0, 1]
+  Point center{};            ///< Blackout disc center
+  double radius = 0.0;       ///< Blackout disc radius (meters)
+  double extra_loss = 0.0;   ///< DegradeStart per-attempt loss, in [0, 1)
+};
+
+/// A failure schedule. `actions` is kept sorted by `at` (stable, so clauses
+/// firing at the same time apply in spec order).
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+  std::uint64_t seed = 0xfa177;  ///< drives KillFraction sampling
+
+  bool enabled() const { return !actions.empty(); }
+};
+
+/// Parses a --faults spec. "off" (or empty) yields a disabled plan.
+/// Otherwise ';'-separated clauses:
+///   kill:<frac>@<t>            crash a random <frac> of survivors at t
+///   node:<id>@<t>              crash node <id> at t
+///   blackout:<x>,<y>,<r>@<t>   crash every node within r m of (x,y) at t
+///   degrade:<p>@<t0>-<t1>      extra per-hop loss p during [t0, t1)
+///   seed:<n>                   RNG seed for kill sampling
+/// Returns false with *error set on malformed input.
+bool parse_fault_spec(const std::string& spec, FaultPlan* plan,
+                      std::string* error);
+
+}  // namespace poolnet::sim

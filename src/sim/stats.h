@@ -54,6 +54,46 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Recall against a ground-truth oracle, for runs where nodes die mid-run
+/// and answers may degrade. Tracks both the per-query recall distribution
+/// and the event-weighted aggregate (total returned / total expected).
+class RecallStat {
+ public:
+  /// Records one query: `returned` results out of `expected` oracle
+  /// results. An empty-oracle query counts as perfect recall.
+  void add(std::uint64_t returned, std::uint64_t expected) {
+    returned_ += returned;
+    expected_ += expected;
+    per_query_.add(expected == 0
+                       ? 1.0
+                       : static_cast<double>(returned) /
+                             static_cast<double>(expected));
+  }
+
+  void merge(const RecallStat& other) {
+    returned_ += other.returned_;
+    expected_ += other.expected_;
+    per_query_.merge(other.per_query_);
+  }
+
+  /// Event-weighted recall over every query recorded (1 when nothing
+  /// was expected).
+  double weighted() const {
+    return expected_ == 0 ? 1.0
+                          : static_cast<double>(returned_) /
+                                static_cast<double>(expected_);
+  }
+
+  std::uint64_t returned() const { return returned_; }
+  std::uint64_t expected() const { return expected_; }
+  const RunningStat& per_query() const { return per_query_; }
+
+ private:
+  std::uint64_t returned_ = 0;
+  std::uint64_t expected_ = 0;
+  RunningStat per_query_;
+};
+
 /// Named counters; cheap string-keyed registry used by the experiment
 /// driver to expose whatever a bench wants to print.
 class CounterSet {

@@ -66,6 +66,16 @@ struct BatchQueryReceipt {
   std::uint64_t messages_saved = 0;
 };
 
+/// Online fault-tolerance counters. All stay zero on a fully-alive
+/// network; they track the degradation a fault plan inflicts mid-run.
+struct FaultStats {
+  std::uint64_t failovers = 0;        ///< index re-elections / zone adoptions / re-homings
+  std::uint64_t events_lost = 0;      ///< stored events destroyed with their holder
+  std::uint64_t events_restored = 0;  ///< re-materialized from surviving mirrors
+  std::uint64_t retries = 0;          ///< delivery retries after ack timeouts
+  std::uint64_t failed_legs = 0;      ///< messages abandoned after the retry budget
+};
+
 /// A deployed DCS system bound to a Network. insert() stores a detected
 /// event at the node the scheme maps it to; query() retrieves every stored
 /// event matching the query and charges all forwarding and reply traffic
@@ -125,6 +135,18 @@ class DcsSystem {
   /// before `cutoff` (timer-driven and local, so it costs no messages).
   /// Returns the number of primary events removed.
   virtual std::size_t expire_before(double cutoff) = 0;
+
+  /// Online failover: the system has learned (via exhausted ack budgets,
+  /// see routing::send_reliable) that `dead` stopped responding, and must
+  /// repair its index structures so the node is never addressed again —
+  /// WITHOUT rebuilding the deployment. Idempotent per node. The default
+  /// is a system with no fault tolerance.
+  virtual void handle_node_failure(net::NodeId dead) { (void)dead; }
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+ protected:
+  FaultStats fault_stats_;
 };
 
 }  // namespace poolnet::storage

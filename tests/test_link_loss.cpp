@@ -66,6 +66,63 @@ TEST(LinkLoss, EnergyScalesWithAttempts) {
   EXPECT_GT(lossy.traffic().energy_j, 1.5 * ideal.traffic().energy_j);
 }
 
+// --- dead-destination ARQ accounting ----------------------------------
+//
+// A receiver that never acks makes the sender exhaust its full attempt
+// budget; that exhausted burst is the failure-detection signal the
+// reliable-delivery layer keys on, so its ledger is pinned exactly.
+
+TEST(LinkLoss, DeadDestinationBurnsExactAttemptBudget) {
+  auto net = line_net({.loss_probability = 0.0, .max_attempts = 4});
+  net.kill(1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(net.transmit(0, 1, MessageKind::Query, 64));
+  EXPECT_EQ(net.traffic().total, 40u);  // exactly max_attempts per send
+  EXPECT_EQ(net.node(0).tx_count, 40u);
+  EXPECT_EQ(net.node(1).rx_count, 0u);  // a crashed radio receives nothing
+  EXPECT_EQ(net.traffic().lost, 10u);   // one lost frame per send
+}
+
+TEST(LinkLoss, DeadDestinationEnergyIsTxOnlyAndLinearInBudget) {
+  // The sender is charged max_attempts TX costs, the dead receiver none,
+  // so the energy bill is exactly linear in the attempt budget.
+  auto one = line_net({.loss_probability = 0.0, .max_attempts = 1});
+  auto four = line_net({.loss_probability = 0.0, .max_attempts = 4});
+  one.kill(1);
+  four.kill(1);
+  one.transmit(0, 1, MessageKind::Query, 256);
+  four.transmit(0, 1, MessageKind::Query, 256);
+  EXPECT_GT(one.traffic().energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(four.traffic().energy_j, 4.0 * one.traffic().energy_j);
+  EXPECT_DOUBLE_EQ(four.node(1).energy_spent_j, 0.0);
+  EXPECT_DOUBLE_EQ(four.node(0).energy_spent_j, four.traffic().energy_j);
+}
+
+TEST(LinkLoss, DeadDestinationConsumesNoLossRandomness) {
+  // The dead-receiver branch charges the budget without drawing from the
+  // loss RNG, so a failure-detection probe leaves the channel's random
+  // stream — and every later lossy delivery — bit-identical.
+  auto probed = line_net({.loss_probability = 0.4}, 21);
+  auto control = line_net({.loss_probability = 0.4}, 21);
+  probed.kill(3);
+  probed.transmit(2, 3, MessageKind::Control, 64);
+  const auto after_probe = probed.traffic().total;
+  for (int i = 0; i < 300; ++i) {
+    probed.transmit(0, 1, MessageKind::Query, 64);
+    control.transmit(0, 1, MessageKind::Query, 64);
+  }
+  EXPECT_EQ(probed.traffic().total - after_probe, control.traffic().total);
+}
+
+TEST(LinkLoss, DeadSenderTransmitsNothing) {
+  auto net = line_net({.loss_probability = 0.0});
+  net.kill(0);
+  EXPECT_FALSE(net.transmit(0, 1, MessageKind::Query, 64));
+  EXPECT_EQ(net.traffic().total, 0u);
+  EXPECT_EQ(net.traffic().lost, 0u);
+  EXPECT_EQ(net.node(0).tx_count, 0u);
+}
+
 TEST(LinkLoss, InvalidConfigsRejected) {
   EXPECT_THROW(line_net({.loss_probability = 1.0}), poolnet::ConfigError);
   EXPECT_THROW(line_net({.loss_probability = -0.1}), poolnet::ConfigError);

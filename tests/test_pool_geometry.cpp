@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -97,6 +98,61 @@ TEST(Theorem31, ValuesLandInOwnCellRanges) {
                   (off.vo == l - 1 && b >= range_v(off.ho, off.vo, l).hi))
           << "l=" << l << " a=" << a << " b=" << b;
     }
+  }
+}
+
+// The same Equation-1 containment invariant, checked EXHAUSTIVELY on the
+// rational grid i/l² — every vertical cell boundary lies on this grid,
+// and every horizontal boundary j/l = (j*l)/l² does too, so these are
+// precisely the values where floor arithmetic and the range endpoints can
+// round apart. Tiered for runtime: the full (v1, v2) grid for small
+// sides, boundary neighborhoods along representative chords up to the
+// CLI's maximum side of 64.
+
+void expect_consistent_with_equation1(double v1, double v2, std::uint32_t l) {
+  const auto off = cell_for_values(v1, v2, l);
+  const auto rh = range_h(off.ho, l);
+  EXPECT_TRUE(rh.contains(v1) || (off.ho == l - 1 && v1 >= rh.hi))
+      << "l=" << l << " v1=" << v1;
+  const auto rv = range_v(off.ho, off.vo, l);
+  EXPECT_TRUE(rv.contains(v2) || (off.vo == l - 1 && v2 >= rv.hi))
+      << "l=" << l << " v1=" << v1 << " v2=" << v2;
+}
+
+TEST(Theorem31, MatchesEquation1OnFullRationalGridForSmallSides) {
+  for (std::uint32_t l = 2; l <= 16; ++l) {
+    const double ll = static_cast<double>(l) * static_cast<double>(l);
+    for (std::uint32_t i = 0; i <= l * l; ++i) {
+      const double v1 = static_cast<double>(i) / ll;
+      for (std::uint32_t j = 0; j <= i; ++j)
+        expect_consistent_with_equation1(v1, static_cast<double>(j) / ll, l);
+    }
+  }
+}
+
+TEST(Theorem31, MatchesEquation1OnBoundaryNeighborhoodsUpToSide64) {
+  // The full grid is quartic in l; for the larger sides probe every grid
+  // point and its floating-point neighbors on both sides, along the
+  // diagonal (v2 == v1) and the half chord (v2 == v1/2) — paths that
+  // cross every column and every row boundary.
+  for (std::uint32_t l = 17; l <= 64; ++l) {
+    const double ll = static_cast<double>(l) * static_cast<double>(l);
+    for (std::uint32_t i = 0; i <= l * l; ++i) {
+      const double g = static_cast<double>(i) / ll;
+      for (const double v1 :
+           {g, std::nextafter(g, 0.0), std::nextafter(g, 2.0)}) {
+        if (v1 < 0.0 || v1 > 1.0) continue;
+        expect_consistent_with_equation1(v1, v1, l);
+        expect_consistent_with_equation1(v1, v1 / 2.0, l);
+      }
+    }
+  }
+}
+
+TEST(Theorem31, TopClampLandsInTopColumnAndRowForEverySide) {
+  for (std::uint32_t l = 2; l <= 64; ++l) {
+    EXPECT_EQ(cell_for_values(1.0, 1.0, l), (CellOffset{l - 1, l - 1}));
+    EXPECT_EQ(cell_for_values(1.0, 0.0, l), (CellOffset{l - 1, 0}));
   }
 }
 

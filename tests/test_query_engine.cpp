@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -320,6 +321,87 @@ TEST(QueryEngineCache, TtlExpiresEntries) {
   const auto later = eng.take(eng.submit(sink, q));
   EXPECT_GT(later.messages, 0u);
   EXPECT_GE(eng.cache_stats().expirations, 1u);
+}
+
+TEST(QueryEngineCache, TtlBoundaryIsExact) {
+  // Entry age is now - stored_at: exactly ttl = expired, ttl-1 = fresh.
+  Testbed tb(small_config(3));
+  tb.insert_workload();
+  Rng sink_rng(61);
+  const auto sink = tb.random_node(sink_rng);
+  const auto q = overlapping_queries(1, 3)[0];
+
+  QueryEngineConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.cache.ttl = 10;
+  QueryEngine eng(tb.pool(), cfg);
+  eng.take(eng.submit(sink, q));  // submit advances to 1, stored_at = 1
+  eng.tick(8);                    // now = 9
+  // This submit advances to 10: age = 10 - 1 = ttl - 1, still fresh.
+  const auto fresh = eng.take(eng.submit(sink, q));
+  EXPECT_EQ(fresh.messages, 0u) << "entry expired one event early";
+  EXPECT_EQ(eng.cache_stats().hits, 1u);
+  // A hit does not restamp: the next submit sees age = 11 - 1 = ttl.
+  const auto stale = eng.take(eng.submit(sink, q));
+  EXPECT_GT(stale.messages, 0u) << "entry served at exactly ttl";
+  EXPECT_EQ(eng.cache_stats().hits, 1u);
+  EXPECT_EQ(eng.cache_stats().expirations, 1u);
+}
+
+TEST(QueryEngineCache, DataAgingPrunesEntriesInPlace) {
+  // expire_before used to clear the whole cache; now each entry sheds
+  // exactly its own aged events and keeps serving hits.
+  Testbed tb(small_config(3));
+  Rng rng(67);
+  for (int i = 0; i < 120; ++i) {
+    storage::Event e;
+    e.id = static_cast<std::uint64_t>(i + 1);
+    e.source = 0;
+    e.detected_at = static_cast<double>(i);
+    for (int d = 0; d < 3; ++d) e.values.push_back(rng.uniform());
+    tb.pool().insert(0, e);
+  }
+  QueryEngineConfig cfg;
+  cfg.cache.enabled = true;
+  QueryEngine eng(tb.pool(), cfg);
+  const RangeQuery wide({{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}});
+  const auto before = eng.take(eng.submit(0, wide));
+  ASSERT_EQ(before.events.size(), 120u);
+
+  eng.expire_before(60.0);
+  const auto after = eng.take(eng.submit(0, wide));
+  EXPECT_EQ(after.messages, 0u) << "aging should not evict the entry";
+  EXPECT_EQ(eng.cache_stats().hits, 1u);
+  EXPECT_EQ(after.events.size(), 60u);
+  for (const auto& e : after.events) EXPECT_GE(e.detected_at, 60.0);
+
+  // The served set is the exact post-aging answer.
+  auto served = after.events;
+  auto direct = tb.pool().query(0, wide).events;
+  const auto by_id = [](const storage::Event& a, const storage::Event& b) {
+    return a.id < b.id;
+  };
+  std::sort(served.begin(), served.end(), by_id);
+  std::sort(direct.begin(), direct.end(), by_id);
+  EXPECT_EQ(served, direct);
+}
+
+TEST(QueryEngineCache, AgingEverythingLeavesEmptyButCorrectEntries) {
+  Testbed tb(small_config(3));
+  tb.insert_workload();  // workload events all carry detected_at = 0
+  Rng sink_rng(71);
+  const auto sink = tb.random_node(sink_rng);
+  const auto q = overlapping_queries(1, 3)[0];
+
+  QueryEngineConfig cfg;
+  cfg.cache.enabled = true;
+  QueryEngine eng(tb.pool(), cfg);
+  eng.take(eng.submit(sink, q));
+  eng.expire_before(1.0);  // ages out every stored event
+  const auto empty = eng.take(eng.submit(sink, q));
+  EXPECT_EQ(empty.messages, 0u);
+  EXPECT_TRUE(empty.events.empty());
+  EXPECT_EQ(empty.events, tb.pool().query(sink, q).events);
 }
 
 // ---------------------------------------------------------------------
