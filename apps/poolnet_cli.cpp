@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
                     "suffixes ok)");
   cli::add_engine_options(parser);
   cli::add_fault_options(parser);
+  cli::add_telemetry_options(parser);
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -114,7 +115,7 @@ int main(int argc, char** argv) {
   const auto sdist =
       parser.choice_option("size-dist", {"uniform", "exponential"}, &error);
   const auto wl = parser.choice_option(
-      "workload", {"uniform", "gaussian", "hotspot"}, &error);
+      "workload", {"uniform", "gaussian", "hotspot", "exponential"}, &error);
   if (!nodes || !dims || !epn || !queries || !seed || !seeds || !pool_side ||
       !cell_size || !threshold || !replicas || !threads || !qtype || !sdist ||
       !wl) {
@@ -131,6 +132,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!cli::parse_fault_options(parser, &config.faults, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!cli::parse_telemetry_options(parser, &config.telemetry, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
@@ -159,7 +164,8 @@ int main(int argc, char** argv) {
                          : query::RangeSizeDistribution::Exponential;
   config.workload = *wl == "uniform"    ? query::ValueDistribution::Uniform
                     : *wl == "gaussian" ? query::ValueDistribution::Gaussian
-                                        : query::ValueDistribution::Hotspot;
+                    : *wl == "hotspot"  ? query::ValueDistribution::Hotspot
+                                        : query::ValueDistribution::Exponential;
 
   try {
     const auto results = cli::run_experiment(config, std::cout);

@@ -7,11 +7,11 @@
 // quantified message overhead, and queries remain exact.
 #include <cstdio>
 
-#include <algorithm>
 #include <vector>
 
 #include "bench_support/experiment.h"
 #include "bench_support/parallel.h"
+#include "obs/report.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
@@ -20,8 +20,7 @@ using namespace poolnet::benchsup;
 namespace {
 
 struct Outcome {
-  std::uint64_t max_load = 0;
-  double p99_load = 0;
+  obs::LoadReport load;  ///< hotspot shape of the per-node resident load
   std::uint64_t insert_msgs = 0;
   double hot_query_msgs = 0;
   std::size_t mismatches = 0;
@@ -44,12 +43,12 @@ Outcome run(bool sharing, std::uint32_t threshold, std::uint64_t seed,
 
   Outcome out;
   out.insert_msgs = tb.pool_insert_traffic().total;
+  // The per-node tally goes through the shared hotspot report — the same
+  // max/p99/Gini every other surface (CLI --metrics, testbed scrape) uses.
   std::vector<std::uint64_t> loads;
   for (const auto& node : tb.pool_network().nodes())
     loads.push_back(node.stored_events);
-  std::sort(loads.begin(), loads.end());
-  out.max_load = loads.back();
-  out.p99_load = static_cast<double>(loads[loads.size() * 99 / 100]);
+  out.load = obs::load_report(loads);
 
   // Queries over the hot region, where delegation is actually exercised.
   query::QueryGenerator qgen({.dims = 3}, seed * 3 + 1);
@@ -102,23 +101,24 @@ int main(int argc, char** argv) {
                    static_cast<std::uint64_t>(j.seed), opts.route_cache);
       });
 
-  TablePrinter table({"configuration", "max node load", "p99 load",
+  TablePrinter table({"configuration", "max node load", "p99 load", "gini",
                       "insert msgs", "hot-query msgs", "exact results"});
   for (std::size_t g = 0; g < configs.size(); ++g) {
     std::uint64_t max_load = 0, insert_msgs = 0;
-    double p99 = 0, hot = 0;
+    double p99 = 0, gini = 0, hot = 0;
     std::size_t mismatches = 0;
     for (std::size_t i = 0; i < grid.size(); ++i) {
       if (grid[i].group != g) continue;
-      max_load = std::max(max_load, runs[i].max_load);
-      p99 += runs[i].p99_load;
+      max_load = std::max(max_load, runs[i].load.max_load);
+      p99 += runs[i].load.p99_load;
+      gini += runs[i].load.gini;
       insert_msgs += runs[i].insert_msgs;
       hot += runs[i].hot_query_msgs;
       mismatches += runs[i].mismatches;
     }
     table.add_row({std::get<0>(configs[g]), std::to_string(max_load),
-                   fmt(p99 / kSeeds), std::to_string(insert_msgs / kSeeds),
-                   fmt(hot / kSeeds),
+                   fmt(p99 / kSeeds), fmt(gini / kSeeds, 3),
+                   std::to_string(insert_msgs / kSeeds), fmt(hot / kSeeds),
                    mismatches == 0 ? "yes" : "NO"});
   }
   table.print();

@@ -5,12 +5,15 @@
 // BENCH_perf.json for CI trend tracking.
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_support/experiment.h"
 #include "bench_support/parallel.h"
+#include "bench_support/telemetry_bridge.h"
 #include "engine/query_engine.h"
+#include "obs/telemetry.h"
 #include "query/query_gen.h"
 
 using namespace poolnet;
@@ -149,6 +152,46 @@ EngineProbe run_engine_probe() {
   return out;
 }
 
+/// Fig-6(b)-style hotspot probe for the CI trend file: one testbed under
+/// exponential event values, scraped through the telemetry bridge. The
+/// paper's imbalance claim — DIM concentrates storage on few zone owners
+/// while Pool stays flat — shows up as DIM index-node Gini and max load
+/// both above Pool's.
+struct HotspotProbe {
+  double pool_gini = 0, dim_gini = 0;          ///< over index nodes
+  double pool_max_load = 0, dim_max_load = 0;
+  double pool_energy_j = 0, dim_energy_j = 0;
+  std::uint64_t pool_net_messages = 0, dim_net_messages = 0;
+  obs::Snapshot snap;
+};
+
+HotspotProbe run_hotspot_probe() {
+  TestbedConfig config;
+  config.nodes = 300;
+  config.seed = 5;
+  config.workload.dist = query::ValueDistribution::Exponential;
+  Testbed tb(config);
+  tb.insert_workload();
+
+  HotspotProbe out;
+  out.snap = scrape_testbed(tb);
+  // insert_workload() captures and then clears the traffic ledgers, so
+  // fold the captured insert tallies back into the snapshot.
+  out.snap.counters["pool.net.messages"] += tb.pool_insert_traffic().total;
+  out.snap.counters["dim.net.messages"] += tb.dim_insert_traffic().total;
+  out.snap.gauges["pool.net.energy_j"] += tb.pool_insert_traffic().energy_j;
+  out.snap.gauges["dim.net.energy_j"] += tb.dim_insert_traffic().energy_j;
+  out.pool_gini = out.snap.gauges["pool.storage.load.gini_loaded"];
+  out.dim_gini = out.snap.gauges["dim.storage.load.gini_loaded"];
+  out.pool_max_load = out.snap.gauges["pool.storage.load.max"];
+  out.dim_max_load = out.snap.gauges["dim.storage.load.max"];
+  out.pool_energy_j = out.snap.gauges["pool.net.energy_j"];
+  out.dim_energy_j = out.snap.gauges["dim.net.energy_j"];
+  out.pool_net_messages = out.snap.counters["pool.net.messages"];
+  out.dim_net_messages = out.snap.counters["dim.net.messages"];
+  return out;
+}
+
 bool stats_equal(const PairedRun& a, const PairedRun& b) {
   const auto same = [](const SystemQueryStats& x, const SystemQueryStats& y) {
     return x.messages.mean() == y.messages.mean() &&
@@ -204,6 +247,16 @@ int main(int argc, char** argv) {
       100.0 * probe.message_savings, probe.dedup_ratio,
       probe.cache_hit_rate);
 
+  const HotspotProbe hotspot = run_hotspot_probe();
+  std::printf(
+      "hotspot probe (exponential events): Pool gini %.3f max %d | "
+      "DIM gini %.3f max %d\n",
+      hotspot.pool_gini, static_cast<int>(hotspot.pool_max_load),
+      hotspot.dim_gini, static_cast<int>(hotspot.dim_max_load));
+  if (opts.telemetry.wants_metrics()) {
+    obs::emit_snapshot(opts.telemetry, hotspot.snap, std::cout);
+  }
+
   const double msgs_per_query = serial.totals.back().pool.messages.mean();
   std::FILE* f = std::fopen("BENCH_perf.json", "w");
   if (f) {
@@ -225,6 +278,16 @@ int main(int argc, char** argv) {
         "    \"message_savings\": %.4f,\n"
         "    \"dedup_ratio\": %.4f,\n"
         "    \"cache_hit_rate\": %.4f\n"
+        "  },\n"
+        "  \"metrics\": {\n"
+        "    \"pool_storage_gini\": %.4f,\n"
+        "    \"dim_storage_gini\": %.4f,\n"
+        "    \"pool_max_load\": %.0f,\n"
+        "    \"dim_max_load\": %.0f,\n"
+        "    \"pool_insert_messages\": %llu,\n"
+        "    \"dim_insert_messages\": %llu,\n"
+        "    \"pool_energy_j\": %.6f,\n"
+        "    \"dim_energy_j\": %.6f\n"
         "  }\n"
         "}\n",
         opts.threads, serial.wall_ms, parallel.wall_ms, speedup,
@@ -232,7 +295,12 @@ int main(int argc, char** argv) {
         identical ? "true" : "false",
         static_cast<unsigned long long>(probe.serial_messages),
         static_cast<unsigned long long>(probe.batched_messages),
-        probe.message_savings, probe.dedup_ratio, probe.cache_hit_rate);
+        probe.message_savings, probe.dedup_ratio, probe.cache_hit_rate,
+        hotspot.pool_gini, hotspot.dim_gini, hotspot.pool_max_load,
+        hotspot.dim_max_load,
+        static_cast<unsigned long long>(hotspot.pool_net_messages),
+        static_cast<unsigned long long>(hotspot.dim_net_messages),
+        hotspot.pool_energy_j, hotspot.dim_energy_j);
     std::fclose(f);
     std::printf("wrote BENCH_perf.json\n");
   }

@@ -1,25 +1,43 @@
 #!/usr/bin/env bash
 # Perf smoke check: run the route-cache + parallel-engine benchmark and
-# verify it produced its machine-readable report. Exits nonzero when the
-# serial/uncached and parallel/cached statistics diverge (perf_smoke's own
-# exit status) or when BENCH_perf.json is missing.
+# verify it produced its machine-readable report, then exercise the
+# unified telemetry surface end-to-end — a CLI run writes a full
+# --metrics json snapshot (BENCH_metrics.json) and the schema checker
+# validates both documents, including the Fig-6(b) hotspot claim
+# (DIM index-node Gini and max load above Pool's under exponential
+# events). Exits nonzero when the serial/uncached and parallel/cached
+# statistics diverge (perf_smoke's own exit status), when an output is
+# missing, or when the schema/claim check fails.
 #
 #   scripts/bench_smoke.sh [build-dir]
 set -euo pipefail
 
 BUILD="${1:-build}"
 SMOKE="$BUILD/bench/perf_smoke"
+CLI="$BUILD/apps/poolnet_cli"
 
 if [[ ! -x "$SMOKE" ]]; then
   echo "error: $SMOKE not built (cmake -B $BUILD && cmake --build $BUILD)" >&2
   exit 1
 fi
 
-"$SMOKE"
+"$SMOKE" --metrics json:BENCH_smoke_metrics.json
 
 if [[ ! -s BENCH_perf.json ]]; then
   echo "error: perf_smoke did not write BENCH_perf.json" >&2
   exit 1
+fi
+if [[ ! -s BENCH_smoke_metrics.json ]]; then
+  echo "error: perf_smoke --metrics json did not write its snapshot" >&2
+  exit 1
+fi
+
+if [[ -x "$CLI" ]]; then
+  "$CLI" --nodes 300 --queries 20 --systems pool,dim \
+    --workload exponential --metrics json:BENCH_metrics.json >/dev/null
+  python3 scripts/check_metrics_schema.py BENCH_perf.json BENCH_metrics.json
+else
+  python3 scripts/check_metrics_schema.py BENCH_perf.json
 fi
 
 echo "bench smoke OK:"

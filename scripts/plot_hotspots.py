@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Chart per-node storage hotspots from a poolnet telemetry snapshot.
+
+Usage:
+    scripts/plot_hotspots.py metrics.json [out-prefix]
+
+Input is the JSON document written by `poolnet_cli --metrics json:PATH`
+(or any bench that emits a Snapshot). For every system prefix present
+(pool, dim, ght) it renders:
+
+* <prefix>_load.png    — per-node stored-event load, nodes sorted by
+                         load (the hotspot curve; DIM's spike vs Pool's
+                         plateau is the paper's Fig-6(b) story)
+* <prefix>_energy.png  — per-node radio energy, sorted
+
+and prints the headline hotspot gauges (max / p99 / gini / gini_loaded)
+as text. Without matplotlib the text summary still prints, so the data
+stays usable on a headless CI box.
+"""
+import json
+import sys
+
+SYSTEMS = ["pool", "dim", "ght"]
+
+
+def text_summary(doc, system):
+    gauges = doc.get("gauges", {})
+    prefix = f"{system}.storage.load."
+    keys = [k for k in gauges if k.startswith(prefix)]
+    if not keys:
+        return False
+    print(f"{system}:")
+    for key in sorted(keys):
+        print(f"  {key[len(prefix):]:>14} = {gauges[key]:g}")
+    return True
+
+
+def sorted_lane(doc, name):
+    lane = doc.get("series", {}).get(name)
+    if not lane:
+        return None
+    return sorted(lane, reverse=True)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    path = argv[1]
+    prefix = argv[2] if len(argv) > 2 else "hotspots"
+    with open(path) as f:
+        doc = json.load(f)
+
+    present = [s for s in SYSTEMS if text_summary(doc, s)]
+    if not present:
+        print(f"{path}: no <system>.storage.load.* gauges found",
+              file=sys.stderr)
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; text summary only")
+        return 0
+
+    for kind, series_suffix, ylabel in [
+        ("load", "node.stored", "stored events"),
+        ("energy", "node.energy_j", "radio energy (J)"),
+    ]:
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        plotted = False
+        for system in present:
+            lane = sorted_lane(doc, f"{system}.{series_suffix}")
+            if lane is None:
+                continue
+            ax.plot(range(len(lane)), lane, label=system)
+            plotted = True
+        if not plotted:
+            plt.close(fig)
+            continue
+        ax.set_xlabel("node rank (sorted descending)")
+        ax.set_ylabel(ylabel)
+        ax.set_title(f"Per-node {ylabel} by rank")
+        ax.legend()
+        ax.grid(True, alpha=0.3)
+        out = f"{prefix}_{kind}.png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=120)
+        plt.close(fig)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

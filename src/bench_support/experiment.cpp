@@ -123,4 +123,11 @@ void print_banner(const std::string& experiment,
               description.c_str());
 }
 
+void print_banner(const std::string& experiment,
+                  const std::string& description, Testbed& testbed) {
+  std::printf("\n=== %s ===\n%s\nsystems: %s; %s\n\n", experiment.c_str(),
+              description.c_str(), testbed.pool().describe().c_str(),
+              testbed.dim().describe().c_str());
+}
+
 }  // namespace poolnet::benchsup

@@ -66,4 +66,9 @@ std::string fmt(double v, int prec = 1);
 void print_banner(const std::string& experiment,
                   const std::string& description);
 
+/// Banner plus a "systems:" line built from DcsSystem::describe(), so
+/// benches never hard-code per-scheme parameter strings.
+void print_banner(const std::string& experiment,
+                  const std::string& description, Testbed& testbed);
+
 }  // namespace poolnet::benchsup

@@ -117,6 +117,7 @@ BenchOptions parse_bench_options(int argc, char** argv) {
                     "route memoization: on, off or lru:<bytes> (k/m/g "
                     "suffixes ok)");
   cli::add_engine_options(parser);
+  cli::add_telemetry_options(parser);
 
   std::string error;
   const auto fail = [&]() {
@@ -137,6 +138,7 @@ BenchOptions parse_bench_options(int argc, char** argv) {
     fail();
   }
   if (!cli::parse_engine_options(parser, &opts.engine, &error)) fail();
+  if (!cli::parse_telemetry_options(parser, &opts.telemetry, &error)) fail();
   return opts;
 }
 

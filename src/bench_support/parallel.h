@@ -22,6 +22,7 @@
 
 #include "bench_support/experiment.h"
 #include "engine/query_engine.h"
+#include "obs/telemetry.h"
 #include "routing/route_cache.h"
 
 namespace poolnet::benchsup {
@@ -119,13 +120,15 @@ std::vector<PairedRun> run_sweep_parallel(std::size_t n_groups,
 /// table so every bench and the CLI accept identical spellings:
 /// --threads N (default: hardware concurrency),
 /// --route-cache=on|off|lru:<bytes>, and the query-engine trio
-/// --batch=<n|off>, --batch-deadline=<events>, --qcache=on|off|ttl:<n>.
+/// --batch=<n|off>, --batch-deadline=<events>, --qcache=on|off|ttl:<n>,
+/// and the telemetry pair --metrics=off|json|csv[:path], --trace=<n>.
 /// Prints usage and exits(2) on anything it doesn't recognize; --help
 /// prints the generated help and exits(0).
 struct BenchOptions {
   std::size_t threads = 1;
   routing::RouteCacheConfig route_cache;
   engine::QueryEngineConfig engine;
+  obs::TelemetryConfig telemetry;
 };
 BenchOptions parse_bench_options(int argc, char** argv);
 

@@ -1,0 +1,89 @@
+#include "bench_support/telemetry_bridge.h"
+
+namespace poolnet::benchsup {
+
+void publish_network(obs::Snapshot& snap, const std::string& prefix,
+                     const net::Network& net,
+                     const obs::HopEnergyModel& hop_energy) {
+  const auto& nodes = net.nodes();
+  const std::size_t n = nodes.size();
+
+  auto& tx = snap.series[prefix + ".node.tx"];
+  auto& rx = snap.series[prefix + ".node.rx"];
+  auto& retries = snap.series[prefix + ".node.retries"];
+  auto& drops = snap.series[prefix + ".node.drops"];
+  auto& stored = snap.series[prefix + ".node.stored"];
+  auto& energy = snap.series[prefix + ".node.energy_j"];
+  for (auto* lane : {&tx, &rx, &retries, &drops, &stored, &energy}) {
+    if (lane->size() < n) lane->resize(n, 0.0);
+  }
+
+  std::uint64_t tx_total = 0, rx_total = 0, retry_total = 0, drop_total = 0;
+  std::vector<std::uint64_t> loads(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Node& node = nodes[i];
+    tx[i] += static_cast<double>(node.tx_count);
+    rx[i] += static_cast<double>(node.rx_count);
+    retries[i] += static_cast<double>(node.retry_count);
+    drops[i] += static_cast<double>(node.drop_count);
+    stored[i] += static_cast<double>(node.stored_events);
+    energy[i] += node.energy_spent_j;
+    tx_total += node.tx_count;
+    rx_total += node.rx_count;
+    retry_total += node.retry_count;
+    drop_total += node.drop_count;
+    loads[i] = node.stored_events;
+  }
+
+  snap.counters[prefix + ".net.messages"] += net.traffic().total;
+  snap.counters[prefix + ".net.lost"] += net.traffic().lost;
+  snap.counters[prefix + ".net.retries"] += retry_total;
+  snap.counters[prefix + ".net.drops"] += drop_total;
+  snap.gauges[prefix + ".net.energy_j"] += net.traffic().energy_j;
+  snap.gauges[prefix + ".net.hop_energy_j"] +=
+      hop_energy.cost_j(tx_total, rx_total);
+
+  obs::publish_load_report(snap, prefix + ".storage", loads);
+}
+
+void publish_fault_stats(obs::Snapshot& snap, const std::string& prefix,
+                         const storage::FaultStats& fs) {
+  snap.counters[prefix + ".faults.failovers"] += fs.failovers;
+  snap.counters[prefix + ".faults.events_lost"] += fs.events_lost;
+  snap.counters[prefix + ".faults.events_restored"] += fs.events_restored;
+  snap.counters[prefix + ".faults.retries"] += fs.retries;
+  snap.counters[prefix + ".faults.failed_legs"] += fs.failed_legs;
+}
+
+void publish_system_query_stats(obs::Snapshot& snap, const std::string& prefix,
+                                const SystemQueryStats& stats) {
+  snap.gauges[prefix + ".query.messages_mean"] = stats.messages.mean();
+  snap.gauges[prefix + ".query.query_messages_mean"] =
+      stats.query_messages.mean();
+  snap.gauges[prefix + ".query.reply_messages_mean"] =
+      stats.reply_messages.mean();
+  snap.gauges[prefix + ".query.index_nodes_mean"] = stats.index_nodes.mean();
+  snap.gauges[prefix + ".query.results_mean"] = stats.results.mean();
+  snap.gauges[prefix + ".query.energy_mj_mean"] = stats.energy_mj.mean();
+  snap.counters[prefix + ".query.count"] +=
+      static_cast<std::uint64_t>(stats.messages.count());
+}
+
+obs::Snapshot scrape_testbed(Testbed& tb) {
+  obs::Snapshot snap = tb.metrics().scrape();
+  publish_network(snap, "pool", tb.pool_network());
+  publish_network(snap, "dim", tb.dim_network());
+  publish_fault_stats(snap, "pool", tb.pool().fault_stats());
+  publish_fault_stats(snap, "dim", tb.dim().fault_stats());
+  if (tb.pool_trace() != nullptr) {
+    snap.gauges["pool.trace.recorded"] +=
+        static_cast<double>(tb.pool_trace()->recorded());
+  }
+  if (tb.dim_trace() != nullptr) {
+    snap.gauges["dim.trace.recorded"] +=
+        static_cast<double>(tb.dim_trace()->recorded());
+  }
+  return snap;
+}
+
+}  // namespace poolnet::benchsup

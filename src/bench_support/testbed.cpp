@@ -5,7 +5,8 @@
 
 namespace poolnet::benchsup {
 
-Testbed::Testbed(TestbedConfig config) : config_(config) {
+Testbed::Testbed(TestbedConfig config)
+    : metrics_(std::make_unique<obs::MetricsRegistry>()), config_(config) {
   const double side = net::field_side_for_density(
       config.nodes, config.radio_range, config.avg_neighbors);
   const Rect field{0.0, 0.0, side, side};
@@ -40,8 +41,16 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   if (config.route_cache.enabled) {
     routing::RouteCacheConfig cc = config.route_cache;
     cc.location_quantum = config.pool.cell_size;  // α-grid bucketing
-    pool_cache_ = std::make_unique<routing::RouteCache>(*pool_gpsr_, cc);
-    dim_cache_ = std::make_unique<routing::RouteCache>(*dim_gpsr_, cc);
+    pool_cache_ = std::make_unique<routing::RouteCache>(
+        *pool_gpsr_, cc, metrics_.get(), "pool.route_cache");
+    dim_cache_ = std::make_unique<routing::RouteCache>(
+        *dim_gpsr_, cc, metrics_.get(), "dim.route_cache");
+  }
+  if (config.trace_capacity > 0) {
+    pool_trace_ = std::make_unique<obs::RingTraceSink>(config.trace_capacity);
+    dim_trace_ = std::make_unique<obs::RingTraceSink>(config.trace_capacity);
+    pool_net_->set_trace(pool_trace_.get());
+    dim_net_->set_trace(dim_trace_.get());
   }
   pool_ = std::make_unique<core::PoolSystem>(*pool_net_, pool_router(),
                                              config.dims, config.pool);

@@ -16,6 +16,8 @@
 #include "dim/dim_system.h"
 #include "net/deployment.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/workload.h"
 #include "routing/gpsr.h"
 #include "routing/route_cache.h"
@@ -39,6 +41,10 @@ struct TestbedConfig {
   /// overridden with the Pool α at construction so cell-center routes
   /// share hash buckets.
   routing::RouteCacheConfig route_cache;
+
+  /// Hop-trace ring size attached to both networks; 0 (default) leaves
+  /// tracing disabled at its one-branch-per-hop cost.
+  std::size_t trace_capacity = 0;
 };
 
 class Testbed {
@@ -81,7 +87,21 @@ class Testbed {
   /// Uniformly random node id (query sinks).
   net::NodeId random_node(Rng& rng) const;
 
+  /// The deployment-wide metrics registry: the route caches register
+  /// under "pool.route_cache"/"dim.route_cache", and callers (query
+  /// engines, benches) should register their own instruments here so one
+  /// scrape sees the whole testbed.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Ring trace sinks; null unless config.trace_capacity > 0.
+  const obs::RingTraceSink* pool_trace() const { return pool_trace_.get(); }
+  const obs::RingTraceSink* dim_trace() const { return dim_trace_.get(); }
+
  private:
+  /// Heap-held (registry owns a mutex) so Testbed stays movable; declared
+  /// before its users so the caches can register in the ctor.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   TestbedConfig config_;
   std::vector<Point> positions_;
   std::unique_ptr<net::Network> pool_net_;
@@ -93,6 +113,8 @@ class Testbed {
   std::unique_ptr<core::PoolSystem> pool_;
   std::unique_ptr<dim::DimSystem> dim_;
   std::unique_ptr<storage::BruteForceStore> oracle_;
+  std::unique_ptr<obs::RingTraceSink> pool_trace_;
+  std::unique_ptr<obs::RingTraceSink> dim_trace_;
   net::TrafficTally pool_insert_traffic_;
   net::TrafficTally dim_insert_traffic_;
 };

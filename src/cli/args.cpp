@@ -187,4 +187,23 @@ bool parse_fault_options(const ArgParser& parser, sim::FaultPlan* plan,
   return sim::parse_fault_spec(parser.option("faults"), plan, error);
 }
 
+void add_telemetry_options(ArgParser& parser) {
+  parser.add_option("metrics", "off",
+                    "telemetry snapshot: off, json, csv, json:<path> or "
+                    "csv:<path>");
+  parser.add_option("trace", "0",
+                    "hop-trace ring capacity per network (0 = tracing off)");
+}
+
+bool parse_telemetry_options(const ArgParser& parser,
+                             obs::TelemetryConfig* config,
+                             std::string* error) {
+  if (!obs::parse_metrics_spec(parser.option("metrics"), config, error))
+    return false;
+  const auto capacity = parser.int_option("trace", 0, 1 << 30, error);
+  if (!capacity) return false;
+  config->trace_capacity = static_cast<std::size_t>(*capacity);
+  return true;
+}
+
 }  // namespace poolnet::cli

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "obs/telemetry.h"
 #include "sim/fault_plan.h"
 
 namespace poolnet::cli {
@@ -96,5 +97,14 @@ void add_fault_options(ArgParser& parser);
 /// malformed spec. Call after parser.parse().
 bool parse_fault_options(const ArgParser& parser, sim::FaultPlan* plan,
                          std::string* error);
+
+/// Declares the shared telemetry surface: --metrics off|json|csv[:path]
+/// (default off) and --trace <n> (hop-trace ring capacity, default 0).
+void add_telemetry_options(ArgParser& parser);
+
+/// Parses --metrics/--trace into `config`. Returns false and sets `error`
+/// on a malformed spec. Call after parser.parse().
+bool parse_telemetry_options(const ArgParser& parser,
+                             obs::TelemetryConfig* config, std::string* error);
 
 }  // namespace poolnet::cli

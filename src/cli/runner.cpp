@@ -10,6 +10,7 @@
 
 #include "bench_support/experiment.h"
 #include "bench_support/parallel.h"
+#include "bench_support/telemetry_bridge.h"
 #include "common/error.h"
 #include "ght/ght_system.h"
 #include "net/fault_injector.h"
@@ -92,13 +93,22 @@ void merge(Accumulator& into, const Accumulator& from) {
   into.events_lost += from.events_lost;
 }
 
+/// Everything one deployment produces: the per-system aggregates, the
+/// scraped telemetry Snapshot (empty when metrics are off), and the
+/// systems' describe() lines (captured once, from deployment 0).
+struct DeploymentOut {
+  std::map<SystemChoice, Accumulator> acc;
+  obs::Snapshot snap;
+  std::vector<std::string> describes;  ///< config.systems order
+};
+
 /// One deployment, start to finish: the unit of parallelism. Each call
 /// owns every bit of mutable state it touches (testbed, GHT copy, RNGs),
 /// so deployments can run on any thread; results merge in deployment
 /// order, making the aggregates independent of the thread count.
-std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
-                                                   std::size_t dep) {
-  std::map<SystemChoice, Accumulator> acc;
+DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
+  DeploymentOut out;
+  std::map<SystemChoice, Accumulator>& acc = out.acc;
   for (const auto s : config.systems) acc[s];
   const bool want_ght = acc.count(SystemChoice::Ght) > 0;
 
@@ -110,24 +120,32 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
   tb_config.pool = config.pool;
   tb_config.workload.dist = config.workload;
   tb_config.route_cache = config.route_cache;
+  tb_config.trace_capacity = config.telemetry.trace_capacity;
   benchsup::Testbed tb(tb_config);
   const auto events = tb.insert_workload();
 
-  // GHT rides on its own network copy, like the Testbed systems.
+  // GHT rides on its own network copy, like the Testbed systems. It
+  // shares the testbed's registry so one scrape covers all three.
   std::unique_ptr<net::Network> ght_net;
   std::unique_ptr<routing::Gpsr> ght_gpsr;
   std::unique_ptr<routing::RouteCache> ght_cache;
   std::unique_ptr<ght::GhtSystem> ght_sys;
+  std::unique_ptr<obs::RingTraceSink> ght_trace;
   if (want_ght) {
     std::vector<Point> pts;
     for (const auto& n : tb.pool_network().nodes()) pts.push_back(n.pos);
     ght_net = std::make_unique<net::Network>(
         std::move(pts), tb.pool_network().field(), tb_config.radio_range);
+    if (config.telemetry.wants_trace()) {
+      ght_trace =
+          std::make_unique<obs::RingTraceSink>(config.telemetry.trace_capacity);
+      ght_net->set_trace(ght_trace.get());
+    }
     ght_gpsr = std::make_unique<routing::Gpsr>(*ght_net);
     const routing::Router* ght_router = ght_gpsr.get();
     if (config.route_cache.enabled) {
-      ght_cache = std::make_unique<routing::RouteCache>(*ght_gpsr,
-                                                        config.route_cache);
+      ght_cache = std::make_unique<routing::RouteCache>(
+          *ght_gpsr, config.route_cache, &tb.metrics(), "ght.route_cache");
       ght_router = ght_cache.get();
     }
     ght_sys =
@@ -154,12 +172,20 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
   // call sequence of the direct loop — so default runs are unchanged;
   // with --batch/--qcache the engine merges and caches per its config.
   std::map<SystemChoice, std::unique_ptr<engine::QueryEngine>> engines;
+  // Query latency in hops (forwarding legs on ideal links), one histogram
+  // per system in the testbed registry.
+  std::map<SystemChoice, obs::MetricsRegistry::Histogram> latency;
   for (const auto s : config.systems) {
     storage::DcsSystem& sys =
         s == SystemChoice::Pool ? static_cast<storage::DcsSystem&>(tb.pool())
         : s == SystemChoice::Dim ? static_cast<storage::DcsSystem&>(tb.dim())
                                  : static_cast<storage::DcsSystem&>(*ght_sys);
-    engines[s] = std::make_unique<engine::QueryEngine>(sys, config.engine);
+    const std::string prefix = to_string(s);
+    engines[s] = std::make_unique<engine::QueryEngine>(
+        sys, config.engine, &tb.metrics(), prefix + ".engine");
+    latency[s] =
+        tb.metrics().histogram(prefix + ".query.latency_hops", 4.0, 64);
+    out.describes.push_back(sys.describe());
   }
 
   // Live failure injection: the plan's action times are query indices,
@@ -204,9 +230,11 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
   }
   for (const auto s : config.systems) engines[s]->flush();
   for (const Issued& row : issued) {
-    for (const auto s : config.systems)
-      record(acc[s], engines[s]->take(row.tickets.at(s)), row.oracle_count,
-             faults_on);
+    for (const auto s : config.systems) {
+      const storage::QueryReceipt r = engines[s]->take(row.tickets.at(s));
+      latency[s].add(static_cast<double>(r.query_messages));
+      record(acc[s], r, row.oracle_count, faults_on);
+    }
   }
   // Deployment-local systems start with zeroed fault counters, so the
   // final totals are exactly this run's fault activity.
@@ -216,7 +244,19 @@ std::map<SystemChoice, Accumulator> run_deployment(const CliConfig& config,
     acc[s].failovers += f.failovers;
     acc[s].events_lost += f.events_lost;
   }
-  return acc;
+
+  if (config.telemetry.wants_metrics()) {
+    out.snap = benchsup::scrape_testbed(tb);
+    if (want_ght) {
+      benchsup::publish_network(out.snap, "ght", *ght_net);
+      benchsup::publish_fault_stats(out.snap, "ght", ght_sys->fault_stats());
+      if (ght_trace) {
+        out.snap.gauges["ght.trace.recorded"] +=
+            static_cast<double>(ght_trace->recorded());
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -229,15 +269,19 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
       config.flavor != QueryFlavor::Point && config.dims < 2)
     throw ConfigError("run_experiment: partial queries need dims >= 2");
 
-  using AccMap = std::map<SystemChoice, Accumulator>;
-  const auto per_dep = benchsup::parallel_map<AccMap>(
+  const auto per_dep = benchsup::parallel_map<DeploymentOut>(
       config.deployments, config.threads,
       [&config](std::size_t dep) { return run_deployment(config, dep); });
 
   std::map<SystemChoice, Accumulator> acc;
   for (const auto s : config.systems) acc[s];
-  for (const auto& dep_acc : per_dep)
-    for (const auto& [s, a] : dep_acc) merge(acc[s], a);
+  // Merge aggregates AND snapshots in deployment order — the float sums
+  // are then bit-identical at any --threads value.
+  obs::Snapshot snap;
+  for (const auto& dep_out : per_dep) {
+    for (const auto& [s, a] : dep_out.acc) merge(acc[s], a);
+    if (config.telemetry.wants_metrics()) snap += dep_out.snap;
+  }
 
   std::vector<CliResult> results;
   for (const auto s : config.systems) {
@@ -263,7 +307,15 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
   out << "poolnet experiment: " << config.nodes << " nodes, " << config.dims
       << "-d events, " << config.queries << " " << to_string(config.flavor)
       << " queries x " << config.deployments << " deployment(s), seed "
-      << config.seed << (faults_on ? ", faults on" : "") << "\n\n";
+      << config.seed << (faults_on ? ", faults on" : "") << "\n";
+  // Scheme parameters come from DcsSystem::describe() — the runner never
+  // hard-codes per-system strings.
+  out << "systems: ";
+  for (std::size_t i = 0; i < per_dep.front().describes.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << per_dep.front().describes[i];
+  }
+  out << "\n\n";
   // TablePrinter prints to stdout; reproduce rows into `out` via a string
   // table for stream-agnostic output.
   {
@@ -315,6 +367,9 @@ std::vector<CliResult> run_experiment(const CliConfig& config,
     for (const auto& row : rows) emit(row);
     out << oss.str();
   }
+
+  if (config.telemetry.wants_metrics())
+    obs::emit_snapshot(config.telemetry, snap, out);
 
   if (!config.csv_path.empty()) append_csv(config.csv_path, config, results);
   return results;

@@ -9,6 +9,7 @@
 
 #include "bench_support/testbed.h"
 #include "engine/query_engine.h"
+#include "obs/telemetry.h"
 #include "query/query_gen.h"
 #include "sim/fault_plan.h"
 
@@ -47,6 +48,12 @@ struct CliConfig {
   /// default (disabled) leaves every run bit-identical to a build without
   /// fault support.
   sim::FaultPlan faults;
+
+  /// Unified telemetry surface: --metrics json|csv[:path] emits the
+  /// merged registry Snapshot (route caches, engines, per-node network
+  /// accounting, hotspot/energy reports); --trace N attaches hop-trace
+  /// rings to every network. Off by default at zero hot-path cost.
+  obs::TelemetryConfig telemetry;
 };
 
 /// One result row (per system).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <unordered_map>
 
@@ -63,6 +64,16 @@ PoolSystem::PoolSystem(net::Network& network,
                          net_.sizes().control_bits);
     }
   }
+}
+
+std::string PoolSystem::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Pool (l=%u, alpha=%gm, dims=%zu, replicas=%u%s%s)",
+                config_.side, config_.cell_size, dims_, config_.replicas,
+                config_.workload_sharing ? ", sharing" : "",
+                config_.charge_dht_lookup ? ", dht-pivots" : "");
+  return buf;
 }
 
 net::NodeId PoolSystem::directory_home(std::size_t pool_dim) const {
@@ -486,10 +497,7 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
   }
 
   const auto delta = net_.traffic() - before;
-  receipt.messages = delta.total;
-  receipt.query_messages = delta.of(net::MessageKind::Query) +
-                           delta.of(net::MessageKind::SubQuery);
-  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  receipt.cost() = storage::cost_of(delta);
   return receipt;
 }
 
@@ -666,10 +674,7 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
   }
 
   const auto delta = net_.traffic() - before;
-  batch.messages = delta.total;
-  batch.query_messages = delta.of(net::MessageKind::Query) +
-                         delta.of(net::MessageKind::SubQuery);
-  batch.reply_messages = delta.of(net::MessageKind::Reply);
+  batch.cost() = storage::cost_of(delta);
   if (net_.loss_model().loss_probability == 0.0 && net_.extra_loss() == 0.0)
     POOLNET_ASSERT(serial_cost >= delta.total);
   batch.messages_saved =
@@ -766,10 +771,7 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
 
   receipt.result = total.finalize(kind);
   const auto delta = net_.traffic() - before;
-  receipt.messages = delta.total;
-  receipt.query_messages = delta.of(net::MessageKind::Query) +
-                           delta.of(net::MessageKind::SubQuery);
-  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  receipt.cost() = storage::cost_of(delta);
   return receipt;
 }
 

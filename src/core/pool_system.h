@@ -73,6 +73,7 @@ class PoolSystem final : public storage::DcsSystem {
              std::size_t dims, PoolConfig config, PoolLayout layout);
 
   std::string name() const override { return "Pool"; }
+  std::string describe() const override;
   std::size_t dims() const override { return dims_; }
 
   storage::InsertReceipt insert(net::NodeId source,

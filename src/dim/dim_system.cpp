@@ -1,5 +1,7 @@
 #include "dim/dim_system.h"
 
+#include <cstdio>
+
 #include "common/error.h"
 
 namespace poolnet::dim {
@@ -16,6 +18,13 @@ DimSystem::DimSystem(net::Network& network,
       tree_(network, dims),
       store_(tree_.size()),
       rep_cache_(tree_.size(), net::kNoNode) {}
+
+std::string DimSystem::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "DIM (dims=%zu, zones=%zu)", tree_.dims(),
+                tree_.leaf_count());
+  return buf;
+}
 
 net::NodeId DimSystem::representative(ZoneIndex zidx) const {
   net::NodeId& memo = rep_cache_[zidx];
@@ -151,10 +160,7 @@ QueryReceipt DimSystem::query(net::NodeId sink, const RangeQuery& q) {
   }
 
   const auto delta = net_.traffic() - before;
-  receipt.messages = delta.total;
-  receipt.query_messages = delta.of(net::MessageKind::Query) +
-                           delta.of(net::MessageKind::SubQuery);
-  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  receipt.cost() = storage::cost_of(delta);
   return receipt;
 }
 
@@ -366,10 +372,7 @@ storage::BatchQueryReceipt DimSystem::query_batch(
   }
 
   const auto delta = net_.traffic() - before;
-  batch.messages = delta.total;
-  batch.query_messages = delta.of(net::MessageKind::Query) +
-                         delta.of(net::MessageKind::SubQuery);
-  batch.reply_messages = delta.of(net::MessageKind::Reply);
+  batch.cost() = storage::cost_of(delta);
   if (net_.loss_model().loss_probability == 0.0 && net_.extra_loss() == 0.0)
     POOLNET_ASSERT(serial_cost >= delta.total);
   batch.messages_saved =
@@ -432,10 +435,7 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
 
   receipt.result = total.finalize(kind);
   const auto delta = net_.traffic() - before;
-  receipt.messages = delta.total;
-  receipt.query_messages = delta.of(net::MessageKind::Query) +
-                           delta.of(net::MessageKind::SubQuery);
-  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  receipt.cost() = storage::cost_of(delta);
   return receipt;
 }
 

@@ -27,6 +27,7 @@ class DimSystem final : public storage::DcsSystem {
             std::size_t dims);
 
   std::string name() const override { return "DIM"; }
+  std::string describe() const override;
   std::size_t dims() const override { return tree_.dims(); }
 
   storage::InsertReceipt insert(net::NodeId source,

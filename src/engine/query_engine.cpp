@@ -29,8 +29,50 @@ bool parse_batch_spec(const std::string& spec, std::size_t* batch_size,
   return true;
 }
 
-QueryEngine::QueryEngine(storage::DcsSystem& system, QueryEngineConfig config)
-    : system_(system), config_(config), cache_(config.cache) {}
+QueryEngine::QueryEngine(storage::DcsSystem& system, QueryEngineConfig config,
+                         obs::MetricsRegistry* metrics,
+                         const std::string& prefix)
+    : system_(system),
+      config_(config),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      cache_(config.cache, metrics != nullptr ? metrics : owned_metrics_.get(),
+             prefix + ".result_cache") {
+  obs::MetricsRegistry* reg =
+      metrics != nullptr ? metrics : owned_metrics_.get();
+  submitted_ = reg->counter(prefix + ".submitted");
+  cache_hits_ = reg->counter(prefix + ".cache_hits");
+  batches_ = reg->counter(prefix + ".batches");
+  serial_executions_ = reg->counter(prefix + ".serial_executions");
+  messages_ = reg->counter(prefix + ".messages");
+  messages_saved_ = reg->counter(prefix + ".messages_saved");
+  serial_cell_visits_ = reg->counter(prefix + ".serial_cell_visits");
+  unique_cell_visits_ = reg->counter(prefix + ".unique_cell_visits");
+  retries_ = reg->counter(prefix + ".retries");
+  failovers_ = reg->counter(prefix + ".failovers");
+  failed_legs_ = reg->counter(prefix + ".failed_legs");
+  events_lost_ = reg->counter(prefix + ".events_lost");
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.value();
+  s.cache_hits = cache_hits_.value();
+  s.batches = batches_.value();
+  s.serial_executions = serial_executions_.value();
+  s.messages = messages_.value();
+  s.messages_saved = messages_saved_.value();
+  s.serial_cell_visits = serial_cell_visits_.value();
+  s.unique_cell_visits = unique_cell_visits_.value();
+  s.retries = retries_.value();
+  s.failovers = failovers_.value();
+  s.failed_legs = failed_legs_.value();
+  s.events_lost = events_lost_.value();
+  s.batch_occupancy = batch_occupancy_;
+  s.dedup_ratio = dedup_ratio_;
+  return s;
+}
 
 void QueryEngine::advance_clock(std::uint64_t events) {
   now_ += events;
@@ -43,12 +85,12 @@ void QueryEngine::tick(std::uint64_t events) { advance_clock(events); }
 QueryEngine::Ticket QueryEngine::submit(net::NodeId sink,
                                         const storage::RangeQuery& query) {
   advance_clock(1);
-  ++stats_.submitted;
+  submitted_.inc();
   const Ticket ticket = next_ticket_++;
 
   if (const auto* cached = cache_.lookup(query, now_)) {
     // Served entirely at the sink: zero network traffic.
-    ++stats_.cache_hits;
+    cache_hits_.inc();
     storage::QueryReceipt receipt;
     receipt.events = *cached;
     results_.emplace(ticket, std::move(receipt));
@@ -68,21 +110,21 @@ QueryEngine::Ticket QueryEngine::submit(net::NodeId sink,
 
 void QueryEngine::absorb_fault_stats() {
   const storage::FaultStats& f = system_.fault_stats();
-  stats_.retries += f.retries - fault_seen_.retries;
-  stats_.failovers += f.failovers - fault_seen_.failovers;
-  stats_.failed_legs += f.failed_legs - fault_seen_.failed_legs;
-  stats_.events_lost += f.events_lost - fault_seen_.events_lost;
+  retries_.add(f.retries - fault_seen_.retries);
+  failovers_.add(f.failovers - fault_seen_.failovers);
+  failed_legs_.add(f.failed_legs - fault_seen_.failed_legs);
+  events_lost_.add(f.events_lost - fault_seen_.events_lost);
   fault_seen_ = f;
 }
 
 void QueryEngine::execute_serial(const PendingQuery& p) {
   storage::QueryReceipt receipt = system_.query(p.sink, p.query);
   absorb_fault_stats();
-  ++stats_.serial_executions;
-  stats_.messages += receipt.messages;
-  stats_.serial_cell_visits += receipt.index_nodes_visited;
-  stats_.unique_cell_visits += receipt.index_nodes_visited;
-  stats_.batch_occupancy.add(1.0);
+  serial_executions_.inc();
+  messages_.add(receipt.messages);
+  serial_cell_visits_.add(receipt.index_nodes_visited);
+  unique_cell_visits_.add(receipt.index_nodes_visited);
+  batch_occupancy_.add(1.0);
   finish(p.ticket, p.query, std::move(receipt));
 }
 
@@ -130,13 +172,13 @@ void QueryEngine::flush() {
 
     storage::BatchQueryReceipt batch = system_.query_batch(g.sink, queries);
     absorb_fault_stats();
-    ++stats_.batches;
-    stats_.messages += batch.messages;
-    stats_.messages_saved += batch.messages_saved;
-    stats_.serial_cell_visits += batch.serial_cell_visits;
-    stats_.unique_cell_visits += batch.unique_cell_visits;
-    stats_.batch_occupancy.add(static_cast<double>(g.members.size()));
-    stats_.dedup_ratio.add(
+    batches_.inc();
+    messages_.add(batch.messages);
+    messages_saved_.add(batch.messages_saved);
+    serial_cell_visits_.add(batch.serial_cell_visits);
+    unique_cell_visits_.add(batch.unique_cell_visits);
+    batch_occupancy_.add(static_cast<double>(g.members.size()));
+    dedup_ratio_.add(
         batch.unique_cell_visits > 0
             ? static_cast<double>(batch.serial_cell_visits) /
                   static_cast<double>(batch.unique_cell_visits)

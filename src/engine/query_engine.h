@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +52,9 @@ struct QueryEngineConfig {
 bool parse_batch_spec(const std::string& spec, std::size_t* batch_size,
                       std::string* error);
 
+/// Point-in-time view of the engine's counters. The integer counters
+/// live in a MetricsRegistry under "<prefix>.submitted" etc.; stats()
+/// assembles this struct from them (plus the resident RunningStats).
 struct EngineStats {
   std::uint64_t submitted = 0;    ///< queries accepted by submit()
   std::uint64_t cache_hits = 0;   ///< answered from the result cache
@@ -86,7 +90,12 @@ class QueryEngine {
  public:
   using Ticket = std::uint64_t;
 
-  explicit QueryEngine(storage::DcsSystem& system, QueryEngineConfig config = {});
+  /// With a non-null `metrics`, every engine counter (and the result
+  /// cache's, under `<prefix>.result_cache`) registers there; otherwise
+  /// the engine owns a private registry.
+  explicit QueryEngine(storage::DcsSystem& system, QueryEngineConfig config = {},
+                       obs::MetricsRegistry* metrics = nullptr,
+                       const std::string& prefix = "engine");
 
   const QueryEngineConfig& config() const { return config_; }
   storage::DcsSystem& system() { return system_; }
@@ -118,8 +127,9 @@ class QueryEngine {
   /// place (the exact post-aging answers) instead of being cleared.
   std::size_t expire_before(double cutoff);
 
-  const EngineStats& stats() const { return stats_; }
-  const ResultCacheStats& cache_stats() const { return cache_.stats(); }
+  /// Thin views assembled from the registry counters.
+  EngineStats stats() const;
+  ResultCacheStats cache_stats() const { return cache_.stats(); }
 
  private:
   struct PendingQuery {
@@ -140,11 +150,18 @@ class QueryEngine {
 
   storage::DcsSystem& system_;
   QueryEngineConfig config_;
-  ResultCache cache_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  ///< fallback
+  ResultCache cache_;  ///< after owned_metrics_: may register into it
   std::vector<PendingQuery> pending_;
   std::uint64_t epoch_opened_ = 0;  ///< now() when pending_ got its first entry
   std::unordered_map<Ticket, storage::QueryReceipt> results_;
-  EngineStats stats_;
+
+  obs::MetricsRegistry::Counter submitted_, cache_hits_, batches_,
+      serial_executions_, messages_, messages_saved_, serial_cell_visits_,
+      unique_cell_visits_, retries_, failovers_, failed_legs_, events_lost_;
+  sim::RunningStat batch_occupancy_;  ///< queries per flushed sink-group
+  sim::RunningStat dedup_ratio_;      ///< serial / unique visits, per batch
+
   storage::FaultStats fault_seen_;  ///< system counters at the last absorb
   std::uint64_t now_ = 0;
   Ticket next_ticket_ = 1;

@@ -52,6 +52,31 @@ bool parse_qcache_spec(const std::string& spec, ResultCacheConfig* config,
   return false;
 }
 
+ResultCache::ResultCache(ResultCacheConfig config,
+                         obs::MetricsRegistry* metrics,
+                         const std::string& prefix)
+    : config_(config) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  hits_ = metrics->counter(prefix + ".hits");
+  misses_ = metrics->counter(prefix + ".misses");
+  insertions_ = metrics->counter(prefix + ".insertions");
+  invalidations_ = metrics->counter(prefix + ".invalidations");
+  expirations_ = metrics->counter(prefix + ".expirations");
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats s;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.insertions = insertions_.value();
+  s.invalidations = invalidations_.value();
+  s.expirations = expirations_.value();
+  return s;
+}
+
 std::size_t ResultCache::KeyHash::operator()(const Key& k) const {
   std::uint64_t h = 0x243f6a8885a308d3ULL ^ k.dims;
   for (std::size_t i = 0; i < 2 * k.dims; ++i) h = mix(h ^ k.bits[i]);
@@ -74,16 +99,16 @@ const std::vector<storage::Event>* ResultCache::lookup(
   if (!config_.enabled) return nullptr;
   const auto it = entries_.find(key_of(q));
   if (it == entries_.end()) {
-    ++stats_.misses;
+    misses_.inc();
     return nullptr;
   }
   if (expired(it->second, now)) {
     entries_.erase(it);
-    ++stats_.expirations;
-    ++stats_.misses;
+    expirations_.inc();
+    misses_.inc();
     return nullptr;
   }
-  ++stats_.hits;
+  hits_.inc();
   return &it->second.events;
 }
 
@@ -95,7 +120,7 @@ void ResultCache::store(const storage::RangeQuery& q,
   e.rect = q.bounds();
   e.events = std::move(events);
   e.stored_at = now;
-  ++stats_.insertions;
+  insertions_.inc();
 }
 
 std::size_t ResultCache::invalidate_containing(const storage::Values& values) {
@@ -113,7 +138,7 @@ std::size_t ResultCache::invalidate_containing(const storage::Values& values) {
       ++it;
     }
   }
-  stats_.invalidations += erased;
+  invalidations_.add(erased);
   return erased;
 }
 

@@ -14,10 +14,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/event.h"
 #include "storage/range_query.h"
 
@@ -36,6 +38,9 @@ struct ResultCacheConfig {
 bool parse_qcache_spec(const std::string& spec, ResultCacheConfig* config,
                        std::string* error);
 
+/// Point-in-time view of the cache counters. The counters live in a
+/// MetricsRegistry under "<prefix>.hits" etc.; stats() assembles this
+/// struct from them on demand.
 struct ResultCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -51,11 +56,19 @@ struct ResultCacheStats {
 
 class ResultCache {
  public:
-  explicit ResultCache(ResultCacheConfig config) : config_(config) {}
+  /// With a non-null `metrics`, counters register there under
+  /// `<prefix>.hits` etc. (shared scrape surface); otherwise the cache
+  /// owns a private registry.
+  explicit ResultCache(ResultCacheConfig config,
+                       obs::MetricsRegistry* metrics = nullptr,
+                       const std::string& prefix = "result_cache");
 
   bool enabled() const { return config_.enabled; }
   const ResultCacheConfig& config() const { return config_; }
-  const ResultCacheStats& stats() const { return stats_; }
+
+  /// Thin view assembled from the registry counters.
+  ResultCacheStats stats() const;
+
   std::size_t size() const { return entries_.size(); }
 
   /// Fresh cached result for `q`, or nullptr (counting a miss). An entry
@@ -104,7 +117,10 @@ class ResultCache {
 
   ResultCacheConfig config_;
   std::unordered_map<Key, Entry, KeyHash> entries_;
-  ResultCacheStats stats_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  ///< fallback
+  obs::MetricsRegistry::Counter hits_, misses_, insertions_, invalidations_,
+      expirations_;
 };
 
 }  // namespace poolnet::engine

@@ -1,6 +1,7 @@
 #include "ght/ght_system.h"
 
 #include <cmath>
+#include <cstdio>
 #include <queue>
 
 #include "common/error.h"
@@ -32,6 +33,13 @@ GhtSystem::GhtSystem(net::Network& network,
     throw ConfigError("GHT: bad dimensionality");
   if (config.quantum <= 0.0 || config.quantum > 1.0)
     throw ConfigError("GHT: quantum must be in (0,1]");
+}
+
+std::string GhtSystem::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "GHT (dims=%zu, quantum=%g)", dims_,
+                config_.quantum);
+  return buf;
 }
 
 std::uint64_t GhtSystem::key_of(const storage::Values& values) const {
@@ -266,10 +274,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
   }
 
   const auto delta = net_.traffic() - before;
-  receipt.messages = delta.total;
-  receipt.query_messages = delta.of(net::MessageKind::Query) +
-                           delta.of(net::MessageKind::SubQuery);
-  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  receipt.cost() = storage::cost_of(delta);
   return receipt;
 }
 
@@ -396,10 +401,7 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
   }
 
   const auto delta = net_.traffic() - before;
-  batch.messages = delta.total;
-  batch.query_messages = delta.of(net::MessageKind::Query) +
-                         delta.of(net::MessageKind::SubQuery);
-  batch.reply_messages = delta.of(net::MessageKind::Reply);
+  batch.cost() = storage::cost_of(delta);
   if (net_.loss_model().loss_probability == 0.0 && net_.extra_loss() == 0.0)
     POOLNET_ASSERT(serial_cost >= delta.total);
   batch.messages_saved =
@@ -466,9 +468,7 @@ storage::AggregateReceipt GhtSystem::aggregate(net::NodeId sink,
 
   receipt.result = total.finalize(kind);
   const auto delta = net_.traffic() - before;
-  receipt.messages = delta.total;
-  receipt.query_messages = delta.of(net::MessageKind::Query);
-  receipt.reply_messages = delta.of(net::MessageKind::Reply);
+  receipt.cost() = storage::cost_of(delta);
   return receipt;
 }
 

@@ -44,6 +44,7 @@ class GhtSystem final : public storage::DcsSystem {
             std::size_t dims, GhtConfig config = {});
 
   std::string name() const override { return "GHT"; }
+  std::string describe() const override;
   std::size_t dims() const override { return dims_; }
 
   storage::InsertReceipt insert(net::NodeId source,

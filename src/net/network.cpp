@@ -137,6 +137,12 @@ double Network::average_degree() const {
 
 bool Network::transmit(NodeId from, NodeId to, MessageKind kind,
                        std::uint64_t bits) {
+  return transmit_hop(from, to, kind, bits, next_msg_id_++, 0);
+}
+
+bool Network::transmit_hop(NodeId from, NodeId to, MessageKind kind,
+                           std::uint64_t bits, std::uint64_t msg_id,
+                           std::uint16_t hop_index) {
   if (from == to) return true;  // local delivery, no radio use
   POOLNET_ASSERT_MSG(are_neighbors(from, to),
                      "transmit between non-neighbors");
@@ -165,12 +171,19 @@ bool Network::transmit(NodeId from, NodeId to, MessageKind kind,
   }
 
   src.tx_count += attempts;
+  src.retry_count += attempts - 1;
   const double d = distance(src.pos, dst.pos);
   const double tx_e = energy_.tx_cost(bits, d) * attempts;
   src.energy_spent_j += tx_e;
   traffic_.by_kind[static_cast<std::size_t>(kind)] += attempts;
   traffic_.total += attempts;
-  if (!dst.alive) {
+  const bool delivered = dst.alive;
+  if (trace_ != nullptr) {
+    trace_->on_hop({msg_id, traffic_.total, from, to, hop_index,
+                    static_cast<std::uint8_t>(kind), delivered});
+  }
+  if (!delivered) {
+    ++src.drop_count;
     traffic_.energy_j += tx_e;
     ++traffic_.lost;
     return false;
@@ -188,8 +201,10 @@ Network::PathDelivery Network::transmit_path(const std::vector<NodeId>& path,
   PathDelivery out;
   out.complete = true;
   if (!path.empty()) out.reached = path[0];
+  const std::uint64_t msg_id = next_msg_id_++;
   for (std::size_t i = 1; i < path.size(); ++i) {
-    if (!transmit(path[i - 1], path[i], kind, bits)) {
+    if (!transmit_hop(path[i - 1], path[i], kind, bits, msg_id,
+                      static_cast<std::uint16_t>(i - 1))) {
       out.complete = false;
       return out;
     }
@@ -203,9 +218,12 @@ void Network::reset_traffic() { traffic_.clear(); }
 
 void Network::reset_all_accounting() {
   traffic_.clear();
+  next_msg_id_ = 0;
   for (auto& n : nodes_) {
     n.tx_count = 0;
     n.rx_count = 0;
+    n.retry_count = 0;
+    n.drop_count = 0;
     n.stored_events = 0;
     n.energy_spent_j = 0.0;
   }

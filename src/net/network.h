@@ -15,6 +15,7 @@
 #include "net/message.h"
 #include "net/node.h"
 #include "net/spatial_index.h"
+#include "obs/trace.h"
 #include "sim/energy.h"
 
 namespace poolnet::net {
@@ -105,7 +106,20 @@ class Network {
   /// Clears per-node tx/rx/energy/stored counters and the global tally.
   void reset_all_accounting();
 
+  // --- hop tracing ---
+  /// Attaches (or with nullptr, detaches) a hop-trace sink. Not owned.
+  /// Disabled tracing costs one null-pointer test per hop. Each
+  /// transmit() call is one traced message; a transmit_path() call
+  /// shares one message id across its hops with ascending hop indices.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
  private:
+  /// One charged hop of message `msg_id` at position `hop_index`.
+  bool transmit_hop(NodeId from, NodeId to, MessageKind kind,
+                    std::uint64_t bits, std::uint64_t msg_id,
+                    std::uint16_t hop_index);
+
   std::vector<Node> nodes_;
   Rect field_;
   double radio_range_;
@@ -117,6 +131,8 @@ class Network {
   TrafficTally traffic_;
   std::size_t dead_count_ = 0;
   double extra_loss_ = 0.0;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint64_t next_msg_id_ = 0;
 };
 
 }  // namespace poolnet::net

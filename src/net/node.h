@@ -31,6 +31,8 @@ struct Node {
   // --- accounting ---
   std::uint64_t tx_count = 0;       ///< messages transmitted
   std::uint64_t rx_count = 0;       ///< messages received
+  std::uint64_t retry_count = 0;    ///< ARQ retransmissions (attempts beyond 1)
+  std::uint64_t drop_count = 0;     ///< frames abandoned after the ARQ budget
   std::uint64_t stored_events = 0;  ///< events resident at this node
   double energy_spent_j = 0.0;      ///< radio energy consumed
 };

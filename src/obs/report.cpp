@@ -1,0 +1,76 @@
+#include "obs/report.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace poolnet::obs {
+
+double gini_coefficient(const std::vector<std::uint64_t>& loads) {
+  if (loads.empty()) return 0.0;
+  std::vector<std::uint64_t> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  // G = (2 Σ_i i*x_i) / (n Σ x_i) - (n+1)/n  with 1-based ranks over the
+  // ascending sort.
+  double weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+    total += static_cast<double>(sorted[i]);
+  }
+  if (total == 0.0) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+LoadReport load_report(const std::vector<std::uint64_t>& loads) {
+  LoadReport r;
+  r.nodes = loads.size();
+  if (loads.empty()) return r;
+  std::vector<std::uint64_t> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto x : sorted) {
+    r.total += x;
+    if (x > 0) ++r.loaded_nodes;
+  }
+  r.max_load = sorted.back();
+  r.mean_load = static_cast<double>(r.total) / static_cast<double>(r.nodes);
+  r.p99_load = static_cast<double>(sorted[sorted.size() * 99 / 100]);
+  r.mean_loaded = r.loaded_nodes
+                      ? static_cast<double>(r.total) /
+                            static_cast<double>(r.loaded_nodes)
+                      : 0.0;
+  r.gini = gini_coefficient(loads);
+  std::vector<std::uint64_t> loaded(sorted.end() - r.loaded_nodes,
+                                    sorted.end());
+  r.gini_loaded = gini_coefficient(loaded);
+  return r;
+}
+
+void publish_load_report(Snapshot& snap, const std::string& prefix,
+                         const std::vector<std::uint64_t>& loads,
+                         double occupancy_bucket_width,
+                         std::size_t occupancy_buckets) {
+  const LoadReport r = load_report(loads);
+  snap.gauges[prefix + ".load.max"] = static_cast<double>(r.max_load);
+  snap.gauges[prefix + ".load.mean"] = r.mean_load;
+  snap.gauges[prefix + ".load.p99"] = r.p99_load;
+  snap.gauges[prefix + ".load.mean_loaded"] = r.mean_loaded;
+  snap.gauges[prefix + ".load.gini"] = r.gini;
+  snap.gauges[prefix + ".load.gini_loaded"] = r.gini_loaded;
+  snap.gauges[prefix + ".load.loaded_nodes"] =
+      static_cast<double>(r.loaded_nodes);
+
+  Snapshot::Hist h;
+  h.bucket_width = occupancy_bucket_width;
+  h.buckets.assign(occupancy_buckets, 0);
+  for (const auto x : loads) {
+    const double b = static_cast<double>(x) / occupancy_bucket_width;
+    if (b < static_cast<double>(occupancy_buckets))
+      ++h.buckets[static_cast<std::size_t>(b)];
+    else
+      ++h.overflow;
+  }
+  snap.histograms[prefix + ".occupancy"] = std::move(h);
+}
+
+}  // namespace poolnet::obs

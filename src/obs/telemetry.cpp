@@ -1,0 +1,55 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace poolnet::obs {
+
+bool parse_metrics_spec(const std::string& spec, TelemetryConfig* config,
+                        std::string* error) {
+  std::string head = spec;
+  std::string path;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    head = spec.substr(0, colon);
+    path = spec.substr(colon + 1);
+    if (path.empty()) {
+      *error = "--metrics: empty path in '" + spec + "'";
+      return false;
+    }
+  }
+  if (head == "off") {
+    config->format = MetricsFormat::Off;
+    if (!path.empty()) {
+      *error = "--metrics: 'off' does not take a path";
+      return false;
+    }
+  } else if (head == "json") {
+    config->format = MetricsFormat::Json;
+  } else if (head == "csv") {
+    config->format = MetricsFormat::Csv;
+  } else {
+    *error = "--metrics: expected off, json[:<path>] or csv[:<path>], got '" +
+             spec + "'";
+    return false;
+  }
+  config->path = path;
+  return true;
+}
+
+void emit_snapshot(const TelemetryConfig& config, const Snapshot& snap,
+                   std::ostream& fallback) {
+  if (!config.wants_metrics()) return;
+  const std::string body =
+      config.format == MetricsFormat::Json ? snap.to_json() : snap.to_csv();
+  if (config.path.empty()) {
+    fallback << body;
+    return;
+  }
+  std::ofstream out(config.path);
+  if (!out) throw ConfigError("emit_snapshot: cannot open " + config.path);
+  out << body;
+}
+
+}  // namespace poolnet::obs

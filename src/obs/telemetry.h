@@ -1,0 +1,47 @@
+// The unified telemetry surface: one --metrics spec shared by the CLI
+// and every bench, and one emit path for the scraped Snapshot.
+//
+//   --metrics off            no output (default)
+//   --metrics json           JSON document to stdout
+//   --metrics csv            flat CSV to stdout
+//   --metrics json:<path>    JSON document written to <path>
+//   --metrics csv:<path>     CSV written to <path>
+//   --trace <n>              attach a ring trace sink of capacity n to
+//                            every instrumented network (0 = off)
+//
+// Emission is deterministic: Snapshot maps are sorted, floats print with
+// one fixed format, and deployment merges happen in submission order —
+// the bytes are identical at any --threads value.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace poolnet::obs {
+
+enum class MetricsFormat { Off, Json, Csv };
+
+struct TelemetryConfig {
+  MetricsFormat format = MetricsFormat::Off;
+  std::string path;                ///< empty = the caller's stream/stdout
+  std::size_t trace_capacity = 0;  ///< hop-trace ring size; 0 = disabled
+
+  bool wants_metrics() const { return format != MetricsFormat::Off; }
+  bool wants_trace() const { return trace_capacity > 0; }
+};
+
+/// Parses a --metrics spec ("off", "json", "csv", "json:<path>",
+/// "csv:<path>") into `config` (format + path only). Returns false and
+/// sets `error` on a malformed spec.
+bool parse_metrics_spec(const std::string& spec, TelemetryConfig* config,
+                        std::string* error);
+
+/// Renders `snap` in the configured format: to `config.path` when set,
+/// else to `fallback`. No-op when format is Off. Throws ConfigError when
+/// the path cannot be opened.
+void emit_snapshot(const TelemetryConfig& config, const Snapshot& snap,
+                   std::ostream& fallback);
+
+}  // namespace poolnet::obs

@@ -1,0 +1,47 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace poolnet::obs {
+
+RingTraceSink::RingTraceSink(std::size_t capacity) {
+  POOLNET_ASSERT_MSG(capacity > 0, "RingTraceSink needs capacity > 0");
+  ring_.resize(capacity);
+}
+
+void RingTraceSink::on_hop(const HopRecord& hop) {
+  ring_[recorded_ % ring_.size()] = hop;
+  ++recorded_;
+}
+
+std::size_t RingTraceSink::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(recorded_, ring_.size()));
+}
+
+std::vector<HopRecord> RingTraceSink::drain() const {
+  std::vector<HopRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = recorded_ - n;
+  for (std::uint64_t i = first; i < recorded_; ++i)
+    out.push_back(ring_[i % ring_.size()]);
+  return out;
+}
+
+std::string RingTraceSink::to_csv() const {
+  std::string out = "msg_id,hop,kind,src,dst,tick,delivered\n";
+  for (const HopRecord& h : drain()) {
+    out += std::to_string(h.msg_id) + ',' + std::to_string(h.hop_index) +
+           ',' + std::to_string(h.kind) + ',' + std::to_string(h.src) + ',' +
+           std::to_string(h.dst) + ',' + std::to_string(h.tick) + ',' +
+           (h.delivered ? '1' : '0') + '\n';
+  }
+  return out;
+}
+
+void RingTraceSink::clear() { recorded_ = 0; }
+
+}  // namespace poolnet::obs

@@ -11,6 +11,7 @@ const char* to_string(ValueDistribution d) {
     case ValueDistribution::Uniform: return "uniform";
     case ValueDistribution::Gaussian: return "gaussian";
     case ValueDistribution::Hotspot: return "hotspot";
+    case ValueDistribution::Exponential: return "exponential";
   }
   return "?";
 }
@@ -23,6 +24,8 @@ EventGenerator::EventGenerator(WorkloadConfig config, std::uint64_t seed)
     throw ConfigError("EventGenerator: spread must be non-negative");
   if (config.hotspot_fraction < 0.0 || config.hotspot_fraction > 1.0)
     throw ConfigError("EventGenerator: hotspot_fraction must be in [0,1]");
+  if (config.dist == ValueDistribution::Exponential && config.exp_mean <= 0.0)
+    throw ConfigError("EventGenerator: exp_mean must be positive");
 }
 
 double EventGenerator::draw_value() {
@@ -36,6 +39,8 @@ double EventGenerator::draw_value() {
         return std::clamp(rng_.normal(config_.center, config_.spread), 0.0,
                           1.0);
       return rng_.uniform();
+    case ValueDistribution::Exponential:
+      return rng_.exponential_truncated(config_.exp_mean, 1.0);
   }
   return 0.0;
 }

@@ -15,9 +15,10 @@
 namespace poolnet::query {
 
 enum class ValueDistribution {
-  Uniform,   ///< each attribute ~ U[0,1]
-  Gaussian,  ///< each attribute ~ N(center, spread), clamped to [0,1]
-  Hotspot,   ///< with prob. hotspot_fraction draw Gaussian, else Uniform
+  Uniform,      ///< each attribute ~ U[0,1]
+  Gaussian,     ///< each attribute ~ N(center, spread), clamped to [0,1]
+  Hotspot,      ///< with prob. hotspot_fraction draw Gaussian, else Uniform
+  Exponential,  ///< each attribute ~ Exp(exp_mean) truncated to [0,1]
 };
 
 const char* to_string(ValueDistribution d);
@@ -28,6 +29,7 @@ struct WorkloadConfig {
   double center = 0.8;            ///< Gaussian / Hotspot mean
   double spread = 0.05;           ///< Gaussian / Hotspot stddev
   double hotspot_fraction = 0.7;  ///< Hotspot: share of skewed events
+  double exp_mean = 0.15;         ///< Exponential: mean before truncation
 };
 
 class EventGenerator {

@@ -53,8 +53,29 @@ bool parse_route_cache_spec(const std::string& spec, RouteCacheConfig* config,
   return false;
 }
 
-RouteCache::RouteCache(const Router& inner, RouteCacheConfig config)
-    : inner_(inner), config_(config) {}
+RouteCache::RouteCache(const Router& inner, RouteCacheConfig config,
+                       obs::MetricsRegistry* metrics, const std::string& prefix)
+    : inner_(inner), config_(config) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  hits_ = metrics->counter(prefix + ".hits");
+  misses_ = metrics->counter(prefix + ".misses");
+  evictions_ = metrics->counter(prefix + ".evictions");
+  invalidated_ = metrics->counter(prefix + ".invalidated");
+}
+
+RouteCacheStats RouteCache::stats() const {
+  RouteCacheStats s;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.evictions = evictions_.value();
+  s.invalidated = invalidated_.value();
+  s.entries = entries_;
+  s.bytes = bytes_;
+  return s;
+}
 
 std::size_t RouteCache::KeyHash::operator()(const Key& k) const {
   std::uint64_t h = mix64(k.src_kind);
@@ -100,17 +121,17 @@ RouteCache::Entry& RouteCache::touch(
 }
 
 void RouteCache::account_and_evict(std::size_t delta) const {
-  stats_.bytes += delta;
-  stats_.entries = map_.size() + flat_entries_;
+  bytes_ += delta;
+  entries_ = map_.size() + flat_entries_;
   if (config_.max_bytes == 0) return;
-  while (stats_.bytes > config_.max_bytes && !lru_.empty()) {
+  while (bytes_ > config_.max_bytes && !lru_.empty()) {
     const auto victim = map_.find(lru_.back());
-    stats_.bytes -= victim->second.bytes;
-    ++stats_.evictions;
+    bytes_ -= victim->second.bytes;
+    evictions_.inc();
     map_.erase(victim);
     lru_.pop_back();
   }
-  stats_.entries = map_.size() + flat_entries_;
+  entries_ = map_.size() + flat_entries_;
 }
 
 RouteResult RouteCache::route_to_node(net::NodeId src, net::NodeId dst) const {
@@ -120,29 +141,29 @@ RouteResult RouteCache::route_to_node(net::NodeId src, net::NodeId dst) const {
     if (src < by_src_.size()) {
       for (const NodeEntry& e : by_src_[src]) {
         if (e.dst == dst) {
-          ++stats_.hits;
+          hits_.inc();
           return e.result;
         }
       }
     }
-    ++stats_.misses;
+    misses_.inc();
     RouteResult result = inner_.route_to_node(src, dst);
     if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
       return result;
     if (src >= by_src_.size()) by_src_.resize(src + 1);
     by_src_[src].push_back(NodeEntry{dst, result});
     ++flat_entries_;
-    stats_.entries = map_.size() + flat_entries_;
-    stats_.bytes += result_bytes(result);
+    entries_ = map_.size() + flat_entries_;
+    bytes_ += result_bytes(result);
     return result;
   }
 
   const Key key = node_key(src, dst);
   if (const auto it = map_.find(key); it != map_.end()) {
-    ++stats_.hits;
+    hits_.inc();
     return touch(it).items.front().second;
   }
-  ++stats_.misses;
+  misses_.inc();
   RouteResult result = inner_.route_to_node(src, dst);
   if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
     return result;  // one-shot long leg: storing it costs more than it saves
@@ -165,13 +186,13 @@ RouteResult RouteCache::route_to_location(net::NodeId src, Point dest) const {
     // points of the same α-cell; only a bit-identical destination hits.
     for (const auto& [point, result] : it->second.items) {
       if (point.x == dest.x && point.y == dest.y) {
-        ++stats_.hits;
+        hits_.inc();
         touch(it);
         return result;
       }
     }
   }
-  ++stats_.misses;
+  misses_.inc();
   RouteResult result = inner_.route_to_location(src, dest);
   if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
     return result;  // one-shot long leg: storing it costs more than it saves
@@ -202,11 +223,11 @@ void RouteCache::note_dead(net::NodeId dead) const {
   for (auto& bucket : by_src_) {
     for (std::size_t i = bucket.size(); i-- > 0;) {
       if (!traverses(bucket[i].result)) continue;
-      stats_.bytes -= result_bytes(bucket[i].result);
+      bytes_ -= result_bytes(bucket[i].result);
       bucket[i] = std::move(bucket.back());
       bucket.pop_back();
       --flat_entries_;
-      ++stats_.invalidated;
+      invalidated_.inc();
     }
   }
 
@@ -217,10 +238,10 @@ void RouteCache::note_dead(net::NodeId dead) const {
       if (!traverses(items[i].second)) continue;
       const std::size_t freed = result_bytes(items[i].second);
       it->second.bytes -= freed;
-      stats_.bytes -= freed;
+      bytes_ -= freed;
       items[i] = std::move(items.back());
       items.pop_back();
-      ++stats_.invalidated;
+      invalidated_.inc();
     }
     if (items.empty()) {
       if (config_.max_bytes != 0) lru_.erase(it->second.lru_pos);
@@ -229,7 +250,7 @@ void RouteCache::note_dead(net::NodeId dead) const {
       ++it;
     }
   }
-  stats_.entries = map_.size() + flat_entries_;
+  entries_ = map_.size() + flat_entries_;
 
   inner_.note_dead(dead);
 }
@@ -239,8 +260,8 @@ void RouteCache::clear() {
   lru_.clear();
   by_src_.clear();
   flat_entries_ = 0;
-  stats_.bytes = 0;
-  stats_.entries = 0;
+  bytes_ = 0;
+  entries_ = 0;
 }
 
 }  // namespace poolnet::routing

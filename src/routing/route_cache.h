@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "routing/router.h"
 
 namespace poolnet::routing {
@@ -53,6 +55,10 @@ struct RouteCacheConfig {
   std::size_t max_hops = 6;
 };
 
+/// Point-in-time view of a cache's counters. The counters themselves
+/// live in a MetricsRegistry (under "<prefix>.hits" etc.); this struct
+/// is the thin view stats() assembles from them, kept for ergonomic
+/// field access and derived rates.
 struct RouteCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -75,7 +81,14 @@ bool parse_route_cache_spec(const std::string& spec, RouteCacheConfig* config,
 
 class RouteCache final : public Router {
  public:
-  explicit RouteCache(const Router& inner, RouteCacheConfig config = {});
+  /// With a non-null `metrics`, the hit/miss/eviction/invalidation
+  /// counters are registered there under `<prefix>.hits` etc., so a
+  /// testbed-wide scrape sees them next to every other subsystem.
+  /// Without one, the cache owns a private registry — same code path,
+  /// nothing to scrape unless asked via stats().
+  explicit RouteCache(const Router& inner, RouteCacheConfig config = {},
+                      obs::MetricsRegistry* metrics = nullptr,
+                      const std::string& prefix = "route_cache");
 
   RouteResult route_to_node(net::NodeId src, net::NodeId dst) const override;
   RouteResult route_to_location(net::NodeId src, Point dest) const override;
@@ -86,7 +99,9 @@ class RouteCache final : public Router {
   void note_dead(net::NodeId dead) const override;
 
   const RouteCacheConfig& config() const { return config_; }
-  const RouteCacheStats& stats() const { return stats_; }
+
+  /// Thin view over the registry counters plus the resident-size levels.
+  RouteCacheStats stats() const;
 
   /// Drops every entry (stats counters are kept).
   void clear();
@@ -139,7 +154,11 @@ class RouteCache final : public Router {
   mutable std::list<Key> lru_;  ///< front = most recently used
   mutable std::vector<std::vector<NodeEntry>> by_src_;  ///< unbounded mode
   mutable std::size_t flat_entries_ = 0;  ///< total items across by_src_
-  mutable RouteCacheStats stats_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  ///< fallback
+  obs::MetricsRegistry::Counter hits_, misses_, evictions_, invalidated_;
+  mutable std::size_t entries_ = 0;  ///< level, not monotonic
+  mutable std::size_t bytes_ = 0;    ///< level, not monotonic
 };
 
 }  // namespace poolnet::routing

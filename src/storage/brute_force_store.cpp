@@ -57,10 +57,7 @@ QueryReceipt BruteForceStore::query(net::NodeId sink, const RangeQuery& q) {
           sizes.reply_bits(dims_, sizes.reply_payload(receipt.events.size())));
     }
     const auto delta = network_->traffic() - before;
-    receipt.messages = delta.total;
-    receipt.query_messages = delta.of(net::MessageKind::Query) +
-                             delta.of(net::MessageKind::SubQuery);
-    receipt.reply_messages = delta.of(net::MessageKind::Reply);
+    receipt.cost() = cost_of(delta);
   }
   return receipt;
 }
@@ -92,9 +89,7 @@ AggregateReceipt BruteForceStore::aggregate(net::NodeId sink,
     network_->transmit_path(back.path, net::MessageKind::Reply,
                             network_->sizes().aggregate_bits());
     const auto delta = network_->traffic() - before;
-    receipt.messages = delta.total;
-    receipt.query_messages = delta.of(net::MessageKind::Query);
-    receipt.reply_messages = delta.of(net::MessageKind::Reply);
+    receipt.cost() = cost_of(delta);
   }
   return receipt;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "net/message.h"
 #include "net/node.h"
 #include "storage/aggregate.h"
 #include "storage/event.h"
@@ -16,32 +17,65 @@
 
 namespace poolnet::storage {
 
-/// Cost breakdown of one insertion.
-struct InsertReceipt {
+/// The shared message-cost triple every receipt reports: total per-hop
+/// transmissions, split into forwarding legs (query + subquery) and
+/// reply legs. Receipts inherit it, so the triple is defined once and
+/// receipts of different operations sum with operator+=.
+struct CostBreakdown {
+  std::uint64_t messages = 0;        ///< total per-hop transmissions
+  std::uint64_t query_messages = 0;  ///< forwarding legs (query + subquery)
+  std::uint64_t reply_messages = 0;  ///< reply legs
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    messages += other.messages;
+    query_messages += other.query_messages;
+    reply_messages += other.reply_messages;
+    return *this;
+  }
+  friend CostBreakdown operator+(CostBreakdown a, const CostBreakdown& b) {
+    a += b;
+    return a;
+  }
+
+  /// Explicit view of the cost triple (handy when a receipt's other
+  /// fields shadow the intent at a call site).
+  CostBreakdown& cost() { return *this; }
+  const CostBreakdown& cost() const { return *this; }
+};
+
+/// Classifies a traffic-ledger delta into the standard breakdown:
+/// everything counts toward `messages`; Query + SubQuery legs are
+/// forwarding, Reply legs are replies (Insert/Control traffic appears in
+/// the total only, matching the paper's accounting).
+inline CostBreakdown cost_of(const net::TrafficTally& delta) {
+  CostBreakdown c;
+  c.messages = delta.total;
+  c.query_messages = delta.of(net::MessageKind::Query) +
+                     delta.of(net::MessageKind::SubQuery);
+  c.reply_messages = delta.of(net::MessageKind::Reply);
+  return c;
+}
+
+/// Cost breakdown of one insertion (`messages` is the only leg kind an
+/// insert charges; the query/reply fields stay zero).
+struct InsertReceipt : CostBreakdown {
   net::NodeId stored_at = net::kNoNode;  ///< node now holding the event
-  std::uint64_t messages = 0;            ///< per-hop transmissions charged
 };
 
 /// Result and cost breakdown of one aggregate query.
-struct AggregateReceipt {
+struct AggregateReceipt : CostBreakdown {
   AggregateResult result;
-  std::uint64_t messages = 0;
-  std::uint64_t query_messages = 0;
-  std::uint64_t reply_messages = 0;
   std::size_t index_nodes_visited = 0;
 };
 
 /// Result and cost breakdown of one query.
-struct QueryReceipt {
-  std::vector<Event> events;         ///< qualifying events, unordered
-  std::uint64_t messages = 0;        ///< total per-hop transmissions
-  std::uint64_t query_messages = 0;  ///< forwarding legs (query + subquery)
-  std::uint64_t reply_messages = 0;  ///< reply legs
+struct QueryReceipt : CostBreakdown {
+  std::vector<Event> events;            ///< qualifying events, unordered
   std::size_t index_nodes_visited = 0;  ///< storage nodes that processed it
 };
 
 /// Result of one merged multi-query execution (see query_batch).
-struct BatchQueryReceipt {
+struct BatchQueryReceipt : CostBreakdown {
   /// One receipt per input query, in input order. `events` is identical
   /// (content AND order) to what a serial query() from the same sink
   /// would have returned, and `index_nodes_visited` is that query's own
@@ -49,10 +83,6 @@ struct BatchQueryReceipt {
   /// merging implementations — transport cost is shared and reported only
   /// in the batch totals below.
   std::vector<QueryReceipt> per_query;
-
-  std::uint64_t messages = 0;        ///< total per-hop transmissions
-  std::uint64_t query_messages = 0;  ///< forwarding legs (query + subquery)
-  std::uint64_t reply_messages = 0;  ///< reply legs
 
   std::size_t index_nodes_visited = 0;  ///< distinct storage nodes probed
   std::size_t serial_cell_visits = 0;   ///< Σ per-query relevant visits
@@ -86,6 +116,12 @@ class DcsSystem {
 
   virtual std::string name() const = 0;
 
+  /// One-line, human-readable scheme summary with its deployment
+  /// parameters — e.g. "Pool (l=10, alpha=5, dims=3)" — for CLI and
+  /// bench banners, so callers never switch over concrete types to
+  /// print a header. Defaults to name().
+  virtual std::string describe() const { return name(); }
+
   /// Dimensionality this deployment is configured for.
   virtual std::size_t dims() const = 0;
 
@@ -109,9 +145,7 @@ class DcsSystem {
     batch.per_query.reserve(queries.size());
     for (const RangeQuery& q : queries) {
       QueryReceipt r = query(sink, q);
-      batch.messages += r.messages;
-      batch.query_messages += r.query_messages;
-      batch.reply_messages += r.reply_messages;
+      batch += r;
       batch.index_nodes_visited += r.index_nodes_visited;
       batch.serial_cell_visits += r.index_nodes_visited;
       batch.unique_cell_visits += r.index_nodes_visited;
