@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_support/testbed.h"
+#include "common/object_pool.h"
 #include "core/pool_geometry.h"
+#include "net/spatial_index.h"
 #include "query/query_gen.h"
 #include "query/workload.h"
+#include "sim/event_queue.h"
 
 namespace {
 
@@ -87,9 +90,13 @@ BENCHMARK(BM_GpsrRouteAcrossField);
 
 void BM_CachedRouteAcrossField(benchmark::State& state) {
   // Same cross-field route through a RouteCache: after the first miss every
-  // iteration is a hash lookup plus a RouteResult copy.
+  // iteration is a hash lookup plus a RouteResult copy. (max_hops = 0
+  // stores everything — the default declines long routes, which would
+  // leave this bench measuring recomputation.)
   auto& tb = shared_testbed();
-  const routing::RouteCache cache(tb.pool_gpsr());
+  routing::RouteCacheConfig cfg;
+  cfg.max_hops = 0;
+  const routing::RouteCache cache(tb.pool_gpsr(), cfg);
   const auto src = tb.pool_network().nearest_node({0, 0});
   const auto dst = tb.pool_network().nearest_node(
       {tb.pool_network().field().max_x, tb.pool_network().field().max_y});
@@ -98,6 +105,91 @@ void BM_CachedRouteAcrossField(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CachedRouteAcrossField);
+
+void BM_CachedRouteIntoScratch(benchmark::State& state) {
+  // The scratch-handle form of the same cached route: after the first
+  // miss every iteration is a hash lookup plus a capacity-reusing
+  // copy-assign into the warm out-parameter — no allocation at all.
+  auto& tb = shared_testbed();
+  routing::RouteCacheConfig cfg;
+  cfg.max_hops = 0;
+  const routing::RouteCache cache(tb.pool_gpsr(), cfg);
+  const auto src = tb.pool_network().nearest_node({0, 0});
+  const auto dst = tb.pool_network().nearest_node(
+      {tb.pool_network().field().max_x, tb.pool_network().field().max_y});
+  routing::RouteResult scratch;
+  for (auto _ : state) {
+    cache.route_to_node_into(src, dst, scratch);
+    benchmark::DoNotOptimize(scratch.path.data());
+  }
+}
+BENCHMARK(BM_CachedRouteIntoScratch);
+
+void BM_PathBufferHeap(benchmark::State& state) {
+  // One heap vector per route, the pre-pool allocation pattern: malloc,
+  // grow to a typical cross-field path length, free.
+  for (auto _ : state) {
+    std::vector<net::NodeId> path;
+    path.reserve(32);
+    benchmark::DoNotOptimize(path.data());
+  }
+}
+BENCHMARK(BM_PathBufferHeap);
+
+void BM_PathBufferPooled(benchmark::State& state) {
+  // The same buffer churn through a BufferPool free-list: after the
+  // first trip the reserve is a no-op on recycled capacity.
+  common::BufferPool<net::NodeId> pool(true);
+  for (auto _ : state) {
+    auto path = pool.acquire();
+    path.reserve(32);
+    benchmark::DoNotOptimize(path.data());
+    pool.release(std::move(path));
+  }
+}
+BENCHMARK(BM_PathBufferPooled);
+
+void BM_WithinScanReturning(benchmark::State& state) {
+  // Radius scan materializing a fresh result vector per call.
+  auto& net = shared_testbed().pool_network();
+  const Point center{net.field().width() / 2, net.field().height() / 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.nodes_within(center, 80.0));
+  }
+}
+BENCHMARK(BM_WithinScanReturning);
+
+void BM_WithinScanIntoScratch(benchmark::State& state) {
+  // The out-parameter form over the same index: the scratch vector's
+  // capacity survives across calls, so a warm scan never allocates.
+  auto& net = shared_testbed().pool_network();
+  std::vector<Point> points;
+  for (net::NodeId n = 0; n < net.size(); ++n)
+    points.push_back(net.position(n));
+  net::SpatialIndex index(points, net.field(), 40.0);
+  const Point center{net.field().width() / 2, net.field().height() / 2};
+  std::vector<std::size_t> scratch;
+  for (auto _ : state) {
+    index.within(center, 80.0, scratch, /*sorted=*/false);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_WithinScanIntoScratch);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Steady-state enqueue/dequeue with 64 events resident: the explicit
+  // binary heap moves events out on pop and keeps its backing storage,
+  // so the churn runs allocation-free.
+  sim::EventQueue q;
+  double t = 0;
+  for (int i = 0; i < 64; ++i) q.push(t++, [] {});
+  for (auto _ : state) {
+    q.push(t++, [] {});
+    auto ev = q.pop();
+    benchmark::DoNotOptimize(ev.time);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
 
 void BM_PoolInsert(benchmark::State& state) {
   benchsup::TestbedConfig config;

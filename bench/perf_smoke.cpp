@@ -1,20 +1,39 @@
-// Performance smoke test: a downsized Figure 6(a) sweep run twice —
-// serial with the route cache off, then parallel with it on — verifying
-// that the two configurations produce IDENTICAL message statistics while
-// reporting the wall-clock ratio and cache hit rates. Emits
-// BENCH_perf.json for CI trend tracking.
+// Performance smoke test: a downsized Figure 6(a) sweep run four ways —
+// every combination of {serial, parallel} × {cache off, cache on} — so the
+// reported speedups compare like for like: speedup_cache flips ONLY the
+// cache (both arms serial), speedup_parallel flips ONLY the thread count
+// (both arms uncached), and the headline speedup is the combined
+// configuration against the plain serial baseline. All four arms must
+// produce IDENTICAL message statistics. Emits BENCH_perf.json for CI
+// trend tracking (scripts/check_perf_regression.py gates on it).
+//
+// --scale additionally runs the deployment-scaling tier: Pool-only
+// testbeds at 1k/10k/100k nodes measuring sustained insert throughput
+// (events/sec) and peak RSS, proving the pooled/SoA hot paths hold up at
+// two orders of magnitude beyond the paper's 2700-node ceiling.
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench_support/experiment.h"
 #include "bench_support/parallel.h"
 #include "bench_support/telemetry_bridge.h"
+#include "common/object_pool.h"
+#include "core/pool_system.h"
 #include "engine/query_engine.h"
+#include "net/deployment.h"
 #include "obs/telemetry.h"
 #include "query/query_gen.h"
+#include "query/workload.h"
+#include "routing/gpsr.h"
+#include "routing/route_cache.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
@@ -46,7 +65,8 @@ SweepOutcome run_sweep(std::size_t threads,
   };
   std::vector<Job> grid;
   for (std::size_t g = 0; g < kSizes.size(); ++g)
-    for (int seed = 1; seed <= kSeeds; ++seed) grid.push_back({g, kSizes[g], seed});
+    for (int seed = 1; seed <= kSeeds; ++seed)
+      grid.push_back({g, kSizes[g], seed});
 
   const auto start = std::chrono::steady_clock::now();
   const auto runs = parallel_map<SeedRun>(
@@ -83,6 +103,87 @@ SweepOutcome run_sweep(std::size_t threads,
   }
   out.pool_hit_rate = pool_hits / static_cast<double>(grid.size());
   out.dim_hit_rate = dim_hits / static_cast<double>(grid.size());
+  return out;
+}
+
+/// Deployment-scaling tier (--scale): a Pool-ONLY testbed — one network,
+/// one GPSR, a pooled route cache — inserting one event per node. No DIM
+/// twin, no oracle: at 100k nodes those would triple the footprint
+/// without adding information about the hot paths under test.
+struct ScaleTier {
+  std::size_t nodes = 0;
+  double build_ms = 0;
+  double insert_ms = 0;
+  double events_per_sec = 0;
+  std::uint64_t insert_messages = 0;
+  long peak_rss_kb = 0;  ///< process high-water mark AFTER this tier
+  bool ok = false;
+};
+
+long peak_rss_kb_now() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<long>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+    return ru.ru_maxrss;  // kilobytes on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+ScaleTier run_scale_tier(std::size_t nodes) {
+  ScaleTier out;
+  out.nodes = nodes;
+  const double radio = 40.0;
+  const double side = net::field_side_for_density(nodes, radio, 20.0);
+  const Rect field{0.0, 0.0, side, side};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng master(1);
+  std::unique_ptr<net::Network> network;
+  for (int attempt = 0; attempt < 64 && !network; ++attempt) {
+    Rng deploy = master.split();
+    const auto positions = net::deploy_uniform(nodes, field, deploy);
+    auto candidate = std::make_unique<net::Network>(
+        positions, field, radio, net::MessageSizes{}, sim::EnergyModel{},
+        net::LinkLossModel{}, 7);
+    if (candidate->is_connected()) network = std::move(candidate);
+  }
+  if (!network) return out;  // ok stays false
+
+  routing::Gpsr gpsr(*network);
+  core::PoolConfig pool_config;
+  routing::RouteCacheConfig cache_config;
+  cache_config.location_quantum = pool_config.cell_size;
+  common::BufferPool<net::NodeId> path_pool(true);
+  routing::RouteCache cache(gpsr, cache_config, nullptr, "scale.route_cache",
+                            &path_pool);
+  core::PoolSystem pool(*network, cache, 3, pool_config);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  query::WorkloadConfig wc;
+  wc.dims = 3;
+  query::EventGenerator gen(wc, 99);
+  network->reset_traffic();
+  std::size_t inserted = 0;
+  for (net::NodeId n = 0; n < network->size(); ++n) {
+    pool.insert(n, gen.next(n));
+    ++inserted;
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  out.build_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.insert_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  out.events_per_sec =
+      out.insert_ms > 0
+          ? static_cast<double>(inserted) / (out.insert_ms / 1000.0)
+          : 0;
+  out.insert_messages = network->traffic().total;
+  out.peak_rss_kb = peak_rss_kb_now();
+  out.ok = true;
   return out;
 }
 
@@ -209,34 +310,94 @@ bool stats_equal(const PairedRun& a, const PairedRun& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = parse_bench_options(argc, argv);
-  print_banner("Performance smoke — serial/uncached vs parallel/cached",
+  // Peel off --scale before the shared option table sees it (it is
+  // specific to this bench).
+  bool want_scale = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--scale") {
+      want_scale = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const BenchOptions opts =
+      parse_bench_options(static_cast<int>(args.size()), args.data());
+  print_banner("Performance smoke — {serial,parallel} x {cache off,on}",
                "Downsized Fig-6(a) sweep (300..900 nodes, 2 seeds); message "
-               "stats must be identical across configurations.");
+               "stats must be identical across all four configurations.");
 
   routing::RouteCacheConfig off;
   off.enabled = false;
   routing::RouteCacheConfig on = opts.route_cache;
   on.enabled = true;
 
-  const auto serial = run_sweep(1, off);
-  const auto parallel = run_sweep(opts.threads, on);
+  const auto serial_uncached = run_sweep(1, off);
+  const auto serial_cached = run_sweep(1, on);
+  const auto parallel_uncached = run_sweep(opts.threads, off);
+  const auto parallel_cached = run_sweep(opts.threads, on);
 
   bool identical = true;
-  for (std::size_t g = 0; g < kSizes.size(); ++g)
-    if (!stats_equal(serial.totals[g], parallel.totals[g])) identical = false;
+  for (std::size_t g = 0; g < kSizes.size(); ++g) {
+    if (!stats_equal(serial_uncached.totals[g], serial_cached.totals[g]) ||
+        !stats_equal(serial_uncached.totals[g], parallel_uncached.totals[g]) ||
+        !stats_equal(serial_uncached.totals[g], parallel_cached.totals[g])) {
+      identical = false;
+    }
+  }
 
+  const auto ratio = [](double base, double arm) {
+    return arm > 0 ? base / arm : 0;
+  };
+  const double speedup_cache =
+      ratio(serial_uncached.wall_ms, serial_cached.wall_ms);
+  const double speedup_parallel =
+      ratio(serial_uncached.wall_ms, parallel_uncached.wall_ms);
   const double speedup =
-      parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0;
+      ratio(serial_uncached.wall_ms, parallel_cached.wall_ms);
+
   TablePrinter table({"configuration", "wall ms", "Pool hit rate",
                       "DIM hit rate"});
-  table.add_row({"serial, cache off", fmt(serial.wall_ms, 1), "-", "-"});
-  table.add_row({"parallel x" + std::to_string(opts.threads) + ", cache on",
-                 fmt(parallel.wall_ms, 1), fmt(parallel.pool_hit_rate, 3),
-                 fmt(parallel.dim_hit_rate, 3)});
+  const std::string xt = "x" + std::to_string(opts.threads);
+  table.add_row({"serial, cache off", fmt(serial_uncached.wall_ms, 1), "-",
+                 "-"});
+  table.add_row({"serial, cache on", fmt(serial_cached.wall_ms, 1),
+                 fmt(serial_cached.pool_hit_rate, 3),
+                 fmt(serial_cached.dim_hit_rate, 3)});
+  table.add_row({"parallel " + xt + ", cache off",
+                 fmt(parallel_uncached.wall_ms, 1), "-", "-"});
+  table.add_row({"parallel " + xt + ", cache on",
+                 fmt(parallel_cached.wall_ms, 1),
+                 fmt(parallel_cached.pool_hit_rate, 3),
+                 fmt(parallel_cached.dim_hit_rate, 3)});
   table.print();
-  std::printf("\nspeedup: %.2fx (%zu threads); stats identical: %s\n",
-              speedup, opts.threads, identical ? "yes" : "NO");
+  std::printf(
+      "\nspeedup: cache %.2fx, parallel %.2fx (%zu threads), combined "
+      "%.2fx; stats identical: %s\n",
+      speedup_cache, speedup_parallel, opts.threads, speedup,
+      identical ? "yes" : "NO");
+
+  std::vector<ScaleTier> tiers;
+  if (want_scale) {
+    std::printf("\nscale tier (Pool-only, 1 event/node):\n");
+    TablePrinter scale_table(
+        {"nodes", "build ms", "insert ms", "events/sec", "peak RSS MB"});
+    for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
+                                std::size_t{100000}}) {
+      const ScaleTier tier = run_scale_tier(n);
+      if (!tier.ok) {
+        std::printf("  %zu nodes: no connected deployment drawn, skipped\n",
+                    n);
+        continue;
+      }
+      scale_table.add_row({std::to_string(tier.nodes), fmt(tier.build_ms, 0),
+                           fmt(tier.insert_ms, 0),
+                           fmt(tier.events_per_sec, 0),
+                           fmt(tier.peak_rss_kb / 1024.0, 1)});
+      tiers.push_back(tier);
+    }
+    scale_table.print();
+  }
 
   const EngineProbe probe = run_engine_probe();
   std::printf(
@@ -257,7 +418,7 @@ int main(int argc, char** argv) {
     obs::emit_snapshot(opts.telemetry, hotspot.snap, std::cout);
   }
 
-  const double msgs_per_query = serial.totals.back().pool.messages.mean();
+  const double msgs_per_query = serial_uncached.totals.back().pool.messages.mean();
   std::FILE* f = std::fopen("BENCH_perf.json", "w");
   if (f) {
     std::fprintf(
@@ -266,12 +427,42 @@ int main(int argc, char** argv) {
         "  \"bench\": \"perf_smoke\",\n"
         "  \"threads\": %zu,\n"
         "  \"serial_uncached_ms\": %.1f,\n"
+        "  \"serial_cached_ms\": %.1f,\n"
+        "  \"parallel_uncached_ms\": %.1f,\n"
         "  \"parallel_cached_ms\": %.1f,\n"
+        "  \"speedup_cache\": %.3f,\n"
+        "  \"speedup_parallel\": %.3f,\n"
         "  \"speedup\": %.3f,\n"
         "  \"pool_cache_hit_rate\": %.4f,\n"
         "  \"dim_cache_hit_rate\": %.4f,\n"
         "  \"pool_messages_per_query_900\": %.2f,\n"
-        "  \"stats_identical\": %s,\n"
+        "  \"stats_identical\": %s,\n",
+        opts.threads, serial_uncached.wall_ms, serial_cached.wall_ms,
+        parallel_uncached.wall_ms, parallel_cached.wall_ms, speedup_cache,
+        speedup_parallel, speedup, parallel_cached.pool_hit_rate,
+        parallel_cached.dim_hit_rate, msgs_per_query,
+        identical ? "true" : "false");
+    if (!tiers.empty()) {
+      const ScaleTier& top = tiers.back();
+      std::fprintf(f,
+                   "  \"events_per_sec\": %.1f,\n"
+                   "  \"scale\": [\n",
+                   top.events_per_sec);
+      for (std::size_t i = 0; i < tiers.size(); ++i) {
+        const ScaleTier& t = tiers[i];
+        std::fprintf(
+            f,
+            "    {\"nodes\": %zu, \"build_ms\": %.1f, \"insert_ms\": %.1f, "
+            "\"events_per_sec\": %.1f, \"insert_messages\": %llu, "
+            "\"peak_rss_kb\": %ld}%s\n",
+            t.nodes, t.build_ms, t.insert_ms, t.events_per_sec,
+            static_cast<unsigned long long>(t.insert_messages),
+            t.peak_rss_kb, i + 1 < tiers.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+    }
+    std::fprintf(
+        f,
         "  \"query_engine\": {\n"
         "    \"serial_messages\": %llu,\n"
         "    \"batched_messages\": %llu,\n"
@@ -290,9 +481,6 @@ int main(int argc, char** argv) {
         "    \"dim_energy_j\": %.6f\n"
         "  }\n"
         "}\n",
-        opts.threads, serial.wall_ms, parallel.wall_ms, speedup,
-        parallel.pool_hit_rate, parallel.dim_hit_rate, msgs_per_query,
-        identical ? "true" : "false",
         static_cast<unsigned long long>(probe.serial_messages),
         static_cast<unsigned long long>(probe.batched_messages),
         probe.message_savings, probe.dedup_ratio, probe.cache_hit_rate,

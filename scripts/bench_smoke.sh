@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Perf smoke check: run the route-cache + parallel-engine benchmark and
-# verify it produced its machine-readable report, then exercise the
-# unified telemetry surface end-to-end — a CLI run writes a full
-# --metrics json snapshot (BENCH_metrics.json) and the schema checker
-# validates both documents, including the Fig-6(b) hotspot claim
-# (DIM index-node Gini and max load above Pool's under exponential
-# events). Exits nonzero when the serial/uncached and parallel/cached
-# statistics diverge (perf_smoke's own exit status), when an output is
-# missing, or when the schema/claim check fails.
+# Perf smoke check: run the four-arm {serial,parallel} x {cache off,on}
+# benchmark plus the 1k/10k/100k scale tier and verify it produced its
+# machine-readable report, then exercise the unified telemetry surface
+# end-to-end — a CLI run writes a full --metrics json snapshot
+# (BENCH_metrics.json) and the schema checker validates both documents,
+# including the Fig-6(b) hotspot claim (DIM index-node Gini and max load
+# above Pool's under exponential events). Finally the regression gate
+# compares the fresh report against the committed baseline: speedup must
+# stay >= 1.0, the four arms' statistics must be identical, and 100k-node
+# insert throughput must not drop more than 10%. Exits nonzero on any
+# violation.
 #
 #   scripts/bench_smoke.sh [build-dir]
 set -euo pipefail
@@ -21,7 +23,19 @@ if [[ ! -x "$SMOKE" ]]; then
   exit 1
 fi
 
-"$SMOKE" --metrics json:BENCH_smoke_metrics.json
+# Save the committed report before perf_smoke overwrites it — it is the
+# baseline the regression gate compares throughput against.
+BASELINE="BENCH_perf_baseline.json"
+if ! git show HEAD:BENCH_perf.json > "$BASELINE" 2>/dev/null; then
+  if [[ -s BENCH_perf.json ]]; then
+    cp BENCH_perf.json "$BASELINE"
+  else
+    rm -f "$BASELINE"
+    BASELINE=""
+  fi
+fi
+
+"$SMOKE" --scale --metrics json:BENCH_smoke_metrics.json
 
 if [[ ! -s BENCH_perf.json ]]; then
   echo "error: perf_smoke did not write BENCH_perf.json" >&2
@@ -38,6 +52,13 @@ if [[ -x "$CLI" ]]; then
   python3 scripts/check_metrics_schema.py BENCH_perf.json BENCH_metrics.json
 else
   python3 scripts/check_metrics_schema.py BENCH_perf.json
+fi
+
+if [[ -n "$BASELINE" ]]; then
+  python3 scripts/check_perf_regression.py "$BASELINE" BENCH_perf.json
+  rm -f "$BASELINE"
+else
+  python3 scripts/check_perf_regression.py BENCH_perf.json
 fi
 
 echo "bench smoke OK:"

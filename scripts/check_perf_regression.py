@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate BENCH_perf.json against performance regressions.
+
+Usage:
+    check_perf_regression.py CURRENT.json
+    check_perf_regression.py BASELINE.json CURRENT.json
+
+Absolute gates (always applied to CURRENT):
+  * speedup >= 1.0 — the parallel+cached sweep must not be slower than
+    the plain serial/uncached baseline arm measured in the same process.
+  * stats_identical == true — all four sweep arms produced byte-identical
+    message statistics.
+
+Relative gate (applied only when BASELINE is given AND both documents
+carry the figure — runs without --scale simply skip it):
+  * events_per_sec must not drop more than 10% below the baseline.
+
+Wall-clock milliseconds are reported but never gated: absolute times vary
+across runners, while the speedup ratios and the throughput delta are
+machine-relative.
+"""
+
+import json
+import sys
+
+EVENTS_PER_SEC_DROP = 0.10  # max tolerated fractional drop
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    fail.hit = True
+
+
+fail.hit = False
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    baseline = None
+    if len(argv) == 3:
+        with open(argv[1], encoding="utf-8") as f:
+            baseline = json.load(f)
+        current_path = argv[2]
+    else:
+        current_path = argv[1]
+    with open(current_path, encoding="utf-8") as f:
+        current = json.load(f)
+
+    speedup = current.get("speedup")
+    if speedup is None:
+        fail(f"{current_path}: missing 'speedup'")
+    elif speedup < 1.0:
+        fail(
+            f"speedup {speedup:.3f} < 1.0 — the parallel+cached arm is "
+            "slower than plain serial/uncached"
+        )
+    else:
+        print(f"ok: speedup {speedup:.3f} >= 1.0")
+    for name in ("speedup_cache", "speedup_parallel"):
+        value = current.get(name)
+        if value is not None:
+            marker = "ok" if value >= 1.0 else "note"
+            print(f"{marker}: {name} {value:.3f}")
+
+    if current.get("stats_identical") is not True:
+        fail("stats_identical is not true — sweep arms diverged")
+    else:
+        print("ok: stats identical across sweep arms")
+
+    cur_eps = current.get("events_per_sec")
+    base_eps = baseline.get("events_per_sec") if baseline else None
+    if cur_eps is not None and base_eps:
+        floor = base_eps * (1.0 - EVENTS_PER_SEC_DROP)
+        if cur_eps < floor:
+            fail(
+                f"events_per_sec {cur_eps:.0f} dropped more than "
+                f"{EVENTS_PER_SEC_DROP:.0%} below baseline {base_eps:.0f} "
+                f"(floor {floor:.0f})"
+            )
+        else:
+            print(
+                f"ok: events_per_sec {cur_eps:.0f} vs baseline "
+                f"{base_eps:.0f} (floor {floor:.0f})"
+            )
+    else:
+        if cur_eps is None:
+            why = "figure absent from current run (no --scale)"
+        elif baseline is None:
+            why = "no baseline given"
+        else:
+            why = "figure absent from baseline"
+        print(f"skip: events_per_sec gate ({why})")
+
+    if fail.hit:
+        return 1
+    print("perf regression check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,5 @@
 #include "bench_support/parallel.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,6 +33,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++pending_;
+    ++unclaimed_;
     target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
   }
@@ -76,16 +76,22 @@ void ThreadPool::worker_loop(std::size_t worker) {
   for (;;) {
     std::function<void()> task;
     if (try_pop(worker, task)) {
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        --unclaimed_;
+      }
       task();
       std::lock_guard<std::mutex> lock(state_mu_);
       if (--pending_ == 0) idle_cv_.notify_all();
       continue;
     }
+    // Sleep until there is work to claim — no timed polling. `unclaimed_`
+    // is bumped under state_mu_ BEFORE the task lands in its deque, so a
+    // submit racing this worker's failed scan leaves the predicate true
+    // and the worker re-scans instead of sleeping through the wakeup.
     std::unique_lock<std::mutex> lock(state_mu_);
-    if (stop_) return;
-    // Re-check under the lock: a submit between try_pop and here would
-    // otherwise be sleepable-through.
-    work_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    work_cv_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+    if (stop_ && unclaimed_ == 0) return;
   }
 }
 

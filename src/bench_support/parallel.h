@@ -62,6 +62,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   ///< wakes sleeping workers
   std::condition_variable idle_cv_;   ///< wakes wait_idle
   std::size_t pending_ = 0;           ///< submitted, not yet finished
+  std::size_t unclaimed_ = 0;         ///< submitted, not yet popped
   std::size_t next_queue_ = 0;        ///< round-robin submission target
   bool stop_ = false;
 };
@@ -74,6 +75,11 @@ std::size_t default_threads();
 /// results indexed by i — identical to the serial loop in content and
 /// order. threads <= 1 (or n <= 1) runs serially in the caller. The first
 /// exception (by index) is rethrown after all jobs finish.
+///
+/// Indices are submitted in CHUNKS (~4 per worker) rather than one task
+/// per index: each submission is one allocation and one wakeup, so large
+/// sweeps don't drown coarse work in queue traffic. Work stealing keeps
+/// the tail balanced when chunk runtimes vary.
 template <typename T, typename Fn>
 std::vector<T> parallel_map(std::size_t n, std::size_t threads, Fn&& fn) {
   std::vector<T> out(n);
@@ -83,13 +89,18 @@ std::vector<T> parallel_map(std::size_t n, std::size_t threads, Fn&& fn) {
   }
   std::vector<std::exception_ptr> errors(n);
   {
-    ThreadPool pool(std::min(threads, n));
-    for (std::size_t i = 0; i < n; ++i) {
-      pool.submit([&out, &errors, &fn, i] {
-        try {
-          out[i] = fn(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
+    const std::size_t workers = std::min(threads, n);
+    const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 4));
+    ThreadPool pool(workers);
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      const std::size_t end = std::min(n, begin + chunk);
+      pool.submit([&out, &errors, &fn, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            out[i] = fn(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
         }
       });
     }

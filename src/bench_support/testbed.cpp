@@ -6,7 +6,10 @@
 namespace poolnet::benchsup {
 
 Testbed::Testbed(TestbedConfig config)
-    : metrics_(std::make_unique<obs::MetricsRegistry>()), config_(config) {
+    : metrics_(std::make_unique<obs::MetricsRegistry>()),
+      config_(config),
+      path_pool_(std::make_unique<common::BufferPool<net::NodeId>>(
+          config.pooled_buffers)) {
   const double side = net::field_side_for_density(
       config.nodes, config.radio_range, config.avg_neighbors);
   const Rect field{0.0, 0.0, side, side};
@@ -42,9 +45,10 @@ Testbed::Testbed(TestbedConfig config)
     routing::RouteCacheConfig cc = config.route_cache;
     cc.location_quantum = config.pool.cell_size;  // α-grid bucketing
     pool_cache_ = std::make_unique<routing::RouteCache>(
-        *pool_gpsr_, cc, metrics_.get(), "pool.route_cache");
+        *pool_gpsr_, cc, metrics_.get(), "pool.route_cache",
+        path_pool_.get());
     dim_cache_ = std::make_unique<routing::RouteCache>(
-        *dim_gpsr_, cc, metrics_.get(), "dim.route_cache");
+        *dim_gpsr_, cc, metrics_.get(), "dim.route_cache", path_pool_.get());
   }
   if (config.trace_capacity > 0) {
     pool_trace_ = std::make_unique<obs::RingTraceSink>(config.trace_capacity);

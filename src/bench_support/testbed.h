@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/object_pool.h"
 #include "core/pool_system.h"
 #include "dim/dim_system.h"
 #include "net/deployment.h"
@@ -45,6 +46,12 @@ struct TestbedConfig {
   /// Hop-trace ring size attached to both networks; 0 (default) leaves
   /// tracing disabled at its one-branch-per-hop cost.
   std::size_t trace_capacity = 0;
+
+  /// Draw route-cache path buffers from a per-testbed free-list pool
+  /// instead of the heap. Pure allocation-strategy switch: receipts,
+  /// ledgers, and cache stats are byte-identical either way (the A/B knob
+  /// tests/test_pool_alloc.cpp exercises).
+  bool pooled_buffers = true;
 };
 
 class Testbed {
@@ -98,11 +105,20 @@ class Testbed {
   const obs::RingTraceSink* pool_trace() const { return pool_trace_.get(); }
   const obs::RingTraceSink* dim_trace() const { return dim_trace_.get(); }
 
+  /// Free-list pool backing both route caches' stored path buffers
+  /// (disabled pass-through when config.pooled_buffers is false).
+  const common::BufferPool<net::NodeId>& path_pool() const {
+    return *path_pool_;
+  }
+
  private:
   /// Heap-held (registry owns a mutex) so Testbed stays movable; declared
   /// before its users so the caches can register in the ctor.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   TestbedConfig config_;
+  /// Heap-held (keeps Testbed movable with a stable address for the
+  /// caches); declared before the caches, which release buffers into it.
+  std::unique_ptr<common::BufferPool<net::NodeId>> path_pool_;
   std::vector<Point> positions_;
   std::unique_ptr<net::Network> pool_net_;
   std::unique_ptr<net::Network> dim_net_;

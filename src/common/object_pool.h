@@ -1,0 +1,98 @@
+// Free-list buffer pools for the simulator's hot allocations.
+//
+// The hot paths of a deployment — GPSR path construction, route-cache
+// storage, within-radius scans, reply accumulation — all want "a vector,
+// briefly". Allocating one per call churns the heap millions of times in
+// a large sweep; a BufferPool instead keeps released buffers on a
+// free-list and hands their capacity back to the next acquirer. The pool
+// only recycles MEMORY, never values: an acquired buffer is always empty,
+// so results are byte-identical with pooling on or off (the `enabled`
+// flag keeps the plain-heap behaviour selectable for A/B tests, see
+// tests/test_pool_alloc.cpp).
+//
+// Scope one pool per deployment (Testbed owns a set; RouteCache borrows
+// one), matching the threading model everywhere else in poolnet: a
+// deployment is single-threaded, concurrent testbeds never share state,
+// so the pool needs no locks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace poolnet::common {
+
+/// Point-in-time pool counters. `high_water` is the largest number of
+/// buffers ever simultaneously outstanding — i.e. the arena size a
+/// fixed preallocation would have needed.
+struct BufferPoolStats {
+  std::uint64_t acquires = 0;   ///< total acquire() calls
+  std::uint64_t reuses = 0;     ///< acquires served from the free-list
+  std::uint64_t releases = 0;   ///< buffers returned
+  std::size_t outstanding = 0;  ///< acquired and not yet released
+  std::size_t high_water = 0;   ///< max outstanding ever observed
+  std::size_t free_buffers = 0; ///< buffers currently parked
+
+  double reuse_rate() const {
+    return acquires > 0
+               ? static_cast<double>(reuses) / static_cast<double>(acquires)
+               : 0.0;
+  }
+};
+
+/// A free-list pool of `std::vector<T>` buffers.
+template <typename T>
+class BufferPool {
+ public:
+  /// `enabled = false` degrades to plain heap behaviour: acquire()
+  /// returns a fresh vector and release() destroys — the accounting
+  /// still runs, so A/B comparisons see identical stats shapes.
+  explicit BufferPool(bool enabled = true) : enabled_(enabled) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// An empty buffer; capacity comes from the free-list when available.
+  std::vector<T> acquire() {
+    ++stats_.acquires;
+    ++stats_.outstanding;
+    stats_.high_water = std::max(stats_.high_water, stats_.outstanding);
+    if (enabled_ && !free_.empty()) {
+      ++stats_.reuses;
+      std::vector<T> buf = std::move(free_.back());
+      free_.pop_back();
+      stats_.free_buffers = free_.size();
+      return buf;  // cleared at release time; capacity intact
+    }
+    return {};
+  }
+
+  /// Returns a buffer's capacity to the pool (values are discarded).
+  void release(std::vector<T>&& buf) {
+    ++stats_.releases;
+    if (stats_.outstanding > 0) --stats_.outstanding;
+    if (!enabled_) return;  // heap path: let the capacity die here
+    buf.clear();
+    free_.push_back(std::move(buf));
+    stats_.free_buffers = free_.size();
+  }
+
+  /// Drops every parked buffer (outstanding ones are unaffected). After a
+  /// clear the next acquires allocate fresh — reuse-after-clear restarts
+  /// from zero capacity, which the pool tests rely on.
+  void clear() {
+    free_.clear();
+    stats_.free_buffers = 0;
+  }
+
+  const BufferPoolStats& stats() const { return stats_; }
+
+ private:
+  bool enabled_;
+  std::vector<std::vector<T>> free_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace poolnet::common

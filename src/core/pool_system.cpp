@@ -96,11 +96,11 @@ void PoolSystem::charge_pivot_lookup(net::NodeId node, std::size_t pool_dim) {
   if (cached) return;
   cached = 1;
   const net::NodeId home = directory_home(pool_dim);
-  const auto out = router_.route_to_node(node, home);
-  net_.transmit_path(out.path, net::MessageKind::Control,
+  router_.route_to_node_into(node, home, route_scratch_);
+  net_.transmit_path(route_scratch_.path, net::MessageKind::Control,
                      net_.sizes().control_bits);
-  const auto back = router_.route_to_node(home, node);
-  net_.transmit_path(back.path, net::MessageKind::Control,
+  router_.route_to_node_into(home, node, route_scratch_);
+  net_.transmit_path(route_scratch_.path, net::MessageKind::Control,
                      net_.sizes().control_bits);
 }
 
@@ -149,15 +149,18 @@ net::NodeId PoolSystem::pick_delegate(net::NodeId index_node) const {
   return best;
 }
 
-routing::LegOutcome PoolSystem::send_leg(net::NodeId from, net::NodeId to,
-                                         net::MessageKind kind,
-                                         std::uint64_t bits) {
-  routing::LegOutcome out =
-      routing::send_reliable(net_, router_, from, to, kind, bits);
-  fault_stats_.retries += out.retries;
-  if (!out.delivered) ++fault_stats_.failed_legs;
-  for (const net::NodeId d : out.dead_found) handle_node_failure(d);
-  return out;
+const routing::LegOutcome& PoolSystem::send_leg(net::NodeId from,
+                                                net::NodeId to,
+                                                net::MessageKind kind,
+                                                std::uint64_t bits) {
+  routing::send_reliable_into(net_, router_, from, to, kind, bits, {},
+                              leg_scratch_);
+  fault_stats_.retries += leg_scratch_.retries;
+  if (!leg_scratch_.delivered) ++fault_stats_.failed_legs;
+  // handle_node_failure never re-enters send_leg (its repair traffic uses
+  // send_reliable directly), so iterating the scratch here is safe.
+  for (const net::NodeId d : leg_scratch_.dead_found) handle_node_failure(d);
+  return leg_scratch_;
 }
 
 void PoolSystem::absorb_dead_holders(std::size_t key) {
@@ -274,17 +277,19 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
   // dead index node, failover re-elects the nearest survivor and the
   // source retries once toward the new election.
   net::NodeId target = choice.index_node;
-  auto leg = send_leg(source, target, net::MessageKind::Insert,
-                      net_.sizes().event_bits(dims_));
-  if (!leg.delivered && net_.has_failures()) {
+  bool leg_delivered = send_leg(source, target, net::MessageKind::Insert,
+                                net_.sizes().event_bits(dims_))
+                           .delivered;
+  if (!leg_delivered && net_.has_failures()) {
     const net::NodeId reelected = grid_.index_node(choice.coord);
     if (reelected != target && reelected != net::kNoNode) {
       target = reelected;
-      leg = send_leg(source, target, net::MessageKind::Insert,
-                     net_.sizes().event_bits(dims_));
+      leg_delivered = send_leg(source, target, net::MessageKind::Insert,
+                               net_.sizes().event_bits(dims_))
+                          .delivered;
     }
   }
-  if (!leg.delivered) {
+  if (!leg_delivered) {
     // Event lost in transit (unreachable cell under heavy failure).
     ++fault_stats_.events_lost;
     InsertReceipt receipt;
@@ -323,17 +328,21 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
                                 config_.side - 1 - choice.offset.vo};
     const CellCoord mirror_coord = layout_.cell(mirror_pool, mirror_off);
     net::NodeId mirror_idx = grid_.index_node(mirror_coord);
-    auto mirror_leg = send_leg(source, mirror_idx, net::MessageKind::Insert,
-                               net_.sizes().event_bits(dims_));
-    if (!mirror_leg.delivered && net_.has_failures()) {
+    bool mirror_delivered =
+        send_leg(source, mirror_idx, net::MessageKind::Insert,
+                 net_.sizes().event_bits(dims_))
+            .delivered;
+    if (!mirror_delivered && net_.has_failures()) {
       const net::NodeId reelected = grid_.index_node(mirror_coord);
       if (reelected != mirror_idx && reelected != net::kNoNode) {
         mirror_idx = reelected;
-        mirror_leg = send_leg(source, mirror_idx, net::MessageKind::Insert,
-                              net_.sizes().event_bits(dims_));
+        mirror_delivered = send_leg(source, mirror_idx,
+                                    net::MessageKind::Insert,
+                                    net_.sizes().event_bits(dims_))
+                               .delivered;
       }
     }
-    if (!mirror_leg.delivered) continue;  // this mirror copy just isn't made
+    if (!mirror_delivered) continue;  // this mirror copy just isn't made
     cells_[cell_key(mirror_pool, mirror_off)].push_back(
         {event, mirror_idx, /*is_replica=*/true});
     ++net_.node_mut(mirror_idx).stored_events;
@@ -347,8 +356,8 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
     if (!sub.query.matches(event)) continue;
     if (!net_.alive(sub.sink)) continue;  // subscriber died; drop silently
     if (holder != sub.sink) {
-      const auto notify = router_.route_to_node(holder, sub.sink);
-      net_.transmit_path(notify.path, net::MessageKind::Reply,
+      router_.route_to_node_into(holder, sub.sink, route_scratch_);
+      net_.transmit_path(route_scratch_.path, net::MessageKind::Reply,
                          net_.sizes().reply_bits(dims_, 1));
     }
     sub.pending.push_back(event);
@@ -407,37 +416,41 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
     charge_pivot_lookup(sink, pool_dim);
 
     net::NodeId splitter = splitter_for(pool_dim, sink);
-    auto to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
-                                net_.sizes().query_bits(dims_));
-    if (!to_splitter.delivered && net_.has_failures()) {
+    bool splitter_reached = send_leg(sink, splitter, net::MessageKind::Query,
+                                     net_.sizes().query_bits(dims_))
+                                .delivered;
+    if (!splitter_reached && net_.has_failures()) {
       // The splitter died: failover re-picked it (splitter_cache_ entry
       // was reset); retry once toward the new election.
       const net::NodeId repicked = splitter_for(pool_dim, sink);
       if (repicked != splitter) {
         splitter = repicked;
-        to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
-                               net_.sizes().query_bits(dims_));
+        splitter_reached = send_leg(sink, splitter, net::MessageKind::Query,
+                                    net_.sizes().query_bits(dims_))
+                               .delivered;
       }
     }
-    if (!to_splitter.delivered) continue;  // pool unreachable this query
+    if (!splitter_reached) continue;  // pool unreachable this query
 
     std::uint32_t pool_matches = 0;
     for (const CellOffset off : cells) {
       const std::size_t key = cell_key(pool_dim, off);
       if (net_.has_failures()) absorb_dead_holders(key);
       net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      auto leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
-                          net_.sizes().query_bits(dims_));
-      if (!leg.delivered && net_.has_failures()) {
+      bool cell_reached = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                                   net_.sizes().query_bits(dims_))
+                              .delivered;
+      if (!cell_reached && net_.has_failures()) {
         const net::NodeId reelected =
             grid_.index_node(layout_.cell(pool_dim, off));
         if (reelected != idx && reelected != net::kNoNode) {
           idx = reelected;
-          leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
-                         net_.sizes().query_bits(dims_));
+          cell_reached = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                                  net_.sizes().query_bits(dims_))
+                             .delivered;
         }
       }
-      if (!leg.delivered) continue;  // cell unreachable this query
+      if (!cell_reached) continue;  // cell unreachable this query
       ++receipt.index_nodes_visited;
 
       // Scan the cell; with workload sharing some events sit one hop away
@@ -470,8 +483,8 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
       if (here > 0 && idx != splitter) {
         const std::uint64_t bits =
             sizes.reply_bits(dims_, sizes.reply_payload(here));
-        const auto back = send_leg(idx, splitter, net::MessageKind::Reply,
-                                   bits);
+        const auto& back = send_leg(idx, splitter, net::MessageKind::Reply,
+                                    bits);
         if (back.delivered) {
           const std::uint64_t batches = sizes.reply_batches(here);
           for (std::uint64_t b = 1; b < batches; ++b)
@@ -486,8 +499,8 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
     if (pool_matches > 0 && splitter != sink) {
       const std::uint64_t bits =
           sizes.reply_bits(dims_, sizes.reply_payload(pool_matches));
-      const auto back = send_leg(splitter, sink, net::MessageKind::Reply,
-                                 bits);
+      const auto& back = send_leg(splitter, sink, net::MessageKind::Reply,
+                                  bits);
       if (back.delivered) {
         const std::uint64_t batches = sizes.reply_batches(pool_matches);
         for (std::uint64_t b = 1; b < batches; ++b)
@@ -545,10 +558,10 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
     }
 
     const net::NodeId splitter = splitter_for(pool_dim, sink);
-    const auto to_splitter = router_.route_to_node(sink, splitter);
-    net_.transmit_path(to_splitter.path, net::MessageKind::Query,
+    router_.route_to_node_into(sink, splitter, route_scratch_);
+    net_.transmit_path(route_scratch_.path, net::MessageKind::Query,
                        sizes.query_bits(dims_));
-    serial_cost += users.size() * hops(to_splitter);
+    serial_cost += users.size() * hops(route_scratch_);
 
     // Union of relevant cells in first-seen order, with the member
     // queries that asked for each cell.
@@ -577,10 +590,10 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
     for (const Visit& v : visits) {
       const std::size_t key = cell_key(pool_dim, v.off);
       const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, v.off));
-      const auto leg = router_.route_to_node(splitter, idx);
-      net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+      router_.route_to_node_into(splitter, idx, route_scratch_);
+      net_.transmit_path(route_scratch_.path, net::MessageKind::SubQuery,
                          sizes.query_bits(dims_));
-      serial_cost += v.members.size() * hops(leg);
+      serial_cost += v.members.size() * hops(route_scratch_);
 
       // One scan of the cell serves every member: count each member's
       // matches (split by holder, for the delegate economics) and the
@@ -630,15 +643,16 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
       }
 
       if (union_total > 0 && idx != splitter) {
-        const auto back = router_.route_to_node(idx, splitter);
+        router_.route_to_node_into(idx, splitter, route_scratch_);
         const std::uint64_t batches = sizes.reply_batches(union_total);
         for (std::uint64_t b = 0; b < batches; ++b) {
           net_.transmit_path(
-              back.path, net::MessageKind::Reply,
+              route_scratch_.path, net::MessageKind::Reply,
               sizes.reply_bits(dims_, sizes.reply_payload(union_total)));
         }
         for (std::size_t mi = 0; mi < v.members.size(); ++mi) {
-          serial_cost += sizes.reply_batches(member_total[mi]) * hops(back);
+          serial_cost +=
+              sizes.reply_batches(member_total[mi]) * hops(route_scratch_);
         }
       }
       for (std::size_t mi = 0; mi < v.members.size(); ++mi)
@@ -647,15 +661,15 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
     }
 
     if (pool_union > 0 && splitter != sink) {
-      const auto back = router_.route_to_node(splitter, sink);
+      router_.route_to_node_into(splitter, sink, route_scratch_);
       const std::uint64_t batches = sizes.reply_batches(pool_union);
       for (std::uint64_t b = 0; b < batches; ++b) {
         net_.transmit_path(
-            back.path, net::MessageKind::Reply,
+            route_scratch_.path, net::MessageKind::Reply,
             sizes.reply_bits(dims_, sizes.reply_payload(pool_union)));
       }
       for (const auto& [qi, matched] : pool_matches)
-        serial_cost += sizes.reply_batches(matched) * hops(back);
+        serial_cost += sizes.reply_batches(matched) * hops(route_scratch_);
     }
 
     // Demultiplex: each query collects its events by walking ITS OWN
@@ -702,35 +716,39 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
     charge_pivot_lookup(sink, pool_dim);
 
     net::NodeId splitter = splitter_for(pool_dim, sink);
-    auto to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
-                                sizes.query_bits(dims_));
-    if (!to_splitter.delivered && net_.has_failures()) {
+    bool splitter_reached = send_leg(sink, splitter, net::MessageKind::Query,
+                                     sizes.query_bits(dims_))
+                                .delivered;
+    if (!splitter_reached && net_.has_failures()) {
       const net::NodeId repicked = splitter_for(pool_dim, sink);
       if (repicked != splitter) {
         splitter = repicked;
-        to_splitter = send_leg(sink, splitter, net::MessageKind::Query,
-                               sizes.query_bits(dims_));
+        splitter_reached = send_leg(sink, splitter, net::MessageKind::Query,
+                                    sizes.query_bits(dims_))
+                               .delivered;
       }
     }
-    if (!to_splitter.delivered) continue;
+    if (!splitter_reached) continue;
 
     storage::PartialAggregate pool_partial;
     for (const CellOffset off : cells) {
       const std::size_t key = cell_key(pool_dim, off);
       if (net_.has_failures()) absorb_dead_holders(key);
       net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      auto leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
-                          sizes.query_bits(dims_));
-      if (!leg.delivered && net_.has_failures()) {
+      bool cell_reached = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                                   sizes.query_bits(dims_))
+                              .delivered;
+      if (!cell_reached && net_.has_failures()) {
         const net::NodeId reelected =
             grid_.index_node(layout_.cell(pool_dim, off));
         if (reelected != idx && reelected != net::kNoNode) {
           idx = reelected;
-          leg = send_leg(splitter, idx, net::MessageKind::SubQuery,
-                         sizes.query_bits(dims_));
+          cell_reached = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                                  sizes.query_bits(dims_))
+                             .delivered;
         }
       }
-      if (!leg.delivered) continue;
+      if (!cell_reached) continue;
       ++receipt.index_nodes_visited;
 
       storage::PartialAggregate cell_partial;
@@ -785,13 +803,13 @@ void PoolSystem::walk_registration_tree(
     charge_pivot_lookup(sink, pool_dim);
 
     const net::NodeId splitter = splitter_for(pool_dim, sink);
-    const auto to_splitter = router_.route_to_node(sink, splitter);
-    net_.transmit_path(to_splitter.path, net::MessageKind::Control,
+    router_.route_to_node_into(sink, splitter, route_scratch_);
+    net_.transmit_path(route_scratch_.path, net::MessageKind::Control,
                        sizes.query_bits(dims_));
     for (const CellOffset off : cells) {
       const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-      const auto leg = router_.route_to_node(splitter, idx);
-      net_.transmit_path(leg.path, net::MessageKind::Control,
+      router_.route_to_node_into(splitter, idx, route_scratch_);
+      net_.transmit_path(route_scratch_.path, net::MessageKind::Control,
                          sizes.query_bits(dims_));
       per_cell(cell_key(pool_dim, off));
     }
@@ -872,16 +890,16 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
       charge_pivot_lookup(sink, pool_dim);
 
       const net::NodeId splitter = splitter_for(pool_dim, sink);
-      const auto to_splitter = router_.route_to_node(sink, splitter);
-      net_.transmit_path(to_splitter.path, net::MessageKind::Query,
+      router_.route_to_node_into(sink, splitter, route_scratch_);
+      net_.transmit_path(route_scratch_.path, net::MessageKind::Query,
                          sizes.query_bits(dims_));
 
       bool pool_has_candidate = false;
       for (const CellOffset off : fresh) {
         visited[cell_key(pool_dim, off)] = 1;
         const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-        const auto leg = router_.route_to_node(splitter, idx);
-        net_.transmit_path(leg.path, net::MessageKind::SubQuery,
+        router_.route_to_node_into(splitter, idx, route_scratch_);
+        net_.transmit_path(route_scratch_.path, net::MessageKind::SubQuery,
                            sizes.query_bits(dims_));
         ++receipt.index_nodes_visited;
 
@@ -904,8 +922,8 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
           }
         }
         if (cell_has_candidate && idx != splitter) {
-          const auto back = router_.route_to_node(idx, splitter);
-          net_.transmit_path(back.path, net::MessageKind::Reply,
+          router_.route_to_node_into(idx, splitter, route_scratch_);
+          net_.transmit_path(route_scratch_.path, net::MessageKind::Reply,
                              sizes.reply_bits(dims_, 1));
           pool_has_candidate = true;
         } else if (cell_has_candidate) {
@@ -913,8 +931,8 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
         }
       }
       if (pool_has_candidate && splitter != sink) {
-        const auto back = router_.route_to_node(splitter, sink);
-        net_.transmit_path(back.path, net::MessageKind::Reply,
+        router_.route_to_node_into(splitter, sink, route_scratch_);
+        net_.transmit_path(route_scratch_.path, net::MessageKind::Reply,
                            sizes.reply_bits(dims_, 1));
       }
     }

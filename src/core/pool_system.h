@@ -216,9 +216,12 @@ class PoolSystem final : public storage::DcsSystem {
   net::NodeId pick_delegate(net::NodeId index_node) const;
 
   /// One reliable leg: send, accumulate retry/failure stats, and run
-  /// failover for every node the delivery discovered dead.
-  routing::LegOutcome send_leg(net::NodeId from, net::NodeId to,
-                               net::MessageKind kind, std::uint64_t bits);
+  /// failover for every node the delivery discovered dead. Returns a
+  /// reference to the per-system scratch outcome — valid only until the
+  /// next send_leg call, so consume it before sending again.
+  const routing::LegOutcome& send_leg(net::NodeId from, net::NodeId to,
+                                      net::MessageKind kind,
+                                      std::uint64_t bits);
 
   /// Repairs a cell whose holders include silently-dead nodes (the index
   /// node's beacon table exposes them) so a query never fabricates
@@ -236,6 +239,11 @@ class PoolSystem final : public storage::DcsSystem {
   const routing::Router& router_;
   std::size_t dims_;
   PoolConfig config_;
+
+  /// Reused across every leg/route on the hot query/insert paths so a
+  /// warm system issues them without heap traffic.
+  routing::LegOutcome leg_scratch_;
+  routing::RouteResult route_scratch_;
   Grid grid_;
   PoolLayout layout_;
   std::vector<std::vector<StoredEvent>> cells_;  // k * l^2 stores

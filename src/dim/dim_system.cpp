@@ -35,26 +35,29 @@ net::NodeId DimSystem::representative(ZoneIndex zidx) const {
   return memo;
 }
 
-routing::LegOutcome DimSystem::send_leg(net::NodeId from, net::NodeId to,
-                                        net::MessageKind kind,
-                                        std::uint64_t bits) {
+const routing::LegOutcome& DimSystem::send_leg(net::NodeId from,
+                                               net::NodeId to,
+                                               net::MessageKind kind,
+                                               std::uint64_t bits) {
   if (from == to) {
     // Mirror the historical bare leg exactly (self-routes still pay a
     // router lookup and a no-op path transmit) so fault-free ledgers and
     // route-cache stats stay byte-identical.
-    routing::LegOutcome out;
-    out.route = router_.route_to_node(from, to);
-    net_.transmit_path(out.route.path, kind, bits);
-    out.delivered = true;
-    out.reached = to;
-    return out;
+    router_.route_to_node_into(from, to, leg_scratch_.route);
+    net_.transmit_path(leg_scratch_.route.path, kind, bits);
+    leg_scratch_.delivered = true;
+    leg_scratch_.reached = to;
+    leg_scratch_.retries = 0;
+    leg_scratch_.backoff_ticks = 0;
+    leg_scratch_.dead_found.clear();
+    return leg_scratch_;
   }
-  routing::LegOutcome out =
-      routing::send_reliable(net_, router_, from, to, kind, bits);
-  fault_stats_.retries += out.retries;
-  if (!out.delivered) ++fault_stats_.failed_legs;
-  for (const net::NodeId d : out.dead_found) handle_node_failure(d);
-  return out;
+  routing::send_reliable_into(net_, router_, from, to, kind, bits, {},
+                              leg_scratch_);
+  fault_stats_.retries += leg_scratch_.retries;
+  if (!leg_scratch_.delivered) ++fault_stats_.failed_legs;
+  for (const net::NodeId d : leg_scratch_.dead_found) handle_node_failure(d);
+  return leg_scratch_;
 }
 
 void DimSystem::handle_node_failure(net::NodeId dead) {
@@ -103,17 +106,19 @@ InsertReceipt DimSystem::insert(net::NodeId source, const Event& event) {
   }
 
   const std::uint64_t bits = net_.sizes().event_bits(dims());
-  auto leg = send_leg(source, owner, net::MessageKind::Insert, bits);
-  if (!leg.delivered) {
+  bool delivered =
+      send_leg(source, owner, net::MessageKind::Insert, bits).delivered;
+  if (!delivered) {
     // The failed delivery triggered failover; retry once toward the
     // zone's adopted owner.
     const net::NodeId adopted = tree_.zone(leaf).owner;
     if (adopted != owner && adopted != net::kNoNode) {
       owner = adopted;
-      leg = send_leg(source, owner, net::MessageKind::Insert, bits);
+      delivered =
+          send_leg(source, owner, net::MessageKind::Insert, bits).delivered;
     }
   }
-  if (!leg.delivered) {
+  if (!delivered) {
     ++fault_stats_.events_lost;
     receipt.stored_at = net::kNoNode;
     receipt.messages = net_.traffic().total - before;
@@ -144,15 +149,14 @@ QueryReceipt DimSystem::query(net::NodeId sink, const RangeQuery& q) {
     net::NodeId entry = representative(start);
     bool arrived = entry != net::kNoNode;
     if (arrived) {
-      auto leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
-      if (!leg.delivered) {
+      arrived = send_leg(sink, entry, net::MessageKind::Query, qbits).delivered;
+      if (!arrived) {
         // Failover just re-elected the zone's representative; retry once.
         const net::NodeId re = representative(start);
-        arrived = false;
         if (re != entry && re != net::kNoNode) {
           entry = re;
-          leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
-          arrived = leg.delivered;
+          arrived =
+              send_leg(sink, entry, net::MessageKind::Query, qbits).delivered;
         }
       }
     }
@@ -176,15 +180,16 @@ void DimSystem::walk_subtree(net::NodeId carrier, ZoneIndex zidx,
     const net::NodeId owner = z.owner;
     if (owner == net::kNoNode) return;
     if (carrier != owner) {
-      auto leg = send_leg(carrier, owner, net::MessageKind::SubQuery, qbits);
-      if (!leg.delivered) {
+      if (!send_leg(carrier, owner, net::MessageKind::SubQuery, qbits)
+               .delivered) {
         const net::NodeId adopted = tree_.zone(zidx).owner;
         if (adopted == owner || adopted == net::kNoNode ||
             !net_.alive(adopted))
           return;
         if (carrier != adopted) {
-          leg = send_leg(carrier, adopted, net::MessageKind::SubQuery, qbits);
-          if (!leg.delivered) return;
+          if (!send_leg(carrier, adopted, net::MessageKind::SubQuery, qbits)
+                   .delivered)
+            return;
         }
       }
     }
@@ -200,15 +205,16 @@ void DimSystem::walk_subtree(net::NodeId carrier, ZoneIndex zidx,
       net::NodeId next = representative(child);
       if (next == net::kNoNode) continue;
       if (next != carrier) {
-        auto leg = send_leg(carrier, next, net::MessageKind::SubQuery, qbits);
-        if (!leg.delivered) {
+        if (!send_leg(carrier, next, net::MessageKind::SubQuery, qbits)
+                 .delivered) {
           // Failover re-elected the child's representative; retry once.
           const net::NodeId re = representative(child);
           if (re == next || re == net::kNoNode) continue;
           next = re;
           if (next != carrier) {
-            leg = send_leg(carrier, next, net::MessageKind::SubQuery, qbits);
-            if (!leg.delivered) continue;
+            if (!send_leg(carrier, next, net::MessageKind::SubQuery, qbits)
+                     .delivered)
+              continue;
           }
         }
       }
@@ -241,7 +247,7 @@ void DimSystem::process_subtree(net::NodeId carrier, ZoneIndex zidx,
       // First batch travels reliably; the remaining batches reuse the
       // acked path (identical traffic to the historical one-route loop
       // on a fault-free network).
-      const auto first = send_leg(owner, sink, net::MessageKind::Reply, bits);
+      const auto& first = send_leg(owner, sink, net::MessageKind::Reply, bits);
       returned = first.delivered;
       for (std::uint64_t i = 1; returned && i < n_msgs; ++i)
         net_.transmit_path(first.route.path, net::MessageKind::Reply, bits);
@@ -360,15 +366,15 @@ storage::BatchQueryReceipt DimSystem::query_batch(
     if (union_found == 0) continue;
     const ZoneNode& z = tree_.zone(leaf);
     if (z.owner == sink) continue;
-    const auto back = router_.route_to_node(z.owner, sink);
+    router_.route_to_node_into(z.owner, sink, route_scratch_);
     const std::uint64_t batches = sizes.reply_batches(union_found);
     for (std::uint64_t b = 0; b < batches; ++b) {
       net_.transmit_path(
-          back.path, net::MessageKind::Reply,
+          route_scratch_.path, net::MessageKind::Reply,
           sizes.reply_bits(dims(), sizes.reply_payload(union_found)));
     }
     for (std::size_t qi = 0; qi < queries.size(); ++qi)
-      serial_cost += sizes.reply_batches(counts[qi]) * back.hops();
+      serial_cost += sizes.reply_batches(counts[qi]) * route_scratch_.hops();
   }
 
   const auto delta = net_.traffic() - before;
@@ -399,14 +405,13 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
     net::NodeId entry = representative(start);
     bool arrived = entry != net::kNoNode;
     if (arrived) {
-      auto leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
-      if (!leg.delivered) {
+      arrived = send_leg(sink, entry, net::MessageKind::Query, qbits).delivered;
+      if (!arrived) {
         const net::NodeId re = representative(start);
-        arrived = false;
         if (re != entry && re != net::kNoNode) {
           entry = re;
-          leg = send_leg(sink, entry, net::MessageKind::Query, qbits);
-          arrived = leg.delivered;
+          arrived =
+              send_leg(sink, entry, net::MessageKind::Query, qbits).delivered;
         }
       }
     }
@@ -424,9 +429,10 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
           } else {
             // One fixed-size partial straight to the sink; it only joins
             // the aggregate if the leg actually delivers.
-            const auto back = send_leg(owner, sink, net::MessageKind::Reply,
-                                       net_.sizes().aggregate_bits());
-            if (back.delivered) total.merge(partial);
+            if (send_leg(owner, sink, net::MessageKind::Reply,
+                         net_.sizes().aggregate_bits())
+                    .delivered)
+              total.merge(partial);
           }
         }
       });

@@ -78,9 +78,12 @@ class DimSystem final : public storage::DcsSystem {
   net::NodeId representative(ZoneIndex zidx) const;
 
   /// One reliable leg: send, accumulate retry/failure stats, and run
-  /// failover for every node the delivery discovered dead.
-  routing::LegOutcome send_leg(net::NodeId from, net::NodeId to,
-                               net::MessageKind kind, std::uint64_t bits);
+  /// failover for every node the delivery discovered dead. Returns a
+  /// reference to the per-system scratch outcome — valid only until the
+  /// next send_leg call, so consume it before sending again.
+  const routing::LegOutcome& send_leg(net::NodeId from, net::NodeId to,
+                                      net::MessageKind kind,
+                                      std::uint64_t bits);
 
   /// Shared recursive split-and-forward walk. `on_leaf(zidx)` runs at the
   /// owner of every relevant leaf after the subquery legs are charged.
@@ -105,6 +108,12 @@ class DimSystem final : public storage::DcsSystem {
 
   net::Network& net_;
   const routing::Router& router_;
+
+  /// Reused across every leg/route on the hot query/insert paths so a
+  /// warm system issues them without heap traffic.
+  routing::LegOutcome leg_scratch_;
+  routing::RouteResult route_scratch_;
+
   ZoneTree tree_;
   std::vector<std::vector<storage::Event>> store_;  // indexed by ZoneIndex
   std::size_t stored_count_ = 0;

@@ -69,26 +69,29 @@ net::NodeId GhtSystem::home_node(const storage::Values& values) const {
   return it->second;
 }
 
-routing::LegOutcome GhtSystem::send_leg(net::NodeId from, net::NodeId to,
-                                        net::MessageKind kind,
-                                        std::uint64_t bits) {
+const routing::LegOutcome& GhtSystem::send_leg(net::NodeId from,
+                                               net::NodeId to,
+                                               net::MessageKind kind,
+                                               std::uint64_t bits) {
   if (from == to) {
     // Mirror the historical bare leg exactly (self-routes still pay a
     // router lookup and a no-op path transmit) so fault-free ledgers and
     // route-cache stats stay byte-identical.
-    routing::LegOutcome out;
-    out.route = router_.route_to_node(from, to);
-    net_.transmit_path(out.route.path, kind, bits);
-    out.delivered = true;
-    out.reached = to;
-    return out;
+    router_.route_to_node_into(from, to, leg_scratch_.route);
+    net_.transmit_path(leg_scratch_.route.path, kind, bits);
+    leg_scratch_.delivered = true;
+    leg_scratch_.reached = to;
+    leg_scratch_.retries = 0;
+    leg_scratch_.backoff_ticks = 0;
+    leg_scratch_.dead_found.clear();
+    return leg_scratch_;
   }
-  routing::LegOutcome out =
-      routing::send_reliable(net_, router_, from, to, kind, bits);
-  fault_stats_.retries += out.retries;
-  if (!out.delivered) ++fault_stats_.failed_legs;
-  for (const net::NodeId d : out.dead_found) handle_node_failure(d);
-  return out;
+  routing::send_reliable_into(net_, router_, from, to, kind, bits, {},
+                              leg_scratch_);
+  fault_stats_.retries += leg_scratch_.retries;
+  if (!leg_scratch_.delivered) ++fault_stats_.failed_legs;
+  for (const net::NodeId d : leg_scratch_.dead_found) handle_node_failure(d);
+  return leg_scratch_;
 }
 
 void GhtSystem::handle_node_failure(net::NodeId dead) {
@@ -132,17 +135,19 @@ InsertReceipt GhtSystem::insert(net::NodeId source, const Event& event) {
   }
 
   const std::uint64_t bits = net_.sizes().event_bits(dims_);
-  auto leg = send_leg(source, home, net::MessageKind::Insert, bits);
-  if (!leg.delivered) {
+  bool delivered = send_leg(source, home, net::MessageKind::Insert, bits)
+                       .delivered;
+  if (!delivered) {
     // The failed delivery evicted the dead home from the cache; retry
     // once toward the re-homed survivor.
     const net::NodeId rehomed = home_node(event.values);
     if (rehomed != home && rehomed != net::kNoNode) {
       home = rehomed;
-      leg = send_leg(source, home, net::MessageKind::Insert, bits);
+      delivered =
+          send_leg(source, home, net::MessageKind::Insert, bits).delivered;
     }
   }
-  if (!leg.delivered) {
+  if (!delivered) {
     ++fault_stats_.events_lost;
     receipt.stored_at = net::kNoNode;
     receipt.messages = net_.traffic().total - before;
@@ -202,18 +207,18 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
     net::NodeId home = home_node(point);
     bool arrived = home != net::kNoNode;
     if (arrived) {
-      auto leg = send_leg(sink, home, net::MessageKind::Query,
-                          sizes.query_bits(dims_));
-      if (!leg.delivered) {
+      arrived = send_leg(sink, home, net::MessageKind::Query,
+                         sizes.query_bits(dims_))
+                    .delivered;
+      if (!arrived) {
         // The dead home was evicted from the cache; retry once toward
         // the re-homed survivor (which now holds nothing for this key).
         const net::NodeId rehomed = home_node(point);
-        arrived = false;
         if (rehomed != home && rehomed != net::kNoNode) {
           home = rehomed;
-          leg = send_leg(sink, home, net::MessageKind::Query,
-                         sizes.query_bits(dims_));
-          arrived = leg.delivered;
+          arrived = send_leg(sink, home, net::MessageKind::Query,
+                             sizes.query_bits(dims_))
+                        .delivered;
         }
       }
     }
@@ -229,7 +234,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
         const std::uint64_t batches = sizes.reply_batches(found);
         const std::uint64_t bits =
             sizes.reply_bits(dims_, sizes.reply_payload(found));
-        const auto back = send_leg(home, sink, net::MessageKind::Reply, bits);
+        const auto& back = send_leg(home, sink, net::MessageKind::Reply, bits);
         returned = back.delivered;
         for (std::uint64_t b = 1; returned && b < batches; ++b)
           net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
@@ -261,7 +266,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
           const std::uint64_t batches = sizes.reply_batches(found);
           const std::uint64_t bits =
               sizes.reply_bits(dims_, sizes.reply_payload(found));
-          const auto back = send_leg(n, sink, net::MessageKind::Reply, bits);
+          const auto& back = send_leg(n, sink, net::MessageKind::Reply, bits);
           returned = back.delivered;
           for (std::uint64_t b = 1; returned && b < batches; ++b)
             net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
@@ -320,10 +325,10 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
     groups[it->second].members.push_back(qi);
   }
   for (const HomeGroup& g : groups) {
-    const auto leg = router_.route_to_node(sink, g.home);
-    net_.transmit_path(leg.path, net::MessageKind::Query,
+    router_.route_to_node_into(sink, g.home, route_scratch_);
+    net_.transmit_path(route_scratch_.path, net::MessageKind::Query,
                        sizes.query_bits(dims_));
-    serial_cost += g.members.size() * leg.hops();
+    serial_cost += g.members.size() * route_scratch_.hops();
     ++batch.unique_cell_visits;
     ++batch.index_nodes_visited;
     batch.serial_cell_visits += g.members.size();
@@ -344,15 +349,16 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
     for (const std::size_t qi : g.members)
       batch.per_query[qi].index_nodes_visited = 1;
     if (union_found > 0 && g.home != sink) {
-      const auto back = router_.route_to_node(g.home, sink);
+      router_.route_to_node_into(g.home, sink, route_scratch_);
       const std::uint64_t batches = sizes.reply_batches(union_found);
       for (std::uint64_t b = 0; b < batches; ++b) {
         net_.transmit_path(
-            back.path, net::MessageKind::Reply,
+            route_scratch_.path, net::MessageKind::Reply,
             sizes.reply_bits(dims_, sizes.reply_payload(union_found)));
       }
       for (std::size_t mi = 0; mi < g.members.size(); ++mi)
-        serial_cost += sizes.reply_batches(member_found[mi]) * back.hops();
+        serial_cost +=
+            sizes.reply_batches(member_found[mi]) * route_scratch_.hops();
     }
   }
 
@@ -386,15 +392,16 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
       if (union_found > 0) {
         ++batch.index_nodes_visited;
         if (n != sink) {
-          const auto back = router_.route_to_node(n, sink);
+          router_.route_to_node_into(n, sink, route_scratch_);
           const std::uint64_t batches = sizes.reply_batches(union_found);
           for (std::uint64_t b = 0; b < batches; ++b) {
             net_.transmit_path(
-                back.path, net::MessageKind::Reply,
+                route_scratch_.path, net::MessageKind::Reply,
                 sizes.reply_bits(dims_, sizes.reply_payload(union_found)));
           }
           for (std::size_t mi = 0; mi < floods.size(); ++mi)
-            serial_cost += sizes.reply_batches(member_found[mi]) * back.hops();
+            serial_cost +=
+                sizes.reply_batches(member_found[mi]) * route_scratch_.hops();
         }
       }
     }
@@ -459,9 +466,10 @@ storage::AggregateReceipt GhtSystem::aggregate(net::NodeId sink,
         total.merge(partial);
       } else {
         // The partial only joins the aggregate if its leg delivers.
-        const auto back = send_leg(n, sink, net::MessageKind::Reply,
-                                   net_.sizes().aggregate_bits());
-        if (back.delivered) total.merge(partial);
+        if (send_leg(n, sink, net::MessageKind::Reply,
+                     net_.sizes().aggregate_bits())
+                .delivered)
+          total.merge(partial);
       }
     }
   }

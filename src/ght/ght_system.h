@@ -87,9 +87,12 @@ class GhtSystem final : public storage::DcsSystem {
   Point location_of(std::uint64_t key) const;
 
   /// One reliable leg: send, accumulate retry/failure stats, and run
-  /// failover for every node the delivery discovered dead.
-  routing::LegOutcome send_leg(net::NodeId from, net::NodeId to,
-                               net::MessageKind kind, std::uint64_t bits);
+  /// failover for every node the delivery discovered dead. Returns a
+  /// reference to the per-system scratch outcome — valid only until the
+  /// next send_leg call, so consume it before sending again.
+  const routing::LegOutcome& send_leg(net::NodeId from, net::NodeId to,
+                                      net::MessageKind kind,
+                                      std::uint64_t bits);
 
   /// Charges a network-wide flood rooted at `sink` (each node rebroadcasts
   /// once: n-1 Query transmissions over a BFS tree) and returns per-node
@@ -100,6 +103,11 @@ class GhtSystem final : public storage::DcsSystem {
   const routing::Router& router_;
   std::size_t dims_;
   GhtConfig config_;
+
+  /// Reused across every leg/route on the hot query/insert paths so a
+  /// warm system issues them without heap traffic.
+  routing::LegOutcome leg_scratch_;
+  routing::RouteResult route_scratch_;
   std::vector<std::vector<storage::Event>> store_;  // per home node
   std::size_t stored_count_ = 0;
 

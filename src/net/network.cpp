@@ -39,14 +39,17 @@ Network::Network(std::vector<Point> positions, Rect field,
     nodes_[i].pos = positions[i];
   }
   // Neighbor tables via the spatial index (the paper's periodic beacons).
-  // Tables must stay ascending: are_neighbors binary-searches them.
+  // The scan itself is unsorted (cheaper); the filtered table is then
+  // sorted because are_neighbors binary-searches it.
+  std::vector<std::size_t> near;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    auto near = index_.within(nodes_[i].pos, radio_range_, /*sorted=*/true);
+    index_.within(nodes_[i].pos, radio_range_, near, /*sorted=*/false);
     auto& nb = nodes_[i].neighbors;
     nb.reserve(near.size());
     for (const std::size_t j : near) {
       if (j != i) nb.push_back(static_cast<NodeId>(j));
     }
+    std::sort(nb.begin(), nb.end());
   }
 }
 

@@ -4,6 +4,14 @@
 //   * all points within radius r of a point (neighbor-table construction),
 //   * the nearest point to an arbitrary location (home-node selection and
 //     GPSR greedy checks in tests).
+//
+// Storage is structure-of-arrays: point coordinates live in separate x/y
+// arrays and the cell buckets are flattened CSR-style into one offsets
+// array plus one ids array. A radius scan then walks two contiguous
+// double arrays and one contiguous id array instead of chasing a
+// vector-of-vectors — the difference between ~3 cache lines and ~3
+// pointer dereferences per candidate, which dominates neighbor-table
+// construction at 100k-node deployments.
 #pragma once
 
 #include <cstddef>
@@ -21,10 +29,17 @@ class SpatialIndex {
   SpatialIndex(const std::vector<Point>& points, const Rect& bounds,
                double cell_size);
 
-  /// Indices of points with distance(p, q) <= radius. Ascending index
-  /// order when `sorted` (callers that binary_search the result need it);
-  /// pass false to skip the sort when only membership or cardinality
-  /// matters. `q` need not be inside bounds.
+  /// Indices of points with distance(p, q) <= radius, appended into `out`
+  /// (cleared first — capacity is the caller's scratch to reuse across
+  /// calls). Ascending index order when `sorted` (callers that
+  /// binary_search the result need it); pass false to skip the sort when
+  /// only membership or cardinality matters. `q` need not be inside
+  /// bounds.
+  void within(Point q, double radius, std::vector<std::size_t>& out,
+              bool sorted = true) const;
+
+  /// Convenience wrapper returning a fresh vector; hot callers should
+  /// hold a scratch buffer and use the out-parameter overload.
   std::vector<std::size_t> within(Point q, double radius,
                                   bool sorted = true) const;
 
@@ -32,17 +47,23 @@ class SpatialIndex {
   /// non-empty point set.
   std::size_t nearest(Point q) const;
 
-  std::size_t size() const { return points_.size(); }
+  std::size_t size() const { return xs_.size(); }
 
  private:
   std::size_t cell_of(Point p) const;
   void cell_coords(Point p, std::int64_t& cx, std::int64_t& cy) const;
 
-  std::vector<Point> points_;
   Rect bounds_;
   double cell_size_;
   std::size_t nx_ = 0, ny_ = 0;
-  std::vector<std::vector<std::size_t>> cells_;
+
+  // SoA point storage: xs_[i], ys_[i] are point i's coordinates.
+  std::vector<double> xs_, ys_;
+
+  // CSR buckets: the ids of cell c sit in
+  // cell_ids_[cell_offsets_[c] .. cell_offsets_[c + 1]), ascending.
+  std::vector<std::uint32_t> cell_offsets_;
+  std::vector<std::uint32_t> cell_ids_;
 };
 
 }  // namespace poolnet::net

@@ -18,11 +18,24 @@ Gpsr::Gpsr(const net::Network& network, PlanarizationRule rule)
     : net_(network), planar_(network, rule) {}
 
 RouteResult Gpsr::route_to_node(NodeId src, NodeId dst) const {
-  return route_impl(src, net_.position(dst), dst);
+  RouteResult result;
+  route_impl(src, net_.position(dst), dst, result);
+  return result;
 }
 
 RouteResult Gpsr::route_to_location(NodeId src, Point dest) const {
-  return route_impl(src, dest, net::kNoNode);
+  RouteResult result;
+  route_impl(src, dest, net::kNoNode, result);
+  return result;
+}
+
+void Gpsr::route_to_node_into(NodeId src, NodeId dst, RouteResult& out) const {
+  route_impl(src, net_.position(dst), dst, out);
+}
+
+void Gpsr::route_to_location_into(NodeId src, Point dest,
+                                  RouteResult& out) const {
+  route_impl(src, dest, net::kNoNode, out);
 }
 
 NodeId Gpsr::first_ccw_neighbor(NodeId at, double ref_angle,
@@ -47,11 +60,15 @@ NodeId Gpsr::first_ccw_neighbor(NodeId at, double ref_angle,
   return best;
 }
 
-RouteResult Gpsr::route_impl(NodeId src, Point dest,
-                             NodeId exact_target) const {
-  RouteResult result;
+void Gpsr::route_impl(NodeId src, Point dest, NodeId exact_target,
+                      RouteResult& result) const {
+  result.path.clear();
+  result.delivered = net::kNoNode;
+  result.exact = false;
+  result.perimeter_hops = 0;
   // One reallocation for the common case: the greedy path length is about
   // the line-of-sight distance in radio ranges; leave headroom for detours.
+  // A warm scratch result usually already holds the capacity.
   result.path.reserve(static_cast<std::size_t>(distance(net_.position(src),
                                                         dest) /
                                                net_.radio_range()) *
@@ -118,12 +135,12 @@ RouteResult Gpsr::route_impl(NodeId src, Point dest,
     if (exact_target != net::kNoNode && cur == exact_target) {
       result.delivered = cur;
       result.exact = true;
-      return result;
+      return;
     }
     if (cur_d2 <= kEps) {  // standing on the destination location
       result.delivered = cur;
       result.exact = true;
-      return result;
+      return;
     }
 
     if (mode == Mode::Greedy) {
@@ -165,7 +182,7 @@ RouteResult Gpsr::route_impl(NodeId src, Point dest,
         if (e0_traversed) {  // full tour with no progress: home node is cur
           result.delivered = cur;
           result.exact = false;
-          return result;
+          return;
         }
         e0_traversed = true;
       }
@@ -192,7 +209,7 @@ RouteResult Gpsr::route_impl(NodeId src, Point dest,
       if (e0_traversed) {  // completed the tour of the face containing dest
         result.delivered = cur;
         result.exact = false;
-        return result;
+        return;
       }
       e0_traversed = true;
     }
@@ -216,7 +233,7 @@ RouteResult Gpsr::route_impl(NodeId src, Point dest,
   }
   result.delivered = best_seen;
   result.exact = false;
-  return result;
+  return;
 }
 
 }  // namespace poolnet::routing

@@ -42,11 +42,18 @@ class Gpsr final : public Router {
   /// node (the node whose face tour encloses the location).
   RouteResult route_to_location(net::NodeId src, Point dest) const override;
 
+  /// In-place forms: the path is built directly in `out.path`, so a warm
+  /// scratch RouteResult routes with zero allocations.
+  void route_to_node_into(net::NodeId src, net::NodeId dst,
+                          RouteResult& out) const override;
+  void route_to_location_into(net::NodeId src, Point dest,
+                              RouteResult& out) const override;
+
   const PlanarGraph& planar() const { return planar_; }
 
  private:
-  RouteResult route_impl(net::NodeId src, Point dest,
-                         net::NodeId exact_target) const;
+  void route_impl(net::NodeId src, Point dest, net::NodeId exact_target,
+                  RouteResult& result) const;
 
   /// First planar neighbor of `at` counter-clockwise from direction
   /// `ref_angle`; `exclude_zero` skips an edge at exactly the reference

@@ -19,35 +19,54 @@ LegOutcome send_reliable(net::Network& net, const Router& router,
                          net::MessageKind kind, std::uint64_t bits,
                          const ReliablePolicy& policy) {
   LegOutcome out;
+  send_reliable_into(net, router, from, to, kind, bits, policy, out);
+  return out;
+}
+
+void send_reliable_into(net::Network& net, const Router& router,
+                        net::NodeId from, net::NodeId to,
+                        net::MessageKind kind, std::uint64_t bits,
+                        const ReliablePolicy& policy, LegOutcome& out) {
+  out.delivered = false;
+  out.reached = net::kNoNode;
+  out.retries = 0;
+  out.backoff_ticks = 0;
+  out.dead_found.clear();
+  out.route.path.clear();
+  out.route.delivered = net::kNoNode;
+  out.route.exact = false;
+  out.route.perimeter_hops = 0;
+
   if (from == to) {
     out.delivered = true;
     out.reached = to;
-    out.route.path = {from};
+    out.route.path.push_back(from);
     out.route.delivered = to;
     out.route.exact = true;
-    return out;
+    return;
   }
   if (!net.alive(from)) {
     out.reached = from;
-    return out;
+    return;
   }
 
   net::NodeId cur = from;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    RouteResult route = router.route_to_node(cur, to);
-    const auto res = net.transmit_path(route.path, kind, bits);
+    // out.route doubles as the routing scratch: each attempt overwrites
+    // it, so on return it is exactly "the last route attempted".
+    router.route_to_node_into(cur, to, out.route);
+    const auto res = net.transmit_path(out.route.path, kind, bits);
 
-    if (res.complete && route.delivered == to) {
+    if (res.complete && out.route.delivered == to) {
       out.delivered = true;
       out.reached = to;
-      out.route = std::move(route);
-      return out;
+      return;
     }
 
     net::NodeId dead = net::kNoNode;
     if (!res.complete) {
       // A hop partway down the path never acked: its target is dead.
-      dead = route.path[res.hops_delivered + 1];
+      dead = out.route.path[res.hops_delivered + 1];
       cur = res.reached;
     } else {
       // The survivor-aware router could not land on `to` — typically
@@ -70,8 +89,7 @@ LegOutcome send_reliable(net::Network& net, const Router& router,
     const bool unroutable = dead == net::kNoNode;  // partition, not a death
     if (target_dead || unroutable || attempt >= policy.max_retries) {
       out.reached = cur;
-      out.route = std::move(route);
-      return out;
+      return;
     }
     ++out.retries;
     out.backoff_ticks += static_cast<std::uint64_t>(policy.backoff_base)

@@ -53,4 +53,12 @@ LegOutcome send_reliable(net::Network& net, const Router& router,
                          net::MessageKind kind, std::uint64_t bits,
                          const ReliablePolicy& policy = {});
 
+/// Scratch form of send_reliable(): resets and fills `out`, reusing the
+/// capacity of `out.route.path` and `out.dead_found` so a warm caller
+/// sends without allocating. Value-identical to send_reliable().
+void send_reliable_into(net::Network& net, const Router& router,
+                        net::NodeId from, net::NodeId to,
+                        net::MessageKind kind, std::uint64_t bits,
+                        const ReliablePolicy& policy, LegOutcome& out);
+
 }  // namespace poolnet::routing

@@ -54,8 +54,9 @@ bool parse_route_cache_spec(const std::string& spec, RouteCacheConfig* config,
 }
 
 RouteCache::RouteCache(const Router& inner, RouteCacheConfig config,
-                       obs::MetricsRegistry* metrics, const std::string& prefix)
-    : inner_(inner), config_(config) {
+                       obs::MetricsRegistry* metrics, const std::string& prefix,
+                       common::BufferPool<net::NodeId>* path_pool)
+    : inner_(inner), config_(config), path_pool_(path_pool) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -128,56 +129,92 @@ void RouteCache::account_and_evict(std::size_t delta) const {
     const auto victim = map_.find(lru_.back());
     bytes_ -= victim->second.bytes;
     evictions_.inc();
+    for (auto& [point, result] : victim->second.items)
+      recycle(std::move(result));
     map_.erase(victim);
     lru_.pop_back();
   }
   entries_ = map_.size() + flat_entries_;
 }
 
+RouteResult RouteCache::copy_for_store(const RouteResult& r) const {
+  RouteResult stored;
+  if (path_pool_ != nullptr) stored.path = path_pool_->acquire();
+  stored.path.assign(r.path.begin(), r.path.end());
+  stored.delivered = r.delivered;
+  stored.exact = r.exact;
+  stored.perimeter_hops = r.perimeter_hops;
+  return stored;
+}
+
+void RouteCache::recycle(RouteResult&& r) const {
+  if (path_pool_ != nullptr) path_pool_->release(std::move(r.path));
+}
+
 RouteResult RouteCache::route_to_node(net::NodeId src, net::NodeId dst) const {
-  if (!config_.enabled) return inner_.route_to_node(src, dst);
+  RouteResult out;
+  route_to_node_into(src, dst, out);
+  return out;
+}
+
+RouteResult RouteCache::route_to_location(net::NodeId src, Point dest) const {
+  RouteResult out;
+  route_to_location_into(src, dest, out);
+  return out;
+}
+
+void RouteCache::route_to_node_into(net::NodeId src, net::NodeId dst,
+                                    RouteResult& out) const {
+  if (!config_.enabled) {
+    inner_.route_to_node_into(src, dst, out);
+    return;
+  }
 
   if (config_.max_bytes == 0) {
     if (src < by_src_.size()) {
       for (const NodeEntry& e : by_src_[src]) {
         if (e.dst == dst) {
           hits_.inc();
-          return e.result;
+          out = e.result;  // copy-assign: out.path's capacity is reused
+          return;
         }
       }
     }
     misses_.inc();
-    RouteResult result = inner_.route_to_node(src, dst);
-    if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
-      return result;
+    inner_.route_to_node_into(src, dst, out);
+    if (config_.max_hops != 0 && out.path.size() > config_.max_hops) return;
     if (src >= by_src_.size()) by_src_.resize(src + 1);
-    by_src_[src].push_back(NodeEntry{dst, result});
+    by_src_[src].push_back(NodeEntry{dst, copy_for_store(out)});
     ++flat_entries_;
     entries_ = map_.size() + flat_entries_;
-    bytes_ += result_bytes(result);
-    return result;
+    bytes_ += result_bytes(out);
+    return;
   }
 
   const Key key = node_key(src, dst);
   if (const auto it = map_.find(key); it != map_.end()) {
     hits_.inc();
-    return touch(it).items.front().second;
+    out = touch(it).items.front().second;
+    return;
   }
   misses_.inc();
-  RouteResult result = inner_.route_to_node(src, dst);
-  if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
-    return result;  // one-shot long leg: storing it costs more than it saves
-  if (config_.max_bytes != 0) lru_.push_front(key);
+  inner_.route_to_node_into(src, dst, out);
+  if (config_.max_hops != 0 && out.path.size() > config_.max_hops)
+    return;  // one-shot long leg: storing it costs more than it saves
+  lru_.push_front(key);
   Entry& entry = map_[key];
-  if (config_.max_bytes != 0) entry.lru_pos = lru_.begin();
-  entry.items.emplace_back(Point{}, result);
-  entry.bytes = result_bytes(result);
+  entry.lru_pos = lru_.begin();
+  entry.items.emplace_back(Point{}, copy_for_store(out));
+  entry.bytes = result_bytes(out);
   account_and_evict(entry.bytes);
-  return result;
 }
 
-RouteResult RouteCache::route_to_location(net::NodeId src, Point dest) const {
-  if (!config_.enabled) return inner_.route_to_location(src, dest);
+void RouteCache::route_to_location_into(net::NodeId src, Point dest,
+                                        RouteResult& out) const {
+  if (!config_.enabled) {
+    inner_.route_to_location_into(src, dest, out);
+    return;
+  }
 
   const Key key = location_key(src, dest);
   const auto it = map_.find(key);
@@ -188,28 +225,28 @@ RouteResult RouteCache::route_to_location(net::NodeId src, Point dest) const {
       if (point.x == dest.x && point.y == dest.y) {
         hits_.inc();
         touch(it);
-        return result;
+        out = result;
+        return;
       }
     }
   }
   misses_.inc();
-  RouteResult result = inner_.route_to_location(src, dest);
-  if (config_.max_hops != 0 && result.path.size() > config_.max_hops)
-    return result;  // one-shot long leg: storing it costs more than it saves
-  const std::size_t added = result_bytes(result);
+  inner_.route_to_location_into(src, dest, out);
+  if (config_.max_hops != 0 && out.path.size() > config_.max_hops)
+    return;  // one-shot long leg: storing it costs more than it saves
+  const std::size_t added = result_bytes(out);
   if (it != map_.end()) {
     touch(it);
-    it->second.items.emplace_back(dest, result);
+    it->second.items.emplace_back(dest, copy_for_store(out));
     it->second.bytes += added;
   } else {
     if (config_.max_bytes != 0) lru_.push_front(key);
     Entry& entry = map_[key];
     if (config_.max_bytes != 0) entry.lru_pos = lru_.begin();
-    entry.items.emplace_back(dest, result);
+    entry.items.emplace_back(dest, copy_for_store(out));
     entry.bytes = added;
   }
   account_and_evict(added);
-  return result;
 }
 
 void RouteCache::note_dead(net::NodeId dead) const {
@@ -224,6 +261,7 @@ void RouteCache::note_dead(net::NodeId dead) const {
     for (std::size_t i = bucket.size(); i-- > 0;) {
       if (!traverses(bucket[i].result)) continue;
       bytes_ -= result_bytes(bucket[i].result);
+      recycle(std::move(bucket[i].result));
       bucket[i] = std::move(bucket.back());
       bucket.pop_back();
       --flat_entries_;
@@ -239,6 +277,7 @@ void RouteCache::note_dead(net::NodeId dead) const {
       const std::size_t freed = result_bytes(items[i].second);
       it->second.bytes -= freed;
       bytes_ -= freed;
+      recycle(std::move(items[i].second));
       items[i] = std::move(items.back());
       items.pop_back();
       invalidated_.inc();
@@ -256,6 +295,10 @@ void RouteCache::note_dead(net::NodeId dead) const {
 }
 
 void RouteCache::clear() {
+  for (auto& [key, entry] : map_)
+    for (auto& [point, result] : entry.items) recycle(std::move(result));
+  for (auto& bucket : by_src_)
+    for (auto& e : bucket) recycle(std::move(e.result));
   map_.clear();
   lru_.clear();
   by_src_.clear();

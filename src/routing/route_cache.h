@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/object_pool.h"
 #include "obs/metrics.h"
 #include "routing/router.h"
 
@@ -86,12 +87,27 @@ class RouteCache final : public Router {
   /// testbed-wide scrape sees them next to every other subsystem.
   /// Without one, the cache owns a private registry — same code path,
   /// nothing to scrape unless asked via stats().
+  ///
+  /// `path_pool` (optional, not owned, must outlive the cache) supplies
+  /// the backing store for cached path vectors: stored copies draw their
+  /// buffers from the pool and return them on invalidation/eviction, so
+  /// churn under failures recycles capacity instead of round-tripping the
+  /// heap. Stored VALUES are identical with or without a pool.
   explicit RouteCache(const Router& inner, RouteCacheConfig config = {},
                       obs::MetricsRegistry* metrics = nullptr,
-                      const std::string& prefix = "route_cache");
+                      const std::string& prefix = "route_cache",
+                      common::BufferPool<net::NodeId>* path_pool = nullptr);
 
   RouteResult route_to_node(net::NodeId src, net::NodeId dst) const override;
   RouteResult route_to_location(net::NodeId src, Point dest) const override;
+
+  /// Scratch forms: a hit copies the stored route into `out` (capacity
+  /// reused — the probe itself never allocates); a miss routes through
+  /// the inner router's scratch form.
+  void route_to_node_into(net::NodeId src, net::NodeId dst,
+                          RouteResult& out) const override;
+  void route_to_location_into(net::NodeId src, Point dest,
+                              RouteResult& out) const override;
 
   /// Drops every cached route whose path traverses `dead` (in both
   /// storage modes) so a stale path through a crashed node is never
@@ -148,8 +164,16 @@ class RouteCache final : public Router {
 
   static std::size_t result_bytes(const RouteResult& r);
 
+  /// Deep copy of `r` for storage, drawing the path buffer from the pool
+  /// when one is attached.
+  RouteResult copy_for_store(const RouteResult& r) const;
+
+  /// Returns a dropped entry's path buffer to the pool.
+  void recycle(RouteResult&& r) const;
+
   const Router& inner_;
   RouteCacheConfig config_;
+  common::BufferPool<net::NodeId>* path_pool_;
   mutable std::unordered_map<Key, Entry, KeyHash> map_;
   mutable std::list<Key> lru_;  ///< front = most recently used
   mutable std::vector<std::vector<NodeEntry>> by_src_;  ///< unbounded mode

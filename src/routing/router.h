@@ -49,6 +49,20 @@ class Router {
   /// node (the node whose face tour encloses the location).
   virtual RouteResult route_to_location(net::NodeId src, Point dest) const = 0;
 
+  /// Scratch-handle forms: write the route into `out`, reusing
+  /// `out.path`'s capacity across calls so a warm caller routes without
+  /// touching the heap. Value-identical to the returning overloads (the
+  /// defaults delegate to them; real routers override with an in-place
+  /// implementation).
+  virtual void route_to_node_into(net::NodeId src, net::NodeId dst,
+                                  RouteResult& out) const {
+    out = route_to_node(src, dst);
+  }
+  virtual void route_to_location_into(net::NodeId src, Point dest,
+                                      RouteResult& out) const {
+    out = route_to_location(src, dest);
+  }
+
   /// Failure feedback from the delivery layer: `dead` was discovered
   /// unreachable (ack timeouts exhausted). Stateless routers ignore it;
   /// caching decorators must drop every stored path traversing the node so

@@ -1,31 +1,58 @@
 #include "sim/event_queue.h"
 
+#include <utility>
+
 #include "common/assert.h"
 
 namespace poolnet::sim {
 
 void EventQueue::push(Time t, std::function<void()> action) {
-  heap_.push(SimEvent{t, next_seq_++, std::move(action)});
+  heap_.push_back(SimEvent{t, next_seq_++, std::move(action)});
+  sift_up(heap_.size() - 1);
 }
 
 Time EventQueue::next_time() const {
   POOLNET_ASSERT(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 SimEvent EventQueue::pop() {
   POOLNET_ASSERT(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the small struct instead (the std::function move happens once
-  // per event and events are short-lived).
-  SimEvent ev = heap_.top();
-  heap_.pop();
+  SimEvent ev = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
   return ev;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();  // capacity retained
   next_seq_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  SimEvent v = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(v, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(v);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  SimEvent v = std::move(heap_[i]);
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], v)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(v);
 }
 
 }  // namespace poolnet::sim

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace poolnet::sim {
@@ -23,6 +22,12 @@ struct SimEvent {
 };
 
 /// Min-heap of SimEvents ordered by (time, seq).
+///
+/// An explicit binary heap rather than std::priority_queue: top() there is
+/// const, forcing pop() to COPY the event (and its std::function, a heap
+/// allocation per pop). Owning the vector lets pop() move the event out and
+/// lets clear() keep the backing storage, so a drained-and-refilled queue
+/// runs allocation-free at steady state.
 class EventQueue {
  public:
   /// Enqueue `action` at absolute time `t`.
@@ -31,22 +36,30 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
+  /// Pre-size the backing storage (one allocation up front).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   /// Time of the next event. Requires !empty().
   Time next_time() const;
 
-  /// Remove and return the next event. Requires !empty().
+  /// Remove and return the next event (moved out, never copied).
+  /// Requires !empty().
   SimEvent pop();
 
+  /// Drops all pending events and resets the tie-break counter; the
+  /// vector's capacity is retained for reuse.
   void clear();
 
  private:
-  struct Later {
-    bool operator()(const SimEvent& a, const SimEvent& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  /// Strict heap order: does `a` fire before `b`?
+  static bool before(const SimEvent& a, const SimEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<SimEvent> heap_;  // binary min-heap by (time, seq)
   std::uint64_t next_seq_ = 0;
 };
 
