@@ -17,6 +17,7 @@ set -euo pipefail
 BUILD="${1:-build}"
 SMOKE="$BUILD/bench/perf_smoke"
 CLI="$BUILD/apps/poolnet_cli"
+SERVER_LOAD="$BUILD/bench/server_load"
 
 if [[ ! -x "$SMOKE" ]]; then
   echo "error: $SMOKE not built (cmake -B $BUILD && cmake --build $BUILD)" >&2
@@ -44,6 +45,16 @@ fi
 if [[ ! -s BENCH_smoke_metrics.json ]]; then
   echo "error: perf_smoke --metrics json did not write its snapshot" >&2
   exit 1
+fi
+
+# The server sweep: in-process poolnetd core under 1/8/64 concurrent
+# connections, every result byte-checked against direct execution plus
+# the deterministic admission probe. Its section merges into
+# BENCH_perf.json so the regression gate below sees it.
+if [[ -x "$SERVER_LOAD" ]]; then
+  "$SERVER_LOAD" --json BENCH_server.json
+  python3 scripts/merge_perf_section.py BENCH_perf.json BENCH_server.json \
+    server
 fi
 
 if [[ -x "$CLI" ]]; then

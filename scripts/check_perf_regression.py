@@ -15,6 +15,16 @@ Relative gate (applied only when BASELINE is given AND both documents
 carry the figure — runs without --scale simply skip it):
   * events_per_sec must not drop more than 10% below the baseline.
 
+Server gates (applied when CURRENT carries a 'server' section, which
+bench/server_load writes and scripts/merge_perf_section.py folds in):
+  * receipts_identical == true — every RESULT body the server streamed
+    was byte-identical to direct serial engine execution.
+  * rejection_probe.deterministic == true — admission control rejected
+    exactly the statements past the per-client window.
+  * relative: the best sweep-point QPS must not drop more than 50% below
+    the baseline's (generous: connection scheduling on shared runners is
+    far noisier than the single-process figures above).
+
 Wall-clock milliseconds are reported but never gated: absolute times vary
 across runners, while the speedup ratios and the throughput delta are
 machine-relative.
@@ -24,6 +34,7 @@ import json
 import sys
 
 EVENTS_PER_SEC_DROP = 0.10  # max tolerated fractional drop
+SERVER_QPS_DROP = 0.50  # max tolerated fractional drop, best sweep point
 
 
 def fail(msg: str) -> None:
@@ -93,10 +104,59 @@ def main(argv: list[str]) -> int:
             why = "figure absent from baseline"
         print(f"skip: events_per_sec gate ({why})")
 
+    check_server_section(current, baseline)
+
     if fail.hit:
         return 1
     print("perf regression check OK")
     return 0
+
+
+def best_qps(server: dict) -> float:
+    return max((p.get("qps", 0.0) for p in server.get("sweep", [])),
+               default=0.0)
+
+
+def check_server_section(current: dict, baseline: dict | None) -> None:
+    server = current.get("server")
+    if server is None:
+        print("skip: server gates (no 'server' section in current run)")
+        return
+
+    if server.get("receipts_identical") is not True:
+        fail("server.receipts_identical is not true — served results "
+             "diverged from direct engine execution")
+    else:
+        print("ok: server receipts byte-identical to direct execution")
+
+    probe = server.get("rejection_probe", {})
+    if probe.get("deterministic") is not True:
+        fail(f"server.rejection_probe not deterministic: {probe}")
+    else:
+        print(f"ok: admission probe rejected {probe.get('rejected')} of "
+              f"{probe.get('sent')} as expected")
+
+    for point in server.get("sweep", []):
+        print(f"note: server {point.get('connections')} conns -> "
+              f"{point.get('qps'):.0f} qps, p50 {point.get('p50_ms')} ms, "
+              f"p99 {point.get('p99_ms')} ms")
+
+    base_server = baseline.get("server") if baseline else None
+    cur_qps = best_qps(server)
+    if base_server and cur_qps > 0:
+        base = best_qps(base_server)
+        floor = base * (1.0 - SERVER_QPS_DROP)
+        if base > 0 and cur_qps < floor:
+            fail(f"server qps {cur_qps:.0f} dropped more than "
+                 f"{SERVER_QPS_DROP:.0%} below baseline {base:.0f} "
+                 f"(floor {floor:.0f})")
+        elif base > 0:
+            print(f"ok: server qps {cur_qps:.0f} vs baseline {base:.0f} "
+                  f"(floor {floor:.0f})")
+    else:
+        why = ("no baseline server section" if baseline is not None
+               else "no baseline given")
+        print(f"skip: server qps gate ({why})")
 
 
 if __name__ == "__main__":

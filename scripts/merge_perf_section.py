@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Merge a bench section document into BENCH_perf.json.
+
+Usage:
+    merge_perf_section.py PERF.json SECTION.json KEY
+
+Reads SECTION.json, takes its top-level KEY object, and writes it as
+PERF.json's KEY — bench binaries each own their section file
+(perf_smoke rewrites BENCH_perf.json wholesale; server_load writes
+BENCH_server.json) and this script is the single composition point, so
+no binary ever clobbers another's figures.
+
+PERF.json is rewritten with 2-space indentation and sorted keys so the
+committed document stays diff-stable.
+"""
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 4:
+        print(__doc__)
+        return 2
+    perf_path, section_path, key = argv[1], argv[2], argv[3]
+
+    with open(section_path, encoding="utf-8") as f:
+        section = json.load(f)
+    if key not in section:
+        print(f"error: {section_path} has no top-level '{key}'")
+        return 1
+
+    try:
+        with open(perf_path, encoding="utf-8") as f:
+            perf = json.load(f)
+    except FileNotFoundError:
+        perf = {}
+
+    perf[key] = section[key]
+    with open(perf_path, "w", encoding="utf-8") as f:
+        json.dump(perf, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"merged '{key}' from {section_path} into {perf_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Server smoke check: boot poolnetd on an ephemeral port, drive it with
+# server_load over real sockets (2 connections x 100 queries), verify
+# every streamed result is byte-identical to direct engine execution,
+# then SIGTERM the daemon and require a clean drain (exit 0). Exits
+# nonzero on any violation.
+#
+#   scripts/server_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+DAEMON="$BUILD/apps/poolnetd"
+LOAD="$BUILD/bench/server_load"
+
+for bin in "$DAEMON" "$LOAD"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake -B $BUILD && cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+# The backend flags here MUST match server_load's below — identical
+# construction is what makes the cross-process byte comparison valid.
+"$DAEMON" --system pool --nodes 300 --dims 3 --events-per-node 3 \
+  --seed 1 --batch 16 --port 0 > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# The ephemeral port appears on the "listening on" line once the testbed
+# is deployed.
+PORT=""
+for _ in $(seq 1 120); do
+  PORT="$(sed -n 's/^poolnetd: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$LOG")"
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "error: poolnetd died during startup:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [[ -z "$PORT" ]]; then
+  echo "error: poolnetd never reported its port:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "server_smoke: poolnetd up on port $PORT"
+
+"$LOAD" --connect "127.0.0.1:$PORT" --connections 2 --queries 100 \
+  --system pool --nodes 300 --dims 3 --events-per-node 3 --seed 1 \
+  --batch 16 --json BENCH_server_smoke.json
+
+# Clean drain: SIGTERM must answer everything in flight and exit 0.
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+if [[ "$DAEMON_STATUS" -ne 0 ]]; then
+  echo "error: poolnetd exited $DAEMON_STATUS after SIGTERM:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+if ! grep -q "^poolnetd: served 2 connections, 200 queries" "$LOG"; then
+  echo "error: poolnetd did not report serving the full load:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+echo "server smoke OK:"
+grep "^poolnetd: served" "$LOG"

@@ -69,10 +69,25 @@ void publish_system_query_stats(obs::Snapshot& snap, const std::string& prefix,
       static_cast<std::uint64_t>(stats.messages.count());
 }
 
+void publish_buffer_pool(obs::Snapshot& snap, const std::string& prefix,
+                         const common::BufferPoolStats& stats) {
+  snap.counters[prefix + ".buffers.acquires"] += stats.acquires;
+  snap.counters[prefix + ".buffers.reuses"] += stats.reuses;
+  snap.counters[prefix + ".buffers.releases"] += stats.releases;
+  snap.gauges[prefix + ".buffers.outstanding"] +=
+      static_cast<double>(stats.outstanding);
+  snap.gauges[prefix + ".buffers.high_water"] +=
+      static_cast<double>(stats.high_water);
+  snap.gauges[prefix + ".buffers.free"] +=
+      static_cast<double>(stats.free_buffers);
+  snap.gauges[prefix + ".buffers.reuse_rate"] = stats.reuse_rate();
+}
+
 obs::Snapshot scrape_testbed(Testbed& tb) {
   obs::Snapshot snap = tb.metrics().scrape();
   publish_network(snap, "pool", tb.pool_network());
   publish_network(snap, "dim", tb.dim_network());
+  publish_buffer_pool(snap, "pool", tb.path_pool().stats());
   publish_fault_stats(snap, "pool", tb.pool().fault_stats());
   publish_fault_stats(snap, "dim", tb.dim().fault_stats());
   if (tb.pool_trace() != nullptr) {

@@ -12,6 +12,7 @@
 
 #include "bench_support/experiment.h"
 #include "bench_support/testbed.h"
+#include "common/object_pool.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -30,6 +31,13 @@ namespace poolnet::benchsup {
 void publish_network(obs::Snapshot& snap, const std::string& prefix,
                      const net::Network& net,
                      const obs::HopEnergyModel& hop_energy = {});
+
+/// Publishes a BufferPool's lifetime accounting under <prefix>.buffers:
+/// counters .acquires/.reuses/.releases, gauges .outstanding,
+/// .high_water, .free and the derived .reuse_rate — the PR 5 hot-path
+/// pools become visible in every --metrics json|csv scrape.
+void publish_buffer_pool(obs::Snapshot& snap, const std::string& prefix,
+                         const common::BufferPoolStats& stats);
 
 /// Publishes fault-tolerance counters as <prefix>.faults.failovers,
 /// .events_lost, .events_restored, .retries, .failed_legs.

@@ -1,0 +1,72 @@
+#include "server/backend.h"
+
+namespace poolnet::server {
+
+const char* to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::Pool: return "pool";
+    case SystemKind::Dim: return "dim";
+    case SystemKind::Ght: return "ght";
+  }
+  return "?";
+}
+
+bool parse_system_kind(const std::string& name, SystemKind* out,
+                       std::string* error) {
+  if (name == "pool") {
+    *out = SystemKind::Pool;
+  } else if (name == "dim") {
+    *out = SystemKind::Dim;
+  } else if (name == "ght") {
+    *out = SystemKind::Ght;
+  } else {
+    *error = "unknown system '" + name + "' (expected pool, dim or ght)";
+    return false;
+  }
+  return true;
+}
+
+Backend::Backend(BackendConfig config) : config_(config) {
+  benchsup::TestbedConfig tb;
+  tb.nodes = config_.nodes;
+  tb.dims = config_.dims;
+  tb.events_per_node = config_.events_per_node;
+  tb.seed = config_.seed;
+  testbed_ = std::make_unique<benchsup::Testbed>(tb);
+  preloaded_ = testbed_->insert_workload();
+
+  switch (config_.system) {
+    case SystemKind::Pool:
+      system_ = &testbed_->pool();
+      break;
+    case SystemKind::Dim:
+      system_ = &testbed_->dim();
+      break;
+    case SystemKind::Ght: {
+      std::vector<Point> pts;
+      for (const auto& n : testbed_->pool_network().nodes())
+        pts.push_back(n.pos);
+      ght_net_ = std::make_unique<net::Network>(
+          std::move(pts), testbed_->pool_network().field(), tb.radio_range);
+      ght_gpsr_ = std::make_unique<routing::Gpsr>(*ght_net_);
+      const routing::Router* router = ght_gpsr_.get();
+      if (tb.route_cache.enabled) {
+        ght_cache_ = std::make_unique<routing::RouteCache>(
+            *ght_gpsr_, tb.route_cache, &testbed_->metrics(),
+            "ght.route_cache");
+        router = ght_cache_.get();
+      }
+      ght_ = std::make_unique<ght::GhtSystem>(*ght_net_, *router,
+                                              config_.dims);
+      for (const auto& e : testbed_->oracle().all()) ght_->insert(e.source, e);
+      system_ = ght_.get();
+      break;
+    }
+  }
+
+  engine_ = std::make_unique<engine::QueryEngine>(
+      *system_, config_.engine, &testbed_->metrics(),
+      std::string(to_string(config_.system)) + ".engine");
+}
+
+}  // namespace poolnet::server

@@ -1,0 +1,71 @@
+// The serving stack poolnetd fronts: one deployed Testbed, ONE of the
+// three DCS systems chosen at startup, and a batched QueryEngine over it.
+//
+// Built identically by the server binary and by bench/server_load's
+// direct-execution arm — same config, same seeds, same construction
+// order — which is what makes "server receipts are byte-identical to
+// direct engine execution" a meaningful comparison across processes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bench_support/testbed.h"
+#include "engine/query_engine.h"
+#include "ght/ght_system.h"
+#include "routing/route_cache.h"
+
+namespace poolnet::server {
+
+enum class SystemKind { Pool, Dim, Ght };
+
+const char* to_string(SystemKind kind);
+bool parse_system_kind(const std::string& name, SystemKind* out,
+                       std::string* error);
+
+struct BackendConfig {
+  SystemKind system = SystemKind::Pool;
+  std::size_t nodes = 300;
+  std::size_t dims = 3;
+  std::size_t events_per_node = 3;  ///< workload preloaded before serving
+  std::uint64_t seed = 1;
+  engine::QueryEngineConfig engine;  ///< server-side batching + result cache
+};
+
+/// Deploys the testbed, preloads the workload into every system (the
+/// Testbed inserts into Pool/DIM/oracle; a GHT choice adds its own
+/// network copy, as the CLI runner does), and binds a QueryEngine to the
+/// chosen system. Single-threaded, like the Testbed underneath.
+class Backend {
+ public:
+  explicit Backend(BackendConfig config);
+
+  const BackendConfig& config() const { return config_; }
+  storage::DcsSystem& system() { return *system_; }
+  engine::QueryEngine& engine() { return *engine_; }
+  benchsup::Testbed& testbed() { return *testbed_; }
+  obs::MetricsRegistry& metrics() { return testbed_->metrics(); }
+
+  /// Where client operations enter the network — the paper's sink.
+  /// Deterministic (node 0) so separately-built backends agree.
+  net::NodeId sink() const { return 0; }
+
+  /// Events preloaded by the workload; server-side inserts must number
+  /// their events above this to stay unique.
+  std::uint64_t preloaded_events() const { return preloaded_; }
+
+ private:
+  BackendConfig config_;
+  std::unique_ptr<benchsup::Testbed> testbed_;
+  // GHT rides on its own network over the same positions (the runner's
+  // pattern), so per-node accounting never mixes systems.
+  std::unique_ptr<net::Network> ght_net_;
+  std::unique_ptr<routing::Gpsr> ght_gpsr_;
+  std::unique_ptr<routing::RouteCache> ght_cache_;
+  std::unique_ptr<ght::GhtSystem> ght_;
+  storage::DcsSystem* system_ = nullptr;
+  std::unique_ptr<engine::QueryEngine> engine_;
+  std::uint64_t preloaded_ = 0;
+};
+
+}  // namespace poolnet::server

@@ -1,0 +1,40 @@
+// The poolnetd query language: a small text form for the paper's
+// multi-dimensional range queries and event insertions.
+//
+//   SELECT WHERE a0 IN [0.2, 0.5] AND a2 IN [0.1, 0.9]
+//   SELECT                                  (every dimension a don't-care)
+//   INSERT VALUES (0.12, 0.5, 0.98)
+//
+// Keywords are case-insensitive; attribute names are a0..a<k-1> where k
+// is the deployment's dimensionality. Dimensions a SELECT does not
+// mention are unspecified — the paper's '*' — so the four query types of
+// Section 2 are all expressible. Bounds and values must lie in [0, 1]
+// (the normalized attribute space); violations are parse errors, not
+// silent clamps, so a client always learns its query was malformed.
+#pragma once
+
+#include <string>
+
+#include "storage/event.h"
+#include "storage/range_query.h"
+
+namespace poolnet::server {
+
+/// Parses a SELECT statement against a `dims`-dimensional deployment.
+/// On failure returns false and sets `error` to a client-displayable
+/// message (also the payload of the resulting ERROR frame).
+bool parse_select(const std::string& text, std::size_t dims,
+                  storage::RangeQuery* out, std::string* error);
+
+/// Parses `INSERT VALUES (v0, ..., v<k-1>)`; exactly `dims` values, each
+/// in [0, 1].
+bool parse_insert(const std::string& text, std::size_t dims,
+                  storage::Values* out, std::string* error);
+
+/// Formats a RangeQuery as SELECT text that parses back to an equal
+/// query (bounds print with max_digits10, so the doubles round-trip
+/// exactly). The load generator uses this to feed generated workloads
+/// through the server's text path.
+std::string to_select_text(const storage::RangeQuery& query);
+
+}  // namespace poolnet::server

@@ -1,0 +1,197 @@
+// poolnetd's core: a concurrent TCP query server over the batched
+// QueryEngine.
+//
+// Threading model (DESIGN.md §12):
+//  * one ACCEPT thread owns the listening socket;
+//  * one READER thread per connection decodes frames and parses nothing —
+//    it forwards commands to the engine thread through one queue;
+//  * one ENGINE thread owns every piece of serving state: the Backend
+//    (Testbed + DcsSystem + QueryEngine are single-threaded by design),
+//    the per-client admission queues, the epoch fill, all socket WRITES,
+//    and every server.* metric. One writer means the registry can be
+//    scraped live (SUBSCRIBE_METRICS) without violating the scrape
+//    discipline, and responses for one connection are never interleaved.
+//
+// Admission control: a client may have at most max_inflight_per_client
+// statements queued, and the server at most max_pending_global across
+// all clients; beyond either bound the statement is REJECTED with a
+// typed ERROR frame immediately — the server never queues unboundedly.
+//
+// Fairness: the epoch fill takes queries round-robin ACROSS clients (one
+// per client per turn), so a chatty client cannot monopolize an epoch
+// ahead of others no matter how deep its queue is.
+//
+// Shutdown: stop() closes the listener, half-closes every connection for
+// reading, lets the engine thread drain — every admitted query still
+// executes and its result is written — then joins all threads. Clients
+// with requests in flight at SIGTERM get their answers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/backend.h"
+#include "server/wire.h"
+
+namespace poolnet::server {
+
+struct ServerConfig {
+  BackendConfig backend;
+
+  /// Listen address. Port 0 binds an ephemeral port; read it back with
+  /// port() after start().
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Admission control (see file header). Zero is not a valid limit.
+  std::size_t max_inflight_per_client = 16;
+  std::size_t max_pending_global = 1024;
+
+  /// A partial epoch flushes after this long with no new commands.
+  /// Wall-clock, unlike the engine's logical batch_deadline (which the
+  /// server pins to "never" — epoch timing is the server's job here).
+  std::uint64_t flush_interval_us = 2000;
+};
+
+/// Counter view assembled from the registry (server.* namespace); read
+/// after stop() or from the engine thread.
+struct ServerStats {
+  std::uint64_t connections = 0;   ///< sessions accepted, lifetime
+  std::uint64_t disconnects = 0;   ///< sessions fully closed
+  std::uint64_t queries_in = 0;    ///< SELECTs admitted
+  std::uint64_t queries_out = 0;   ///< RESULT frames written for queries
+  std::uint64_t inserts = 0;       ///< INSERTs applied
+  std::uint64_t rejected = 0;      ///< admission-control ERRORs
+  std::uint64_t parse_errors = 0;  ///< statement/frame ERRORs
+  std::uint64_t epochs = 0;        ///< epoch executions (incl. partial)
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept + engine threads. Throws
+  /// ConfigError when the address cannot be bound.
+  void start();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Drains and joins (see file header). Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  bool running() const { return running_; }
+
+  Backend& backend() { return *backend_; }
+  ServerStats stats() const;
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::thread reader;
+    std::atomic<bool> closed{false};  ///< fd has been close()d
+  };
+
+  struct Command {
+    enum class Kind : std::uint8_t {
+      Open,      ///< session accepted
+      Closed,    ///< reader finished (EOF, error or corrupt stream)
+      Query,     ///< SELECT statement text
+      Insert,    ///< INSERT statement text
+      Metrics,   ///< SUBSCRIBE_METRICS
+      BadFrame,  ///< protocol violation on this session
+      Drain,     ///< begin shutdown: finish pending work, then exit
+    };
+    Kind kind;
+    std::shared_ptr<Session> session;
+    std::uint64_t request_id = 0;
+    std::string text;
+  };
+
+  struct PendingQuery {
+    std::uint64_t request_id = 0;
+    storage::RangeQuery query;
+  };
+
+  struct ClientState {
+    std::shared_ptr<Session> session;
+    std::deque<PendingQuery> queue;  ///< admitted, not yet executed
+    /// Reader finished (EOF — possibly our own drain-time SHUT_RD). The
+    /// write side stays usable: admitted queries still get answers, and
+    /// the session closes only once its queue empties.
+    bool input_closed = false;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Session> session);
+  void engine_loop();
+
+  void enqueue(Command cmd);
+  void handle(Command& cmd);
+  void handle_query(Command& cmd);
+
+  /// Tears down a client whose input is closed and whose queue is empty:
+  /// closes the fd, leaves the round-robin ring, updates the counters.
+  void finish_client(std::uint64_t client_id);
+
+  /// Executes one epoch: fills up to epoch_size_ queries round-robin
+  /// across clients, runs them as one engine batch, and writes every
+  /// RESULT frame. Engine thread only.
+  void run_epoch();
+
+  /// Writes a whole frame to the session (engine thread only); on a dead
+  /// peer the session is shut down and the frame dropped.
+  void write_frame(const std::shared_ptr<Session>& session,
+                   const std::vector<std::uint8_t>& frame);
+  void close_session(const std::shared_ptr<Session>& session);
+
+  ServerConfig config_;
+  std::unique_ptr<Backend> backend_;
+  std::size_t epoch_size_ = 1;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread accept_thread_;
+  std::thread engine_thread_;
+
+  std::mutex sessions_mu_;  ///< accept thread adds; stop() iterates
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Command> queue_;
+
+  // --- engine-thread state (no locks; one owner) ---
+  std::map<std::uint64_t, ClientState> clients_;
+  std::vector<std::uint64_t> rr_order_;  ///< round-robin client ring
+  std::size_t rr_next_ = 0;
+  std::size_t pending_total_ = 0;
+  std::size_t sessions_open_ = 0;
+  bool draining_ = false;
+  std::uint64_t next_event_id_ = 0;
+
+  obs::MetricsRegistry::Counter connections_, disconnects_, queries_in_,
+      queries_out_, inserts_, rejected_, parse_errors_, epochs_;
+  obs::MetricsRegistry::Histogram occupancy_;
+};
+
+}  // namespace poolnet::server

@@ -1,0 +1,200 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace poolnet::server {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ParseError: return "parse-error";
+    case ErrorCode::TooManyInFlight: return "too-many-in-flight";
+    case ErrorCode::ServerBusy: return "server-busy";
+    case ErrorCode::ShuttingDown: return "shutting-down";
+    case ErrorCode::BadFrame: return "bad-frame";
+  }
+  return "?";
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_text(std::vector<std::uint8_t>& out, const std::string& text) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+const std::uint8_t* PayloadReader::take(std::size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t PayloadReader::u8() {
+  const auto* p = take(1);
+  return p ? *p : 0;
+}
+
+std::uint16_t PayloadReader::u16() {
+  const auto* p = take(2);
+  if (!p) return 0;
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t PayloadReader::u32() {
+  const auto* p = take(4);
+  if (!p) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  const auto* p = take(8);
+  if (!p) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double PayloadReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::rest_text() {
+  if (!ok_) return {};
+  std::string text(reinterpret_cast<const char*>(data_ + pos_),
+                   size_ - pos_);
+  pos_ = size_;
+  return text;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  const std::vector<std::uint8_t>& payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size() + 1));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> encode_request(FrameType type,
+                                         std::uint64_t request_id,
+                                         const std::string& statement) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, request_id);
+  put_text(payload, statement);
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, type, payload);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_result(
+    std::uint64_t request_id, ResultKind kind,
+    const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, request_id);
+  payload.push_back(static_cast<std::uint8_t>(kind));
+  payload.insert(payload.end(), body.begin(), body.end());
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, FrameType::Result, payload);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
+                                       ErrorCode code,
+                                       const std::string& message) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, request_id);
+  put_u16(payload, static_cast<std::uint16_t>(code));
+  put_text(payload, message);
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, FrameType::Error, payload);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_events(
+    const std::vector<storage::Event>& events) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, static_cast<std::uint32_t>(events.size()));
+  for (const storage::Event& e : events) {
+    put_u64(body, e.id);
+    put_u32(body, static_cast<std::uint32_t>(e.source));
+    body.push_back(static_cast<std::uint8_t>(e.values.size()));
+    for (std::size_t d = 0; d < e.values.size(); ++d)
+      put_f64(body, e.values[d]);
+    put_f64(body, e.detected_at);
+  }
+  return body;
+}
+
+bool decode_events(const std::vector<std::uint8_t>& body,
+                   std::vector<storage::Event>* out) {
+  out->clear();
+  PayloadReader r(body);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    storage::Event e;
+    e.id = r.u64();
+    e.source = static_cast<net::NodeId>(r.u32());
+    const std::uint8_t dims = r.u8();
+    if (dims > storage::kMaxDims) return false;
+    for (std::uint8_t d = 0; d < dims; ++d) e.values.push_back(r.f64());
+    e.detected_at = r.f64();
+    if (r.ok()) out->push_back(std::move(e));
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, keeping the buffer from
+  // growing with total stream volume.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameDecoder::next(Frame* out) {
+  if (corrupt_) return false;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return false;
+  PayloadReader header(buf_.data() + consumed_, 4);
+  const std::uint32_t length = header.u32();
+  if (length == 0 || length > kMaxFrameBytes) {
+    corrupt_ = true;
+    return false;
+  }
+  if (avail < 4 + static_cast<std::size_t>(length)) return false;
+  const std::uint8_t* frame = buf_.data() + consumed_ + 4;
+  out->type = static_cast<FrameType>(frame[0]);
+  out->payload.assign(frame + 1, frame + length);
+  consumed_ += 4 + length;
+  return true;
+}
+
+}  // namespace poolnet::server

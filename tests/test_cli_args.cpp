@@ -124,5 +124,112 @@ TEST(ArgParser, LaterValueWins) {
   EXPECT_EQ(p.option("nodes"), "200");
 }
 
+// --- the shared option tables ---------------------------------------------
+//
+// Every binary that calls add_engine_options/add_fault_options/
+// add_telemetry_options gets the SAME spellings, defaults and error
+// behavior; these tests pin that shared surface down.
+
+ArgParser make_shared_parser() {
+  ArgParser p("prog", "test program");
+  add_engine_options(p);
+  add_fault_options(p);
+  add_telemetry_options(p);
+  return p;
+}
+
+TEST(SharedOptions, DefaultsAreAllOff) {
+  auto p = make_shared_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {}, &error));
+
+  engine::QueryEngineConfig engine;
+  ASSERT_TRUE(parse_engine_options(p, &engine, &error)) << error;
+  EXPECT_EQ(engine.batch_size, 0u);  // --batch off: serial issue
+  EXPECT_EQ(engine.batch_deadline, 16u);
+  EXPECT_FALSE(engine.cache.enabled);
+
+  sim::FaultPlan plan;
+  ASSERT_TRUE(parse_fault_options(p, &plan, &error)) << error;
+  EXPECT_FALSE(plan.enabled());
+
+  obs::TelemetryConfig telemetry;
+  ASSERT_TRUE(parse_telemetry_options(p, &telemetry, &error)) << error;
+  EXPECT_FALSE(telemetry.wants_metrics());
+  EXPECT_FALSE(telemetry.wants_trace());
+}
+
+TEST(SharedOptions, EngineSpecsRoundTrip) {
+  auto p = make_shared_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p,
+                    {"--batch", "32", "--batch-deadline", "64", "--qcache",
+                     "ttl:500"},
+                    &error));
+  engine::QueryEngineConfig engine;
+  ASSERT_TRUE(parse_engine_options(p, &engine, &error)) << error;
+  EXPECT_EQ(engine.batch_size, 32u);
+  EXPECT_EQ(engine.batch_deadline, 64u);
+  EXPECT_TRUE(engine.cache.enabled);
+  EXPECT_EQ(engine.cache.ttl, 500u);
+
+  ASSERT_TRUE(parse(p, {"--batch", "off", "--qcache", "on"}, &error));
+  ASSERT_TRUE(parse_engine_options(p, &engine, &error)) << error;
+  EXPECT_EQ(engine.batch_size, 0u);
+  EXPECT_TRUE(engine.cache.enabled);
+  EXPECT_EQ(engine.cache.ttl, 0u);
+}
+
+TEST(SharedOptions, EngineSpecsRejectGarbage) {
+  for (const auto& args : std::vector<std::vector<const char*>>{
+           {"--batch", "maybe"},
+           {"--batch", "-3"},
+           {"--qcache", "sometimes"},
+           {"--qcache", "ttl:abc"}}) {
+    auto p = make_shared_parser();
+    std::string error;
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    ASSERT_TRUE(
+        p.parse(static_cast<int>(argv.size()), argv.data(), &error));
+    engine::QueryEngineConfig engine;
+    EXPECT_FALSE(parse_engine_options(p, &engine, &error)) << args[1];
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(SharedOptions, FaultSpecsParseAndReject) {
+  auto p = make_shared_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--faults", "kill:0.1@5;seed:42"}, &error));
+  sim::FaultPlan plan;
+  ASSERT_TRUE(parse_fault_options(p, &plan, &error)) << error;
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed, 42u);
+
+  ASSERT_TRUE(parse(p, {"--faults", "explode:now"}, &error));
+  EXPECT_FALSE(parse_fault_options(p, &plan, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SharedOptions, TelemetrySpecsParseAndReject) {
+  auto p = make_shared_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {"--metrics", "json:/tmp/x.json", "--trace", "64"},
+                    &error));
+  obs::TelemetryConfig telemetry;
+  ASSERT_TRUE(parse_telemetry_options(p, &telemetry, &error)) << error;
+  EXPECT_EQ(telemetry.format, obs::MetricsFormat::Json);
+  EXPECT_EQ(telemetry.path, "/tmp/x.json");
+  EXPECT_EQ(telemetry.trace_capacity, 64u);
+
+  ASSERT_TRUE(parse(p, {"--metrics", "yaml"}, &error));
+  EXPECT_FALSE(parse_telemetry_options(p, &telemetry, &error));
+  EXPECT_FALSE(error.empty());
+
+  ASSERT_TRUE(parse(p, {"--trace", "-1"}, &error));
+  EXPECT_FALSE(parse_telemetry_options(p, &telemetry, &error));
+}
+
 }  // namespace
 }  // namespace poolnet::cli

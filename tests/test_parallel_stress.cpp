@@ -1,0 +1,80 @@
+// Wakeup stress for the ThreadPool: many short bursts of submissions and
+// parallel_map calls, the exact pattern that loses a worker when the
+// sleep/wake accounting (the unclaimed_ counter) is wrong. A missed
+// wakeup hangs wait_idle, so a bug shows up as a test timeout; data races
+// in the accounting show up in the clang-tsan CI job, which runs this
+// test like any other.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "bench_support/parallel.h"
+
+namespace poolnet::benchsup {
+namespace {
+
+TEST(ParallelStressTest, ManyShortSubmissionBursts) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  // Interleave tiny bursts with wait_idle so workers repeatedly go to
+  // sleep and must be woken for the next burst — the lost-wakeup window.
+  for (int burst = 0; burst < 200; ++burst) {
+    const std::size_t n = 1 + static_cast<std::size_t>(burst % 7);
+    for (std::size_t i = 0; i < n; ++i)
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+  }
+  std::size_t expected = 0;
+  for (int burst = 0; burst < 200; ++burst)
+    expected += 1 + static_cast<std::size_t>(burst % 7);
+  EXPECT_EQ(ran.load(), expected);
+}
+
+TEST(ParallelStressTest, RepeatedShortParallelMaps) {
+  // Each parallel_map builds, drives and joins its own pool; repeating
+  // with tiny n stresses startup/shutdown and the chunked submission
+  // path at every worker count.
+  for (std::size_t threads = 2; threads <= 8; threads += 3) {
+    for (int round = 0; round < 60; ++round) {
+      const std::size_t n = 1 + static_cast<std::size_t>(round % 5);
+      const std::vector<int> out = parallel_map<int>(
+          n, threads,
+          [](std::size_t i) { return static_cast<int>(i) * 3 + 1; });
+      ASSERT_EQ(out.size(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], static_cast<int>(i) * 3 + 1);
+    }
+  }
+}
+
+TEST(ParallelStressTest, SubmissionsFromManyThreads) {
+  // Concurrent submitters racing workers going idle: the scenario where
+  // unclaimed_ and pending_ can disagree if either is updated outside
+  // state_mu_.
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &sum, s] {
+      for (int i = 0; i < 100; ++i) {
+        pool.submit([&sum, s, i] {
+          sum.fetch_add(static_cast<std::uint64_t>(s * 1000 + i),
+                        std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  std::uint64_t expected = 0;
+  for (int s = 0; s < 4; ++s)
+    for (int i = 0; i < 100; ++i)
+      expected += static_cast<std::uint64_t>(s * 1000 + i);
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace poolnet::benchsup
