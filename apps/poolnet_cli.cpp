@@ -30,9 +30,11 @@ bool parse_systems(const std::string& raw,
       out->push_back(cli::SystemChoice::Dim);
     } else if (token == "ght") {
       out->push_back(cli::SystemChoice::Ght);
+    } else if (token == "central") {
+      out->push_back(cli::SystemChoice::Central);
     } else if (token == "all") {
       *out = {cli::SystemChoice::Pool, cli::SystemChoice::Dim,
-              cli::SystemChoice::Ght};
+              cli::SystemChoice::Ght, cli::SystemChoice::Central};
     } else {
       *error = "--systems: unknown system '" + token + "'";
       return false;
@@ -50,7 +52,7 @@ int main(int argc, char** argv) {
       "poolnet_cli",
       "run a Pool/DIM/GHT sensor-network storage experiment");
   parser.add_option("systems", "pool,dim",
-                    "comma-separated: pool, dim, ght, or all");
+                    "comma-separated: pool, dim, ght, central, or all");
   parser.add_option("nodes", "900", "network size (sensors)");
   parser.add_option("dims", "3", "event dimensionality k");
   parser.add_option("events-per-node", "3", "workload volume");
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
   cli::add_engine_options(parser);
   cli::add_fault_options(parser);
   cli::add_telemetry_options(parser);
+  cli::add_store_options(parser);
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -137,6 +140,10 @@ int main(int argc, char** argv) {
   }
   if (!cli::parse_telemetry_options(parser, &config.telemetry, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!cli::parse_store_options(parser, &config.store, &error)) {
+    std::fprintf(stderr, "error: --store: %s\n", error.c_str());
     return 2;
   }
 

@@ -31,8 +31,9 @@ void on_signal(int) { g_stop.store(1); }
 
 int main(int argc, char** argv) {
   cli::ArgParser parser("poolnetd",
-                        "serve a Pool/DIM/GHT deployment over TCP");
-  parser.add_option("system", "pool", "which DCS system: pool, dim or ght");
+                        "serve a Pool/DIM/GHT/central deployment over TCP");
+  parser.add_option("system", "pool",
+                    "which DCS system: pool, dim, ght or central");
   parser.add_option("host", "127.0.0.1", "listen address");
   parser.add_option("port", "0", "listen port (0 = ephemeral)");
   parser.add_option("nodes", "300", "network size (sensors)");
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
                     "partial epochs flush after this idle time");
   cli::add_engine_options(parser);
   cli::add_telemetry_options(parser);
+  cli::add_store_options(parser);
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -75,7 +77,8 @@ int main(int argc, char** argv) {
       !server::parse_system_kind(parser.option("system"),
                                  &config.backend.system, &error) ||
       !cli::parse_engine_options(parser, &config.backend.engine, &error) ||
-      !cli::parse_telemetry_options(parser, &telemetry, &error)) {
+      !cli::parse_telemetry_options(parser, &telemetry, &error) ||
+      !cli::parse_store_options(parser, &config.backend.store, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }

@@ -11,15 +11,19 @@
 // testbeds at 1k/10k/100k nodes measuring sustained insert throughput
 // (events/sec) and peak RSS, proving the pooled/SoA hot paths hold up at
 // two orders of magnitude beyond the paper's 2700-node ceiling.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 #endif
 
 #include "bench_support/experiment.h"
@@ -34,6 +38,8 @@
 #include "query/workload.h"
 #include "routing/gpsr.h"
 #include "routing/route_cache.h"
+#include "storage/brute_force_store.h"
+#include "storage/paged/paged_store.h"
 
 using namespace poolnet;
 using namespace poolnet::benchsup;
@@ -116,7 +122,7 @@ struct ScaleTier {
   double insert_ms = 0;
   double events_per_sec = 0;
   std::uint64_t insert_messages = 0;
-  long peak_rss_kb = 0;  ///< process high-water mark AFTER this tier
+  long peak_rss_kb = 0;  ///< this tier's own footprint (see run_forked)
   bool ok = false;
 };
 
@@ -134,9 +140,80 @@ long peak_rss_kb_now() {
   return 0;
 }
 
+/// Current (not peak) resident size, for the pre-tier baseline snapshot.
+/// Falls back to the peak where /proc is unavailable.
+long current_rss_kb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long size = 0, resident = 0;
+    const int n = std::fscanf(f, "%ld %ld", &size, &resident);
+    std::fclose(f);
+    if (n == 2)
+      return resident * static_cast<long>(sysconf(_SC_PAGESIZE) / 1024);
+  }
+#endif
+  return peak_rss_kb_now();
+}
+
+/// Runs `fn` in a forked child and ships its trivially-copyable result
+/// back over a pipe. ru_maxrss is a PROCESS-WIDE high-water mark, so
+/// measuring successive tiers in one process lets every tier inherit its
+/// predecessors' footprint — the accounting bug this bench shipped with.
+/// A fresh child starts from a clean baseline; each tier additionally
+/// subtracts the RSS it inherited across fork (COW pages of the parent),
+/// so peak_rss_kb is that tier's own allocations. Falls back to in-process
+/// execution (still baseline-corrected, but peaks no longer isolate)
+/// where fork is unavailable.
+template <typename T, typename Fn>
+T run_forked(Fn&& fn) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "forked results cross a pipe as raw bytes");
+#if defined(__unix__) || defined(__APPLE__)
+  int fds[2];
+  if (pipe(fds) != 0) return fn();
+  std::fflush(nullptr);  // don't let the child replay buffered output
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return fn();
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const T result = fn();
+    const auto* p = reinterpret_cast<const unsigned char*>(&result);
+    std::size_t off = 0;
+    while (off < sizeof(T)) {
+      const ssize_t n = write(fds[1], p + off, sizeof(T) - off);
+      if (n <= 0) _exit(3);
+      off += static_cast<std::size_t>(n);
+    }
+    _exit(0);
+  }
+  close(fds[1]);
+  T result{};
+  auto* p = reinterpret_cast<unsigned char*>(&result);
+  std::size_t off = 0;
+  while (off < sizeof(T)) {
+    const ssize_t n = read(fds[0], p + off, sizeof(T) - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (off != sizeof(T) || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+    return T{};  // default ok=false marks the tier failed
+  return result;
+#else
+  return fn();
+#endif
+}
+
 ScaleTier run_scale_tier(std::size_t nodes) {
   ScaleTier out;
   out.nodes = nodes;
+  const long rss_baseline = current_rss_kb();
   const double radio = 40.0;
   const double side = net::field_side_for_density(nodes, radio, 20.0);
   const Rect field{0.0, 0.0, side, side};
@@ -182,7 +259,107 @@ ScaleTier run_scale_tier(std::size_t nodes) {
           ? static_cast<double>(inserted) / (out.insert_ms / 1000.0)
           : 0;
   out.insert_messages = network->traffic().total;
-  out.peak_rss_kb = peak_rss_kb_now();
+  out.peak_rss_kb = std::max(0L, peak_rss_kb_now() - rss_baseline);
+  out.ok = true;
+  return out;
+}
+
+/// Store-scale churn arm (--scale): insert+expire churn from 100k event
+/// sources through a central store — the flat in-memory vector vs the
+/// paged out-of-core store with a buffer pool a small fraction of the
+/// working set. Pure storage, no network: the question is whether the
+/// pager holds a bounded footprint at flat-store-like throughput while
+/// answering queries identically.
+struct StoreChurn {
+  double churn_ms = 0;   ///< inserts + periodic expiry, wall
+  double query_ms = 0;   ///< the 32-query probe, wall
+  double events_per_sec = 0;
+  long peak_rss_kb = 0;  ///< churn-phase footprint (forked + baselined,
+                         ///< captured before the probe materializes results)
+  std::uint64_t inserted = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t live = 0;          ///< stored_count() after churn
+  std::uint64_t query_results = 0;
+  std::uint64_t query_checksum = 0;  ///< Σ event ids over probe results
+  double pager_hit_rate = 0;         ///< paged arm only
+  std::uint64_t pager_evictions = 0;
+  std::uint64_t file_pages = 0;
+  bool conservation_ok = false;  ///< inserted == live + expired
+  bool ok = false;
+};
+
+constexpr std::size_t kChurnSources = 100'000;
+constexpr std::uint64_t kChurnInserts = 2'400'000;
+constexpr std::uint64_t kChurnExpireEvery = 400'000;
+constexpr std::uint64_t kChurnKeepLive = 800'000;
+constexpr int kChurnQueries = 32;
+
+StoreChurn run_store_churn(bool paged) {
+  StoreChurn out;
+  const long rss_baseline = current_rss_kb();
+
+  std::unique_ptr<storage::DcsSystem> store;
+  storage::PagedStore* pager = nullptr;
+  if (paged) {
+    storage::PagedStoreOptions po;
+    po.pool_pages = 1024;  // 4 MB pool vs a ~50 MB working set
+    po.page_bytes = 4096;
+    po.backing = storage::PagedStoreOptions::Backing::File;
+    auto p = std::make_unique<storage::PagedStore>(3, po);
+    pager = p.get();
+    store = std::move(p);
+  } else {
+    store = std::make_unique<storage::BruteForceStore>(3);
+  }
+
+  query::WorkloadConfig wc;
+  wc.dims = 3;
+  query::EventGenerator gen(wc, 4242);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kChurnInserts; ++i) {
+    storage::Event e = gen.next(static_cast<net::NodeId>(i % kChurnSources));
+    e.detected_at = static_cast<double>(i);
+    store->insert(e.source, e);
+    ++out.inserted;
+    if ((i + 1) % kChurnExpireEvery == 0 && i + 1 > kChurnKeepLive) {
+      out.expired +=
+          store->expire_before(static_cast<double>(i + 1 - kChurnKeepLive));
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  // Capture RSS here: the bound under test is the insert+expire churn
+  // footprint (flat's live vector vs the pager's fixed pool). The probe
+  // below materializes result vectors of up to `live` events — tens of
+  // MB that both arms pay identically and that says nothing about the
+  // store's resident state.
+  out.peak_rss_kb = std::max(0L, peak_rss_kb_now() - rss_baseline);
+
+  // Identical probe queries in both arms (same generator, same seed):
+  // the id checksum must agree bit-for-bit between flat and paged.
+  query::QueryGenerator qgen(
+      {.dims = 3, .dist = query::RangeSizeDistribution::Uniform}, 777);
+  for (int q = 0; q < kChurnQueries; ++q) {
+    const auto receipt = store->query(0, qgen.exact_range());
+    out.query_results += receipt.events.size();
+    for (const auto& e : receipt.events) out.query_checksum += e.id;
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  out.churn_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.query_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  out.events_per_sec =
+      out.churn_ms > 0
+          ? static_cast<double>(out.inserted) / (out.churn_ms / 1000.0)
+          : 0;
+  out.live = store->stored_count();
+  out.conservation_ok = out.inserted == out.live + out.expired;
+  if (pager != nullptr) {
+    const storage::PagerStats ps = pager->pager_stats();
+    out.pager_hit_rate = ps.hit_rate();
+    out.pager_evictions = ps.evictions;
+    out.file_pages = pager->page_count();
+  }
   out.ok = true;
   return out;
 }
@@ -378,13 +555,17 @@ int main(int argc, char** argv) {
       identical ? "yes" : "NO");
 
   std::vector<ScaleTier> tiers;
+  StoreChurn churn_flat, churn_paged;
   if (want_scale) {
-    std::printf("\nscale tier (Pool-only, 1 event/node):\n");
+    std::printf("\nscale tier (Pool-only, 1 event/node, forked per tier):\n");
     TablePrinter scale_table(
-        {"nodes", "build ms", "insert ms", "events/sec", "peak RSS MB"});
+        {"nodes", "build ms", "insert ms", "events/sec", "tier RSS MB"});
     for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
                                 std::size_t{100000}}) {
-      const ScaleTier tier = run_scale_tier(n);
+      // Each tier runs in its own forked child so peak_rss_kb is that
+      // tier's footprint, not the process high-water across all tiers.
+      const ScaleTier tier =
+          run_forked<ScaleTier>([n] { return run_scale_tier(n); });
       if (!tier.ok) {
         std::printf("  %zu nodes: no connected deployment drawn, skipped\n",
                     n);
@@ -397,6 +578,41 @@ int main(int argc, char** argv) {
       tiers.push_back(tier);
     }
     scale_table.print();
+
+    std::printf(
+        "\nstore churn (%zu sources, %llu inserts, %llu live, forked "
+        "per arm):\n",
+        kChurnSources, static_cast<unsigned long long>(kChurnInserts),
+        static_cast<unsigned long long>(kChurnKeepLive));
+    churn_flat = run_forked<StoreChurn>([] { return run_store_churn(false); });
+    churn_paged = run_forked<StoreChurn>([] { return run_store_churn(true); });
+    TablePrinter churn_table({"store", "churn ms", "query ms", "events/sec",
+                              "arm RSS MB", "hit rate", "conserved"});
+    const auto churn_row = [&](const char* name, const StoreChurn& c) {
+      churn_table.add_row(
+          {name, fmt(c.churn_ms, 0), fmt(c.query_ms, 0),
+           fmt(c.events_per_sec, 0), fmt(c.peak_rss_kb / 1024.0, 1),
+           c.pager_evictions > 0 ? fmt(c.pager_hit_rate, 4) : std::string("-"),
+           c.conservation_ok ? "yes" : "NO"});
+    };
+    if (churn_flat.ok) churn_row("flat", churn_flat);
+    if (churn_paged.ok) churn_row("paged", churn_paged);
+    churn_table.print();
+    if (churn_flat.ok && churn_paged.ok) {
+      const bool same = churn_flat.query_checksum == churn_paged.query_checksum &&
+                        churn_flat.query_results == churn_paged.query_results &&
+                        churn_flat.live == churn_paged.live;
+      std::printf(
+          "store churn: results %s (checksum %llu, %llu events), paged RSS "
+          "%.1f%% of flat\n",
+          same ? "identical" : "DIVERGED",
+          static_cast<unsigned long long>(churn_flat.query_checksum),
+          static_cast<unsigned long long>(churn_flat.query_results),
+          churn_flat.peak_rss_kb > 0
+              ? 100.0 * static_cast<double>(churn_paged.peak_rss_kb) /
+                    static_cast<double>(churn_flat.peak_rss_kb)
+              : 0.0);
+    }
   }
 
   const EngineProbe probe = run_engine_probe();
@@ -460,6 +676,38 @@ int main(int argc, char** argv) {
             t.peak_rss_kb, i + 1 < tiers.size() ? "," : "");
       }
       std::fprintf(f, "  ],\n");
+    }
+    if (churn_flat.ok && churn_paged.ok) {
+      const auto emit_churn = [f](const char* name, const StoreChurn& c,
+                                  bool last) {
+        std::fprintf(
+            f,
+            "    \"%s\": {\"churn_ms\": %.1f, \"query_ms\": %.1f, "
+            "\"events_per_sec\": %.1f, \"peak_rss_kb\": %ld, "
+            "\"inserted\": %llu, \"expired\": %llu, \"live\": %llu, "
+            "\"query_results\": %llu, \"query_checksum\": %llu, "
+            "\"pager_hit_rate\": %.4f, \"pager_evictions\": %llu, "
+            "\"file_pages\": %llu, \"conservation_ok\": %s}%s\n",
+            name, c.churn_ms, c.query_ms, c.events_per_sec, c.peak_rss_kb,
+            static_cast<unsigned long long>(c.inserted),
+            static_cast<unsigned long long>(c.expired),
+            static_cast<unsigned long long>(c.live),
+            static_cast<unsigned long long>(c.query_results),
+            static_cast<unsigned long long>(c.query_checksum),
+            c.pager_hit_rate,
+            static_cast<unsigned long long>(c.pager_evictions),
+            static_cast<unsigned long long>(c.file_pages),
+            c.conservation_ok ? "true" : "false", last ? "" : ",");
+      };
+      const bool same =
+          churn_flat.query_checksum == churn_paged.query_checksum &&
+          churn_flat.query_results == churn_paged.query_results &&
+          churn_flat.live == churn_paged.live;
+      std::fprintf(f, "  \"store_scale\": {\n");
+      emit_churn("flat", churn_flat, false);
+      emit_churn("paged", churn_paged, false);
+      std::fprintf(f, "    \"results_identical\": %s\n  },\n",
+                   same ? "true" : "false");
     }
     std::fprintf(
         f,

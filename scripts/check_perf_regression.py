@@ -25,6 +25,19 @@ bench/server_load writes and scripts/merge_perf_section.py folds in):
     the baseline's (generous: connection scheduling on shared runners is
     far noisier than the single-process figures above).
 
+Store-churn gates (applied when CURRENT carries a 'store_scale' section,
+which perf_smoke --scale writes — runs without --scale skip them; both
+arms are forked, so every figure is that arm's own footprint):
+  * results_identical == true — the paged arm answered the probe queries
+    with the flat arm's exact checksum.
+  * conservation_ok == true in both arms — inserted == live + expired.
+  * paged churn RSS <= 25% of the flat arm's (the whole point of paging
+    out of core).
+  * paged pager_hit_rate >= 0.5 — the pool is big enough to be a cache,
+    not a revolving door.
+  * paged events_per_sec >= 50% of flat — bounded memory must not cost
+    an order of magnitude in churn throughput.
+
 Wall-clock milliseconds are reported but never gated: absolute times vary
 across runners, while the speedup ratios and the throughput delta are
 machine-relative.
@@ -35,6 +48,9 @@ import sys
 
 EVENTS_PER_SEC_DROP = 0.10  # max tolerated fractional drop
 SERVER_QPS_DROP = 0.50  # max tolerated fractional drop, best sweep point
+PAGED_RSS_CEILING = 0.25  # paged churn RSS as a fraction of flat's
+PAGED_HIT_RATE_FLOOR = 0.5
+PAGED_THROUGHPUT_FLOOR = 0.5  # paged events/sec vs flat's
 
 
 def fail(msg: str) -> None:
@@ -105,6 +121,7 @@ def main(argv: list[str]) -> int:
         print(f"skip: events_per_sec gate ({why})")
 
     check_server_section(current, baseline)
+    check_store_scale_section(current)
 
     if fail.hit:
         return 1
@@ -157,6 +174,67 @@ def check_server_section(current: dict, baseline: dict | None) -> None:
         why = ("no baseline server section" if baseline is not None
                else "no baseline given")
         print(f"skip: server qps gate ({why})")
+
+
+def check_store_scale_section(current: dict) -> None:
+    section = current.get("store_scale")
+    if section is None:
+        print("skip: store-churn gates (no 'store_scale' section — "
+              "run perf_smoke --scale to produce one)")
+        return
+    flat, paged = section.get("flat", {}), section.get("paged", {})
+
+    if section.get("results_identical") is not True:
+        fail("store_scale.results_identical is not true — the paged "
+             "store answered the probe queries differently from flat")
+    else:
+        print(f"ok: flat/paged probe results identical "
+              f"(checksum {paged.get('query_checksum')})")
+
+    for arm_name, arm in (("flat", flat), ("paged", paged)):
+        if arm.get("conservation_ok") is not True:
+            fail(f"store_scale.{arm_name}: inserted != live + expired "
+                 f"({arm.get('inserted')} vs {arm.get('live')} + "
+                 f"{arm.get('expired')})")
+        else:
+            print(f"ok: {arm_name} arm conserves events "
+                  f"({arm.get('inserted')} = {arm.get('live')} live + "
+                  f"{arm.get('expired')} expired)")
+
+    flat_rss, paged_rss = flat.get("peak_rss_kb"), paged.get("peak_rss_kb")
+    if flat_rss and paged_rss is not None:
+        ratio = paged_rss / flat_rss
+        if ratio > PAGED_RSS_CEILING:
+            fail(f"paged churn RSS {paged_rss} KB is {ratio:.1%} of flat's "
+                 f"{flat_rss} KB (ceiling {PAGED_RSS_CEILING:.0%}) — the "
+                 "buffer pool is not bounding the working set")
+        else:
+            print(f"ok: paged churn RSS {paged_rss} KB = {ratio:.1%} of "
+                  f"flat's {flat_rss} KB (ceiling {PAGED_RSS_CEILING:.0%})")
+    else:
+        print("skip: paged RSS gate (missing RSS figures)")
+
+    hit_rate = paged.get("pager_hit_rate")
+    if hit_rate is None:
+        print("skip: pager hit-rate gate (figure absent)")
+    elif hit_rate < PAGED_HIT_RATE_FLOOR:
+        fail(f"pager hit rate {hit_rate:.4f} < {PAGED_HIT_RATE_FLOOR}")
+    else:
+        print(f"ok: pager hit rate {hit_rate:.4f} >= {PAGED_HIT_RATE_FLOOR}")
+
+    flat_eps, paged_eps = flat.get("events_per_sec"), paged.get(
+        "events_per_sec")
+    if flat_eps and paged_eps is not None:
+        floor = flat_eps * PAGED_THROUGHPUT_FLOOR
+        if paged_eps < floor:
+            fail(f"paged churn {paged_eps:.0f} events/sec is below "
+                 f"{PAGED_THROUGHPUT_FLOOR:.0%} of flat's {flat_eps:.0f} "
+                 f"(floor {floor:.0f})")
+        else:
+            print(f"ok: paged churn {paged_eps:.0f} events/sec vs flat "
+                  f"{flat_eps:.0f} (floor {floor:.0f})")
+    else:
+        print("skip: paged throughput gate (missing events/sec figures)")
 
 
 if __name__ == "__main__":

@@ -124,6 +124,7 @@ BenchOptions parse_bench_options(int argc, char** argv) {
                     "suffixes ok)");
   cli::add_engine_options(parser);
   cli::add_telemetry_options(parser);
+  cli::add_store_options(parser);
 
   std::string error;
   const auto fail = [&]() {
@@ -145,6 +146,7 @@ BenchOptions parse_bench_options(int argc, char** argv) {
   }
   if (!cli::parse_engine_options(parser, &opts.engine, &error)) fail();
   if (!cli::parse_telemetry_options(parser, &opts.telemetry, &error)) fail();
+  if (!cli::parse_store_options(parser, &opts.store, &error)) fail();
   return opts;
 }
 

@@ -24,6 +24,7 @@
 #include "engine/query_engine.h"
 #include "obs/telemetry.h"
 #include "routing/route_cache.h"
+#include "storage/store_config.h"
 
 namespace poolnet::benchsup {
 
@@ -132,7 +133,8 @@ std::vector<PairedRun> run_sweep_parallel(std::size_t n_groups,
 /// --threads N (default: hardware concurrency),
 /// --route-cache=on|off|lru:<bytes>, and the query-engine trio
 /// --batch=<n|off>, --batch-deadline=<events>, --qcache=on|off|ttl:<n>,
-/// and the telemetry pair --metrics=off|json|csv[:path], --trace=<n>.
+/// and the telemetry pair --metrics=off|json|csv[:path], --trace=<n>,
+/// and the central-store selector --store=flat|paged[:...].
 /// Prints usage and exits(2) on anything it doesn't recognize; --help
 /// prints the generated help and exits(0).
 struct BenchOptions {
@@ -140,6 +142,7 @@ struct BenchOptions {
   routing::RouteCacheConfig route_cache;
   engine::QueryEngineConfig engine;
   obs::TelemetryConfig telemetry;
+  storage::StoreConfig store;
 };
 BenchOptions parse_bench_options(int argc, char** argv);
 

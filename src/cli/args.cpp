@@ -206,4 +206,16 @@ bool parse_telemetry_options(const ArgParser& parser,
   return true;
 }
 
+void add_store_options(ArgParser& parser) {
+  parser.add_option("store", "flat",
+                    "central store engine: flat, or "
+                    "paged[:<pages>:<page-kb>[:mem|file]] for the "
+                    "out-of-core store with an LRU buffer pool");
+}
+
+bool parse_store_options(const ArgParser& parser,
+                         storage::StoreConfig* config, std::string* error) {
+  return storage::parse_store_spec(parser.option("store"), config, error);
+}
+
 }  // namespace poolnet::cli

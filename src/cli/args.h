@@ -15,6 +15,7 @@
 #include "engine/query_engine.h"
 #include "obs/telemetry.h"
 #include "sim/fault_plan.h"
+#include "storage/store_config.h"
 
 namespace poolnet::cli {
 
@@ -106,5 +107,15 @@ void add_telemetry_options(ArgParser& parser);
 /// on a malformed spec. Call after parser.parse().
 bool parse_telemetry_options(const ArgParser& parser,
                              obs::TelemetryConfig* config, std::string* error);
+
+/// Declares --store flat|paged[:<pages>:<page-kb>[:mem|file]] (default
+/// "flat"): the central store's engine — the flat in-memory vector, or
+/// the paged out-of-core store with an LRU buffer pool.
+void add_store_options(ArgParser& parser);
+
+/// Parses --store into `config`. Returns false and sets `error` on a
+/// malformed spec. Call after parser.parse().
+bool parse_store_options(const ArgParser& parser,
+                         storage::StoreConfig* config, std::string* error);
 
 }  // namespace poolnet::cli

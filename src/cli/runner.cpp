@@ -26,6 +26,7 @@ const char* to_string(SystemChoice s) {
     case SystemChoice::Pool: return "pool";
     case SystemChoice::Dim: return "dim";
     case SystemChoice::Ght: return "ght";
+    case SystemChoice::Central: return "central";
   }
   return "?";
 }
@@ -111,6 +112,7 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
   std::map<SystemChoice, Accumulator>& acc = out.acc;
   for (const auto s : config.systems) acc[s];
   const bool want_ght = acc.count(SystemChoice::Ght) > 0;
+  const bool want_central = acc.count(SystemChoice::Central) > 0;
 
   benchsup::TestbedConfig tb_config;
   tb_config.nodes = config.nodes;
@@ -156,6 +158,41 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
     acc[SystemChoice::Ght].events += events;
     ght_net->reset_traffic();
   }
+  // Central (the collect-everything baseline) likewise runs on its own
+  // network copy; node 0 plays the base station, and --store decides
+  // whether events land in the flat vector or the paged store.
+  std::unique_ptr<net::Network> central_net;
+  std::unique_ptr<routing::Gpsr> central_gpsr;
+  std::unique_ptr<routing::RouteCache> central_cache;
+  std::unique_ptr<storage::DcsSystem> central_sys;
+  std::unique_ptr<obs::RingTraceSink> central_trace;
+  if (want_central) {
+    std::vector<Point> pts;
+    for (const auto& n : tb.pool_network().nodes()) pts.push_back(n.pos);
+    central_net = std::make_unique<net::Network>(
+        std::move(pts), tb.pool_network().field(), tb_config.radio_range);
+    if (config.telemetry.wants_trace()) {
+      central_trace =
+          std::make_unique<obs::RingTraceSink>(config.telemetry.trace_capacity);
+      central_net->set_trace(central_trace.get());
+    }
+    central_gpsr = std::make_unique<routing::Gpsr>(*central_net);
+    const routing::Router* central_router = central_gpsr.get();
+    if (config.route_cache.enabled) {
+      central_cache = std::make_unique<routing::RouteCache>(
+          *central_gpsr, config.route_cache, &tb.metrics(),
+          "central.route_cache");
+      central_router = central_cache.get();
+    }
+    central_sys = storage::make_central_store(
+        config.dims, config.store, central_net.get(), central_router,
+        net::NodeId{0}, &tb.metrics());
+    for (const auto& e : tb.oracle().all()) central_sys->insert(e.source, e);
+    acc[SystemChoice::Central].insert_msgs +=
+        static_cast<double>(central_net->traffic().total);
+    acc[SystemChoice::Central].events += events;
+    central_net->reset_traffic();
+  }
   if (acc.count(SystemChoice::Pool)) {
     acc[SystemChoice::Pool].insert_msgs +=
         static_cast<double>(tb.pool_insert_traffic().total);
@@ -179,7 +216,8 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
     storage::DcsSystem& sys =
         s == SystemChoice::Pool ? static_cast<storage::DcsSystem&>(tb.pool())
         : s == SystemChoice::Dim ? static_cast<storage::DcsSystem&>(tb.dim())
-                                 : static_cast<storage::DcsSystem&>(*ght_sys);
+        : s == SystemChoice::Ght ? static_cast<storage::DcsSystem&>(*ght_sys)
+                                 : *central_sys;
     const std::string prefix = to_string(s);
     engines[s] = std::make_unique<engine::QueryEngine>(
         sys, config.engine, &tb.metrics(), prefix + ".engine");
@@ -196,6 +234,9 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
   if (faults_on) {
     std::vector<net::Network*> nets{&tb.pool_network(), &tb.dim_network()};
     if (want_ght) nets.push_back(ght_net.get());
+    // Central's copy is deliberately exempt: the baseline models a
+    // reliable backhaul to the base station and has no failover to
+    // exercise, so injecting kills there would only crash routing.
     injector = std::make_unique<net::FaultInjector>(config.faults, nets);
   }
 
@@ -253,6 +294,13 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
       if (ght_trace) {
         out.snap.gauges["ght.trace.recorded"] +=
             static_cast<double>(ght_trace->recorded());
+      }
+    }
+    if (want_central) {
+      benchsup::publish_network(out.snap, "central", *central_net);
+      if (central_trace) {
+        out.snap.gauges["central.trace.recorded"] +=
+            static_cast<double>(central_trace->recorded());
       }
     }
   }

@@ -12,10 +12,14 @@
 #include "obs/telemetry.h"
 #include "query/query_gen.h"
 #include "sim/fault_plan.h"
+#include "storage/store_config.h"
 
 namespace poolnet::cli {
 
-enum class SystemChoice { Pool, Dim, Ght };
+/// Central is the paper's strawman baseline: every event shipped to a
+/// base station (node 0), queries answered there — run through either
+/// the flat or the paged store per CliConfig::store.
+enum class SystemChoice { Pool, Dim, Ght, Central };
 enum class QueryFlavor { Exact, OnePartial, TwoPartial, Point };
 
 const char* to_string(SystemChoice s);
@@ -54,6 +58,11 @@ struct CliConfig {
   /// accounting, hotspot/energy reports); --trace N attaches hop-trace
   /// rings to every network. Off by default at zero hot-path cost.
   obs::TelemetryConfig telemetry;
+
+  /// Engine behind the central baseline (--store): the flat in-memory
+  /// vector or the paged out-of-core store. Ignored unless the run
+  /// includes SystemChoice::Central.
+  storage::StoreConfig store;
 };
 
 /// One result row (per system).

@@ -7,6 +7,7 @@ const char* to_string(SystemKind kind) {
     case SystemKind::Pool: return "pool";
     case SystemKind::Dim: return "dim";
     case SystemKind::Ght: return "ght";
+    case SystemKind::Central: return "central";
   }
   return "?";
 }
@@ -19,8 +20,11 @@ bool parse_system_kind(const std::string& name, SystemKind* out,
     *out = SystemKind::Dim;
   } else if (name == "ght") {
     *out = SystemKind::Ght;
+  } else if (name == "central") {
+    *out = SystemKind::Central;
   } else {
-    *error = "unknown system '" + name + "' (expected pool, dim or ght)";
+    *error =
+        "unknown system '" + name + "' (expected pool, dim, ght or central)";
     return false;
   }
   return true;
@@ -42,24 +46,35 @@ Backend::Backend(BackendConfig config) : config_(config) {
     case SystemKind::Dim:
       system_ = &testbed_->dim();
       break;
-    case SystemKind::Ght: {
+    case SystemKind::Ght:
+    case SystemKind::Central: {
       std::vector<Point> pts;
       for (const auto& n : testbed_->pool_network().nodes())
         pts.push_back(n.pos);
-      ght_net_ = std::make_unique<net::Network>(
+      extra_net_ = std::make_unique<net::Network>(
           std::move(pts), testbed_->pool_network().field(), tb.radio_range);
-      ght_gpsr_ = std::make_unique<routing::Gpsr>(*ght_net_);
-      const routing::Router* router = ght_gpsr_.get();
+      extra_gpsr_ = std::make_unique<routing::Gpsr>(*extra_net_);
+      const routing::Router* router = extra_gpsr_.get();
       if (tb.route_cache.enabled) {
-        ght_cache_ = std::make_unique<routing::RouteCache>(
-            *ght_gpsr_, tb.route_cache, &testbed_->metrics(),
-            "ght.route_cache");
-        router = ght_cache_.get();
+        extra_cache_ = std::make_unique<routing::RouteCache>(
+            *extra_gpsr_, tb.route_cache, &testbed_->metrics(),
+            std::string(to_string(config_.system)) + ".route_cache");
+        router = extra_cache_.get();
       }
-      ght_ = std::make_unique<ght::GhtSystem>(*ght_net_, *router,
-                                              config_.dims);
-      for (const auto& e : testbed_->oracle().all()) ght_->insert(e.source, e);
-      system_ = ght_.get();
+      if (config_.system == SystemKind::Ght) {
+        ght_ = std::make_unique<ght::GhtSystem>(*extra_net_, *router,
+                                                config_.dims);
+        system_ = ght_.get();
+      } else {
+        // Base station = node 0 — the sink(), so client operations and
+        // answers share the same endpoint.
+        central_ = storage::make_central_store(
+            config_.dims, config_.store, extra_net_.get(), router,
+            net::NodeId{0}, &testbed_->metrics());
+        system_ = central_.get();
+      }
+      for (const auto& e : testbed_->oracle().all())
+        system_->insert(e.source, e);
       break;
     }
   }

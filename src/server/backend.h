@@ -14,10 +14,14 @@
 #include "engine/query_engine.h"
 #include "ght/ght_system.h"
 #include "routing/route_cache.h"
+#include "storage/store_config.h"
 
 namespace poolnet::server {
 
-enum class SystemKind { Pool, Dim, Ght };
+/// Central is the collect-at-the-base-station baseline; its local store
+/// engine (flat vector or paged out-of-core) comes from
+/// BackendConfig::store.
+enum class SystemKind { Pool, Dim, Ght, Central };
 
 const char* to_string(SystemKind kind);
 bool parse_system_kind(const std::string& name, SystemKind* out,
@@ -30,6 +34,7 @@ struct BackendConfig {
   std::size_t events_per_node = 3;  ///< workload preloaded before serving
   std::uint64_t seed = 1;
   engine::QueryEngineConfig engine;  ///< server-side batching + result cache
+  storage::StoreConfig store;        ///< central store engine (--store)
 };
 
 /// Deploys the testbed, preloads the workload into every system (the
@@ -57,12 +62,14 @@ class Backend {
  private:
   BackendConfig config_;
   std::unique_ptr<benchsup::Testbed> testbed_;
-  // GHT rides on its own network over the same positions (the runner's
-  // pattern), so per-node accounting never mixes systems.
-  std::unique_ptr<net::Network> ght_net_;
-  std::unique_ptr<routing::Gpsr> ght_gpsr_;
-  std::unique_ptr<routing::RouteCache> ght_cache_;
+  // GHT and Central each ride on their own network over the same
+  // positions (the runner's pattern), so per-node accounting never mixes
+  // systems.
+  std::unique_ptr<net::Network> extra_net_;
+  std::unique_ptr<routing::Gpsr> extra_gpsr_;
+  std::unique_ptr<routing::RouteCache> extra_cache_;
   std::unique_ptr<ght::GhtSystem> ght_;
+  std::unique_ptr<storage::DcsSystem> central_;
   storage::DcsSystem* system_ = nullptr;
   std::unique_ptr<engine::QueryEngine> engine_;
   std::uint64_t preloaded_ = 0;

@@ -1,0 +1,183 @@
+#include "storage/paged/buffer_manager.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace poolnet::storage {
+
+BufferManager::BufferManager(PageFile& file, std::size_t pool_pages,
+                             obs::MetricsRegistry* metrics,
+                             const std::string& prefix)
+    : file_(file), pool_pages_(pool_pages), prefix_(prefix) {
+  // The store's access paths hold up to two pins at once (chain walk:
+  // current + previous); below two frames they would deadlock on
+  // eviction, so reject the configuration outright.
+  if (pool_pages_ < 2)
+    throw ConfigError("BufferManager: pool needs at least 2 pages");
+  pool_ = std::make_unique<std::uint8_t[]>(pool_pages_ * file_.page_bytes());
+  frames_.resize(pool_pages_);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  hits_ = metrics_->counter(prefix_ + ".hits");
+  misses_ = metrics_->counter(prefix_ + ".misses");
+  evictions_ = metrics_->counter(prefix_ + ".evictions");
+  writebacks_ = metrics_->counter(prefix_ + ".writebacks");
+}
+
+BufferManager::~BufferManager() {
+  POOLNET_ASSERT_MSG(pinned_ == 0,
+                     "BufferManager destroyed with live pins");
+}
+
+std::uint8_t* BufferManager::Pin::data() const {
+  POOLNET_ASSERT_MSG(mgr_ != nullptr, "Pin::data on an empty pin");
+  return mgr_->frame_data(frame_);
+}
+
+void BufferManager::Pin::mark_dirty() const {
+  POOLNET_ASSERT_MSG(mgr_ != nullptr, "Pin::mark_dirty on an empty pin");
+  mgr_->frames_[frame_].dirty = true;
+}
+
+void BufferManager::Pin::release() {
+  if (mgr_ != nullptr) {
+    mgr_->unpin(frame_, id_);
+    mgr_ = nullptr;
+  }
+}
+
+std::int64_t BufferManager::frame_of(PageId id) const {
+  if (id >= frame_of_.size()) return -1;
+  return frame_of_[id];
+}
+
+void BufferManager::map_page(PageId id, std::size_t frame) {
+  if (id >= frame_of_.size()) frame_of_.resize(id + 1, -1);
+  frame_of_[id] = static_cast<std::int32_t>(frame);
+}
+
+void BufferManager::pin_frame(std::size_t frame) {
+  Frame& f = frames_[frame];
+  f.referenced = true;
+  ++f.pins;
+  ++pinned_;
+  if (pinned_ > pinned_high_water_) {
+    pinned_high_water_ = pinned_;
+    metrics_->set_gauge(prefix_ + ".pinned_high_water",
+                        static_cast<double>(pinned_high_water_));
+  }
+}
+
+void BufferManager::unpin(std::size_t frame, PageId id) {
+  Frame& f = frames_[frame];
+  POOLNET_ASSERT_MSG(f.page == id && f.pins > 0,
+                     "BufferManager: unpin of an unpinned page");
+  --f.pins;
+  --pinned_;
+}
+
+std::size_t BufferManager::grab_frame() {
+  // Two sweeps over the clock: the first pass clears reference bits, the
+  // second takes the first unreferenced unpinned frame. A frame seen
+  // pinned on both passes is skipped; 2 * pool_pages steps without a
+  // victim means every frame is pinned — a pin-discipline bug upstream.
+  for (std::size_t step = 0; step < 2 * pool_pages_; ++step) {
+    const std::size_t i = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % pool_pages_;
+    Frame& f = frames_[i];
+    if (f.page == kNoPage) return i;  // never used yet
+    if (f.pins > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      file_.write(f.page, frame_data(i));
+      writebacks_.inc();
+      f.dirty = false;
+    }
+    frame_of_[f.page] = -1;
+    f.page = kNoPage;
+    --resident_;
+    evictions_.inc();
+    return i;
+  }
+  POOLNET_ASSERT_MSG(false, "BufferManager: all frames pinned, cannot evict");
+  return 0;  // unreachable
+}
+
+BufferManager::Pin BufferManager::fetch(PageId id) {
+  POOLNET_ASSERT_MSG(id != kNoPage, "BufferManager: fetch of kNoPage");
+  const std::int64_t have = frame_of(id);
+  if (have >= 0) {
+    hits_.inc();
+    const auto frame = static_cast<std::size_t>(have);
+    pin_frame(frame);
+    return Pin(this, frame, id);
+  }
+  misses_.inc();
+  const std::size_t frame = grab_frame();
+  file_.read(id, frame_data(frame));
+  frames_[frame].page = id;
+  frames_[frame].dirty = false;
+  map_page(id, frame);
+  ++resident_;
+  pin_frame(frame);
+  return Pin(this, frame, id);
+}
+
+BufferManager::Pin BufferManager::create(PageId id) {
+  POOLNET_ASSERT_MSG(id != kNoPage && frame_of(id) < 0,
+                     "BufferManager: create of a resident page");
+  const std::size_t frame = grab_frame();
+  std::memset(frame_data(frame), 0, file_.page_bytes());
+  frames_[frame].page = id;
+  frames_[frame].dirty = true;
+  map_page(id, frame);
+  ++resident_;
+  pin_frame(frame);
+  return Pin(this, frame, id);
+}
+
+void BufferManager::flush_all() {
+  for (std::size_t i = 0; i < pool_pages_; ++i) {
+    Frame& f = frames_[i];
+    if (f.page != kNoPage && f.dirty) {
+      file_.write(f.page, frame_data(i));
+      writebacks_.inc();
+      f.dirty = false;
+    }
+  }
+}
+
+void BufferManager::discard(PageId id) {
+  const std::int64_t have = frame_of(id);
+  if (have < 0) return;
+  Frame& f = frames_[static_cast<std::size_t>(have)];
+  POOLNET_ASSERT_MSG(f.pins == 0, "BufferManager: discard of a pinned page");
+  frame_of_[id] = -1;
+  f.page = kNoPage;
+  f.dirty = false;
+  f.referenced = false;
+  --resident_;
+}
+
+PagerStats BufferManager::stats() const {
+  PagerStats s;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.evictions = evictions_.value();
+  s.writebacks = writebacks_.value();
+  s.pinned = pinned_;
+  s.pinned_high_water = pinned_high_water_;
+  s.resident = resident_;
+  s.pool_pages = pool_pages_;
+  return s;
+}
+
+}  // namespace poolnet::storage

@@ -1,0 +1,173 @@
+// The LRU buffer pool between the paged store and its PageFile
+// (DESIGN.md §13).
+//
+// A fixed number of frames cache pages; every access goes through a Pin,
+// an RAII page lock that (a) gives out the frame pointer and (b) vetoes
+// eviction while live. Replacement is clock-sweep — a one-bit LRU
+// approximation whose victim scan skips pinned frames; dirty victims are
+// written back before their frame is reused. The store's access paths
+// hold at most two pins at once (chain-walk current + previous), so the
+// pool functions correctly down to pool_pages = 2 — the eviction-heavy
+// configuration the equivalence tests hammer.
+//
+// Counters (hits, misses, evictions, dirty writebacks) live in a
+// MetricsRegistry under `<prefix>.*` — `store.pager.*` by default — next
+// to every other subsystem, with PagerStats as the ergonomic view; the
+// pinned high-water mark is published as a gauge whenever it rises.
+//
+// NOT thread-safe: one BufferManager per store, like the Network a
+// deployment routes over.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/paged/page.h"
+#include "storage/paged/page_file.h"
+
+namespace poolnet::storage {
+
+/// Point-in-time view of the pager counters (the registry holds the
+/// counters; this struct is the view stats() assembles).
+struct PagerStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;   ///< dirty frames flushed to the file
+  std::size_t pinned = 0;         ///< pins live right now
+  std::size_t pinned_high_water = 0;
+  std::size_t resident = 0;       ///< frames currently holding a page
+  std::size_t pool_pages = 0;
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class BufferManager {
+ public:
+  /// With a non-null `metrics`, the pager counters register there under
+  /// `<prefix>.hits` etc.; without one the manager owns a private
+  /// registry — same code path, nothing to scrape unless asked via
+  /// stats(). `file` must outlive the manager.
+  BufferManager(PageFile& file, std::size_t pool_pages,
+                obs::MetricsRegistry* metrics = nullptr,
+                const std::string& prefix = "store.pager");
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// RAII page lock: holds the frame pinned (unevictable) and exposes its
+  /// bytes. Movable so fetch() can return it; double-unpin is impossible
+  /// by construction (the moved-from Pin is empty) and asserted against
+  /// in the manager for belt and braces.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { swap(other); }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        release();
+        swap(other);
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    bool valid() const { return mgr_ != nullptr; }
+    PageId id() const { return id_; }
+
+    std::uint8_t* data() const;
+
+    /// Marks the frame dirty: its bytes differ from the file copy and
+    /// must be written back before the frame is reused.
+    void mark_dirty() const;
+
+    /// Unpins early (idempotent; the destructor does the same).
+    void release();
+
+   private:
+    friend class BufferManager;
+    Pin(BufferManager* mgr, std::size_t frame, PageId id)
+        : mgr_(mgr), frame_(frame), id_(id) {}
+    void swap(Pin& other) noexcept {
+      std::swap(mgr_, other.mgr_);
+      std::swap(frame_, other.frame_);
+      std::swap(id_, other.id_);
+    }
+
+    BufferManager* mgr_ = nullptr;
+    std::size_t frame_ = 0;
+    PageId id_ = kNoPage;
+  };
+
+  /// Pins page `id`, reading it from the file on a miss (evicting a
+  /// victim frame if the pool is full).
+  Pin fetch(PageId id);
+
+  /// Pins a frame for freshly-allocated page `id` WITHOUT reading the
+  /// file (the page has no meaningful bytes yet); the frame arrives
+  /// zeroed and dirty. `id` must not be resident.
+  Pin create(PageId id);
+
+  /// Writes every dirty frame back to the file (pages stay resident).
+  void flush_all();
+
+  /// Drops page `id` from the pool if resident (no writeback — the
+  /// caller declares the contents dead, e.g. a page moved to the free
+  /// list). Must not be pinned.
+  void discard(PageId id);
+
+  PagerStats stats() const;
+
+  PageFile& file() { return file_; }
+
+ private:
+  friend class Pin;
+
+  struct Frame {
+    PageId page = kNoPage;
+    std::uint32_t pins = 0;
+    bool dirty = false;
+    bool referenced = false;  ///< clock bit
+  };
+
+  std::uint8_t* frame_data(std::size_t frame) {
+    return pool_.get() + frame * file_.page_bytes();
+  }
+
+  /// Clock sweep: returns a free or victim frame (flushed if dirty).
+  std::size_t grab_frame();
+
+  void map_page(PageId id, std::size_t frame);
+  std::int64_t frame_of(PageId id) const;
+
+  void pin_frame(std::size_t frame);
+  void unpin(std::size_t frame, PageId id);
+
+  PageFile& file_;
+  std::size_t pool_pages_;
+  std::unique_ptr<std::uint8_t[]> pool_;  ///< pool_pages * page_bytes
+  std::vector<Frame> frames_;
+  /// page id -> frame index (-1 = not resident); dense, grows with the
+  /// file — 4 bytes per page ever allocated, negligible next to frames.
+  std::vector<std::int32_t> frame_of_;
+  std::size_t clock_hand_ = 0;
+  std::size_t resident_ = 0;
+  std::size_t pinned_ = 0;
+  std::size_t pinned_high_water_ = 0;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  ///< fallback
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string prefix_;
+  obs::MetricsRegistry::Counter hits_, misses_, evictions_, writebacks_;
+};
+
+}  // namespace poolnet::storage

@@ -1,0 +1,62 @@
+#include "storage/paged/grid_file.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace poolnet::storage {
+
+GridFile::GridFile(std::size_t dims, std::size_t resolution)
+    : dims_(std::min(dims, kMaxGridDims)), resolution_(resolution) {
+  if (resolution_ == 0) throw ConfigError("GridFile: zero resolution");
+  std::size_t cells = 1;
+  for (std::size_t d = 0; d < dims_; ++d) cells *= resolution_;
+  cells_.resize(cells);
+}
+
+std::size_t GridFile::slice_of(double v) const {
+  if (v <= 0.0) return 0;
+  auto s = static_cast<std::size_t>(v * static_cast<double>(resolution_));
+  return std::min(s, resolution_ - 1);
+}
+
+std::size_t GridFile::cell_of(const Values& values) const {
+  std::size_t cell = 0;
+  for (std::size_t d = 0; d < dims_; ++d)
+    cell = cell * resolution_ + slice_of(values[d]);
+  return cell;
+}
+
+void GridFile::relevant_cells(const RangeQuery& q,
+                              std::vector<std::size_t>* out) const {
+  // Per-dimension slice ranges of the query box, then the cross product
+  // in row-major order (so output indices come out ascending).
+  std::size_t lo[kMaxGridDims];
+  std::size_t hi[kMaxGridDims];
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const ClosedInterval b = q.bound(d);
+    lo[d] = slice_of(b.lo);
+    hi[d] = slice_of(b.hi);
+  }
+  std::size_t idx[kMaxGridDims];
+  for (std::size_t d = 0; d < dims_; ++d) idx[d] = lo[d];
+  for (;;) {
+    std::size_t cell = 0;
+    for (std::size_t d = 0; d < dims_; ++d)
+      cell = cell * resolution_ + idx[d];
+    out->push_back(cell);
+    // Odometer increment over [lo, hi] per dimension.
+    std::size_t d = dims_;
+    while (d > 0) {
+      --d;
+      if (idx[d] < hi[d]) {
+        ++idx[d];
+        for (std::size_t r = d + 1; r < dims_; ++r) idx[r] = lo[r];
+        break;
+      }
+      if (d == 0) return;
+    }
+  }
+}
+
+}  // namespace poolnet::storage

@@ -1,0 +1,62 @@
+// Grid-file index over the attribute space (DESIGN.md §13).
+//
+// The attribute domain [0,1]^k is cut into resolution^k equal cells; each
+// cell owns a chain of pages holding exactly the events whose values fall
+// in that cell. A range query then touches only the chains of cells its
+// box overlaps — the in-core analogue of the paper's locality-preserving
+// mapping, applied to the disk layout instead of the network.
+//
+// The index itself is tiny (two PageIds per cell); all event bytes live
+// in the pages. For k > kMaxGridDims (high-dimensional events) only the
+// first kMaxGridDims attributes partition the space — correctness is
+// unaffected because a chain scan still filters every record against the
+// full query box; only pruning selectivity degrades.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/paged/page.h"
+#include "storage/range_query.h"
+
+namespace poolnet::storage {
+
+class GridFile {
+ public:
+  /// Dimensions beyond this do not partition the grid (cell count would
+  /// explode as resolution^k); they are filtered at scan time instead.
+  static constexpr std::size_t kMaxGridDims = 3;
+
+  /// `resolution` cells per partitioned dimension (>= 1).
+  GridFile(std::size_t dims, std::size_t resolution);
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::size_t resolution() const { return resolution_; }
+
+  /// Cell index owning an event with attribute values `values`.
+  std::size_t cell_of(const Values& values) const;
+
+  /// Appends (ascending) the indices of every cell whose box overlaps
+  /// the query box. Don't-care dimensions are [0,1], overlapping every
+  /// slice, so partial queries fall out naturally.
+  void relevant_cells(const RangeQuery& q, std::vector<std::size_t>* out) const;
+
+  struct Chain {
+    PageId head = kNoPage;
+    PageId tail = kNoPage;  ///< append target; kNoPage iff head is
+  };
+
+  Chain& chain(std::size_t cell) { return cells_[cell]; }
+  const Chain& chain(std::size_t cell) const { return cells_[cell]; }
+
+ private:
+  /// Slice index of value `v` along one dimension: floor(v * resolution),
+  /// with v = 1.0 clamped into the last slice.
+  std::size_t slice_of(double v) const;
+
+  std::size_t dims_;          ///< partitioned dims (<= kMaxGridDims)
+  std::size_t resolution_;
+  std::vector<Chain> cells_;  ///< row-major over the partitioned dims
+};
+
+}  // namespace poolnet::storage

@@ -1,0 +1,148 @@
+// Fixed-size pages of canonically-encoded events (DESIGN.md §13).
+//
+// A page is the unit of transfer between the buffer pool and the backing
+// PageFile. Records are fixed-width — id, source, detection time and the
+// k attribute values, all little-endian — so slot arithmetic replaces a
+// per-record length prefix and a page never needs compaction metadata
+// beyond its record count. Pages chain into per-bucket lists through the
+// `next` field in their header (the grid-file index stores only the
+// chain heads/tails; everything else lives in the pages themselves).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.h"
+#include "storage/event.h"
+
+namespace poolnet::storage {
+
+using PageId = std::uint32_t;
+inline constexpr PageId kNoPage = static_cast<PageId>(-1);
+
+/// Page header: chain link + occupancy. 8 bytes, at offset 0.
+///   [0..3]  next page in the bucket chain (kNoPage terminates)
+///   [4..5]  record count
+///   [6..7]  reserved (zero)
+inline constexpr std::size_t kPageHeaderBytes = 8;
+
+// --- little-endian scalar encoding (canonical on every host) -----------
+
+inline void store_u32_le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint32_t load_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void store_u64_le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint64_t load_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void store_f64_le(std::uint8_t* p, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  store_u64_le(p, bits);
+}
+
+inline double load_f64_le(const std::uint8_t* p) {
+  const std::uint64_t bits = load_u64_le(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+/// Canonical record width for k-dimensional events:
+/// id (8) + source (4) + detected_at (8) + k values (8 each).
+inline constexpr std::size_t event_record_bytes(std::size_t dims) {
+  return 8 + 4 + 8 + 8 * dims;
+}
+
+/// Records a page of `page_bytes` holds for k-dimensional events.
+inline constexpr std::size_t page_capacity(std::size_t page_bytes,
+                                           std::size_t dims) {
+  const std::size_t payload =
+      page_bytes > kPageHeaderBytes ? page_bytes - kPageHeaderBytes : 0;
+  return payload / event_record_bytes(dims);
+}
+
+inline void encode_event(std::uint8_t* p, const Event& e) {
+  store_u64_le(p, e.id);
+  store_u32_le(p + 8, e.source);
+  store_f64_le(p + 12, e.detected_at);
+  for (std::size_t d = 0; d < e.dims(); ++d)
+    store_f64_le(p + 20 + 8 * d, e.values[d]);
+}
+
+inline Event decode_event(const std::uint8_t* p, std::size_t dims) {
+  Event e;
+  e.id = load_u64_le(p);
+  e.source = load_u32_le(p + 8);
+  e.detected_at = load_f64_le(p + 12);
+  for (std::size_t d = 0; d < dims; ++d)
+    e.values.push_back(load_f64_le(p + 20 + 8 * d));
+  return e;
+}
+
+/// Typed view over one resident page frame. The view is only valid while
+/// the frame is pinned (see BufferManager::Pin); it never owns memory.
+class PageView {
+ public:
+  PageView(std::uint8_t* frame, std::size_t page_bytes, std::size_t dims)
+      : frame_(frame), page_bytes_(page_bytes), dims_(dims) {}
+
+  PageId next() const { return load_u32_le(frame_); }
+  void set_next(PageId id) { store_u32_le(frame_, id); }
+
+  std::size_t count() const {
+    return frame_[4] | (static_cast<std::size_t>(frame_[5]) << 8);
+  }
+  void set_count(std::size_t n) {
+    frame_[4] = static_cast<std::uint8_t>(n & 0xff);
+    frame_[5] = static_cast<std::uint8_t>((n >> 8) & 0xff);
+  }
+
+  std::size_t capacity() const { return page_capacity(page_bytes_, dims_); }
+
+  std::uint8_t* record(std::size_t slot) {
+    POOLNET_ASSERT(slot < capacity());
+    return frame_ + kPageHeaderBytes + slot * event_record_bytes(dims_);
+  }
+  const std::uint8_t* record(std::size_t slot) const {
+    POOLNET_ASSERT(slot < capacity());
+    return frame_ + kPageHeaderBytes + slot * event_record_bytes(dims_);
+  }
+
+  /// Appends `e`; the caller checked count() < capacity().
+  void append(const Event& e) {
+    const std::size_t n = count();
+    POOLNET_ASSERT(n < capacity());
+    encode_event(record(n), e);
+    set_count(n + 1);
+  }
+
+  Event event_at(std::size_t slot) const { return decode_event(record(slot), dims_); }
+
+  /// Initializes an empty page (fresh from the allocator).
+  void format() {
+    set_next(kNoPage);
+    set_count(0);
+    frame_[6] = frame_[7] = 0;
+  }
+
+ private:
+  std::uint8_t* frame_;
+  std::size_t page_bytes_;
+  std::size_t dims_;
+};
+
+}  // namespace poolnet::storage

@@ -1,0 +1,120 @@
+#include "storage/paged/page_file.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace poolnet::storage {
+
+PageFile::PageFile(std::size_t page_bytes) : page_bytes_(page_bytes) {
+  if (page_bytes_ == 0) throw ConfigError("PageFile: zero page size");
+}
+
+MemPageFile::MemPageFile(std::size_t page_bytes) : PageFile(page_bytes) {}
+
+std::uint8_t* MemPageFile::page_ptr(std::uint32_t id) {
+  POOLNET_ASSERT_MSG(id < pages_, "MemPageFile: page id out of range");
+  return segments_[id / kSegmentPages].get() +
+         (id % kSegmentPages) * page_bytes_;
+}
+
+std::uint32_t MemPageFile::allocate() {
+  if (pages_ % kSegmentPages == 0) {
+    segments_.push_back(
+        std::make_unique<std::uint8_t[]>(kSegmentPages * page_bytes_));
+    std::memset(segments_.back().get(), 0, kSegmentPages * page_bytes_);
+  }
+  return static_cast<std::uint32_t>(pages_++);
+}
+
+void MemPageFile::read(std::uint32_t id, std::uint8_t* out) {
+  ++reads_;
+  std::memcpy(out, page_ptr(id), page_bytes_);
+}
+
+void MemPageFile::write(std::uint32_t id, const std::uint8_t* data) {
+  ++writes_;
+  std::memcpy(page_ptr(id), data, page_bytes_);
+}
+
+TempFilePageFile::TempFilePageFile(std::size_t page_bytes, std::string dir)
+    : PageFile(page_bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  }
+  std::string templ = dir + "/poolnet-paged-XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  fd_ = ::mkstemp(buf.data());
+  if (fd_ < 0)
+    throw ConfigError("TempFilePageFile: cannot create temp file in " + dir);
+  ::unlink(buf.data());  // anonymous from here on; fd is the only handle
+#else
+  (void)dir;
+  throw ConfigError("TempFilePageFile: file backing needs a POSIX host");
+#endif
+}
+
+TempFilePageFile::~TempFilePageFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+std::uint32_t TempFilePageFile::allocate() {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::uint32_t id = static_cast<std::uint32_t>(pages_++);
+  // Zero-fill the new page so a read-before-first-write sees a formatted
+  // blank, matching MemPageFile.
+  const std::vector<std::uint8_t> zeros(page_bytes_, 0);
+  const auto off = static_cast<off_t>(static_cast<std::uint64_t>(id) *
+                                      page_bytes_);
+  const ssize_t n = ::pwrite(fd_, zeros.data(), page_bytes_, off);
+  POOLNET_ASSERT_MSG(n == static_cast<ssize_t>(page_bytes_),
+                     "TempFilePageFile: short extend");
+  return id;
+#else
+  return 0;
+#endif
+}
+
+void TempFilePageFile::read(std::uint32_t id, std::uint8_t* out) {
+#if defined(__unix__) || defined(__APPLE__)
+  ++reads_;
+  POOLNET_ASSERT_MSG(id < pages_, "TempFilePageFile: page id out of range");
+  const auto off = static_cast<off_t>(static_cast<std::uint64_t>(id) *
+                                      page_bytes_);
+  const ssize_t n = ::pread(fd_, out, page_bytes_, off);
+  POOLNET_ASSERT_MSG(n == static_cast<ssize_t>(page_bytes_),
+                     "TempFilePageFile: short read");
+#else
+  (void)id;
+  (void)out;
+#endif
+}
+
+void TempFilePageFile::write(std::uint32_t id, const std::uint8_t* data) {
+#if defined(__unix__) || defined(__APPLE__)
+  ++writes_;
+  POOLNET_ASSERT_MSG(id < pages_, "TempFilePageFile: page id out of range");
+  const auto off = static_cast<off_t>(static_cast<std::uint64_t>(id) *
+                                      page_bytes_);
+  const ssize_t n = ::pwrite(fd_, data, page_bytes_, off);
+  POOLNET_ASSERT_MSG(n == static_cast<ssize_t>(page_bytes_),
+                     "TempFilePageFile: short write");
+#else
+  (void)id;
+  (void)data;
+#endif
+}
+
+}  // namespace poolnet::storage

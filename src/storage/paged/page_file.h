@@ -1,0 +1,91 @@
+// Backing storage for pages: where evicted frames go and misses come
+// from (DESIGN.md §13).
+//
+// Two implementations share the interface: MemPageFile keeps pages in a
+// segment vector (deterministic, allocator-friendly — the unit-test and
+// sanitizer workhorse), TempFilePageFile pread/pwrites an unlinked
+// temporary file so the store's resident footprint stays bounded by the
+// buffer pool no matter how many pages exist — the out-of-core mode the
+// --scale paged arm measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace poolnet::storage {
+
+class PageFile {
+ public:
+  explicit PageFile(std::size_t page_bytes);
+  virtual ~PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  std::size_t page_bytes() const { return page_bytes_; }
+
+  /// Extends the file by one (zeroed) page and returns its id. Ids are
+  /// dense: the n-th allocation returns n-1.
+  virtual std::uint32_t allocate() = 0;
+
+  /// Copies page `id` into `out` (page_bytes() bytes).
+  virtual void read(std::uint32_t id, std::uint8_t* out) = 0;
+
+  /// Persists `data` (page_bytes() bytes) as page `id`.
+  virtual void write(std::uint32_t id, const std::uint8_t* data) = 0;
+
+  /// Pages ever allocated (free-listed pages included — the file never
+  /// shrinks; reuse is the store's business).
+  virtual std::size_t page_count() const = 0;
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ protected:
+  std::size_t page_bytes_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Pages live in fixed-size in-memory segments (one allocation per
+/// kSegmentPages pages, so growth never copies existing pages).
+class MemPageFile final : public PageFile {
+ public:
+  explicit MemPageFile(std::size_t page_bytes);
+
+  std::uint32_t allocate() override;
+  void read(std::uint32_t id, std::uint8_t* out) override;
+  void write(std::uint32_t id, const std::uint8_t* data) override;
+  std::size_t page_count() const override { return pages_; }
+
+ private:
+  static constexpr std::size_t kSegmentPages = 64;
+
+  std::uint8_t* page_ptr(std::uint32_t id);
+
+  std::vector<std::unique_ptr<std::uint8_t[]>> segments_;
+  std::size_t pages_ = 0;
+};
+
+/// Unlinked temporary file under `dir` (empty = $TMPDIR, falling back to
+/// /tmp), accessed with pread/pwrite. The fd is the only handle — the
+/// name is gone the moment the constructor returns, so crashed runs leak
+/// nothing.
+class TempFilePageFile final : public PageFile {
+ public:
+  explicit TempFilePageFile(std::size_t page_bytes, std::string dir = "");
+  ~TempFilePageFile() override;
+
+  std::uint32_t allocate() override;
+  void read(std::uint32_t id, std::uint8_t* out) override;
+  void write(std::uint32_t id, const std::uint8_t* data) override;
+  std::size_t page_count() const override { return pages_; }
+
+ private:
+  int fd_ = -1;
+  std::size_t pages_ = 0;
+};
+
+}  // namespace poolnet::storage

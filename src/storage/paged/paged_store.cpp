@@ -1,0 +1,236 @@
+#include "storage/paged/paged_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "net/network.h"
+#include "routing/router.h"
+
+namespace poolnet::storage {
+
+PagedStore::PagedStore(std::size_t dims, PagedStoreOptions options,
+                       obs::MetricsRegistry* metrics,
+                       const std::string& prefix)
+    : dims_(dims),
+      options_(std::move(options)),
+      grid_(dims, options_.grid_resolution == 0 ? 1 : options_.grid_resolution) {
+  if (dims == 0 || dims > kMaxDims)
+    throw ConfigError("PagedStore: bad dimensionality");
+  if (page_capacity(options_.page_bytes, dims_) == 0)
+    throw ConfigError("PagedStore: page too small for even one record");
+  if (options_.backing == PagedStoreOptions::Backing::File)
+    file_ = std::make_unique<TempFilePageFile>(options_.page_bytes,
+                                               options_.file_dir);
+  else
+    file_ = std::make_unique<MemPageFile>(options_.page_bytes);
+  buffer_ = std::make_unique<BufferManager>(*file_, options_.pool_pages,
+                                            metrics, prefix);
+}
+
+PagedStore::PagedStore(std::size_t dims, PagedStoreOptions options,
+                       net::Network& network, const routing::Router& router,
+                       net::NodeId sink_node, obs::MetricsRegistry* metrics,
+                       const std::string& prefix)
+    : PagedStore(dims, std::move(options), metrics, prefix) {
+  network_ = &network;
+  router_ = &router;
+  base_station_ = sink_node;
+}
+
+std::string PagedStore::describe() const {
+  const char* backing =
+      options_.backing == PagedStoreOptions::Backing::File ? "file" : "mem";
+  return "central/paged (pool=" + std::to_string(options_.pool_pages) +
+         ", page=" + std::to_string(options_.page_bytes) + "B, backing=" +
+         backing + ", grid=" + std::to_string(grid_.resolution()) + ")";
+}
+
+PageView PagedStore::view(const BufferManager::Pin& pin) const {
+  return PageView(pin.data(), options_.page_bytes, dims_);
+}
+
+BufferManager::Pin PagedStore::alloc_page(PageId* id) {
+  if (!free_pages_.empty()) {
+    *id = free_pages_.back();
+    free_pages_.pop_back();
+  } else {
+    *id = file_->allocate();
+  }
+  auto pin = buffer_->create(*id);
+  view(pin).format();
+  pin.mark_dirty();
+  return pin;
+}
+
+void PagedStore::append_event(const Event& event) {
+  GridFile::Chain& chain = grid_.chain(grid_.cell_of(event.values));
+  if (chain.tail == kNoPage) {
+    PageId pid = kNoPage;
+    auto pin = alloc_page(&pid);
+    view(pin).append(event);
+    pin.mark_dirty();
+    chain.head = chain.tail = pid;
+  } else {
+    auto tail_pin = buffer_->fetch(chain.tail);
+    PageView tail = view(tail_pin);
+    if (tail.count() < tail.capacity()) {
+      tail.append(event);
+      tail_pin.mark_dirty();
+    } else {
+      PageId pid = kNoPage;
+      auto pin = alloc_page(&pid);  // tail stays pinned: 2 pins held here
+      view(pin).append(event);
+      pin.mark_dirty();
+      tail.set_next(pid);
+      tail_pin.mark_dirty();
+      chain.tail = pid;
+    }
+  }
+  ++stored_;
+}
+
+InsertReceipt PagedStore::insert(net::NodeId source, const Event& event) {
+  validate_event(event);
+  if (event.dims() != dims_)
+    throw ConfigError("PagedStore: event dimensionality mismatch");
+  append_event(event);
+  InsertReceipt receipt;
+  receipt.stored_at = base_station_ == net::kNoNode ? source : base_station_;
+  if (network_ != nullptr && base_station_ != net::kNoNode) {
+    const auto before = network_->traffic().total;
+    const auto route = router_->route_to_node(source, base_station_);
+    network_->transmit_path(route.path, net::MessageKind::Insert,
+                            network_->sizes().event_bits(dims_));
+    receipt.messages = network_->traffic().total - before;
+  }
+  return receipt;
+}
+
+std::vector<Event> PagedStore::matching(const RangeQuery& q) const {
+  std::vector<Event> out;
+  std::vector<std::size_t> cells;
+  grid_.relevant_cells(q, &cells);
+  for (const std::size_t cell : cells) {
+    PageId cur = grid_.chain(cell).head;
+    while (cur != kNoPage) {
+      auto pin = buffer_->fetch(cur);
+      const PageView v = view(pin);
+      const std::size_t n = v.count();
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        Event e = v.event_at(slot);
+        if (q.matches(e)) out.push_back(std::move(e));
+      }
+      cur = v.next();
+    }
+  }
+  // Ascending id = insertion order for generator workloads; see the
+  // equivalence contract in the header.
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.id < b.id; });
+  return out;
+}
+
+QueryReceipt PagedStore::query(net::NodeId sink, const RangeQuery& q) {
+  QueryReceipt receipt;
+  receipt.events = matching(q);
+  receipt.index_nodes_visited = 1;
+  if (network_ != nullptr && base_station_ != net::kNoNode) {
+    const auto before = network_->traffic();
+    const auto to_bs = router_->route_to_node(sink, base_station_);
+    network_->transmit_path(to_bs.path, net::MessageKind::Query,
+                            network_->sizes().query_bits(dims_));
+    const auto back = router_->route_to_node(base_station_, sink);
+    const auto& sizes = network_->sizes();
+    const std::uint64_t reply_count =
+        std::max<std::uint64_t>(sizes.reply_batches(receipt.events.size()), 1);
+    for (std::uint64_t i = 0; i < reply_count; ++i) {
+      network_->transmit_path(
+          back.path, net::MessageKind::Reply,
+          sizes.reply_bits(dims_, sizes.reply_payload(receipt.events.size())));
+    }
+    const auto delta = network_->traffic() - before;
+    receipt.cost() = cost_of(delta);
+  }
+  return receipt;
+}
+
+AggregateReceipt PagedStore::aggregate(net::NodeId sink, const RangeQuery& q,
+                                       AggregateKind kind,
+                                       std::size_t value_dim) {
+  POOLNET_ASSERT(value_dim < dims_);
+  AggregateReceipt receipt;
+  PartialAggregate partial;
+  // matching() returns ascending ids = insertion order, so the float
+  // accumulation order matches BruteForceStore's linear scan bit-exactly.
+  for (const Event& e : matching(q)) partial.add(e.values[value_dim]);
+  receipt.result = partial.finalize(kind);
+  receipt.index_nodes_visited = 1;
+  if (network_ != nullptr && base_station_ != net::kNoNode) {
+    const auto before = network_->traffic();
+    const auto to_bs = router_->route_to_node(sink, base_station_);
+    network_->transmit_path(to_bs.path, net::MessageKind::Query,
+                            network_->sizes().query_bits(dims_));
+    const auto back = router_->route_to_node(base_station_, sink);
+    network_->transmit_path(back.path, net::MessageKind::Reply,
+                            network_->sizes().aggregate_bits());
+    const auto delta = network_->traffic() - before;
+    receipt.cost() = cost_of(delta);
+  }
+  return receipt;
+}
+
+std::size_t PagedStore::expire_before(double cutoff) {
+  std::size_t removed = 0;
+  const std::size_t rec = event_record_bytes(dims_);
+  for (std::size_t cell = 0; cell < grid_.cell_count(); ++cell) {
+    GridFile::Chain& chain = grid_.chain(cell);
+    BufferManager::Pin prev_pin;  // pins the predecessor for unlinking
+    PageId prev = kNoPage;
+    PageId cur = chain.head;
+    while (cur != kNoPage) {
+      auto pin = buffer_->fetch(cur);
+      PageView v = view(pin);
+      const std::size_t n = v.count();
+      // In-place compaction: keep records with detected_at >= cutoff,
+      // sliding survivors down so slot order (= insertion order within
+      // the page) is preserved.
+      std::size_t keep = 0;
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        if (load_f64_le(v.record(slot) + 12) >= cutoff) {
+          if (keep != slot) std::memmove(v.record(keep), v.record(slot), rec);
+          ++keep;
+        }
+      }
+      if (keep != n) {
+        removed += n - keep;
+        v.set_count(keep);
+        pin.mark_dirty();
+      }
+      const PageId next = v.next();
+      if (keep == 0) {
+        // Unlink the emptied page and recycle it. At most two pins are
+        // live here (prev_pin + pin) — the pool-of-2 floor.
+        if (prev == kNoPage) {
+          chain.head = next;
+        } else {
+          PageView pv = view(prev_pin);
+          pv.set_next(next);
+          prev_pin.mark_dirty();
+        }
+        if (chain.tail == cur) chain.tail = prev;
+        pin.release();
+        buffer_->discard(cur);
+        free_pages_.push_back(cur);
+      } else {
+        prev_pin = std::move(pin);
+        prev = cur;
+      }
+      cur = next;
+    }
+  }
+  stored_ -= removed;
+  return removed;
+}
+
+}  // namespace poolnet::storage

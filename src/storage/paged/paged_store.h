@@ -1,0 +1,115 @@
+// Out-of-core drop-in for BruteForceStore (DESIGN.md §13).
+//
+// Events live in fixed-size pages behind a BufferManager instead of a
+// flat std::vector, so the store's resident footprint is the buffer pool
+// — not the working set. A grid-file index over [0,1]^k maps each event
+// to the page chain of its attribute cell; queries touch only the chains
+// their box overlaps. Expiry compacts pages in place and returns empty
+// pages to a free list, so insert+expire churn reuses pages instead of
+// growing the file without bound.
+//
+// Equivalence contract (what the serial-equivalence tests pin down):
+// query results are returned in ascending event-id order, and aggregates
+// accumulate in that same order — for workloads whose ids are assigned
+// in insertion order (EventGenerator's are), results and float sums are
+// byte-identical to BruteForceStore's insertion-order scan.
+//
+// The networked cost model is BruteForceStore's verbatim: inserts route
+// source → base station, queries route sink → base station and replies
+// come back in packed batches. Same routes, same ledger — the paging is
+// invisible to the traffic accounting.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/dcs_system.h"
+#include "storage/paged/buffer_manager.h"
+#include "storage/paged/grid_file.h"
+#include "storage/paged/page_file.h"
+
+namespace poolnet::net {
+class Network;
+}
+
+namespace poolnet::routing {
+class Router;
+}
+
+namespace poolnet::storage {
+
+struct PagedStoreOptions {
+  std::size_t pool_pages = 256;  ///< buffer-pool frames (>= 2)
+  std::size_t page_bytes = 4096;
+
+  /// Mem keeps pages in segment vectors (deterministic, sanitizer-clean
+  /// default); File pread/pwrites an unlinked temp file — the mode whose
+  /// RSS stays bounded by the pool.
+  enum class Backing { Mem, File };
+  Backing backing = Backing::Mem;
+
+  /// Grid-file cells per partitioned dimension.
+  std::size_t grid_resolution = 4;
+
+  /// Directory for File backing ("" = $TMPDIR, falling back to /tmp).
+  std::string file_dir;
+};
+
+class PagedStore final : public DcsSystem {
+ public:
+  /// Pure-oracle construction: no network, zero message costs.
+  explicit PagedStore(std::size_t dims, PagedStoreOptions options = {},
+                      obs::MetricsRegistry* metrics = nullptr,
+                      const std::string& prefix = "store.pager");
+
+  /// Networked construction: events are shipped to `sink_node` (base
+  /// station) at insert time; queries are answered there.
+  PagedStore(std::size_t dims, PagedStoreOptions options,
+             net::Network& network, const routing::Router& router,
+             net::NodeId sink_node, obs::MetricsRegistry* metrics = nullptr,
+             const std::string& prefix = "store.pager");
+
+  std::string name() const override { return "central"; }
+  std::string describe() const override;
+  std::size_t dims() const override { return dims_; }
+  InsertReceipt insert(net::NodeId source, const Event& event) override;
+  QueryReceipt query(net::NodeId sink, const RangeQuery& query) override;
+  AggregateReceipt aggregate(net::NodeId sink, const RangeQuery& query,
+                             AggregateKind kind,
+                             std::size_t value_dim) override;
+  std::size_t stored_count() const override { return stored_; }
+  std::size_t expire_before(double cutoff) override;
+
+  /// All events matching `q`, in ascending id order (oracle answer, no
+  /// costs).
+  std::vector<Event> matching(const RangeQuery& q) const;
+
+  const PagedStoreOptions& options() const { return options_; }
+  PagerStats pager_stats() const { return buffer_->stats(); }
+  std::size_t page_count() const { return file_->page_count(); }
+  std::size_t free_pages() const { return free_pages_.size(); }
+
+ private:
+  PageView view(const BufferManager::Pin& pin) const;
+
+  /// Pops the free list or extends the file; the returned page is pinned,
+  /// zeroed and formatted.
+  BufferManager::Pin alloc_page(PageId* id);
+
+  void append_event(const Event& event);
+
+  std::size_t dims_;
+  PagedStoreOptions options_;
+  std::unique_ptr<PageFile> file_;
+  mutable std::unique_ptr<BufferManager> buffer_;  ///< fetch() pins in const scans
+  GridFile grid_;
+  std::vector<PageId> free_pages_;
+  std::size_t stored_ = 0;
+
+  net::Network* network_ = nullptr;          // null in oracle mode
+  const routing::Router* router_ = nullptr;  // null in oracle mode
+  net::NodeId base_station_ = net::kNoNode;
+};
+
+}  // namespace poolnet::storage

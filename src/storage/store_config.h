@@ -1,0 +1,57 @@
+// Selection of the central store's engine: the flat in-memory oracle
+// (BruteForceStore) or the paged out-of-core store (PagedStore), chosen
+// by the shared --store option every frontend parses through here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/node.h"
+#include "storage/paged/paged_store.h"
+
+namespace poolnet::net {
+class Network;
+}
+
+namespace poolnet::routing {
+class Router;
+}
+
+namespace poolnet::obs {
+class MetricsRegistry;
+}
+
+namespace poolnet::storage {
+
+class DcsSystem;
+
+enum class StoreKind { Flat, Paged };
+
+struct StoreConfig {
+  StoreKind kind = StoreKind::Flat;
+  PagedStoreOptions paged;  ///< used when kind == Paged
+};
+
+/// Parses a --store spec:
+///   "flat"                                  the in-memory vector store
+///   "paged"                                 paged store, default knobs
+///   "paged:<pages>:<page-kb>"               pool frames + page size
+///   "paged:<pages>:<page-kb>:<mem|file>"    plus the backing PageFile
+/// Returns false and sets `error` on a malformed spec; on failure
+/// `config` is untouched.
+bool parse_store_spec(const std::string& spec, StoreConfig* config,
+                      std::string* error);
+
+/// Canonical spec string that parses back to `config` (banners, tests).
+std::string to_spec(const StoreConfig& config);
+
+/// Builds the central store `config` selects. With a network/router the
+/// store runs in networked mode against `sink_node`; pass nullptrs for
+/// the pure oracle. `metrics` (optional) receives the pager counters
+/// under "store.pager.*" for paged stores.
+std::unique_ptr<DcsSystem> make_central_store(
+    std::size_t dims, const StoreConfig& config, net::Network* network,
+    const routing::Router* router, net::NodeId sink_node,
+    obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace poolnet::storage

@@ -135,6 +135,7 @@ ArgParser make_shared_parser() {
   add_engine_options(p);
   add_fault_options(p);
   add_telemetry_options(p);
+  add_store_options(p);
   return p;
 }
 
@@ -196,6 +197,26 @@ TEST(SharedOptions, EngineSpecsRejectGarbage) {
     EXPECT_FALSE(parse_engine_options(p, &engine, &error)) << args[1];
     EXPECT_FALSE(error.empty());
   }
+}
+
+TEST(SharedOptions, StoreSpecsParseAndReject) {
+  auto p = make_shared_parser();
+  std::string error;
+  ASSERT_TRUE(parse(p, {}, &error));
+  storage::StoreConfig store;
+  ASSERT_TRUE(parse_store_options(p, &store, &error)) << error;
+  EXPECT_EQ(store.kind, storage::StoreKind::Flat);  // --store defaults flat
+
+  ASSERT_TRUE(parse(p, {"--store", "paged:32:2:file"}, &error));
+  ASSERT_TRUE(parse_store_options(p, &store, &error)) << error;
+  EXPECT_EQ(store.kind, storage::StoreKind::Paged);
+  EXPECT_EQ(store.paged.pool_pages, 32u);
+  EXPECT_EQ(store.paged.page_bytes, 2048u);
+  EXPECT_EQ(store.paged.backing, storage::PagedStoreOptions::Backing::File);
+
+  ASSERT_TRUE(parse(p, {"--store", "paged:1:4"}, &error));  // pool floor is 2
+  EXPECT_FALSE(parse_store_options(p, &store, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(SharedOptions, FaultSpecsParseAndReject) {

@@ -6,6 +6,7 @@
 
 #include "bench_support/testbed.h"
 #include "ght/ght_system.h"
+#include "storage/paged/paged_store.h"
 #include "query/workload.h"
 #include "routing/gpsr.h"
 
@@ -122,6 +123,66 @@ TEST(Expiry, RemovesReplicasToo) {
   EXPECT_EQ(tb.pool().expire_before(20.0), 20u);
   EXPECT_EQ(tb.pool().replica_count(), 20u);
   EXPECT_EQ(tb.pool().stored_count(), 20u);
+}
+
+// Every system must report expire_before's return the same way: the
+// number of PRIMARY events shed, so stored_count() + expired == inserted
+// holds whatever mix of replicas or paging sits underneath.
+TEST(Expiry, CountConservationHoldsAcrossAllSystems) {
+  Fixture fx;
+  PagedStoreOptions po;
+  po.pool_pages = 2;   // eviction-heavy: expiry must survive page churn
+  po.page_bytes = 256;
+  PagedStore paged(3, po);
+
+  Rng rng(9);
+  const std::uint64_t inserted = 120;
+  for (std::uint64_t i = 0; i < inserted; ++i) {
+    const auto e = timed_event(i + 1, static_cast<double>(i),
+                               {rng.uniform(), rng.uniform(), rng.uniform()});
+    fx.tb->pool().insert(0, e);
+    fx.tb->dim().insert(0, e);
+    fx.ght->insert(0, e);
+    fx.tb->oracle().insert(0, e);
+    paged.insert(0, e);
+  }
+
+  const auto check = [inserted](DcsSystem& system) {
+    std::uint64_t expired = 0;
+    for (const double cutoff : {30.0, 30.0, 77.5, 200.0}) {
+      expired += system.expire_before(cutoff);
+      EXPECT_EQ(system.stored_count() + expired, inserted)
+          << system.describe() << " at cutoff " << cutoff;
+    }
+    EXPECT_EQ(expired, inserted) << system.describe();
+  };
+  check(fx.tb->pool());
+  check(fx.tb->dim());
+  check(*fx.ght);
+  check(fx.tb->oracle());
+  check(paged);
+}
+
+TEST(Expiry, CountConservationHoldsWithPoolReplicas) {
+  benchsup::TestbedConfig config;
+  config.nodes = 200;
+  config.seed = 11;
+  config.pool.replicas = 2;
+  benchsup::Testbed tb(config);
+  Rng rng(12);
+  const std::uint64_t inserted = 60;
+  for (std::uint64_t i = 0; i < inserted; ++i) {
+    tb.pool().insert(0, timed_event(i + 1, static_cast<double>(i),
+                                    {rng.uniform(), rng.uniform(),
+                                     rng.uniform()}));
+  }
+  // Replicas multiply the stored copies but never the reported count.
+  std::uint64_t expired = tb.pool().expire_before(25.0);
+  EXPECT_EQ(tb.pool().stored_count() + expired, inserted);
+  expired += tb.pool().expire_before(1e9);
+  EXPECT_EQ(expired, inserted);
+  EXPECT_EQ(tb.pool().stored_count(), 0u);
+  EXPECT_EQ(tb.pool().replica_count(), 0u);
 }
 
 TEST(Expiry, UntimedEventsNeverExpireAtZeroCutoff) {

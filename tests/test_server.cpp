@@ -14,6 +14,7 @@
 #include "server/client.h"
 #include "server/query_language.h"
 #include "server/server.h"
+#include "storage/store_config.h"
 
 namespace poolnet::server {
 namespace {
@@ -76,9 +77,10 @@ TEST(ServerTest, ResultsAreByteIdenticalToDirectExecution) {
   EXPECT_EQ(stats.rejected, 0u);
 }
 
-TEST(ServerTest, ServesAllThreeSystems) {
+TEST(ServerTest, ServesAllFourSystems) {
   for (const SystemKind system :
-       {SystemKind::Pool, SystemKind::Dim, SystemKind::Ght}) {
+       {SystemKind::Pool, SystemKind::Dim, SystemKind::Ght,
+        SystemKind::Central}) {
     Server server(small_config(system));
     server.start();
     Backend direct(server.backend().config());
@@ -99,6 +101,37 @@ TEST(ServerTest, ServesAllThreeSystems) {
     client.close();
     server.stop();
   }
+}
+
+TEST(ServerTest, CentralPagedStoreMatchesFlatByteForByte) {
+  // Same deployment seed, two backends: the central store with a tiny
+  // paged pool must serve the exact reply bytes of the flat store.
+  ServerConfig flat_config = small_config(SystemKind::Central);
+  ServerConfig paged_config = flat_config;
+  std::string error;
+  ASSERT_TRUE(storage::parse_store_spec("paged:2:1:file",
+                                        &paged_config.backend.store, &error))
+      << error;
+
+  Server server(paged_config);
+  server.start();
+  Backend flat(flat_config.backend);
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  for (const char* text :
+       {"SELECT", "SELECT WHERE a0 IN [0.2, 0.8]",
+        "SELECT WHERE a1 IN [0.1, 0.6] AND a2 IN [0.3, 0.9]"}) {
+    const std::vector<storage::Event> events = client.query(text);
+    storage::RangeQuery::Bounds one;
+    one.push_back(ClosedInterval{0.0, 1.0});
+    storage::RangeQuery query{one};
+    ASSERT_TRUE(parse_select(text, 3, &query, &error)) << error;
+    const storage::QueryReceipt receipt =
+        flat.system().query(flat.sink(), query);
+    EXPECT_EQ(encode_events(events), encode_events(receipt.events)) << text;
+  }
+  client.close();
+  server.stop();
 }
 
 TEST(ServerTest, InsertedEventBecomesQueryable) {
