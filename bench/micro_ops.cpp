@@ -5,13 +5,22 @@
 // per-event tree walk and to one GPSR routing step.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_support/testbed.h"
 #include "common/object_pool.h"
+#include "common/rng.h"
 #include "core/pool_geometry.h"
 #include "net/spatial_index.h"
 #include "query/query_gen.h"
 #include "query/workload.h"
 #include "sim/event_queue.h"
+#include "storage/column/column_store.h"
 
 namespace {
 
@@ -230,6 +239,165 @@ void BM_DimQueryExact(benchmark::State& state) {
 }
 BENCHMARK(BM_DimQueryExact);
 
+// ----------------------------------------------------------- scan section
+//
+// The columnar scan-kernel arms (DESIGN.md §14): filter a 1M-event store
+// at ~1%/10%/50% nominal selectivity through three implementations —
+//
+//   aos     the pre-PR path: std::vector<Event> + RangeQuery::matches
+//   soa     the branch-free column kernel with zone maps disabled
+//   kernel  the production path: zone-map veto + column kernel
+//
+// Values follow a smooth per-dimension random walk, the sensor-stream
+// shape (consecutive readings correlate), so blocks are value-clustered
+// and zone maps have something to veto. All three arms must produce the
+// identical match list; the best-of-N wall times feed the `scan` section
+// that scripts/merge_perf_section.py folds into BENCH_perf.json and
+// scripts/check_perf_regression.py gates (kernel >= 2x aos at 1%).
+
+void append_json_arm(std::string& out, double selectivity,
+                     std::size_t matched, double aos_ms, double soa_ms,
+                     double kernel_ms, std::uint64_t blocks_skipped,
+                     std::uint64_t blocks_total, bool identical) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "    {\"selectivity\": %.2f, \"matched\": %zu, \"aos_ms\": %.3f, "
+      "\"soa_ms\": %.3f, \"kernel_ms\": %.3f, \"speedup_soa\": %.3f, "
+      "\"speedup_kernel\": %.3f, \"blocks_skipped\": %llu, "
+      "\"blocks_total\": %llu, \"results_identical\": %s}",
+      selectivity, matched, aos_ms, soa_ms, kernel_ms, aos_ms / soa_ms,
+      aos_ms / kernel_ms, static_cast<unsigned long long>(blocks_skipped),
+      static_cast<unsigned long long>(blocks_total),
+      identical ? "true" : "false");
+  out += buf;
+}
+
+int run_scan_section(const char* path) {
+  constexpr std::size_t kEvents = 1'000'000;
+  constexpr std::size_t kDims = 3;
+  constexpr int kReps = 5;
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  // Smooth random-walk workload: each attribute drifts by at most 2% per
+  // event, reflecting off the domain walls.
+  std::printf("micro_ops: generating %zu clustered events...\n", kEvents);
+  Rng rng(4242);
+  std::vector<storage::Event> aos;
+  aos.reserve(kEvents);
+  storage::column::ColumnStore soa(kDims);
+  double walk[kDims] = {0.3, 0.5, 0.7};
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    storage::Event e;
+    e.id = i;
+    e.source = static_cast<net::NodeId>(i % 997);
+    e.detected_at = static_cast<double>(i);
+    for (double& w : walk) {
+      w += rng.uniform(-0.02, 0.02);
+      if (w < 0.0) w = -w;
+      if (w > 1.0) w = 2.0 - w;
+      e.values.push_back(w);
+    }
+    aos.push_back(e);
+    soa.append(e);
+  }
+
+  std::string arms_json;
+  double speedup_1pct = 0.0;
+  bool all_identical = true;
+  const double selectivities[] = {0.01, 0.10, 0.50};
+  for (const double sel : selectivities) {
+    // A box of volume `sel` centered mid-domain, clamped to [0,1].
+    const double width = std::pow(sel, 1.0 / kDims);
+    storage::RangeQuery::Bounds bounds;
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const double lo = std::max(0.0, 0.5 - width / 2);
+      bounds.push_back({lo, std::min(1.0, lo + width)});
+    }
+    const storage::RangeQuery q(bounds);
+
+    std::vector<std::uint64_t> aos_ids, soa_ids, kernel_ids;
+    double aos_ms = 1e300, soa_ms = 1e300, kernel_ms = 1e300;
+    storage::column::ScanStats stats;
+    soa.set_stats(&stats);
+    for (int rep = 0; rep < kReps; ++rep) {
+      aos_ids.clear();
+      auto t0 = Clock::now();
+      for (const auto& e : aos) {
+        if (q.matches(e)) aos_ids.push_back(e.id);
+      }
+      aos_ms = std::min(aos_ms, ms_since(t0));
+
+      soa_ids.clear();
+      t0 = Clock::now();
+      soa.scan(
+          q, false, [&](std::size_t row) { soa_ids.push_back(soa.id_at(row)); },
+          /*use_zone_maps=*/false);
+      soa_ms = std::min(soa_ms, ms_since(t0));
+
+      kernel_ids.clear();
+      stats = {};
+      t0 = Clock::now();
+      soa.scan(q, false, [&](std::size_t row) {
+        kernel_ids.push_back(soa.id_at(row));
+      });
+      kernel_ms = std::min(kernel_ms, ms_since(t0));
+    }
+    soa.set_stats(nullptr);
+
+    const bool identical = aos_ids == soa_ids && aos_ids == kernel_ids;
+    all_identical = all_identical && identical;
+    if (sel == 0.01) speedup_1pct = aos_ms / kernel_ms;
+    const auto blocks_total = static_cast<std::uint64_t>(
+        (kEvents + storage::column::kBlockRows - 1) /
+        storage::column::kBlockRows);
+    if (!arms_json.empty()) arms_json += ",\n";
+    append_json_arm(arms_json, sel, aos_ids.size(), aos_ms, soa_ms, kernel_ms,
+                    stats.blocks_skipped, blocks_total, identical);
+    std::printf(
+        "micro_ops: sel %.0f%% -> %zu matched; aos %.2f ms, soa %.2f ms, "
+        "kernel %.2f ms (%.1fx), %llu/%llu blocks skipped%s\n",
+        sel * 100, aos_ids.size(), aos_ms, soa_ms, kernel_ms,
+        aos_ms / kernel_ms,
+        static_cast<unsigned long long>(stats.blocks_skipped),
+        static_cast<unsigned long long>(blocks_total),
+        identical ? "" : "  [MISMATCH]");
+  }
+
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"scan\": {\n  \"events\": %zu,\n  \"dims\": %zu,\n"
+               "  \"arms\": [\n%s\n  ],\n  \"speedup_1pct\": %.3f,\n"
+               "  \"results_identical\": %s\n}\n}\n",
+               kEvents, kDims, arms_json.c_str(), speedup_1pct,
+               all_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("micro_ops: wrote %s\n", path);
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--scan-json PATH` runs the scan-kernel section instead of the
+  // google-benchmark suite (bench_smoke.sh's BENCH_scan.json producer).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scan-json") == 0 && i + 1 < argc)
+      return run_scan_section(argv[i + 1]);
+    if (std::strncmp(argv[i], "--scan-json=", 12) == 0)
+      return run_scan_section(argv[i] + 12);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@ BUILD="${1:-build}"
 SMOKE="$BUILD/bench/perf_smoke"
 CLI="$BUILD/apps/poolnet_cli"
 SERVER_LOAD="$BUILD/bench/server_load"
+MICRO_OPS="$BUILD/bench/micro_ops"
 
 if [[ ! -x "$SMOKE" ]]; then
   echo "error: $SMOKE not built (cmake -B $BUILD && cmake --build $BUILD)" >&2
@@ -55,6 +56,15 @@ if [[ -x "$SERVER_LOAD" ]]; then
   "$SERVER_LOAD" --json BENCH_server.json
   python3 scripts/merge_perf_section.py BENCH_perf.json BENCH_server.json \
     server
+fi
+
+# The columnar scan-kernel arms (1M-event filter at 1%/10%/50%
+# selectivity, AoS vs SoA vs SoA+zone-maps): micro_ops verifies all arms
+# match the identical event set and its section feeds the >= 2x-at-1%
+# gate below.
+if [[ -x "$MICRO_OPS" ]]; then
+  "$MICRO_OPS" --scan-json BENCH_scan.json
+  python3 scripts/merge_perf_section.py BENCH_perf.json BENCH_scan.json scan
 fi
 
 if [[ -x "$CLI" ]]; then

@@ -40,6 +40,10 @@ SNAPSHOT_COUNTERS = [
     "pool.route_cache.misses",
     "pool.net.messages",
     "dim.net.messages",
+    "pool.store.scan.rows_scanned",
+    "pool.store.scan.blocks_skipped",
+    "pool.store.scan.bytes_touched",
+    "dim.store.scan.rows_scanned",
 ]
 
 SNAPSHOT_GAUGES = [

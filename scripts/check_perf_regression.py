@@ -51,6 +51,7 @@ SERVER_QPS_DROP = 0.50  # max tolerated fractional drop, best sweep point
 PAGED_RSS_CEILING = 0.25  # paged churn RSS as a fraction of flat's
 PAGED_HIT_RATE_FLOOR = 0.5
 PAGED_THROUGHPUT_FLOOR = 0.5  # paged events/sec vs flat's
+SCAN_SPEEDUP_FLOOR = 2.0  # columnar kernel vs AoS scan, 1% selectivity
 
 
 def fail(msg: str) -> None:
@@ -122,6 +123,7 @@ def main(argv: list[str]) -> int:
 
     check_server_section(current, baseline)
     check_store_scale_section(current)
+    check_scan_section(current)
 
     if fail.hit:
         return 1
@@ -235,6 +237,45 @@ def check_store_scale_section(current: dict) -> None:
                   f"{flat_eps:.0f} (floor {floor:.0f})")
     else:
         print("skip: paged throughput gate (missing events/sec figures)")
+
+
+def check_scan_section(current: dict) -> None:
+    """Columnar scan-kernel gates (the 'scan' section bench/micro_ops
+    --scan-json writes and merge_perf_section.py folds in):
+
+      * results_identical == true — all three arms (AoS scalar, SoA
+        kernel, SoA kernel + zone maps) matched the identical event set.
+      * speedup_1pct >= SCAN_SPEEDUP_FLOOR — the production kernel must
+        beat the AoS scan at least 2x on the 1%-selectivity filter.
+    """
+    section = current.get("scan")
+    if section is None:
+        print("skip: scan gates (no 'scan' section — run "
+              "bench/micro_ops --scan-json to produce one)")
+        return
+
+    if section.get("results_identical") is not True:
+        fail("scan.results_identical is not true — the columnar kernel "
+             "matched a different event set than the AoS scan")
+    else:
+        print("ok: scan arms matched identical event sets")
+
+    speedup = section.get("speedup_1pct")
+    if speedup is None:
+        fail("scan section missing 'speedup_1pct'")
+    elif speedup < SCAN_SPEEDUP_FLOOR:
+        fail(f"scan speedup_1pct {speedup:.2f} < {SCAN_SPEEDUP_FLOOR} — "
+             "the columnar kernel lost its edge over the AoS scan")
+    else:
+        print(f"ok: scan kernel {speedup:.2f}x over AoS at 1% selectivity "
+              f"(floor {SCAN_SPEEDUP_FLOOR}x)")
+
+    for arm in section.get("arms", []):
+        print(f"note: scan sel {arm.get('selectivity'):.0%} -> "
+              f"aos {arm.get('aos_ms')} ms, soa {arm.get('soa_ms')} ms, "
+              f"kernel {arm.get('kernel_ms')} ms, "
+              f"{arm.get('blocks_skipped')}/{arm.get('blocks_total')} "
+              "blocks skipped")
 
 
 if __name__ == "__main__":

@@ -43,9 +43,12 @@ PairedRun run_paired_queries(Testbed& testbed,
                              std::uint64_t sink_seed) {
   PairedRun run;
   Rng sink_rng(sink_seed);
+  std::vector<storage::Event> oracle_scratch;  // reused across queries
   for (const auto& q : queries) {
     const net::NodeId sink = testbed.random_node(sink_rng);
-    const auto oracle_sig = signature(testbed.oracle().matching(q));
+    oracle_scratch.clear();
+    testbed.oracle().matching_into(q, oracle_scratch);
+    const auto oracle_sig = signature(oracle_scratch);
 
     const double pool_e0 = testbed.pool_network().traffic().energy_j;
     const auto pool_r = testbed.pool().query(sink, q);

@@ -1,0 +1,12 @@
+#include "bench_support/replay.h"
+
+namespace poolnet::benchsup {
+
+std::size_t replay_oracle(const storage::BruteForceStore& oracle,
+                          storage::DcsSystem& system) {
+  const auto& events = oracle.all();
+  for (const auto& e : events) system.insert(e.source, e);
+  return events.size();
+}
+
+}  // namespace poolnet::benchsup

@@ -1,5 +1,7 @@
 #include "bench_support/telemetry_bridge.h"
 
+#include "storage/column/column_store.h"
+
 namespace poolnet::benchsup {
 
 void publish_network(obs::Snapshot& snap, const std::string& prefix,
@@ -55,6 +57,13 @@ void publish_fault_stats(obs::Snapshot& snap, const std::string& prefix,
   snap.counters[prefix + ".faults.failed_legs"] += fs.failed_legs;
 }
 
+void publish_scan_stats(obs::Snapshot& snap, const std::string& prefix,
+                        const storage::column::ScanStats& stats) {
+  snap.counters[prefix + ".store.scan.rows_scanned"] += stats.rows_scanned;
+  snap.counters[prefix + ".store.scan.blocks_skipped"] += stats.blocks_skipped;
+  snap.counters[prefix + ".store.scan.bytes_touched"] += stats.bytes_touched;
+}
+
 void publish_system_query_stats(obs::Snapshot& snap, const std::string& prefix,
                                 const SystemQueryStats& stats) {
   snap.gauges[prefix + ".query.messages_mean"] = stats.messages.mean();
@@ -90,6 +99,9 @@ obs::Snapshot scrape_testbed(Testbed& tb) {
   publish_buffer_pool(snap, "pool", tb.path_pool().stats());
   publish_fault_stats(snap, "pool", tb.pool().fault_stats());
   publish_fault_stats(snap, "dim", tb.dim().fault_stats());
+  if (const auto* s = tb.pool().scan_stats())
+    publish_scan_stats(snap, "pool", *s);
+  if (const auto* s = tb.dim().scan_stats()) publish_scan_stats(snap, "dim", *s);
   if (tb.pool_trace() != nullptr) {
     snap.gauges["pool.trace.recorded"] +=
         static_cast<double>(tb.pool_trace()->recorded());

@@ -44,6 +44,12 @@ void publish_buffer_pool(obs::Snapshot& snap, const std::string& prefix,
 void publish_fault_stats(obs::Snapshot& snap, const std::string& prefix,
                          const storage::FaultStats& fs);
 
+/// Publishes columnar scan-kernel counters (DESIGN.md §14) as
+/// <prefix>.store.scan.rows_scanned, .blocks_skipped, .bytes_touched —
+/// how much column data the zone-map kernels actually read vs pruned.
+void publish_scan_stats(obs::Snapshot& snap, const std::string& prefix,
+                        const storage::column::ScanStats& stats);
+
 /// Publishes a paired-run per-system aggregate as gauges:
 /// <prefix>.query.messages_mean, .query_messages_mean,
 /// .reply_messages_mean, .index_nodes_mean, .results_mean,

@@ -10,6 +10,7 @@
 
 #include "bench_support/experiment.h"
 #include "bench_support/parallel.h"
+#include "bench_support/replay.h"
 #include "bench_support/telemetry_bridge.h"
 #include "common/error.h"
 #include "ght/ght_system.h"
@@ -152,7 +153,7 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
     }
     ght_sys =
         std::make_unique<ght::GhtSystem>(*ght_net, *ght_router, config.dims);
-    for (const auto& e : tb.oracle().all()) ght_sys->insert(e.source, e);
+    benchsup::replay_oracle(tb.oracle(), *ght_sys);
     acc[SystemChoice::Ght].insert_msgs +=
         static_cast<double>(ght_net->traffic().total);
     acc[SystemChoice::Ght].events += events;
@@ -187,7 +188,7 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
     central_sys = storage::make_central_store(
         config.dims, config.store, central_net.get(), central_router,
         net::NodeId{0}, &tb.metrics());
-    for (const auto& e : tb.oracle().all()) central_sys->insert(e.source, e);
+    benchsup::replay_oracle(tb.oracle(), *central_sys);
     acc[SystemChoice::Central].insert_msgs +=
         static_cast<double>(central_net->traffic().total);
     acc[SystemChoice::Central].events += events;
@@ -251,6 +252,7 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
       {.dims = config.dims, .dist = config.size_dist},
       config.seed * 1000003 + dep * 101 + 7);
   Rng sink_rng(config.seed * 31 + dep * 13 + 1);
+  std::vector<storage::Event> oracle_scratch;  // reused across queries
   for (std::size_t i = 0; i < config.queries; ++i) {
     if (injector) injector->advance(static_cast<double>(i));
     const auto q = make_query(qgen, config.flavor);
@@ -264,7 +266,9 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
         sink = tb.random_node(sink_rng);
     }
     Issued row;
-    row.oracle_count = tb.oracle().matching(q).size();
+    oracle_scratch.clear();
+    tb.oracle().matching_into(q, oracle_scratch);
+    row.oracle_count = oracle_scratch.size();
     for (const auto s : config.systems)
       row.tickets[s] = engines[s]->submit(sink, q);
     issued.push_back(std::move(row));
@@ -291,6 +295,8 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
     if (want_ght) {
       benchsup::publish_network(out.snap, "ght", *ght_net);
       benchsup::publish_fault_stats(out.snap, "ght", ght_sys->fault_stats());
+      if (const auto* s = ght_sys->scan_stats())
+        benchsup::publish_scan_stats(out.snap, "ght", *s);
       if (ght_trace) {
         out.snap.gauges["ght.trace.recorded"] +=
             static_cast<double>(ght_trace->recorded());
@@ -298,6 +304,8 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
     }
     if (want_central) {
       benchsup::publish_network(out.snap, "central", *central_net);
+      if (const auto* s = central_sys->scan_stats())
+        benchsup::publish_scan_stats(out.snap, "central", *s);
       if (central_trace) {
         out.snap.gauges["central.trace.recorded"] +=
             static_cast<double>(central_trace->recorded());

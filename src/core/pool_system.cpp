@@ -48,7 +48,9 @@ PoolSystem::PoolSystem(net::Network& network,
   if (config_.replicas >= dims_)
     throw ConfigError(
         "PoolSystem: replicas must be < dims (one rotated pool per mirror)");
-  cells_.resize(dims * static_cast<std::size_t>(config_.side) * config_.side);
+  cells_.assign(dims * static_cast<std::size_t>(config_.side) * config_.side,
+                storage::column::ColumnStore(dims, /*with_meta=*/true));
+  for (auto& cell : cells_) cell.set_stats(&scan_stats_);
   cell_subs_.resize(cells_.size());
   splitter_cache_.assign(dims * net_.size(), net::kNoNode);
 
@@ -165,10 +167,12 @@ const routing::LegOutcome& PoolSystem::send_leg(net::NodeId from,
 
 void PoolSystem::absorb_dead_holders(std::size_t key) {
   std::vector<net::NodeId> dead;
-  for (const StoredEvent& se : cells_[key]) {
-    if (net_.alive(se.holder)) continue;
-    if (std::find(dead.begin(), dead.end(), se.holder) == dead.end())
-      dead.push_back(se.holder);
+  const auto& cell = cells_[key];
+  for (std::size_t row = 0; row < cell.size(); ++row) {
+    const net::NodeId holder = cell.holder_at(row);
+    if (net_.alive(holder)) continue;
+    if (std::find(dead.begin(), dead.end(), holder) == dead.end())
+      dead.push_back(holder);
   }
   for (const net::NodeId d : dead) handle_node_failure(d);
 }
@@ -201,10 +205,10 @@ void PoolSystem::handle_node_failure(net::NodeId dead) {
     const std::size_t pool_dim = key / l2;
     const CellOffset off{static_cast<std::uint32_t>(key % side),
                          static_cast<std::uint32_t>((key / side) % side)};
-    std::erase_if(cell, [&](const StoredEvent& se) {
-      if (se.holder != dead) return false;
+    cell.erase_if([&](std::size_t row) {
+      if (cell.holder_at(row) != dead) return false;
       --net_.node_mut(dead).stored_events;
-      if (se.is_replica) {
+      if (cell.replica_at(row)) {
         --replica_count_;
         return true;
       }
@@ -213,11 +217,13 @@ void PoolSystem::handle_node_failure(net::NodeId dead) {
       for (std::uint32_t r = 1; r <= config_.replicas; ++r) {
         const std::size_t mirror_pool = (pool_dim + r) % dims_;
         const CellOffset mirror_off{side - 1 - off.ho, side - 1 - off.vo};
-        for (const StoredEvent& m : cells_[cell_key(mirror_pool, mirror_off)]) {
-          if (!m.is_replica || m.event.id != se.event.id) continue;
-          if (!net_.alive(m.holder)) continue;
-          restores.push_back(
-              {se.event, m.holder, key, layout_.cell(pool_dim, off)});
+        const auto& mirror = cells_[cell_key(mirror_pool, mirror_off)];
+        for (std::size_t m = 0; m < mirror.size(); ++m) {
+          if (!mirror.replica_at(m) || mirror.id_at(m) != cell.id_at(row))
+            continue;
+          if (!net_.alive(mirror.holder_at(m))) continue;
+          restores.push_back({cell.event_at(row), mirror.holder_at(m), key,
+                              layout_.cell(pool_dim, off)});
           return true;
         }
       }
@@ -244,8 +250,7 @@ void PoolSystem::handle_node_failure(net::NodeId dead) {
             discovered.end())
           discovered.push_back(d);
       if (leg.delivered) {
-        cells_[r.key].push_back(
-            {std::move(r.event), new_idx, /*is_replica=*/false});
+        cells_[r.key].append(r.event, new_idx, /*is_replica=*/false);
         ++net_.node_mut(new_idx).stored_events;
         ++fault_stats_.events_restored;
         stored = true;
@@ -312,7 +317,7 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
   }
 
   const std::size_t key = cell_key(choice.pool_dim, choice.offset);
-  cells_[key].push_back({event, holder, /*is_replica=*/false});
+  cells_[key].append(event, holder, /*is_replica=*/false);
   ++net_.node_mut(holder).stored_events;
   ++stored_count_;
 
@@ -343,8 +348,8 @@ InsertReceipt PoolSystem::insert(net::NodeId source, const Event& event) {
       }
     }
     if (!mirror_delivered) continue;  // this mirror copy just isn't made
-    cells_[cell_key(mirror_pool, mirror_off)].push_back(
-        {event, mirror_idx, /*is_replica=*/true});
+    cells_[cell_key(mirror_pool, mirror_off)].append(event, mirror_idx,
+                                                     /*is_replica=*/true);
     ++net_.node_mut(mirror_idx).stored_events;
     ++replica_count_;
   }
@@ -458,15 +463,16 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
       // index node.
       std::uint32_t here = 0;
       std::unordered_map<net::NodeId, std::uint32_t> at_delegate;
-      for (const StoredEvent& se : cells_[key]) {
-        if (se.is_replica || !q.matches(se.event)) continue;
-        receipt.events.push_back(se.event);
-        if (se.holder == idx) {
+      const auto& cell = cells_[key];
+      cell.scan(q, /*skip_replicas=*/true, [&](std::size_t row) {
+        receipt.events.push_back(cell.event_at(row));
+        const net::NodeId holder = cell.holder_at(row);
+        if (holder == idx) {
           ++here;
         } else {
-          ++at_delegate[se.holder];
+          ++at_delegate[holder];
         }
-      }
+      });
       for (const auto& [delegate, found] : at_delegate) {
         // Forward the query one hop and bring batches back one hop.
         net_.transmit(idx, delegate, net::MessageKind::SubQuery,
@@ -602,24 +608,26 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
       std::map<net::NodeId, std::uint32_t> union_at_delegate;
       std::vector<std::uint32_t> member_total(v.members.size(), 0);
       std::map<net::NodeId, std::vector<std::uint32_t>> member_at_delegate;
-      for (const StoredEvent& se : cells_[key]) {
-        if (se.is_replica) continue;
+      const auto& cell = cells_[key];
+      for (std::size_t row = 0; row < cell.size(); ++row) {
+        if (cell.replica_at(row)) continue;
+        const net::NodeId holder = cell.holder_at(row);
         bool any = false;
         for (std::size_t mi = 0; mi < v.members.size(); ++mi) {
-          if (!queries[v.members[mi]].matches(se.event)) continue;
+          if (!cell.row_matches(queries[v.members[mi]], row)) continue;
           any = true;
           ++member_total[mi];
-          if (se.holder != idx) {
-            auto& per = member_at_delegate[se.holder];
+          if (holder != idx) {
+            auto& per = member_at_delegate[holder];
             if (per.empty()) per.assign(v.members.size(), 0);
             ++per[mi];
           }
         }
         if (!any) continue;
-        if (se.holder == idx) {
+        if (holder == idx) {
           ++union_here;
         } else {
-          ++union_at_delegate[se.holder];
+          ++union_at_delegate[holder];
         }
       }
 
@@ -679,10 +687,10 @@ storage::BatchQueryReceipt PoolSystem::query_batch(
     for (const std::size_t qi : users) {
       auto& events = batch.per_query[qi].events;
       for (const CellOffset off : qcells[qi]) {
-        for (const StoredEvent& se : cells_[cell_key(pool_dim, off)]) {
-          if (!se.is_replica && queries[qi].matches(se.event))
-            events.push_back(se.event);
-        }
+        const auto& cell = cells_[cell_key(pool_dim, off)];
+        cell.scan(queries[qi], /*skip_replicas=*/true, [&](std::size_t row) {
+          events.push_back(cell.event_at(row));
+        });
       }
     }
   }
@@ -753,15 +761,16 @@ storage::AggregateReceipt PoolSystem::aggregate(net::NodeId sink,
 
       storage::PartialAggregate cell_partial;
       std::unordered_map<net::NodeId, storage::PartialAggregate> at_delegate;
-      for (const StoredEvent& se : cells_[key]) {
-        if (se.is_replica || !q.matches(se.event)) continue;
-        const double v = se.event.values[value_dim];
-        if (se.holder == idx) {
+      const auto& cell = cells_[key];
+      cell.scan(q, /*skip_replicas=*/true, [&](std::size_t row) {
+        const double v = cell.value_at(row, value_dim);
+        const net::NodeId holder = cell.holder_at(row);
+        if (holder == idx) {
           cell_partial.add(v);
         } else {
-          at_delegate[se.holder].add(v);
+          at_delegate[holder].add(v);
         }
-      }
+      });
       for (const auto& [delegate, partial] : at_delegate) {
         // One hop out, one fixed-size partial back.
         net_.transmit(idx, delegate, net::MessageKind::SubQuery,
@@ -908,17 +917,18 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
         // local optimum means a visited cell never needs re-querying when
         // the box later grows.
         bool cell_has_candidate = false;
-        for (const StoredEvent& se : cells_[cell_key(pool_dim, off)]) {
-          if (se.is_replica) continue;
+        const auto& cell = cells_[cell_key(pool_dim, off)];
+        for (std::size_t row = 0; row < cell.size(); ++row) {
+          if (cell.replica_at(row)) continue;
           double d2 = 0.0;
           for (std::size_t d = 0; d < dims_; ++d) {
-            const double diff = se.event.values[d] - target[d];
+            const double diff = cell.value_at(row, d) - target[d];
             d2 += diff * diff;
           }
           cell_has_candidate = true;
           if (d2 < best_d2) {
             best_d2 = d2;
-            best = se.event;
+            best = cell.event_at(row);
           }
         }
         if (cell_has_candidate && idx != splitter) {
@@ -953,10 +963,10 @@ PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
 std::size_t PoolSystem::expire_before(double cutoff) {
   std::size_t primaries_removed = 0;
   for (auto& cell : cells_) {
-    std::erase_if(cell, [&](const StoredEvent& se) {
-      if (se.event.detected_at >= cutoff) return false;
-      --net_.node_mut(se.holder).stored_events;
-      if (se.is_replica) {
+    cell.erase_if([&](std::size_t row) {
+      if (cell.time_at(row) >= cutoff) return false;
+      --net_.node_mut(cell.holder_at(row)).stored_events;
+      if (cell.replica_at(row)) {
         --replica_count_;
       } else {
         ++primaries_removed;
@@ -984,12 +994,12 @@ PoolSystem::SurvivabilityReport PoolSystem::survivability(
   std::unordered_map<std::uint64_t, std::pair<bool, bool>> state;
   state.reserve(stored_count_);
   for (const auto& cell : cells_) {
-    for (const StoredEvent& se : cell) {
-      auto& [primary_dead, mirror_alive] = state[se.event.id];
-      if (se.is_replica) {
-        if (!dead[se.holder]) mirror_alive = true;
+    for (std::size_t row = 0; row < cell.size(); ++row) {
+      auto& [primary_dead, mirror_alive] = state[cell.id_at(row)];
+      if (cell.replica_at(row)) {
+        if (!dead[cell.holder_at(row)]) mirror_alive = true;
       } else {
-        primary_dead = dead[se.holder] != 0;
+        primary_dead = dead[cell.holder_at(row)] != 0;
       }
     }
   }

@@ -32,6 +32,7 @@
 #include "net/network.h"
 #include "routing/reliable.h"
 #include "routing/router.h"
+#include "storage/column/column_store.h"
 #include "storage/dcs_system.h"
 
 namespace poolnet::core {
@@ -205,13 +206,11 @@ class PoolSystem final : public storage::DcsSystem {
   SurvivabilityReport survivability(
       const std::vector<net::NodeId>& dead_nodes) const;
 
- private:
-  struct StoredEvent {
-    storage::Event event;
-    net::NodeId holder;  ///< index node itself, or a delegate neighbor
-    bool is_replica = false;  ///< mirror copy: invisible to queries
-  };
+  const storage::column::ScanStats* scan_stats() const override {
+    return &scan_stats_;
+  }
 
+ private:
   std::size_t cell_key(std::size_t pool_dim, CellOffset offset) const;
   net::NodeId pick_delegate(net::NodeId index_node) const;
 
@@ -246,7 +245,11 @@ class PoolSystem final : public storage::DcsSystem {
   routing::RouteResult route_scratch_;
   Grid grid_;
   PoolLayout layout_;
-  std::vector<std::vector<StoredEvent>> cells_;  // k * l^2 stores
+  /// k * l^2 per-cell column stores. Each row carries the event plus meta
+  /// columns: `holder` (the index node itself, or a delegate neighbor)
+  /// and a replica flag (mirror copies, invisible to queries).
+  std::vector<storage::column::ColumnStore> cells_;
+  mutable storage::column::ScanStats scan_stats_;
   std::size_t stored_count_ = 0;
   std::size_t replica_count_ = 0;
 

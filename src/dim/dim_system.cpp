@@ -16,8 +16,10 @@ DimSystem::DimSystem(net::Network& network,
     : net_(network),
       router_(router),
       tree_(network, dims),
-      store_(tree_.size()),
-      rep_cache_(tree_.size(), net::kNoNode) {}
+      store_(tree_.size(), storage::column::ColumnStore(dims)),
+      rep_cache_(tree_.size(), net::kNoNode) {
+  for (auto& cs : store_) cs.set_stats(&scan_stats_);
+}
 
 std::string DimSystem::describe() const {
   char buf[96];
@@ -125,7 +127,7 @@ InsertReceipt DimSystem::insert(net::NodeId source, const Event& event) {
     return receipt;
   }
 
-  store_[leaf].push_back(event);
+  store_[leaf].append(event);
   ++stored_count_;
   ++net_.node_mut(owner).stored_events;
 
@@ -233,9 +235,7 @@ void DimSystem::process_subtree(net::NodeId carrier, ZoneIndex zidx,
   walk_subtree(carrier, zidx, q, [&](ZoneIndex leaf) {
     ++receipt.index_nodes_visited;
     std::vector<Event> matched;
-    for (const Event& e : store_[leaf]) {
-      if (q.matches(e)) matched.push_back(e);
-    }
+    store_[leaf].matching_into(q, matched);
     const auto found = static_cast<std::uint32_t>(matched.size());
     const net::NodeId owner = tree_.zone(leaf).owner;
     bool returned = true;
@@ -331,12 +331,11 @@ storage::BatchQueryReceipt DimSystem::query_batch(
       if (fresh) it->second.assign(queries.size(), 0);
       ++batch.per_query[qi].index_nodes_visited;
       ++batch.serial_cell_visits;
-      for (const Event& e : store_[leaf]) {
-        if (q.matches(e)) {
-          batch.per_query[qi].events.push_back(e);
-          ++it->second[qi];
-        }
-      }
+      const auto& cs = store_[leaf];
+      cs.scan(q, false, [&](std::size_t row) {
+        batch.per_query[qi].events.push_back(cs.event_at(row));
+        ++it->second[qi];
+      });
     });
   }
   batch.unique_cell_visits = leaf_found.size();
@@ -355,9 +354,10 @@ storage::BatchQueryReceipt DimSystem::query_batch(
   // all askers; serial execution would have paid per asker.
   for (const auto& [leaf, counts] : leaf_found) {
     std::uint32_t union_found = 0;
-    for (const Event& e : store_[leaf]) {
+    const auto& cs = store_[leaf];
+    for (std::size_t row = 0; row < cs.size(); ++row) {
       for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-        if (counts[qi] > 0 && queries[qi].matches(e)) {
+        if (counts[qi] > 0 && cs.row_matches(queries[qi], row)) {
           ++union_found;
           break;
         }
@@ -419,9 +419,10 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
       walk_subtree(entry, start, q, [&](ZoneIndex leaf) {
         ++receipt.index_nodes_visited;
         storage::PartialAggregate partial;
-        for (const Event& e : store_[leaf]) {
-          if (q.matches(e)) partial.add(e.values[value_dim]);
-        }
+        const auto& cs = store_[leaf];
+        cs.scan(q, false, [&](std::size_t row) {
+          partial.add(cs.value_at(row, value_dim));
+        });
         if (!partial.empty()) {
           const net::NodeId owner = tree_.zone(leaf).owner;
           if (owner == sink) {
@@ -448,12 +449,7 @@ storage::AggregateReceipt DimSystem::aggregate(net::NodeId sink,
 std::size_t DimSystem::expire_before(double cutoff) {
   std::size_t removed = 0;
   for (const ZoneIndex leaf : tree_.leaves()) {
-    auto& events = store_[leaf];
-    const auto before = events.size();
-    std::erase_if(events, [cutoff](const Event& e) {
-      return e.detected_at < cutoff;
-    });
-    const auto gone = before - events.size();
+    const auto gone = store_[leaf].expire_before(cutoff);
     if (gone > 0) {
       removed += gone;
       const net::NodeId owner = tree_.zone(leaf).owner;
@@ -464,9 +460,13 @@ std::size_t DimSystem::expire_before(double cutoff) {
   return removed;
 }
 
-const std::vector<Event>& DimSystem::zone_store(ZoneIndex leaf) const {
+std::vector<Event> DimSystem::zone_store(ZoneIndex leaf) const {
   POOLNET_ASSERT(leaf < store_.size());
-  return store_[leaf];
+  std::vector<Event> out;
+  const auto& cs = store_[leaf];
+  out.reserve(cs.size());
+  cs.for_each([&](std::size_t row) { out.push_back(cs.event_at(row)); });
+  return out;
 }
 
 }  // namespace poolnet::dim

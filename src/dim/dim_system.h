@@ -17,6 +17,7 @@
 #include "net/network.h"
 #include "routing/reliable.h"
 #include "routing/router.h"
+#include "storage/column/column_store.h"
 #include "storage/dcs_system.h"
 
 namespace poolnet::dim {
@@ -65,8 +66,13 @@ class DimSystem final : public storage::DcsSystem {
 
   const ZoneTree& tree() const { return tree_; }
 
-  /// Events resident in a given leaf zone (diagnostics, load analysis).
-  const std::vector<storage::Event>& zone_store(ZoneIndex leaf) const;
+  const storage::column::ScanStats* scan_stats() const override {
+    return &scan_stats_;
+  }
+
+  /// Events resident in a given leaf zone, materialized from the column
+  /// store in insertion order (diagnostics, load analysis).
+  std::vector<storage::Event> zone_store(ZoneIndex leaf) const;
 
   /// Number of leaf zones a query must visit (pruning diagnostic).
   std::size_t relevant_zone_count(const storage::RangeQuery& q) const {
@@ -115,7 +121,8 @@ class DimSystem final : public storage::DcsSystem {
   routing::RouteResult route_scratch_;
 
   ZoneTree tree_;
-  std::vector<std::vector<storage::Event>> store_;  // indexed by ZoneIndex
+  std::vector<storage::column::ColumnStore> store_;  // indexed by ZoneIndex
+  mutable storage::column::ScanStats scan_stats_;
   std::size_t stored_count_ = 0;
   mutable std::vector<net::NodeId> rep_cache_;
 

@@ -27,12 +27,13 @@ GhtSystem::GhtSystem(net::Network& network,
     : net_(network),
       router_(router),
       dims_(dims),
-      config_(config),
-      store_(network.size()) {
+      config_(config) {
   if (dims == 0 || dims > storage::kMaxDims)
     throw ConfigError("GHT: bad dimensionality");
   if (config.quantum <= 0.0 || config.quantum > 1.0)
     throw ConfigError("GHT: quantum must be in (0,1]");
+  store_.assign(network.size(), storage::column::ColumnStore(dims));
+  for (auto& cs : store_) cs.set_stats(&scan_stats_);
 }
 
 std::string GhtSystem::describe() const {
@@ -154,7 +155,7 @@ InsertReceipt GhtSystem::insert(net::NodeId source, const Event& event) {
     return receipt;
   }
 
-  store_[home].push_back(event);
+  store_[home].append(event);
   ++stored_count_;
   ++net_.node_mut(home).stored_events;
 
@@ -225,9 +226,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
     if (arrived) {
       receipt.index_nodes_visited = 1;
       std::vector<Event> matched;
-      for (const Event& e : store_[home]) {
-        if (q.matches(e)) matched.push_back(e);
-      }
+      store_[home].matching_into(q, matched);
       const auto found = static_cast<std::uint32_t>(matched.size());
       bool returned = true;
       if (found > 0 && home != sink) {
@@ -255,9 +254,7 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
         continue;
       }
       std::vector<Event> matched;
-      for (const Event& e : store_[n]) {
-        if (q.matches(e)) matched.push_back(e);
-      }
+      store_[n].matching_into(q, matched);
       const auto found = static_cast<std::uint32_t>(matched.size());
       if (found > 0) {
         ++receipt.index_nodes_visited;
@@ -335,10 +332,13 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
 
     std::vector<std::uint32_t> member_found(g.members.size(), 0);
     std::uint32_t union_found = 0;
-    for (const Event& e : store_[g.home]) {
+    const auto& cs = store_[g.home];
+    for (std::size_t row = 0; row < cs.size(); ++row) {
       bool any = false;
+      Event e;
       for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
-        if (queries[g.members[mi]].matches(e)) {
+        if (cs.row_matches(queries[g.members[mi]], row)) {
+          if (!any) e = cs.event_at(row);
           any = true;
           ++member_found[mi];
           batch.per_query[g.members[mi]].events.push_back(e);
@@ -372,10 +372,13 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
       if (store_[n].empty()) continue;
       std::vector<std::uint32_t> member_found(floods.size(), 0);
       std::uint32_t union_found = 0;
-      for (const Event& e : store_[n]) {
+      const auto& cs = store_[n];
+      for (std::size_t row = 0; row < cs.size(); ++row) {
         bool any = false;
+        Event e;
         for (std::size_t mi = 0; mi < floods.size(); ++mi) {
-          if (queries[floods[mi]].matches(e)) {
+          if (cs.row_matches(queries[floods[mi]], row)) {
+            if (!any) e = cs.event_at(row);
             any = true;
             ++member_found[mi];
             batch.per_query[floods[mi]].events.push_back(e);
@@ -419,12 +422,7 @@ storage::BatchQueryReceipt GhtSystem::query_batch(
 std::size_t GhtSystem::expire_before(double cutoff) {
   std::size_t removed = 0;
   for (net::NodeId n = 0; n < net_.size(); ++n) {
-    auto& events = store_[n];
-    const auto before = events.size();
-    std::erase_if(events, [cutoff](const Event& e) {
-      return e.detected_at < cutoff;
-    });
-    const auto gone = before - events.size();
+    const auto gone = store_[n].expire_before(cutoff);
     if (gone > 0) {
       removed += gone;
       net_.node_mut(n).stored_events -= gone;
@@ -457,9 +455,10 @@ storage::AggregateReceipt GhtSystem::aggregate(net::NodeId sink,
       continue;
     }
     storage::PartialAggregate partial;
-    for (const Event& e : store_[n]) {
-      if (q.matches(e)) partial.add(e.values[value_dim]);
-    }
+    const auto& cs = store_[n];
+    cs.scan(q, false, [&](std::size_t row) {
+      partial.add(cs.value_at(row, value_dim));
+    });
     if (!partial.empty()) {
       ++receipt.index_nodes_visited;
       if (n == sink) {

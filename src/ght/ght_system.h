@@ -25,6 +25,7 @@
 #include "net/network.h"
 #include "routing/reliable.h"
 #include "routing/router.h"
+#include "storage/column/column_store.h"
 #include "storage/dcs_system.h"
 
 namespace poolnet::ght {
@@ -73,6 +74,10 @@ class GhtSystem final : public storage::DcsSystem {
   std::size_t stored_count() const override { return stored_count_; }
   std::size_t expire_before(double cutoff) override;
 
+  const storage::column::ScanStats* scan_stats() const override {
+    return &scan_stats_;
+  }
+
   /// Online failover: the dead node's store is counted lost (GHT keeps a
   /// single copy per key), and every cached home pointing at it is
   /// forgotten so affected keys re-home at the nearest survivor — the
@@ -108,7 +113,8 @@ class GhtSystem final : public storage::DcsSystem {
   /// warm system issues them without heap traffic.
   routing::LegOutcome leg_scratch_;
   routing::RouteResult route_scratch_;
-  std::vector<std::vector<storage::Event>> store_;  // per home node
+  std::vector<storage::column::ColumnStore> store_;  // per home node
+  mutable storage::column::ScanStats scan_stats_;
   std::size_t stored_count_ = 0;
 
   /// Quantized-key → home node; the nearest_node expanding-ring search

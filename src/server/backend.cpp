@@ -1,5 +1,7 @@
 #include "server/backend.h"
 
+#include "bench_support/replay.h"
+
 namespace poolnet::server {
 
 const char* to_string(SystemKind kind) {
@@ -73,8 +75,7 @@ Backend::Backend(BackendConfig config) : config_(config) {
             net::NodeId{0}, &testbed_->metrics());
         system_ = central_.get();
       }
-      for (const auto& e : testbed_->oracle().all())
-        system_->insert(e.source, e);
+      benchsup::replay_oracle(testbed_->oracle(), *system_);
       break;
     }
   }

@@ -9,6 +9,8 @@ namespace poolnet::storage {
 BruteForceStore::BruteForceStore(std::size_t dims) : dims_(dims) {
   if (dims == 0 || dims > kMaxDims)
     throw ConfigError("BruteForceStore: bad dimensionality");
+  store_ = column::ColumnStore(dims);
+  store_.set_stats(&scan_stats_);
 }
 
 BruteForceStore::BruteForceStore(std::size_t dims, net::Network& network,
@@ -24,7 +26,8 @@ InsertReceipt BruteForceStore::insert(net::NodeId source, const Event& event) {
   validate_event(event);
   if (event.dims() != dims_)
     throw ConfigError("BruteForceStore: event dimensionality mismatch");
-  events_.push_back(event);
+  store_.append(event);
+  all_dirty_ = true;
   InsertReceipt receipt;
   receipt.stored_at = base_station_ == net::kNoNode ? source : base_station_;
   if (network_ != nullptr && base_station_ != net::kNoNode) {
@@ -65,12 +68,18 @@ QueryReceipt BruteForceStore::query(net::NodeId sink, const RangeQuery& q) {
 AggregateResult BruteForceStore::aggregate_oracle(const RangeQuery& q,
                                                   AggregateKind kind,
                                                   std::size_t value_dim) const {
-  POOLNET_ASSERT(value_dim < dims_);
   PartialAggregate partial;
-  for (const Event& e : events_) {
-    if (q.matches(e)) partial.add(e.values[value_dim]);
-  }
+  aggregate_into(q, value_dim, partial);
   return partial.finalize(kind);
+}
+
+void BruteForceStore::aggregate_into(const RangeQuery& q,
+                                     std::size_t value_dim,
+                                     PartialAggregate& partial) const {
+  POOLNET_ASSERT(value_dim < dims_);
+  store_.scan(q, false, [&](std::size_t row) {
+    partial.add(store_.value_at(row, value_dim));
+  });
 }
 
 AggregateReceipt BruteForceStore::aggregate(net::NodeId sink,
@@ -95,18 +104,31 @@ AggregateReceipt BruteForceStore::aggregate(net::NodeId sink,
 }
 
 std::size_t BruteForceStore::expire_before(double cutoff) {
-  const auto before = events_.size();
-  std::erase_if(events_,
-                [cutoff](const Event& e) { return e.detected_at < cutoff; });
-  return before - events_.size();
+  const std::size_t removed = store_.expire_before(cutoff);
+  if (removed != 0) all_dirty_ = true;
+  return removed;
 }
 
 std::vector<Event> BruteForceStore::matching(const RangeQuery& q) const {
   std::vector<Event> out;
-  for (const Event& e : events_) {
-    if (q.matches(e)) out.push_back(e);
-  }
+  matching_into(q, out);
   return out;
+}
+
+void BruteForceStore::matching_into(const RangeQuery& q,
+                                    std::vector<Event>& out) const {
+  store_.matching_into(q, out);
+}
+
+const std::vector<Event>& BruteForceStore::all() const {
+  if (all_dirty_) {
+    all_cache_.clear();
+    all_cache_.reserve(store_.size());
+    store_.for_each(
+        [&](std::size_t row) { all_cache_.push_back(store_.event_at(row)); });
+    all_dirty_ = false;
+  }
+  return all_cache_;
 }
 
 }  // namespace poolnet::storage

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "storage/column/column_store.h"
 #include "storage/dcs_system.h"
 
 namespace poolnet::net {
@@ -38,21 +39,36 @@ class BruteForceStore final : public DcsSystem {
   AggregateReceipt aggregate(net::NodeId sink, const RangeQuery& query,
                              AggregateKind kind,
                              std::size_t value_dim) override;
-  std::size_t stored_count() const override { return events_.size(); }
+  std::size_t stored_count() const override { return store_.size(); }
   std::size_t expire_before(double cutoff) override;
+  const column::ScanStats* scan_stats() const override { return &scan_stats_; }
 
   /// Oracle aggregate (no costs) — the reference for every system's tests.
   AggregateResult aggregate_oracle(const RangeQuery& q, AggregateKind kind,
                                    std::size_t value_dim) const;
 
+  /// Scratch-buffer variant: accumulates the matching values of
+  /// `value_dim` into `partial` without materializing any event.
+  void aggregate_into(const RangeQuery& q, std::size_t value_dim,
+                      PartialAggregate& partial) const;
+
   /// All events matching `q` (oracle answer, no costs).
   std::vector<Event> matching(const RangeQuery& q) const;
 
-  const std::vector<Event>& all() const { return events_; }
+  /// Scratch-buffer variant: appends matches to `out` (caller clears).
+  void matching_into(const RangeQuery& q, std::vector<Event>& out) const;
+
+  /// Every stored event in insertion order. Materialized lazily from the
+  /// column store and cached; the reference stays stable until the next
+  /// insert/expire.
+  const std::vector<Event>& all() const;
 
  private:
   std::size_t dims_;
-  std::vector<Event> events_;
+  column::ColumnStore store_{1};
+  mutable column::ScanStats scan_stats_;
+  mutable std::vector<Event> all_cache_;
+  mutable bool all_dirty_ = true;
   net::Network* network_ = nullptr;        // null in oracle mode
   const routing::Router* router_ = nullptr;  // null in oracle mode
   net::NodeId base_station_ = net::kNoNode;

@@ -1,0 +1,104 @@
+#include "storage/column/column_store.h"
+
+namespace poolnet::storage::column {
+
+void ColumnStore::filter_column(const double* col, std::size_t rows,
+                                double lo, double hi, std::uint64_t* words,
+                                std::uint64_t* any) {
+  const std::size_t full = rows / 64;
+  std::uint64_t alive = 0;
+  for (std::size_t w = 0; w < full; ++w) {
+    const double* p = col + w * 64;
+    std::uint64_t m = 0;
+    for (unsigned j = 0; j < 64; ++j) {
+      m |= static_cast<std::uint64_t>((p[j] >= lo) & (p[j] <= hi)) << j;
+    }
+    words[w] &= m;
+    alive |= words[w];
+  }
+  if (const std::size_t tail = rows % 64; tail != 0) {
+    const double* p = col + full * 64;
+    std::uint64_t m = 0;
+    for (unsigned j = 0; j < tail; ++j) {
+      m |= static_cast<std::uint64_t>((p[j] >= lo) & (p[j] <= hi)) << j;
+    }
+    words[full] &= m;
+    alive |= words[full];
+  }
+  *any = alive;
+}
+
+void ColumnStore::filter_primaries(const std::uint8_t* replica,
+                                   std::size_t rows, std::uint64_t* words,
+                                   std::uint64_t* any) {
+  const std::size_t full = rows / 64;
+  std::uint64_t alive = 0;
+  for (std::size_t w = 0; w < full; ++w) {
+    const std::uint8_t* p = replica + w * 64;
+    std::uint64_t m = 0;
+    for (unsigned j = 0; j < 64; ++j) {
+      m |= static_cast<std::uint64_t>(p[j] == 0) << j;
+    }
+    words[w] &= m;
+    alive |= words[w];
+  }
+  if (const std::size_t tail = rows % 64; tail != 0) {
+    const std::uint8_t* p = replica + full * 64;
+    std::uint64_t m = 0;
+    for (unsigned j = 0; j < tail; ++j) {
+      m |= static_cast<std::uint64_t>(p[j] == 0) << j;
+    }
+    words[full] &= m;
+    alive |= words[full];
+  }
+  *any = alive;
+}
+
+void ColumnStore::truncate(std::size_t rows) {
+  ids_.resize(rows);
+  sources_.resize(rows);
+  times_.resize(rows);
+  for (std::size_t d = 0; d < dims_; ++d) cols_[d].resize(rows);
+  if (with_meta_) {
+    holders_.resize(rows);
+    replica_.resize(rows);
+  }
+  rebuild_zone_maps();
+}
+
+void ColumnStore::rebuild_zone_maps() {
+  const std::size_t n = ids_.size();
+  const std::size_t blocks = (n + kBlockRows - 1) / kBlockRows;
+  zmin_.assign(blocks * dims_, std::numeric_limits<double>::infinity());
+  zmax_.assign(blocks * dims_, -std::numeric_limits<double>::infinity());
+  for (std::size_t block = 0; block < blocks; ++block) {
+    const std::size_t base = block * kBlockRows;
+    const std::size_t end = std::min(base + kBlockRows, n);
+    double* zmin = &zmin_[block * dims_];
+    double* zmax = &zmax_[block * dims_];
+    for (std::size_t d = 0; d < dims_; ++d) {
+      const double* col = cols_[d].data();
+      double mn = zmin[d], mx = zmax[d];
+      for (std::size_t r = base; r < end; ++r) {
+        const double v = col[r];
+        if (v < mn) mn = v;
+        if (v > mx) mx = v;
+      }
+      zmin[d] = mn;
+      zmax[d] = mx;
+    }
+  }
+}
+
+void ColumnStore::clear() {
+  ids_.clear();
+  sources_.clear();
+  times_.clear();
+  for (std::size_t d = 0; d < dims_; ++d) cols_[d].clear();
+  holders_.clear();
+  replica_.clear();
+  zmin_.clear();
+  zmax_.clear();
+}
+
+}  // namespace poolnet::storage::column

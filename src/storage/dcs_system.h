@@ -17,6 +17,10 @@
 
 namespace poolnet::storage {
 
+namespace column {
+struct ScanStats;
+}
+
 /// The shared message-cost triple every receipt reports: total per-hop
 /// transmissions, split into forwarding legs (query + subquery) and
 /// reply legs. Receipts inherit it, so the triple is defined once and
@@ -178,6 +182,12 @@ class DcsSystem {
   virtual void handle_node_failure(net::NodeId dead) { (void)dead; }
 
   const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Columnar scan-kernel counters aggregated across this system's stores
+  /// (rows_scanned / blocks_skipped / bytes_touched), or null for systems
+  /// without columnar backing. Published at scrape time as
+  /// `<system>.store.scan.*`.
+  virtual const column::ScanStats* scan_stats() const { return nullptr; }
 
  protected:
   FaultStats fault_stats_;

@@ -1,13 +1,16 @@
 #include "storage/paged/grid_file.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 
 namespace poolnet::storage {
 
 GridFile::GridFile(std::size_t dims, std::size_t resolution)
-    : dims_(std::min(dims, kMaxGridDims)), resolution_(resolution) {
+    : dims_(std::min(dims, kMaxGridDims)),
+      full_dims_(dims),
+      resolution_(resolution) {
   if (resolution_ == 0) throw ConfigError("GridFile: zero resolution");
   std::size_t cells = 1;
   for (std::size_t d = 0; d < dims_; ++d) cells *= resolution_;
@@ -57,6 +60,46 @@ void GridFile::relevant_cells(const RangeQuery& q,
       if (d == 0) return;
     }
   }
+}
+
+void GridFile::dir_reset(PageId page) {
+  const std::size_t need = static_cast<std::size_t>(page) + 1;
+  if (dir_next_.size() < need) {
+    dir_next_.resize(need, kNoPage);
+    dir_zmin_.resize(need * full_dims_,
+                     std::numeric_limits<double>::infinity());
+    dir_zmax_.resize(need * full_dims_,
+                     -std::numeric_limits<double>::infinity());
+  }
+  dir_next_[page] = kNoPage;
+  dir_zone_reset(page);
+}
+
+void GridFile::dir_zone_reset(PageId page) {
+  for (std::size_t d = 0; d < full_dims_; ++d) {
+    dir_zmin_[page * full_dims_ + d] = std::numeric_limits<double>::infinity();
+    dir_zmax_[page * full_dims_ + d] =
+        -std::numeric_limits<double>::infinity();
+  }
+}
+
+void GridFile::dir_zone_extend(PageId page, const Values& values) {
+  double* zmin = &dir_zmin_[page * full_dims_];
+  double* zmax = &dir_zmax_[page * full_dims_];
+  for (std::size_t d = 0; d < full_dims_; ++d) {
+    if (values[d] < zmin[d]) zmin[d] = values[d];
+    if (values[d] > zmax[d]) zmax[d] = values[d];
+  }
+}
+
+bool GridFile::dir_zone_overlaps(PageId page, const RangeQuery& q) const {
+  const double* zmin = &dir_zmin_[page * full_dims_];
+  const double* zmax = &dir_zmax_[page * full_dims_];
+  const auto& bounds = q.bounds();
+  for (std::size_t d = 0; d < full_dims_; ++d) {
+    if (zmax[d] < bounds[d].lo || zmin[d] > bounds[d].hi) return false;
+  }
+  return true;
 }
 
 }  // namespace poolnet::storage

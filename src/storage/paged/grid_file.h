@@ -49,14 +49,48 @@ class GridFile {
   Chain& chain(std::size_t cell) { return cells_[cell]; }
   const Chain& chain(std::size_t cell) const { return cells_[cell]; }
 
+  // --- page directory (DESIGN.md §14) ----------------------------------
+  //
+  // Beside the chain heads the grid file keeps one small in-core record
+  // per page: a mirror of the on-page `next` pointer and a per-attribute
+  // min/max zone map over ALL k dimensions (not just the partitioned
+  // ones). Scans walk chains through the directory and consult the zone
+  // map BEFORE fetching, so a cold page whose bounds cannot intersect the
+  // query box is skipped without faulting it in. The on-page next pointer
+  // stays canonical; the directory is derived state, rebuilt the same way
+  // pages themselves are mutated (append / unlink / compaction).
+
+  /// Grows the directory to cover `page` and resets its entry (empty zone
+  /// map, no successor). Call when a page is formatted or recycled.
+  void dir_reset(PageId page);
+
+  /// Empties just the zone map (before recomputing it over survivors of
+  /// an in-place compaction).
+  void dir_zone_reset(PageId page);
+
+  void dir_set_next(PageId page, PageId next) { dir_next_[page] = next; }
+  PageId dir_next(PageId page) const { return dir_next_[page]; }
+
+  /// Widens `page`'s zone map to cover an appended event's values.
+  void dir_zone_extend(PageId page, const Values& values);
+
+  /// False when the page's zone map proves no resident event can match
+  /// `q` (an empty/reset zone map never overlaps).
+  bool dir_zone_overlaps(PageId page, const RangeQuery& q) const;
+
  private:
   /// Slice index of value `v` along one dimension: floor(v * resolution),
   /// with v = 1.0 clamped into the last slice.
   std::size_t slice_of(double v) const;
 
   std::size_t dims_;          ///< partitioned dims (<= kMaxGridDims)
+  std::size_t full_dims_;     ///< event dims covered by page zone maps
   std::size_t resolution_;
   std::vector<Chain> cells_;  ///< row-major over the partitioned dims
+
+  std::vector<PageId> dir_next_;   ///< per page, mirrors the on-page link
+  std::vector<double> dir_zmin_;   ///< pages x full_dims
+  std::vector<double> dir_zmax_;
 };
 
 }  // namespace poolnet::storage

@@ -1,6 +1,7 @@
 #include "storage/paged/paged_store.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/error.h"
@@ -8,6 +9,23 @@
 #include "routing/router.h"
 
 namespace poolnet::storage {
+
+namespace {
+
+// Branch-free strided predicate over canonical page records: one bit per
+// slot of (v >= lo) & (v <= hi), reading the little-endian double at `p`,
+// `p + stride`, ... — the page-layout twin of the ColumnStore kernel.
+std::uint64_t page_match_word(const std::uint8_t* p, std::size_t stride,
+                              std::size_t rows, double lo, double hi) {
+  std::uint64_t m = 0;
+  for (std::size_t j = 0; j < rows; ++j) {
+    const double v = load_f64_le(p + j * stride);
+    m |= static_cast<std::uint64_t>((v >= lo) & (v <= hi)) << j;
+  }
+  return m;
+}
+
+}  // namespace
 
 PagedStore::PagedStore(std::size_t dims, PagedStoreOptions options,
                        obs::MetricsRegistry* metrics,
@@ -60,6 +78,7 @@ BufferManager::Pin PagedStore::alloc_page(PageId* id) {
   auto pin = buffer_->create(*id);
   view(pin).format();
   pin.mark_dirty();
+  grid_.dir_reset(*id);
   return pin;
 }
 
@@ -84,9 +103,11 @@ void PagedStore::append_event(const Event& event) {
       pin.mark_dirty();
       tail.set_next(pid);
       tail_pin.mark_dirty();
+      grid_.dir_set_next(chain.tail, pid);
       chain.tail = pid;
     }
   }
+  grid_.dir_zone_extend(chain.tail, event.values);
   ++stored_;
 }
 
@@ -109,26 +130,56 @@ InsertReceipt PagedStore::insert(net::NodeId source, const Event& event) {
 
 std::vector<Event> PagedStore::matching(const RangeQuery& q) const {
   std::vector<Event> out;
+  matching_into(q, out);
+  return out;
+}
+
+void PagedStore::matching_into(const RangeQuery& q,
+                               std::vector<Event>& out) const {
+  const std::size_t start = out.size();
   std::vector<std::size_t> cells;
   grid_.relevant_cells(q, &cells);
+  const std::size_t stride = event_record_bytes(dims_);
+  const auto& bounds = q.bounds();
   for (const std::size_t cell : cells) {
     PageId cur = grid_.chain(cell).head;
     while (cur != kNoPage) {
+      // The directory walks the chain and vetoes non-overlapping pages
+      // up front, so a cold page the query cannot match is never
+      // faulted into the pool.
+      const PageId next = grid_.dir_next(cur);
+      if (!grid_.dir_zone_overlaps(cur, q)) {
+        ++scan_stats_.blocks_skipped;
+        cur = next;
+        continue;
+      }
       auto pin = buffer_->fetch(cur);
       const PageView v = view(pin);
       const std::size_t n = v.count();
-      for (std::size_t slot = 0; slot < n; ++slot) {
-        Event e = v.event_at(slot);
-        if (q.matches(e)) out.push_back(std::move(e));
+      scan_stats_.rows_scanned += n;
+      for (std::size_t slot0 = 0; slot0 < n; slot0 += 64) {
+        const std::size_t rows = std::min<std::size_t>(64, n - slot0);
+        std::uint64_t word =
+            rows == 64 ? ~std::uint64_t{0} : (~std::uint64_t{0} >> (64 - rows));
+        const std::uint8_t* base = v.record(slot0);
+        for (std::size_t d = 0; d < dims_ && word != 0; ++d) {
+          word &= page_match_word(base + 20 + 8 * d, stride, rows,
+                                  bounds[d].lo, bounds[d].hi);
+          scan_stats_.bytes_touched += rows * sizeof(double);
+        }
+        while (word != 0) {
+          const unsigned j = static_cast<unsigned>(std::countr_zero(word));
+          word &= word - 1;
+          out.push_back(v.event_at(slot0 + j));
+        }
       }
-      cur = v.next();
+      cur = next;
     }
   }
   // Ascending id = insertion order for generator workloads; see the
   // equivalence contract in the header.
-  std::sort(out.begin(), out.end(),
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
             [](const Event& a, const Event& b) { return a.id < b.id; });
-  return out;
 }
 
 QueryReceipt PagedStore::query(net::NodeId sink, const RangeQuery& q) {
@@ -206,6 +257,16 @@ std::size_t PagedStore::expire_before(double cutoff) {
         removed += n - keep;
         v.set_count(keep);
         pin.mark_dirty();
+        // Survivor set shrank: recompute the page's zone map so the
+        // directory never reports stale (over-wide) bounds.
+        grid_.dir_zone_reset(cur);
+        for (std::size_t slot = 0; slot < keep; ++slot) {
+          Values values;
+          const std::uint8_t* r = v.record(slot);
+          for (std::size_t d = 0; d < dims_; ++d)
+            values.push_back(load_f64_le(r + 20 + 8 * d));
+          grid_.dir_zone_extend(cur, values);
+        }
       }
       const PageId next = v.next();
       if (keep == 0) {
@@ -217,6 +278,7 @@ std::size_t PagedStore::expire_before(double cutoff) {
           PageView pv = view(prev_pin);
           pv.set_next(next);
           prev_pin.mark_dirty();
+          grid_.dir_set_next(prev, next);
         }
         if (chain.tail == cur) chain.tail = prev;
         pin.release();

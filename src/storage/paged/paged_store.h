@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "storage/column/column_store.h"
 #include "storage/dcs_system.h"
 #include "storage/paged/buffer_manager.h"
 #include "storage/paged/grid_file.h"
@@ -85,6 +86,14 @@ class PagedStore final : public DcsSystem {
   /// costs).
   std::vector<Event> matching(const RangeQuery& q) const;
 
+  /// Scratch-buffer variant: appends matches to `out`, keeping the
+  /// appended range in ascending id order.
+  void matching_into(const RangeQuery& q, std::vector<Event>& out) const;
+
+  const column::ScanStats* scan_stats() const override {
+    return &scan_stats_;
+  }
+
   const PagedStoreOptions& options() const { return options_; }
   PagerStats pager_stats() const { return buffer_->stats(); }
   std::size_t page_count() const { return file_->page_count(); }
@@ -105,6 +114,7 @@ class PagedStore final : public DcsSystem {
   mutable std::unique_ptr<BufferManager> buffer_;  ///< fetch() pins in const scans
   GridFile grid_;
   std::vector<PageId> free_pages_;
+  mutable column::ScanStats scan_stats_;
   std::size_t stored_ = 0;
 
   net::Network* network_ = nullptr;          // null in oracle mode
