@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
   parser.add_option("queries", "50", "queries per deployment");
   parser.add_option("query-type", "exact",
                     "exact, 1-partial, 2-partial or point");
+  parser.add_option("query-class", "range",
+                    "query class: range, skyline, knn or mix");
   parser.add_option("size-dist", "exponential",
                     "range size distribution: uniform or exponential");
   parser.add_option("workload", "uniform",
@@ -144,6 +146,11 @@ int main(int argc, char** argv) {
   }
   if (!cli::parse_store_options(parser, &config.store, &error)) {
     std::fprintf(stderr, "error: --store: %s\n", error.c_str());
+    return 2;
+  }
+  if (!query::parse_query_class(parser.option("query-class"),
+                                &config.query_class, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
 

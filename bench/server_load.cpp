@@ -29,6 +29,7 @@
 
 #include "cli/args.h"
 #include "common/rng.h"
+#include "query/query_gen.h"
 #include "server/client.h"
 #include "server/query_language.h"
 #include "server/server.h"
@@ -56,6 +57,17 @@ std::string make_statement(Rng& rng, std::size_t dims) {
   return text;
 }
 
+/// Statement of the configured class. Range keeps the historical draw
+/// above (same RNG stream as pre-QueryRequest builds); the other
+/// classes round-trip generated requests through to_query_text so the
+/// wire grammar itself is under load.
+std::string make_class_statement(Rng& rng, query::QueryGenerator& gen,
+                                 std::size_t dims,
+                                 query::QueryClassMix mix) {
+  if (mix == query::QueryClassMix::Range) return make_statement(rng, dims);
+  return server::to_query_text(gen.next(mix));
+}
+
 struct Record {
   std::string statement;
   std::vector<std::uint8_t> body;
@@ -64,16 +76,18 @@ struct Record {
 
 /// One closed-loop connection: send, block for the reply, repeat.
 void run_connection(const std::string& host, std::uint16_t port,
-                    std::size_t queries, std::size_t dims, std::uint64_t seed,
+                    std::size_t queries, std::size_t dims,
+                    query::QueryClassMix mix, std::uint64_t seed,
                     std::vector<Record>* out, std::string* error) {
   try {
     server::Client client;
     client.connect(host, port);
     Rng rng(seed);
+    query::QueryGenerator gen({dims}, seed);
     out->reserve(queries);
     for (std::size_t i = 0; i < queries; ++i) {
       Record rec;
-      rec.statement = make_statement(rng, dims);
+      rec.statement = make_class_statement(rng, gen, dims, mix);
       const auto t0 = std::chrono::steady_clock::now();
       const std::uint64_t id = client.send_query(rec.statement);
       server::Client::Reply reply = client.read_reply();
@@ -117,15 +131,15 @@ bool verify_records(server::Backend& direct,
     for (const Record& rec : records) {
       storage::RangeQuery::Bounds one;
       one.push_back(ClosedInterval{0.0, 1.0});
-      storage::RangeQuery query{one};
+      storage::QueryRequest query{storage::RangeQuery{one}};
       std::string error;
-      if (!server::parse_select(rec.statement, dims, &query, &error)) {
+      if (!server::parse_query(rec.statement, dims, &query, &error)) {
         std::fprintf(stderr, "verify: cannot re-parse '%s': %s\n",
                      rec.statement.c_str(), error.c_str());
         return false;
       }
       const storage::QueryReceipt receipt =
-          direct.system().query(direct.sink(), query);
+          direct.system().execute(direct.sink(), query);
       const std::vector<std::uint8_t> expected =
           server::encode_events(receipt.events);
       if (expected != rec.body) {
@@ -142,8 +156,8 @@ bool verify_records(server::Backend& direct,
 
 PointResult run_point(const std::string& host, std::uint16_t port,
                       std::size_t connections, std::size_t queries_per_conn,
-                      std::size_t dims, std::uint64_t seed,
-                      server::Backend& direct) {
+                      std::size_t dims, query::QueryClassMix mix,
+                      std::uint64_t seed, server::Backend& direct) {
   std::vector<std::vector<Record>> per_conn(connections);
   std::vector<std::string> errors(connections);
   std::vector<std::thread> threads;
@@ -151,7 +165,7 @@ PointResult run_point(const std::string& host, std::uint16_t port,
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t c = 0; c < connections; ++c) {
     threads.emplace_back(run_connection, host, port, queries_per_conn, dims,
-                         seed * 1000 + c, &per_conn[c], &errors[c]);
+                         mix, seed * 1000 + c, &per_conn[c], &errors[c]);
   }
   for (auto& t : threads) t.join();
   const auto t1 = std::chrono::steady_clock::now();
@@ -240,6 +254,8 @@ int main(int argc, char** argv) {
   parser.add_option("dims", "3", "event dimensionality k");
   parser.add_option("events-per-node", "3", "workload preloaded per node");
   parser.add_option("seed", "1", "master random seed");
+  parser.add_option("query-class", "range",
+                    "query class: range, skyline, knn or mix");
   parser.add_option("json", "BENCH_server.json", "bench section output path");
   cli::add_engine_options(parser);
 
@@ -261,9 +277,11 @@ int main(int argc, char** argv) {
   const auto seed = parser.int_option("seed", 0, INT64_MAX, &error);
   const auto conns = parser.int_option("connections", 0, 4096, &error);
   const auto queries = parser.int_option("queries", 0, 1 << 20, &error);
+  query::QueryClassMix mix = query::QueryClassMix::Range;
   if (!nodes || !dims || !epn || !seed || !conns || !queries ||
       !server::parse_system_kind(parser.option("system"), &backend.system,
                                  &error) ||
+      !query::parse_query_class(parser.option("query-class"), &mix, &error) ||
       !cli::parse_engine_options(parser, &backend.engine, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
@@ -298,7 +316,8 @@ int main(int argc, char** argv) {
     std::printf("server_load: driving %s with %zu x %zu queries\n",
                 connect.c_str(), n_conns, n_queries);
     sweep.push_back(run_point(host, static_cast<std::uint16_t>(port), n_conns,
-                              n_queries, backend.dims, backend.seed, direct));
+                              n_queries, backend.dims, mix, backend.seed,
+                              direct));
     probe.deterministic = true;  // probed only in-process
   } else {
     server::ServerConfig config;
@@ -316,7 +335,7 @@ int main(int argc, char** argv) {
       const std::size_t n_queries =
           *queries > 0 ? std::size_t(*queries) : p.queries;
       sweep.push_back(run_point("127.0.0.1", srv.port(), n_conns, n_queries,
-                                backend.dims, backend.seed, direct));
+                                backend.dims, mix, backend.seed, direct));
       const PointResult& r = sweep.back();
       std::printf(
           "  %3zu conns: %5zu queries, %8.0f qps, p50 %6.3f ms, p99 %6.3f "
@@ -343,6 +362,7 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"server\": {\n");
     std::fprintf(f, "    \"system\": \"%s\",\n",
                  server::to_string(backend.system));
+    std::fprintf(f, "    \"query_class\": \"%s\",\n", query::to_string(mix));
     std::fprintf(f, "    \"nodes\": %zu,\n", backend.nodes);
     std::fprintf(f, "    \"batch\": %zu,\n", backend.engine.batch_size);
     std::fprintf(f, "    \"receipts_identical\": %s,\n",

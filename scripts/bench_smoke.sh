@@ -19,6 +19,7 @@ SMOKE="$BUILD/bench/perf_smoke"
 CLI="$BUILD/apps/poolnet_cli"
 SERVER_LOAD="$BUILD/bench/server_load"
 MICRO_OPS="$BUILD/bench/micro_ops"
+QUERY_CLASSES="$BUILD/bench/query_classes"
 
 if [[ ! -x "$SMOKE" ]]; then
   echo "error: $SMOKE not built (cmake -B $BUILD && cmake --build $BUILD)" >&2
@@ -65,6 +66,15 @@ fi
 if [[ -x "$MICRO_OPS" ]]; then
   "$MICRO_OPS" --scan-json BENCH_scan.json
   python3 scripts/merge_perf_section.py BENCH_perf.json BENCH_scan.json scan
+fi
+
+# The query-class arm: range vs skyline vs k-NN through the unified
+# execute() surface on Pool/DIM/GHT, every result set checked against the
+# canonical kernels and Pool's pruning pinned against the flood baseline.
+if [[ -x "$QUERY_CLASSES" ]]; then
+  "$QUERY_CLASSES" --json BENCH_query_classes.json
+  python3 scripts/merge_perf_section.py BENCH_perf.json \
+    BENCH_query_classes.json query_classes
 fi
 
 if [[ -x "$CLI" ]]; then

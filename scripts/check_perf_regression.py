@@ -124,6 +124,7 @@ def main(argv: list[str]) -> int:
     check_server_section(current, baseline)
     check_store_scale_section(current)
     check_scan_section(current)
+    check_query_classes_section(current)
 
     if fail.hit:
         return 1
@@ -276,6 +277,44 @@ def check_scan_section(current: dict) -> None:
               f"kernel {arm.get('kernel_ms')} ms, "
               f"{arm.get('blocks_skipped')}/{arm.get('blocks_total')} "
               "blocks skipped")
+
+
+def check_query_classes_section(current: dict) -> None:
+    """Query-class gates (the 'query_classes' section bench/query_classes
+    writes and merge_perf_section.py folds in):
+
+      * results_identical == true — Pool, DIM and GHT answered every
+        range, skyline and k-NN query byte-identically to the canonical
+        kernels over the oracle.
+      * skyline/knn_pool_visits_leq_flood == true — Pool's dominance
+        pruning (skyline) and shell-bounded expansion (k-NN) must not
+        visit more storage nodes than GHT's flood baseline.
+    """
+    section = current.get("query_classes")
+    if section is None:
+        print("skip: query-class gates (no 'query_classes' section — run "
+              "bench/query_classes to produce one)")
+        return
+
+    if section.get("results_identical") is not True:
+        fail("query_classes.results_identical is not true — a system's "
+             "skyline/k-NN/range answer diverged from the canonical kernel")
+    else:
+        print("ok: query-class results identical across Pool/DIM/GHT")
+
+    for key, label in (("skyline_pool_visits_leq_flood", "skyline"),
+                       ("knn_pool_visits_leq_flood", "k-NN")):
+        if section.get(key) is not True:
+            fail(f"query_classes.{key} is not true — Pool's {label} "
+                 "pruning visited more nodes than the flood baseline")
+        else:
+            print(f"ok: Pool {label} visits <= flood baseline")
+
+    for row in section.get("classes", []):
+        pool, ght = row.get("pool", {}), row.get("ght", {})
+        print(f"note: {row.get('class')} -> pool {pool.get('messages')} "
+              f"msgs/{pool.get('visits')} visits, ght {ght.get('messages')} "
+              f"msgs/{ght.get('visits')} visits")
 
 
 if __name__ == "__main__":

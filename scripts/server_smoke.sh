@@ -53,6 +53,13 @@ echo "server_smoke: poolnetd up on port $PORT"
   --system pool --nodes 300 --dims 3 --events-per-node 3 --seed 1 \
   --batch 16 --json BENCH_server_smoke.json
 
+# The new query classes over the same live daemon: mixed SELECT SKYLINE /
+# SELECT NEAREST / range statements, every reply byte-checked against
+# direct execution on an identically-built backend.
+"$LOAD" --connect "127.0.0.1:$PORT" --connections 2 --queries 50 \
+  --system pool --nodes 300 --dims 3 --events-per-node 3 --seed 1 \
+  --batch 16 --query-class mix --json BENCH_server_smoke_classes.json
+
 # Clean drain: SIGTERM must answer everything in flight and exit 0.
 kill -TERM "$DAEMON_PID"
 DAEMON_STATUS=0
@@ -62,7 +69,7 @@ if [[ "$DAEMON_STATUS" -ne 0 ]]; then
   cat "$LOG" >&2
   exit 1
 fi
-if ! grep -q "^poolnetd: served 2 connections, 200 queries" "$LOG"; then
+if ! grep -q "^poolnetd: served 4 connections, 300 queries" "$LOG"; then
   echo "error: poolnetd did not report serving the full load:" >&2
   cat "$LOG" >&2
   exit 1

@@ -66,6 +66,15 @@ storage::RangeQuery make_query(query::QueryGenerator& gen, QueryFlavor f) {
   return gen.exact_range();
 }
 
+storage::QueryRequest make_request(query::QueryGenerator& gen,
+                                   const CliConfig& config) {
+  // Range keeps the historical flavor-driven draw (same RNG stream as
+  // pre-QueryRequest builds); the other classes use the shared mix.
+  if (config.query_class == query::QueryClassMix::Range)
+    return make_query(gen, config.flavor);
+  return gen.next(config.query_class);
+}
+
 void record(Accumulator& acc, const storage::QueryReceipt& r,
             std::size_t oracle_count, bool faults_on) {
   acc.messages.add(static_cast<double>(r.messages));
@@ -255,7 +264,7 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
   std::vector<storage::Event> oracle_scratch;  // reused across queries
   for (std::size_t i = 0; i < config.queries; ++i) {
     if (injector) injector->advance(static_cast<double>(i));
-    const auto q = make_query(qgen, config.flavor);
+    const storage::QueryRequest q = make_request(qgen, config);
     auto sink = tb.random_node(sink_rng);
     if (injector) {
       // A dead sink cannot issue anything; redraw (bounded, in case a
@@ -267,7 +276,18 @@ DeploymentOut run_deployment(const CliConfig& config, std::size_t dep) {
     }
     Issued row;
     oracle_scratch.clear();
-    tb.oracle().matching_into(q, oracle_scratch);
+    // The oracle answer: a box scan for ranges, the canonical local
+    // kernel over all stored events for skyline/k-NN.
+    if (q.cls() == storage::QueryClass::Range) {
+      tb.oracle().matching_into(q.range(), oracle_scratch);
+    } else {
+      tb.oracle().matching_into(storage::full_space_query(config.dims),
+                                oracle_scratch);
+      if (q.cls() == storage::QueryClass::Skyline)
+        storage::skyline_filter(q.skyline(), oracle_scratch);
+      else
+        storage::knn_filter(q.k_nearest(), oracle_scratch);
+    }
     row.oracle_count = oracle_scratch.size();
     for (const auto s : config.systems)
       row.tickets[s] = engines[s]->submit(sink, q);

@@ -32,6 +32,11 @@ struct CliConfig {
   std::size_t events_per_node = 3;
   std::size_t queries = 50;
   QueryFlavor flavor = QueryFlavor::Exact;
+
+  /// Which query class the workload draws (--query-class). Range uses
+  /// `flavor`; skyline/knn/mix draw from the class generators and check
+  /// results against the local brute-force kernels.
+  query::QueryClassMix query_class = query::QueryClassMix::Range;
   query::RangeSizeDistribution size_dist =
       query::RangeSizeDistribution::Exponential;
   query::ValueDistribution workload = query::ValueDistribution::Uniform;

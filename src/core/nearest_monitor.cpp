@@ -20,9 +20,12 @@ NearestMonitor::NearestMonitor(PoolSystem& pool, net::NodeId sink,
   if (tighten_factor <= 0.0 || tighten_factor >= 1.0)
     throw ConfigError("NearestMonitor: tighten_factor must be in (0,1)");
 
-  const auto initial = pool_.nearest_event(sink_, target_);
-  nearest_ = initial.nearest;
-  distance_ = initial.distance;
+  const storage::QueryReceipt initial = pool_.execute(
+      sink_, storage::KNearestQuery{target_, 1, 0.05});
+  if (!initial.events.empty()) {
+    nearest_ = initial.events.front();
+    distance_ = dist_to_target(*nearest_);
+  }
   // While the store is empty any event anywhere could become the nearest:
   // the standing box must cover the whole value space.
   const double radius = nearest_ ? distance_ : 1.0;

@@ -520,6 +520,277 @@ QueryReceipt PoolSystem::query(net::NodeId sink, const RangeQuery& q) {
   return receipt;
 }
 
+QueryReceipt PoolSystem::skyline(net::NodeId sink,
+                                 const storage::SkylineQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("PoolSystem: skyline dimensionality mismatch");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+
+  // Equation 1 gives every cell's best-possible corner without any
+  // messages: events in cell (HO,VO) of pool d1 have their d1 value
+  // below (HO+1)/l and every OTHER attribute below the second-greatest
+  // bound (VO+1)(HO+1)/l². Visit cells best-corner-first so collected
+  // skyline points prune the rest.
+  struct Candidate {
+    double key;  ///< Σ corner over selected attrs (descending visit order)
+    std::size_t pool_dim;
+    CellOffset off;
+    storage::Values corner;
+  };
+  std::vector<Candidate> cands;
+  cands.reserve(cells_.size());
+  for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
+    for (std::uint32_t vo = 0; vo < config_.side; ++vo) {
+      for (std::uint32_t ho = 0; ho < config_.side; ++ho) {
+        Candidate c{0.0, pool_dim, {ho, vo}, {}};
+        const double top_h = range_h(ho, config_.side).hi;
+        const double top_v = range_v(ho, vo, config_.side).hi;
+        for (std::size_t d = 0; d < dims_; ++d)
+          c.corner.push_back(d == pool_dim ? top_h : top_v);
+        for (std::size_t d = 0; d < dims_; ++d)
+          if (q.on(d)) c.key += c.corner[d];
+        cands.push_back(std::move(c));
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.key != b.key) return a.key > b.key;
+              if (a.pool_dim != b.pool_dim) return a.pool_dim < b.pool_dim;
+              if (a.off.ho != b.off.ho) return a.off.ho < b.off.ho;
+              return a.off.vo < b.off.vo;
+            });
+
+  // Per-pool splitter contact happens lazily on the first visited cell;
+  // kNoNode after a contact attempt means the pool is unreachable.
+  std::vector<char> contacted(dims_, 0);
+  std::vector<net::NodeId> splitters(dims_, net::kNoNode);
+  std::vector<Event> collected;
+
+  for (const Candidate& c : cands) {
+    // The pruning rule: a cell whose corner is dominated by an already-
+    // collected point can only hold dominated events (strictness against
+    // the corner carries to every event at or below it) — skip it
+    // without transmitting anything.
+    if (!skyline_admits(q, collected, c.corner)) continue;
+
+    if (!contacted[c.pool_dim]) {
+      contacted[c.pool_dim] = 1;
+      charge_pivot_lookup(sink, c.pool_dim);
+      net::NodeId splitter = splitter_for(c.pool_dim, sink);
+      bool reached = send_leg(sink, splitter, net::MessageKind::Query,
+                              sizes.query_bits(dims_))
+                         .delivered;
+      if (!reached && net_.has_failures()) {
+        const net::NodeId repicked = splitter_for(c.pool_dim, sink);
+        if (repicked != splitter) {
+          splitter = repicked;
+          reached = send_leg(sink, splitter, net::MessageKind::Query,
+                             sizes.query_bits(dims_))
+                        .delivered;
+        }
+      }
+      splitters[c.pool_dim] = reached ? splitter : net::kNoNode;
+    }
+    const net::NodeId splitter = splitters[c.pool_dim];
+    if (splitter == net::kNoNode) continue;  // pool unreachable this query
+
+    const std::size_t key = cell_key(c.pool_dim, c.off);
+    if (net_.has_failures()) absorb_dead_holders(key);
+    net::NodeId idx = grid_.index_node(layout_.cell(c.pool_dim, c.off));
+    bool cell_reached = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                                 sizes.query_bits(dims_))
+                            .delivered;
+    if (!cell_reached && net_.has_failures()) {
+      const net::NodeId reelected =
+          grid_.index_node(layout_.cell(c.pool_dim, c.off));
+      if (reelected != idx && reelected != net::kNoNode) {
+        idx = reelected;
+        cell_reached = send_leg(splitter, idx, net::MessageKind::SubQuery,
+                                sizes.query_bits(dims_))
+                           .delivered;
+      }
+    }
+    if (!cell_reached) continue;
+    ++receipt.index_nodes_visited;
+
+    // The cell reduces its residents to their LOCAL skyline before
+    // replying — reply volume shrinks, correctness is untouched (an
+    // event dominated within its own cell is dominated globally).
+    struct RowCand {
+      Event e;
+      net::NodeId holder;
+    };
+    std::vector<RowCand> rows;
+    const auto& cell = cells_[key];
+    for (std::size_t row = 0; row < cell.size(); ++row) {
+      if (cell.replica_at(row)) continue;
+      rows.push_back({cell.event_at(row), cell.holder_at(row)});
+    }
+    std::vector<RowCand> local;
+    std::unordered_map<net::NodeId, std::uint32_t> at_delegate;
+    for (const RowCand& r : rows) {
+      bool dominated = false;
+      for (const RowCand& other : rows)
+        if (q.dominates(other.e.values, r.e.values)) {
+          dominated = true;
+          break;
+        }
+      if (dominated) continue;
+      if (r.holder != idx) ++at_delegate[r.holder];
+      local.push_back(r);
+    }
+    for (const auto& [delegate, found] : at_delegate) {
+      // Poll the delegate one hop out; its candidates come back packed.
+      net_.transmit(idx, delegate, net::MessageKind::SubQuery,
+                    sizes.query_bits(dims_));
+      const std::uint64_t batches = sizes.reply_batches(found);
+      for (std::uint64_t b = 0; b < batches; ++b)
+        net_.transmit(delegate, idx, net::MessageKind::Reply,
+                      sizes.reply_bits(dims_, sizes.reply_payload(found)));
+    }
+
+    const std::uint32_t here = static_cast<std::uint32_t>(local.size());
+    if (here == 0) continue;
+    // Candidates flow back cell → splitter → sink immediately (the sink
+    // needs them to prune the NEXT visit, so no pool-end aggregation).
+    if (idx != splitter) {
+      const std::uint64_t bits =
+          sizes.reply_bits(dims_, sizes.reply_payload(here));
+      const auto& back = send_leg(idx, splitter, net::MessageKind::Reply, bits);
+      if (back.delivered) {
+        const std::uint64_t batches = sizes.reply_batches(here);
+        for (std::uint64_t b = 1; b < batches; ++b)
+          net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
+      }
+    }
+    if (splitter != sink) {
+      const std::uint64_t bits =
+          sizes.reply_bits(dims_, sizes.reply_payload(here));
+      const auto& back =
+          send_leg(splitter, sink, net::MessageKind::Reply, bits);
+      if (back.delivered) {
+        const std::uint64_t batches = sizes.reply_batches(here);
+        for (std::uint64_t b = 1; b < batches; ++b)
+          net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
+      }
+    }
+    for (RowCand& r : local)
+      if (skyline_admits(q, collected, r.e.values))
+        collected.push_back(std::move(r.e));
+  }
+
+  storage::skyline_filter(q, collected);
+  receipt.events = std::move(collected);
+  const auto delta = net_.traffic() - before;
+  receipt.cost() = storage::cost_of(delta);
+  return receipt;
+}
+
+QueryReceipt PoolSystem::k_nearest(net::NodeId sink,
+                                   const storage::KNearestQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("PoolSystem: k-NN target dimensionality mismatch");
+  if (q.initial_radius < 0.0)
+    throw ConfigError("PoolSystem: k-NN initial radius must be positive");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+
+  // (pool, cell-offset) pairs already queried; the sink can track these
+  // because resolving is pure arithmetic on the predefined layout.
+  std::vector<char> visited(cells_.size(), 0);
+  std::vector<Event> cand;
+
+  double radius = q.initial_radius > 0.0 ? q.initial_radius : 0.05;
+  while (true) {
+    ++receipt.rounds;
+    const RangeQuery box = storage::box_around(q.target, radius);
+
+    for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
+      const auto cells = relevant_cells(box, pool_dim, config_.side);
+      // Only contact the splitter when the round adds unvisited cells.
+      std::vector<CellOffset> fresh;
+      for (const CellOffset off : cells) {
+        if (!visited[cell_key(pool_dim, off)]) fresh.push_back(off);
+      }
+      if (fresh.empty()) continue;
+      charge_pivot_lookup(sink, pool_dim);
+
+      const net::NodeId splitter = splitter_for(pool_dim, sink);
+      router_.route_to_node_into(sink, splitter, route_scratch_);
+      net_.transmit_path(route_scratch_.path, net::MessageKind::Query,
+                         sizes.query_bits(dims_));
+
+      std::uint32_t pool_found = 0;
+      for (const CellOffset off : fresh) {
+        visited[cell_key(pool_dim, off)] = 1;
+        const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
+        router_.route_to_node_into(splitter, idx, route_scratch_);
+        net_.transmit_path(route_scratch_.path, net::MessageKind::SubQuery,
+                           sizes.query_bits(dims_));
+        ++receipt.index_nodes_visited;
+
+        // The cell answers with its local top-k, box or not — the box
+        // only chooses WHICH cells to visit; reporting the true local
+        // optimum means a visited cell never needs re-querying when the
+        // box later grows.
+        std::vector<Event> local;
+        const auto& cell = cells_[cell_key(pool_dim, off)];
+        for (std::size_t row = 0; row < cell.size(); ++row) {
+          if (cell.replica_at(row)) continue;
+          local.push_back(cell.event_at(row));
+        }
+        storage::knn_filter(q, local);
+        const auto found = static_cast<std::uint32_t>(local.size());
+        if (found > 0) {
+          if (idx != splitter) {
+            const std::uint64_t bits =
+                sizes.reply_bits(dims_, sizes.reply_payload(found));
+            router_.route_to_node_into(idx, splitter, route_scratch_);
+            const std::uint64_t batches = sizes.reply_batches(found);
+            for (std::uint64_t b = 0; b < batches; ++b)
+              net_.transmit_path(route_scratch_.path, net::MessageKind::Reply,
+                                 bits);
+          }
+          pool_found += found;
+          for (Event& e : local) cand.push_back(std::move(e));
+        }
+      }
+      if (pool_found > 0) {
+        storage::knn_filter(q, cand);  // sink keeps only the running top-k
+        if (splitter != sink) {
+          const std::uint64_t bits =
+              sizes.reply_bits(dims_, sizes.reply_payload(pool_found));
+          router_.route_to_node_into(splitter, sink, route_scratch_);
+          const std::uint64_t batches = sizes.reply_batches(pool_found);
+          for (std::uint64_t b = 0; b < batches; ++b)
+            net_.transmit_path(route_scratch_.path, net::MessageKind::Reply,
+                               bits);
+        }
+      }
+    }
+
+    // Complete when the k-th candidate lies within the proven-covered
+    // radius, or the box already spans the whole value space.
+    if (cand.size() >= q.k &&
+        std::sqrt(storage::knn_kth_distance2(q, cand)) <= radius)
+      break;
+    if (radius >= 1.0) break;  // whole space searched
+    radius = std::min(1.0, radius * 2.0);
+  }
+
+  storage::knn_filter(q, cand);
+  receipt.events = std::move(cand);
+  const auto delta = net_.traffic() - before;
+  receipt.cost() = storage::cost_of(delta);
+  return receipt;
+}
+
 storage::BatchQueryReceipt PoolSystem::query_batch(
     net::NodeId sink, const std::vector<RangeQuery>& queries) {
   // A batch of 0 or 1 gains nothing from merging; fall back to the
@@ -862,101 +1133,26 @@ std::vector<PoolSystem::Notification> PoolSystem::take_notifications(
 PoolSystem::NnReceipt PoolSystem::nearest_event(net::NodeId sink,
                                                 const storage::Values& target,
                                                 double initial_radius) {
-  if (target.size() != dims_)
-    throw ConfigError("PoolSystem: NN target dimensionality mismatch");
+  // Legacy k = 1 shim over the k-NN query class (same expanding-box
+  // search, same traffic pattern).
   if (initial_radius <= 0.0)
     throw ConfigError("PoolSystem: NN initial radius must be positive");
 
+  storage::KNearestQuery q;
+  q.target = target;
+  q.k = 1;
+  q.initial_radius = initial_radius;
+  QueryReceipt r = k_nearest(sink, q);
+
   NnReceipt receipt;
-  const auto before = net_.traffic().total;
-  const auto& sizes = net_.sizes();
-
-  // (pool, cell-offset) pairs already queried; the sink can track these
-  // because resolving is pure arithmetic on the predefined layout.
-  std::vector<char> visited(cells_.size(), 0);
-  double best_d2 = std::numeric_limits<double>::infinity();
-  std::optional<storage::Event> best;
-
-  double radius = initial_radius;
-  while (true) {
-    ++receipt.rounds;
-    // Box query of half-width `radius` around the target, clipped to [0,1].
-    RangeQuery::Bounds bounds;
-    for (std::size_t d = 0; d < dims_; ++d) {
-      bounds.push_back({std::max(0.0, target[d] - radius),
-                        std::min(1.0, target[d] + radius)});
-    }
-    const RangeQuery box(bounds);
-
-    for (std::size_t pool_dim = 0; pool_dim < dims_; ++pool_dim) {
-      const auto cells = relevant_cells(box, pool_dim, config_.side);
-      // Only contact the splitter when the round adds unvisited cells.
-      std::vector<CellOffset> fresh;
-      for (const CellOffset off : cells) {
-        if (!visited[cell_key(pool_dim, off)]) fresh.push_back(off);
-      }
-      if (fresh.empty()) continue;
-      charge_pivot_lookup(sink, pool_dim);
-
-      const net::NodeId splitter = splitter_for(pool_dim, sink);
-      router_.route_to_node_into(sink, splitter, route_scratch_);
-      net_.transmit_path(route_scratch_.path, net::MessageKind::Query,
-                         sizes.query_bits(dims_));
-
-      bool pool_has_candidate = false;
-      for (const CellOffset off : fresh) {
-        visited[cell_key(pool_dim, off)] = 1;
-        const net::NodeId idx = grid_.index_node(layout_.cell(pool_dim, off));
-        router_.route_to_node_into(splitter, idx, route_scratch_);
-        net_.transmit_path(route_scratch_.path, net::MessageKind::SubQuery,
-                           sizes.query_bits(dims_));
-        ++receipt.index_nodes_visited;
-
-        // The cell answers with its closest resident event, box or not —
-        // the box only chooses WHICH cells to visit; reporting the true
-        // local optimum means a visited cell never needs re-querying when
-        // the box later grows.
-        bool cell_has_candidate = false;
-        const auto& cell = cells_[cell_key(pool_dim, off)];
-        for (std::size_t row = 0; row < cell.size(); ++row) {
-          if (cell.replica_at(row)) continue;
-          double d2 = 0.0;
-          for (std::size_t d = 0; d < dims_; ++d) {
-            const double diff = cell.value_at(row, d) - target[d];
-            d2 += diff * diff;
-          }
-          cell_has_candidate = true;
-          if (d2 < best_d2) {
-            best_d2 = d2;
-            best = cell.event_at(row);
-          }
-        }
-        if (cell_has_candidate && idx != splitter) {
-          router_.route_to_node_into(idx, splitter, route_scratch_);
-          net_.transmit_path(route_scratch_.path, net::MessageKind::Reply,
-                             sizes.reply_bits(dims_, 1));
-          pool_has_candidate = true;
-        } else if (cell_has_candidate) {
-          pool_has_candidate = true;
-        }
-      }
-      if (pool_has_candidate && splitter != sink) {
-        router_.route_to_node_into(splitter, sink, route_scratch_);
-        net_.transmit_path(route_scratch_.path, net::MessageKind::Reply,
-                           sizes.reply_bits(dims_, 1));
-      }
-    }
-
-    // Complete when the best candidate lies within the proven-covered
-    // radius, or the box already spans the whole value space.
-    if (best && std::sqrt(best_d2) <= radius) break;
-    if (radius >= 1.0) break;  // whole space searched
-    radius = std::min(1.0, radius * 2.0);
+  receipt.messages = r.messages;
+  receipt.index_nodes_visited = r.index_nodes_visited;
+  receipt.rounds = r.rounds;
+  if (!r.events.empty()) {
+    receipt.distance =
+        std::sqrt(storage::squared_distance(target, r.events.front().values));
+    receipt.nearest = std::move(r.events.front());
   }
-
-  if (best) receipt.distance = std::sqrt(best_d2);
-  receipt.nearest = std::move(best);
-  receipt.messages = net_.traffic().total - before;
   return receipt;
 }
 

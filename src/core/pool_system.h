@@ -82,6 +82,27 @@ class PoolSystem final : public storage::DcsSystem {
   storage::QueryReceipt query(net::NodeId sink,
                               const storage::RangeQuery& query) override;
 
+  /// Distributed skyline with relevant-cell dominance pruning (the
+  /// Theorem 3.2 machinery applied to dominance regions): the sink
+  /// derives every cell's best-possible corner from Equation 1 —
+  /// corner[d1] = (HO+1)/l in the pool dimension, (VO+1)(HO+1)/l² in
+  /// every other (all bounded by the second-greatest value) — visits
+  /// cells in descending corner order, and NEVER contacts a cell whose
+  /// corner is already dominated by a collected event. Visited cells
+  /// reply with their local skyline only.
+  storage::QueryReceipt skyline(net::NodeId sink,
+                                const storage::SkylineQuery& query) override;
+
+  /// Distributed k-nearest-event search: expanding box queries through
+  /// the normal resolving machinery (a box of half-width r covers every
+  /// event within Euclidean distance r). Each visited cell answers with
+  /// its local top-k regardless of the box, so a visited cell is never
+  /// re-queried as the box grows; the search completes once the k-th
+  /// best distance is inside the proven-covered radius. Generalizes
+  /// nearest_event (which now forwards here with k = 1).
+  storage::QueryReceipt k_nearest(net::NodeId sink,
+                                  const storage::KNearestQuery& query) override;
+
   /// Merged multi-query execution: per pool, the relevant-cell sets of
   /// every query in the batch are unioned (Theorem 3.2 resolving is pure
   /// arithmetic, so the sink merges before transmitting anything), ONE
@@ -116,12 +137,9 @@ class PoolSystem final : public storage::DcsSystem {
 
   /// Nearest-neighbor query in ATTRIBUTE space (the paper's stated future
   /// work: "continuous monitoring of the nearest neighbor queries").
-  /// Finds the stored event minimizing Euclidean distance to `target`,
-  /// by issuing expanding box queries through the normal resolving
-  /// machinery: a box of half-width r covers every event within Euclidean
-  /// distance r, so once the best candidate found inside the box is
-  /// closer than r the search is provably complete. Cells already visited
-  /// in earlier rounds are not re-queried (the sink tracks them).
+  /// LEGACY k = 1 entry point: since the k-NN query class landed this is
+  /// a thin shim over k_nearest() (same expanding-box search, same
+  /// traffic); prefer execute() with a KNearestQuery in new code.
   struct NnReceipt {
     std::optional<storage::Event> nearest;
     double distance = 0.0;  ///< Euclidean, attribute space; valid if nearest

@@ -1,5 +1,7 @@
 #include "dim/dim_system.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/error.h"
@@ -165,6 +167,166 @@ QueryReceipt DimSystem::query(net::NodeId sink, const RangeQuery& q) {
     if (arrived) process_subtree(entry, start, q, sink, receipt);
   }
 
+  const auto delta = net_.traffic() - before;
+  receipt.cost() = storage::cost_of(delta);
+  return receipt;
+}
+
+QueryReceipt DimSystem::skyline(net::NodeId sink,
+                                const storage::SkylineQuery& q) {
+  if (q.dims() != dims())
+    throw ConfigError("DIM: skyline dimensionality mismatch");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+  const std::uint64_t qbits = sizes.query_bits(dims());
+
+  // The zone code fixes every leaf's value-range box, so the sink knows
+  // each zone's best possible point — the top of its box — without a
+  // single message. Visit leaves best-corner-first; collected skyline
+  // points then veto later (worse-cornered) zones outright.
+  struct Candidate {
+    double key;  ///< Σ corner over selected attrs (descending visit order)
+    ZoneIndex leaf;
+    storage::Values corner;
+  };
+  std::vector<Candidate> cands;
+  cands.reserve(tree_.leaf_count());
+  for (const ZoneIndex leaf : tree_.leaves()) {
+    const ZoneNode& z = tree_.zone(leaf);
+    Candidate c{0.0, leaf, {}};
+    for (std::size_t d = 0; d < dims(); ++d) {
+      c.corner.push_back(z.ranges[d].hi);
+      if (q.on(d)) c.key += z.ranges[d].hi;
+    }
+    cands.push_back(std::move(c));
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.key != b.key) return a.key > b.key;
+              return a.leaf < b.leaf;
+            });
+
+  std::vector<Event> collected;
+  for (const Candidate& c : cands) {
+    // A zone whose corner is dominated can only hold dominated events
+    // (strictness against the corner carries down to every event at or
+    // below it) — prune it before any transmission.
+    if (!storage::skyline_admits(q, collected, c.corner)) continue;
+
+    // The sink addresses the leaf's owner directly (the zone tree is
+    // global knowledge, like insert's event-to-zone addressing); the
+    // best-first visit order has no use for the recursive split walk.
+    net::NodeId owner = tree_.zone(c.leaf).owner;
+    if (owner == net::kNoNode) continue;
+    bool arrived =
+        send_leg(sink, owner, net::MessageKind::Query, qbits).delivered;
+    if (!arrived) {
+      // Failover may have handed the zone to an adopter; retry once.
+      const net::NodeId adopted = tree_.zone(c.leaf).owner;
+      if (adopted != owner && adopted != net::kNoNode) {
+        owner = adopted;
+        arrived =
+            send_leg(sink, owner, net::MessageKind::Query, qbits).delivered;
+      }
+    }
+    if (!arrived) continue;
+    ++receipt.index_nodes_visited;
+
+    // The owner reduces its residents to their LOCAL skyline before
+    // replying — an event dominated within its own zone is dominated
+    // globally, so reply volume shrinks with correctness untouched.
+    std::vector<Event> local = zone_store(c.leaf);
+    storage::skyline_filter(q, local);
+    const auto found = static_cast<std::uint32_t>(local.size());
+    if (found == 0) continue;
+    bool returned = true;
+    if (owner != sink) {
+      const std::uint64_t bits =
+          sizes.reply_bits(dims(), sizes.reply_payload(found));
+      const auto& first = send_leg(owner, sink, net::MessageKind::Reply, bits);
+      returned = first.delivered;
+      const std::uint64_t batches = sizes.reply_batches(found);
+      for (std::uint64_t b = 1; returned && b < batches; ++b)
+        net_.transmit_path(first.route.path, net::MessageKind::Reply, bits);
+    }
+    if (!returned) continue;
+    for (Event& e : local)
+      if (storage::skyline_admits(q, collected, e.values))
+        collected.push_back(std::move(e));
+  }
+
+  storage::skyline_filter(q, collected);
+  receipt.events = std::move(collected);
+  const auto delta = net_.traffic() - before;
+  receipt.cost() = storage::cost_of(delta);
+  return receipt;
+}
+
+QueryReceipt DimSystem::k_nearest(net::NodeId sink,
+                                  const storage::KNearestQuery& q) {
+  if (q.dims() != dims())
+    throw ConfigError("DIM: k-NN target dimensionality mismatch");
+  if (q.initial_radius < 0.0)
+    throw ConfigError("DIM: k-NN initial radius must be positive");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+  const std::uint64_t qbits = sizes.query_bits(dims());
+
+  std::vector<char> visited(tree_.size(), 0);  // by leaf ZoneIndex
+  std::vector<Event> cand;
+
+  double radius = q.initial_radius > 0.0 ? q.initial_radius : 0.05;
+  while (true) {
+    ++receipt.rounds;
+    const RangeQuery box = storage::box_around(q.target, radius);
+
+    for (const ZoneIndex leaf : tree_.leaves_overlapping(box)) {
+      if (visited[leaf]) continue;
+      visited[leaf] = 1;
+      const net::NodeId owner = tree_.zone(leaf).owner;
+      if (owner == net::kNoNode) continue;
+      if (!send_leg(sink, owner, net::MessageKind::Query, qbits).delivered)
+        continue;
+      ++receipt.index_nodes_visited;
+
+      // The owner answers with its local top-k, box or not — the box
+      // only picks WHICH zones to visit, so a visited zone never needs
+      // re-querying when the ring later grows.
+      std::vector<Event> local = zone_store(leaf);
+      storage::knn_filter(q, local);
+      const auto found = static_cast<std::uint32_t>(local.size());
+      if (found == 0) continue;
+      bool returned = true;
+      if (owner != sink) {
+        const std::uint64_t bits =
+            sizes.reply_bits(dims(), sizes.reply_payload(found));
+        const auto& first =
+            send_leg(owner, sink, net::MessageKind::Reply, bits);
+        returned = first.delivered;
+        const std::uint64_t batches = sizes.reply_batches(found);
+        for (std::uint64_t b = 1; returned && b < batches; ++b)
+          net_.transmit_path(first.route.path, net::MessageKind::Reply, bits);
+      }
+      if (!returned) continue;
+      for (Event& e : local) cand.push_back(std::move(e));
+      storage::knn_filter(q, cand);  // sink keeps only the running top-k
+    }
+
+    // Complete when the k-th candidate lies within the proven-covered
+    // radius, or the box already spans the whole value space.
+    if (cand.size() >= q.k &&
+        std::sqrt(storage::knn_kth_distance2(q, cand)) <= radius)
+      break;
+    if (radius >= 1.0) break;  // whole space searched
+    radius = std::min(1.0, radius * 2.0);
+  }
+
+  storage::knn_filter(q, cand);
+  receipt.events = std::move(cand);
   const auto delta = net_.traffic() - before;
   receipt.cost() = storage::cost_of(delta);
   return receipt;

@@ -46,6 +46,21 @@ class DimSystem final : public storage::DcsSystem {
       net::NodeId sink,
       const std::vector<storage::RangeQuery>& queries) override;
 
+  /// Skyline with zone-corner dominance pruning: every leaf zone's best
+  /// possible point is the top of its value-range box (known to the sink
+  /// from the shared zone code, no messages). Zones are visited
+  /// best-corner-first and a zone whose corner is dominated by an
+  /// already-collected event is never contacted.
+  storage::QueryReceipt skyline(net::NodeId sink,
+                                const storage::SkylineQuery& query) override;
+
+  /// k nearest stored events by expanding-ring search over leaf zones:
+  /// each round contacts the not-yet-visited zones overlapping the
+  /// current box; owners reply with their local top-k, and the search
+  /// stops once the k-th best candidate provably lies inside the ring.
+  storage::QueryReceipt k_nearest(
+      net::NodeId sink, const storage::KNearestQuery& query) override;
+
   /// Aggregates are computed per leaf zone; each answering owner sends a
   /// fixed-size partial straight to the sink (DIM has no in-network merge
   /// point, unlike Pool's splitters).

@@ -45,6 +45,8 @@ QueryEngine::QueryEngine(storage::DcsSystem& system, QueryEngineConfig config,
   cache_hits_ = reg->counter(prefix + ".cache_hits");
   batches_ = reg->counter(prefix + ".batches");
   serial_executions_ = reg->counter(prefix + ".serial_executions");
+  skyline_queries_ = reg->counter(prefix + ".skyline_queries");
+  knn_queries_ = reg->counter(prefix + ".knn_queries");
   messages_ = reg->counter(prefix + ".messages");
   messages_saved_ = reg->counter(prefix + ".messages_saved");
   serial_cell_visits_ = reg->counter(prefix + ".serial_cell_visits");
@@ -61,6 +63,8 @@ EngineStats QueryEngine::stats() const {
   s.cache_hits = cache_hits_.value();
   s.batches = batches_.value();
   s.serial_executions = serial_executions_.value();
+  s.skyline_queries = skyline_queries_.value();
+  s.knn_queries = knn_queries_.value();
   s.messages = messages_.value();
   s.messages_saved = messages_saved_.value();
   s.serial_cell_visits = serial_cell_visits_.value();
@@ -83,18 +87,22 @@ void QueryEngine::advance_clock(std::uint64_t events) {
 void QueryEngine::tick(std::uint64_t events) { advance_clock(events); }
 
 QueryEngine::Ticket QueryEngine::submit(net::NodeId sink,
-                                        const storage::RangeQuery& query) {
+                                        const storage::QueryRequest& query) {
   advance_clock(1);
   submitted_.inc();
   const Ticket ticket = next_ticket_++;
 
-  if (const auto* cached = cache_.lookup(query, now_)) {
-    // Served entirely at the sink: zero network traffic.
-    cache_hits_.inc();
-    storage::QueryReceipt receipt;
-    receipt.events = *cached;
-    results_.emplace(ticket, std::move(receipt));
-    return ticket;
+  // Only range rectangles are cacheable: invalidate_containing() knows
+  // how a new event perturbs a box answer, but not a skyline or a top-k.
+  if (query.cls() == storage::QueryClass::Range) {
+    if (const auto* cached = cache_.lookup(query.range(), now_)) {
+      // Served entirely at the sink: zero network traffic.
+      cache_hits_.inc();
+      storage::QueryReceipt receipt;
+      receipt.events = *cached;
+      results_.emplace(ticket, std::move(receipt));
+      return ticket;
+    }
   }
 
   if (config_.batch_size <= 1) {
@@ -118,9 +126,11 @@ void QueryEngine::absorb_fault_stats() {
 }
 
 void QueryEngine::execute_serial(const PendingQuery& p) {
-  storage::QueryReceipt receipt = system_.query(p.sink, p.query);
+  storage::QueryReceipt receipt = system_.execute(p.sink, p.query);
   absorb_fault_stats();
   serial_executions_.inc();
+  if (p.query.cls() == storage::QueryClass::Skyline) skyline_queries_.inc();
+  if (p.query.cls() == storage::QueryClass::KNearest) knn_queries_.inc();
   messages_.add(receipt.messages);
   serial_cell_visits_.add(receipt.index_nodes_visited);
   unique_cell_visits_.add(receipt.index_nodes_visited);
@@ -128,9 +138,10 @@ void QueryEngine::execute_serial(const PendingQuery& p) {
   finish(p.ticket, p.query, std::move(receipt));
 }
 
-void QueryEngine::finish(Ticket ticket, const storage::RangeQuery& q,
+void QueryEngine::finish(Ticket ticket, const storage::QueryRequest& q,
                          storage::QueryReceipt receipt) {
-  cache_.store(q, receipt.events, now_);
+  if (q.cls() == storage::QueryClass::Range)
+    cache_.store(q.range(), receipt.events, now_);
   results_.emplace(ticket, std::move(receipt));
 }
 
@@ -162,13 +173,25 @@ void QueryEngine::flush() {
   }
 
   for (Group& g : groups) {
+    // Skyline and k-NN members run serially at the flush instant (same
+    // store snapshot as the batch); only range queries merge.
+    std::vector<PendingQuery> ranged;
+    ranged.reserve(g.members.size());
+    for (PendingQuery& p : g.members) {
+      if (p.query.cls() == storage::QueryClass::Range)
+        ranged.push_back(std::move(p));
+      else
+        execute_serial(p);
+    }
+    if (ranged.empty()) continue;
+    g.members = std::move(ranged);
     if (g.members.size() == 1) {
       execute_serial(g.members.front());
       continue;
     }
     std::vector<storage::RangeQuery> queries;
     queries.reserve(g.members.size());
-    for (const PendingQuery& p : g.members) queries.push_back(p.query);
+    for (const PendingQuery& p : g.members) queries.push_back(p.query.range());
 
     storage::BatchQueryReceipt batch = system_.query_batch(g.sink, queries);
     absorb_fault_stats();

@@ -60,6 +60,8 @@ struct EngineStats {
   std::uint64_t cache_hits = 0;   ///< answered from the result cache
   std::uint64_t batches = 0;      ///< merged rounds (>= 2 queries) executed
   std::uint64_t serial_executions = 0;  ///< queries issued unbatched
+  std::uint64_t skyline_queries = 0;    ///< executed skyline requests
+  std::uint64_t knn_queries = 0;        ///< executed k-NN requests
 
   std::uint64_t messages = 0;        ///< per-hop transmissions charged
   std::uint64_t messages_saved = 0;  ///< vs. serial issue (batch receipts)
@@ -105,9 +107,14 @@ class QueryEngine {
   std::uint64_t now() const { return now_; }
   void tick(std::uint64_t events = 1);
 
-  /// Admits a query issued at `sink`. Cache hits and serial mode resolve
-  /// immediately; otherwise the query joins the pending epoch.
-  Ticket submit(net::NodeId sink, const storage::RangeQuery& query);
+  /// Admits a query issued at `sink` — any class (RangeQuery converts
+  /// implicitly). Cache hits and serial mode resolve immediately;
+  /// otherwise the query joins the pending epoch. Skyline and k-NN
+  /// requests share the epoch's timing (they observe the store as of
+  /// their flush) but execute serially there via DcsSystem::execute —
+  /// only range queries merge into query_batch, and only range results
+  /// enter the cache.
+  Ticket submit(net::NodeId sink, const storage::QueryRequest& query);
 
   /// Executes every pending query now, regardless of epoch triggers.
   void flush();
@@ -135,13 +142,13 @@ class QueryEngine {
   struct PendingQuery {
     Ticket ticket;
     net::NodeId sink;
-    storage::RangeQuery query;
+    storage::QueryRequest query;
   };
 
   /// Flushes the pending epoch when its deadline has passed.
   void advance_clock(std::uint64_t events);
   void execute_serial(const PendingQuery& p);
-  void finish(Ticket ticket, const storage::RangeQuery& q,
+  void finish(Ticket ticket, const storage::QueryRequest& q,
               storage::QueryReceipt receipt);
 
   /// Folds the system's fault counters accumulated since the last call
@@ -157,8 +164,9 @@ class QueryEngine {
   std::unordered_map<Ticket, storage::QueryReceipt> results_;
 
   obs::MetricsRegistry::Counter submitted_, cache_hits_, batches_,
-      serial_executions_, messages_, messages_saved_, serial_cell_visits_,
-      unique_cell_visits_, retries_, failovers_, failed_legs_, events_lost_;
+      serial_executions_, skyline_queries_, knn_queries_, messages_,
+      messages_saved_, serial_cell_visits_, unique_cell_visits_, retries_,
+      failovers_, failed_legs_, events_lost_;
   sim::RunningStat batch_occupancy_;  ///< queries per flushed sink-group
   sim::RunningStat dedup_ratio_;      ///< serial / unique visits, per batch
 

@@ -280,6 +280,107 @@ QueryReceipt GhtSystem::query(net::NodeId sink, const RangeQuery& q) {
   return receipt;
 }
 
+QueryReceipt GhtSystem::skyline(net::NodeId sink,
+                                const storage::SkylineQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("GHT: skyline dimensionality mismatch");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+
+  // Value hashing scatters dominance-adjacent events across the whole
+  // network, so there is nothing to prune toward: flood, then every
+  // holder replies with its LOCAL skyline (an event dominated at its own
+  // home is dominated globally) and the sink merges.
+  charge_flood(sink);
+  for (net::NodeId n = 0; n < net_.size(); ++n) {
+    if (store_[n].empty()) continue;
+    if (!net_.alive(n)) {
+      // The flood just exposed a silently-dead holder: absorb the loss
+      // so no later query fabricates answers from destroyed storage.
+      handle_node_failure(n);
+      continue;
+    }
+    const auto& cs = store_[n];
+    std::vector<Event> local;
+    local.reserve(cs.size());
+    cs.for_each([&](std::size_t row) { local.push_back(cs.event_at(row)); });
+    storage::skyline_filter(q, local);
+    const auto found = static_cast<std::uint32_t>(local.size());
+    if (found == 0) continue;
+    ++receipt.index_nodes_visited;
+    bool returned = true;
+    if (n != sink) {
+      const std::uint64_t batches = sizes.reply_batches(found);
+      const std::uint64_t bits =
+          sizes.reply_bits(dims_, sizes.reply_payload(found));
+      const auto& back = send_leg(n, sink, net::MessageKind::Reply, bits);
+      returned = back.delivered;
+      for (std::uint64_t b = 1; returned && b < batches; ++b)
+        net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
+    }
+    if (returned)
+      receipt.events.insert(receipt.events.end(), local.begin(), local.end());
+  }
+
+  storage::skyline_filter(q, receipt.events);
+  const auto delta = net_.traffic() - before;
+  receipt.cost() = storage::cost_of(delta);
+  return receipt;
+}
+
+QueryReceipt GhtSystem::k_nearest(net::NodeId sink,
+                                  const storage::KNearestQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("GHT: k-NN target dimensionality mismatch");
+  if (q.initial_radius < 0.0)
+    throw ConfigError("GHT: k-NN initial radius must be positive");
+
+  QueryReceipt receipt;
+  const auto before = net_.traffic();
+  const auto& sizes = net_.sizes();
+
+  // No distance locality either: nearby values hash to unrelated homes,
+  // so an expanding ring cannot be routed. One flood; each holder
+  // replies with its local top-k and the sink keeps the best k.
+  receipt.rounds = 1;
+  charge_flood(sink);
+  for (net::NodeId n = 0; n < net_.size(); ++n) {
+    if (store_[n].empty()) continue;
+    if (!net_.alive(n)) {
+      handle_node_failure(n);
+      continue;
+    }
+    const auto& cs = store_[n];
+    std::vector<Event> local;
+    local.reserve(cs.size());
+    cs.for_each([&](std::size_t row) { local.push_back(cs.event_at(row)); });
+    storage::knn_filter(q, local);
+    const auto found = static_cast<std::uint32_t>(local.size());
+    if (found == 0) continue;
+    ++receipt.index_nodes_visited;
+    bool returned = true;
+    if (n != sink) {
+      const std::uint64_t batches = sizes.reply_batches(found);
+      const std::uint64_t bits =
+          sizes.reply_bits(dims_, sizes.reply_payload(found));
+      const auto& back = send_leg(n, sink, net::MessageKind::Reply, bits);
+      returned = back.delivered;
+      for (std::uint64_t b = 1; returned && b < batches; ++b)
+        net_.transmit_path(back.route.path, net::MessageKind::Reply, bits);
+    }
+    if (!returned) continue;
+    receipt.events.insert(receipt.events.end(), local.begin(), local.end());
+    storage::knn_filter(q, receipt.events);  // keep only the running top-k
+  }
+
+  storage::knn_filter(q, receipt.events);
+  const auto delta = net_.traffic() - before;
+  receipt.cost() = storage::cost_of(delta);
+  return receipt;
+}
+
 storage::BatchQueryReceipt GhtSystem::query_batch(
     net::NodeId sink, const std::vector<RangeQuery>& queries) {
   if (queries.size() < 2) return DcsSystem::query_batch(sink, queries);

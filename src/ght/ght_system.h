@@ -57,6 +57,19 @@ class GhtSystem final : public storage::DcsSystem {
   storage::QueryReceipt query(net::NodeId sink,
                               const storage::RangeQuery& query) override;
 
+  /// Skyline by flood: value hashing gives no dominance locality at all,
+  /// so every node is visited; each holder replies with its LOCAL skyline
+  /// and the sink merges. The flood-baseline cost Pool's corner pruning
+  /// is measured against.
+  storage::QueryReceipt skyline(net::NodeId sink,
+                                const storage::SkylineQuery& query) override;
+
+  /// k-NN by flood: no distance locality either — one network-wide flood,
+  /// each holder replies with its local top-k, the sink keeps the best k
+  /// (always a single round).
+  storage::QueryReceipt k_nearest(
+      net::NodeId sink, const storage::KNearestQuery& query) override;
+
   /// Merged multi-query execution: point queries hashing to the same home
   /// node share one probe, all range/partial queries in the batch share a
   /// SINGLE network flood, and every answering node replies once with the

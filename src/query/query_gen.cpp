@@ -14,6 +14,34 @@ const char* to_string(RangeSizeDistribution d) {
   return "?";
 }
 
+const char* to_string(QueryClassMix mix) {
+  switch (mix) {
+    case QueryClassMix::Range: return "range";
+    case QueryClassMix::Skyline: return "skyline";
+    case QueryClassMix::Knn: return "knn";
+    case QueryClassMix::Mix: return "mix";
+  }
+  return "?";
+}
+
+bool parse_query_class(const std::string& spec, QueryClassMix* out,
+                       std::string* error) {
+  if (spec == "range") {
+    *out = QueryClassMix::Range;
+  } else if (spec == "skyline") {
+    *out = QueryClassMix::Skyline;
+  } else if (spec == "knn") {
+    *out = QueryClassMix::Knn;
+  } else if (spec == "mix") {
+    *out = QueryClassMix::Mix;
+  } else {
+    *error = "bad --query-class '" + spec +
+             "' (want range, skyline, knn or mix)";
+    return false;
+  }
+  return true;
+}
+
 QueryGenerator::QueryGenerator(QueryGenConfig config, std::uint64_t seed)
     : config_(config), rng_(seed) {
   if (config.dims == 0 || config.dims > storage::kMaxDims)
@@ -92,6 +120,40 @@ RangeQuery QueryGenerator::partial_point(std::size_t m) {
   const auto perm = rng_.permutation(config_.dims);
   for (std::size_t i = 0; i < m; ++i) specified[perm[i]] = false;
   return make_partial(specified, /*point=*/true);
+}
+
+storage::SkylineQuery QueryGenerator::skyline_query() {
+  const auto count = static_cast<std::size_t>(
+      rng_.uniform_int(1, static_cast<std::int64_t>(config_.dims)));
+  FixedVec<bool, storage::kMaxDims> attrs(config_.dims, false);
+  const auto perm = rng_.permutation(config_.dims);
+  for (std::size_t i = 0; i < count; ++i) attrs[perm[i]] = true;
+  return storage::SkylineQuery(config_.dims, attrs);
+}
+
+storage::KNearestQuery QueryGenerator::knn_query(std::size_t k_max) {
+  if (k_max == 0) throw ConfigError("knn_query: k_max must be positive");
+  storage::KNearestQuery q;
+  for (std::size_t d = 0; d < config_.dims; ++d)
+    q.target.push_back(rng_.uniform());
+  q.k = static_cast<std::size_t>(
+      rng_.uniform_int(1, static_cast<std::int64_t>(k_max)));
+  return q;
+}
+
+storage::QueryRequest QueryGenerator::next(QueryClassMix mix) {
+  if (mix == QueryClassMix::Mix) {
+    switch (rng_.uniform_int(0, 2)) {
+      case 0: mix = QueryClassMix::Range; break;
+      case 1: mix = QueryClassMix::Skyline; break;
+      default: mix = QueryClassMix::Knn; break;
+    }
+  }
+  switch (mix) {
+    case QueryClassMix::Skyline: return skyline_query();
+    case QueryClassMix::Knn: return knn_query();
+    default: return exact_range();
+  }
 }
 
 }  // namespace poolnet::query

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/rng.h"
+#include "storage/query_request.h"
 #include "storage/range_query.h"
 
 namespace poolnet::query {
@@ -20,6 +22,17 @@ enum class RangeSizeDistribution {
 };
 
 const char* to_string(RangeSizeDistribution d);
+
+/// Which query class a generated workload draws (--query-class). Mix
+/// rotates uniformly across all three.
+enum class QueryClassMix { Range, Skyline, Knn, Mix };
+
+const char* to_string(QueryClassMix mix);
+
+/// Parses a --query-class spec: range | skyline | knn | mix. Returns
+/// false and sets `error` on anything else.
+bool parse_query_class(const std::string& spec, QueryClassMix* out,
+                       std::string* error);
 
 struct QueryGenConfig {
   std::size_t dims = 3;
@@ -49,6 +62,17 @@ class QueryGenerator {
 
   /// m-partial point query.
   storage::RangeQuery partial_point(std::size_t m);
+
+  /// Skyline query on a uniformly drawn non-empty attribute subset
+  /// (subset size U[1, dims], members via a random permutation).
+  storage::SkylineQuery skyline_query();
+
+  /// k-NN query with a uniform target point and k ~ U[1, k_max].
+  storage::KNearestQuery knn_query(std::size_t k_max = 8);
+
+  /// One query of the given class; Mix rotates uniformly across range
+  /// (exact_range), skyline and k-NN draws.
+  storage::QueryRequest next(QueryClassMix mix);
 
  private:
   double draw_size();

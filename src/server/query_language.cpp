@@ -105,7 +105,107 @@ struct Cursor {
 
 bool in_unit_range(double v) { return v >= 0.0 && v <= 1.0; }
 
+/// `SELECT SKYLINE [ON a<i>, a<j>, ...]` — the cursor sits after SKYLINE.
+bool parse_skyline(Cursor& cur, std::size_t dims, storage::QueryRequest* out,
+                   std::string* error) {
+  FixedVec<bool, storage::kMaxDims> attrs;
+  for (std::size_t d = 0; d < dims; ++d) attrs.push_back(false);
+  if (cur.done()) {
+    // Bare SKYLINE: dominance over every attribute.
+    *out = storage::SkylineQuery(dims);
+    return true;
+  }
+  if (!cur.expect("on", error)) return false;
+  bool first = true;
+  while (!cur.done()) {
+    if (!first && !cur.expect(",", error)) return false;
+    first = false;
+    std::size_t dim = 0;
+    if (cur.done()) {
+      *error = "dangling ',' at end of statement";
+      return false;
+    }
+    if (!parse_attr(cur.take(), dims, &dim, error)) return false;
+    if (attrs[dim]) {
+      *error = "attribute a" + std::to_string(dim) + " listed twice";
+      return false;
+    }
+    attrs[dim] = true;
+  }
+  if (first) {
+    *error = "ON needs at least one attribute";
+    return false;
+  }
+  *out = storage::SkylineQuery(dims, attrs);
+  return true;
+}
+
+/// `SELECT NEAREST <k> TO (v0, ..., v<k-1>) [WITHIN <r>]` — the cursor
+/// sits after NEAREST.
+bool parse_nearest(Cursor& cur, std::size_t dims, storage::QueryRequest* out,
+                   std::string* error) {
+  double k_raw = 0.0;
+  if (!cur.number(&k_raw, error)) return false;
+  if (k_raw < 1.0 || k_raw != static_cast<double>(
+                                  static_cast<std::uint64_t>(k_raw)) ||
+      k_raw > 1e6) {
+    *error = "NEAREST count must be a positive integer";
+    return false;
+  }
+  storage::KNearestQuery q;
+  q.k = static_cast<std::size_t>(k_raw);
+  if (!cur.expect("to", error) || !cur.expect("(", error)) return false;
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (d > 0 && !cur.expect(",", error)) return false;
+    double v = 0.0;
+    if (!cur.number(&v, error)) return false;
+    if (!in_unit_range(v)) {
+      *error = "target value " + std::to_string(d) + " must lie in [0, 1]";
+      return false;
+    }
+    q.target.push_back(v);
+  }
+  if (!cur.expect(")", error)) return false;
+  if (!cur.done()) {
+    if (!cur.expect("within", error)) return false;
+    double r = 0.0;
+    if (!cur.number(&r, error)) return false;
+    if (r <= 0.0 || r > 1.0) {
+      *error = "WITHIN radius must lie in (0, 1]";
+      return false;
+    }
+    q.initial_radius = r;
+  }
+  if (!cur.done()) {
+    *error = "trailing tokens: '" + cur.peek() + "'";
+    return false;
+  }
+  *out = q;
+  return true;
+}
+
 }  // namespace
+
+bool parse_query(const std::string& text, std::size_t dims,
+                 storage::QueryRequest* out, std::string* error) {
+  const auto tokens = tokenize(text);
+  Cursor cur{tokens};
+  if (!cur.expect("select", error)) return false;
+  if (!cur.done() && lower(cur.peek()) == "skyline") {
+    cur.take();
+    return parse_skyline(cur, dims, out, error);
+  }
+  if (!cur.done() && lower(cur.peek()) == "nearest") {
+    cur.take();
+    return parse_nearest(cur, dims, out, error);
+  }
+  storage::RangeQuery::Bounds one;
+  one.push_back(ClosedInterval{0.0, 1.0});
+  storage::RangeQuery range{one};
+  if (!parse_select(text, dims, &range, error)) return false;
+  *out = range;
+  return true;
+}
 
 bool parse_select(const std::string& text, std::size_t dims,
                   storage::RangeQuery* out, std::string* error) {
@@ -205,6 +305,38 @@ std::string to_select_text(const storage::RangeQuery& query) {
     oss << "a" << d << " IN [" << b.lo << ", " << b.hi << "]";
   }
   return oss.str();
+}
+
+std::string to_query_text(const storage::QueryRequest& request) {
+  switch (request.cls()) {
+    case storage::QueryClass::Range:
+      return to_select_text(request.range());
+    case storage::QueryClass::Skyline: {
+      const storage::SkylineQuery& q = request.skyline();
+      std::ostringstream oss;
+      oss << "SELECT SKYLINE";
+      bool any = false;
+      for (std::size_t d = 0; d < q.dims(); ++d) {
+        if (!q.on(d)) continue;
+        oss << (any ? ", " : " ON ");
+        any = true;
+        oss << "a" << d;
+      }
+      return oss.str();
+    }
+    case storage::QueryClass::KNearest: {
+      const storage::KNearestQuery& q = request.k_nearest();
+      std::ostringstream oss;
+      oss.precision(17);  // max_digits10: doubles survive the round-trip
+      oss << "SELECT NEAREST " << q.k << " TO (";
+      for (std::size_t d = 0; d < q.dims(); ++d)
+        oss << (d > 0 ? ", " : "") << q.target[d];
+      oss << ")";
+      if (q.initial_radius > 0.0) oss << " WITHIN " << q.initial_radius;
+      return oss.str();
+    }
+  }
+  return "SELECT";  // unreachable
 }
 
 }  // namespace poolnet::server

@@ -330,12 +330,12 @@ void Server::handle_query(Command& cmd) {
   ClientState& client = it->second;
 
   // Placeholder with valid bounds (RangeQuery rejects empty ones);
-  // parse_select overwrites it on success.
+  // parse_query overwrites it on success.
   storage::RangeQuery::Bounds one;
   one.push_back(ClosedInterval{0.0, 1.0});
-  storage::RangeQuery query{one};
+  storage::QueryRequest query{storage::RangeQuery{one}};
   std::string error;
-  if (!parse_select(cmd.text, config_.backend.dims, &query, &error)) {
+  if (!parse_query(cmd.text, config_.backend.dims, &query, &error)) {
     parse_errors_.inc();
     write_frame(cmd.session,
                 encode_error(cmd.request_id, ErrorCode::ParseError, error));

@@ -126,7 +126,7 @@ class Server {
 
   struct PendingQuery {
     std::uint64_t request_id = 0;
-    storage::RangeQuery query;
+    storage::QueryRequest query;
   };
 
   struct ClientState {

@@ -1,5 +1,8 @@
 #include "storage/brute_force_store.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
 #include "net/network.h"
 #include "routing/router.h"
@@ -40,28 +43,112 @@ InsertReceipt BruteForceStore::insert(net::NodeId source, const Event& event) {
   return receipt;
 }
 
+void BruteForceStore::charge_query_traffic(net::NodeId sink,
+                                           QueryReceipt& receipt) const {
+  if (network_ == nullptr || base_station_ == net::kNoNode) return;
+  const auto before = network_->traffic();
+  // Query travels to the base station; replies come back packed.
+  const auto to_bs = router_->route_to_node(sink, base_station_);
+  network_->transmit_path(to_bs.path, net::MessageKind::Query,
+                          network_->sizes().query_bits(dims_));
+  const auto back = router_->route_to_node(base_station_, sink);
+  const auto& sizes = network_->sizes();
+  const std::uint64_t reply_count =
+      std::max<std::uint64_t>(sizes.reply_batches(receipt.events.size()), 1);
+  for (std::uint64_t i = 0; i < reply_count; ++i) {
+    network_->transmit_path(
+        back.path, net::MessageKind::Reply,
+        sizes.reply_bits(dims_, sizes.reply_payload(receipt.events.size())));
+  }
+  const auto delta = network_->traffic() - before;
+  receipt.cost() = cost_of(delta);
+}
+
 QueryReceipt BruteForceStore::query(net::NodeId sink, const RangeQuery& q) {
   QueryReceipt receipt;
   receipt.events = matching(q);
   receipt.index_nodes_visited = 1;
-  if (network_ != nullptr && base_station_ != net::kNoNode) {
-    const auto before = network_->traffic();
-    // Query travels to the base station; replies come back packed.
-    const auto to_bs = router_->route_to_node(sink, base_station_);
-    network_->transmit_path(to_bs.path, net::MessageKind::Query,
-                            network_->sizes().query_bits(dims_));
-    const auto back = router_->route_to_node(base_station_, sink);
-    const auto& sizes = network_->sizes();
-    const std::uint64_t reply_count =
-        std::max<std::uint64_t>(sizes.reply_batches(receipt.events.size()), 1);
-    for (std::uint64_t i = 0; i < reply_count; ++i) {
-      network_->transmit_path(
-          back.path, net::MessageKind::Reply,
-          sizes.reply_bits(dims_, sizes.reply_payload(receipt.events.size())));
+  charge_query_traffic(sink, receipt);
+  return receipt;
+}
+
+QueryReceipt BruteForceStore::skyline(net::NodeId sink, const SkylineQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("BruteForceStore: skyline dimensionality mismatch");
+  QueryReceipt receipt;
+  std::vector<Event> cand;
+  Values corner;
+  const std::size_t blocks = store_.block_count();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    // A block whose per-attribute maxima are dominated by a collected
+    // event holds only dominated rows (every row is <= the corner on the
+    // selected subset, and the dominator beats the corner strictly
+    // somewhere) — skip it without touching its columns.
+    const double* zmax = store_.block_max(b);
+    corner.clear();
+    for (std::size_t d = 0; d < dims_; ++d) corner.push_back(zmax[d]);
+    if (!skyline_admits(q, cand, corner)) {
+      ++scan_stats_.blocks_skipped;
+      continue;
     }
-    const auto delta = network_->traffic() - before;
-    receipt.cost() = cost_of(delta);
+    const std::size_t base = b * column::kBlockRows;
+    const std::size_t rows = store_.block_rows(b);
+    scan_stats_.rows_scanned += rows;
+    scan_stats_.bytes_touched += rows * dims_ * sizeof(double);
+    for (std::size_t r = base; r < base + rows; ++r) {
+      Event e = store_.event_at(r);
+      if (skyline_admits(q, cand, e.values)) cand.push_back(std::move(e));
+    }
   }
+  skyline_filter(q, cand);
+  receipt.events = std::move(cand);
+  receipt.index_nodes_visited = 1;
+  charge_query_traffic(sink, receipt);
+  return receipt;
+}
+
+QueryReceipt BruteForceStore::k_nearest(net::NodeId sink,
+                                        const KNearestQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("BruteForceStore: k-NN dimensionality mismatch");
+  QueryReceipt receipt;
+  std::vector<Event> cand;
+  // Visit blocks in order of their zone-map lower-bound distance to the
+  // target; stop once the next block cannot beat the current k-th best
+  // (strictly — an equal-distance block may still hold a lower-id tie).
+  const std::size_t blocks = store_.block_count();
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const double* zmin = store_.block_min(b);
+    const double* zmax = store_.block_max(b);
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      const double t = q.target[d];
+      const double gap = t < zmin[d] ? zmin[d] - t : (t > zmax[d] ? t - zmax[d] : 0.0);
+      d2 += gap * gap;
+    }
+    order.emplace_back(d2, b);
+  }
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i].first > knn_kth_distance2(q, cand)) {
+      scan_stats_.blocks_skipped += order.size() - i;
+      break;
+    }
+    const std::size_t b = order[i].second;
+    const std::size_t base = b * column::kBlockRows;
+    const std::size_t rows = store_.block_rows(b);
+    scan_stats_.rows_scanned += rows;
+    scan_stats_.bytes_touched += rows * dims_ * sizeof(double);
+    for (std::size_t r = base; r < base + rows; ++r)
+      cand.push_back(store_.event_at(r));
+    knn_filter(q, cand);  // keep only the running top-k between blocks
+  }
+  receipt.events = std::move(cand);
+  receipt.rounds = 1;
+  receipt.index_nodes_visited = 1;
+  charge_query_traffic(sink, receipt);
   return receipt;
 }
 

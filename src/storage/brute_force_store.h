@@ -36,6 +36,13 @@ class BruteForceStore final : public DcsSystem {
   std::size_t dims() const override { return dims_; }
   InsertReceipt insert(net::NodeId source, const Event& event) override;
   QueryReceipt query(net::NodeId sink, const RangeQuery& query) override;
+  /// Skyline with block-level dominance pruning: a block whose zone-map
+  /// max corner is dominated by a collected event is never scanned.
+  QueryReceipt skyline(net::NodeId sink, const SkylineQuery& query) override;
+  /// k-NN scanning blocks in min-distance order, stopping once the next
+  /// block cannot beat the k-th best.
+  QueryReceipt k_nearest(net::NodeId sink,
+                         const KNearestQuery& query) override;
   AggregateReceipt aggregate(net::NodeId sink, const RangeQuery& query,
                              AggregateKind kind,
                              std::size_t value_dim) override;
@@ -64,6 +71,11 @@ class BruteForceStore final : public DcsSystem {
   const std::vector<Event>& all() const;
 
  private:
+  /// Charges the sink->base-station query leg and the packed reply legs
+  /// for `receipt.events` (the cost model query() always used); no-op in
+  /// pure-oracle mode.
+  void charge_query_traffic(net::NodeId sink, QueryReceipt& receipt) const;
+
   std::size_t dims_;
   column::ColumnStore store_{1};
   mutable column::ScanStats scan_stats_;

@@ -98,6 +98,23 @@ class ColumnStore {
   net::NodeId holder_at(std::size_t row) const { return holders_[row]; }
   bool replica_at(std::size_t row) const { return replica_[row] != 0; }
 
+  // Block-level views for scans whose veto predicate is not a rectangle
+  // (skyline dominance, k-NN shell distance). The zone maps are the same
+  // ones scan() consults; callers account their own ScanStats.
+  std::size_t block_count() const {
+    return (ids_.size() + kBlockRows - 1) / kBlockRows;
+  }
+  std::size_t block_rows(std::size_t block) const {
+    return std::min(kBlockRows, ids_.size() - block * kBlockRows);
+  }
+  /// Per-attribute minima / maxima of `block` (arrays of dims() doubles).
+  const double* block_min(std::size_t block) const {
+    return &zmin_[block * dims_];
+  }
+  const double* block_max(std::size_t block) const {
+    return &zmax_[block * dims_];
+  }
+
   Event event_at(std::size_t row) const {
     Event e;
     e.id = ids_[row];

@@ -1,0 +1,31 @@
+#include "storage/dcs_system.h"
+
+namespace poolnet::storage {
+
+QueryReceipt DcsSystem::execute(net::NodeId sink, const QueryRequest& request) {
+  switch (request.cls()) {
+    case QueryClass::Range:
+      return query(sink, request.range());
+    case QueryClass::Skyline:
+      return skyline(sink, request.skyline());
+    case QueryClass::KNearest:
+      return k_nearest(sink, request.k_nearest());
+  }
+  return {};
+}
+
+QueryReceipt DcsSystem::skyline(net::NodeId sink, const SkylineQuery& q) {
+  // Flood baseline: fetch everything, filter at the sink (local, free).
+  QueryReceipt receipt = query(sink, full_space_query(q.dims()));
+  skyline_filter(q, receipt.events);
+  return receipt;
+}
+
+QueryReceipt DcsSystem::k_nearest(net::NodeId sink, const KNearestQuery& q) {
+  QueryReceipt receipt = query(sink, full_space_query(q.dims()));
+  knn_filter(q, receipt.events);
+  receipt.rounds = 1;
+  return receipt;
+}
+
+}  // namespace poolnet::storage

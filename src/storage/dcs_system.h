@@ -13,6 +13,7 @@
 #include "net/node.h"
 #include "storage/aggregate.h"
 #include "storage/event.h"
+#include "storage/query_request.h"
 #include "storage/range_query.h"
 
 namespace poolnet::storage {
@@ -66,20 +67,34 @@ struct InsertReceipt : CostBreakdown {
   net::NodeId stored_at = net::kNoNode;  ///< node now holding the event
 };
 
-/// Result and cost breakdown of one aggregate query.
-struct AggregateReceipt : CostBreakdown {
-  AggregateResult result;
-  std::size_t index_nodes_visited = 0;
+/// The base every query-shaped receipt shares: the cost triple plus the
+/// storage-node visit count. Receipts of any class sum with operator+=
+/// (cost AND visits), so engines accumulate them without knowing which
+/// concrete receipt they hold.
+struct ResultReceipt : CostBreakdown {
+  std::size_t index_nodes_visited = 0;  ///< storage nodes that processed it
+
+  ResultReceipt& operator+=(const ResultReceipt& other) {
+    cost() += other.cost();
+    index_nodes_visited += other.index_nodes_visited;
+    return *this;
+  }
 };
 
-/// Result and cost breakdown of one query.
-struct QueryReceipt : CostBreakdown {
-  std::vector<Event> events;            ///< qualifying events, unordered
-  std::size_t index_nodes_visited = 0;  ///< storage nodes that processed it
+/// Result and cost breakdown of one aggregate query.
+struct AggregateReceipt : ResultReceipt {
+  AggregateResult result;
+};
+
+/// Result and cost breakdown of one query of any class (range, skyline,
+/// k-nearest — see QueryRequest and DcsSystem::execute).
+struct QueryReceipt : ResultReceipt {
+  std::vector<Event> events;  ///< qualifying events
+  std::size_t rounds = 0;     ///< expanding-search rounds (k-NN only)
 };
 
 /// Result of one merged multi-query execution (see query_batch).
-struct BatchQueryReceipt : CostBreakdown {
+struct BatchQueryReceipt : ResultReceipt {
   /// One receipt per input query, in input order. `events` is identical
   /// (content AND order) to what a serial query() from the same sink
   /// would have returned, and `index_nodes_visited` is that query's own
@@ -88,9 +103,8 @@ struct BatchQueryReceipt : CostBreakdown {
   /// in the batch totals below.
   std::vector<QueryReceipt> per_query;
 
-  std::size_t index_nodes_visited = 0;  ///< distinct storage nodes probed
-  std::size_t serial_cell_visits = 0;   ///< Σ per-query relevant visits
-  std::size_t unique_cell_visits = 0;   ///< deduped visits actually made
+  std::size_t serial_cell_visits = 0;  ///< Σ per-query relevant visits
+  std::size_t unique_cell_visits = 0;  ///< deduped visits actually made
 
   /// Per-hop transmissions a serial per-query execution would have
   /// charged, minus what the merged execution charged. Exact on ideal
@@ -137,6 +151,27 @@ class DcsSystem {
   /// message cost (forwarding + retrieval, the paper's metric).
   virtual QueryReceipt query(net::NodeId sink, const RangeQuery& query) = 0;
 
+  /// Evaluate one request of any class (the unified entry point — call
+  /// sites that don't care which class they hold route through here).
+  /// Non-virtual by design: systems customize per class via the query /
+  /// skyline / k_nearest virtuals, so dispatch stays in one place.
+  QueryReceipt execute(net::NodeId sink, const QueryRequest& request);
+
+  /// Skyline on the selected attribute subset: every stored event no
+  /// other stored event dominates, canonically ordered by ascending id.
+  /// The default floods — a full-space range query filtered at the sink
+  /// — which is correct for any implementation; the built-in systems
+  /// override it with distributed dominance pruning (a cell or zone whose
+  /// best corner is strictly dominated by a collected event is never
+  /// visited).
+  virtual QueryReceipt skyline(net::NodeId sink, const SkylineQuery& query);
+
+  /// The k stored events nearest to the query target in attribute space,
+  /// ordered by (distance, id). The default floods and filters at the
+  /// sink; the built-in systems override it with an expanding box search
+  /// that stops once the k-th best distance is inside the covered shell.
+  virtual QueryReceipt k_nearest(net::NodeId sink, const KNearestQuery& query);
+
   /// Evaluate several queries issued together from one sink as a single
   /// merged dissemination. Every per-query result set must be identical
   /// (content and order) to a serial query() call; only the transport may
@@ -149,8 +184,7 @@ class DcsSystem {
     batch.per_query.reserve(queries.size());
     for (const RangeQuery& q : queries) {
       QueryReceipt r = query(sink, q);
-      batch += r;
-      batch.index_nodes_visited += r.index_nodes_visited;
+      batch += r;  // ResultReceipt::+= folds cost and visits together
       batch.serial_cell_visits += r.index_nodes_visited;
       batch.unique_cell_visits += r.index_nodes_visited;
       batch.per_query.push_back(std::move(r));

@@ -78,6 +78,18 @@ class GridFile {
   /// `q` (an empty/reset zone map never overlaps).
   bool dir_zone_overlaps(PageId page, const RangeQuery& q) const;
 
+  /// Raw per-attribute zone-map bounds of `page` (full event dims, the
+  /// same arrays dir_zone_overlaps consults). A reset/empty entry reads
+  /// min = +inf, max = -inf. Scans whose veto is not a rectangle
+  /// (skyline dominance, k-NN shell distance) consult these directly.
+  const double* dir_zone_min(PageId page) const {
+    return &dir_zmin_[page * full_dims_];
+  }
+  const double* dir_zone_max(PageId page) const {
+    return &dir_zmax_[page * full_dims_];
+  }
+  std::size_t zone_dims() const { return full_dims_; }
+
  private:
   /// Slice index of value `v` along one dimension: floor(v * resolution),
   /// with v = 1.0 clamped into the last slice.

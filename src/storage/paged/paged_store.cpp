@@ -182,27 +182,115 @@ void PagedStore::matching_into(const RangeQuery& q,
             [](const Event& a, const Event& b) { return a.id < b.id; });
 }
 
+void PagedStore::charge_query_traffic(net::NodeId sink,
+                                      QueryReceipt& receipt) const {
+  if (network_ == nullptr || base_station_ == net::kNoNode) return;
+  const auto before = network_->traffic();
+  const auto to_bs = router_->route_to_node(sink, base_station_);
+  network_->transmit_path(to_bs.path, net::MessageKind::Query,
+                          network_->sizes().query_bits(dims_));
+  const auto back = router_->route_to_node(base_station_, sink);
+  const auto& sizes = network_->sizes();
+  const std::uint64_t reply_count =
+      std::max<std::uint64_t>(sizes.reply_batches(receipt.events.size()), 1);
+  for (std::uint64_t i = 0; i < reply_count; ++i) {
+    network_->transmit_path(
+        back.path, net::MessageKind::Reply,
+        sizes.reply_bits(dims_, sizes.reply_payload(receipt.events.size())));
+  }
+  const auto delta = network_->traffic() - before;
+  receipt.cost() = cost_of(delta);
+}
+
+void PagedStore::page_events_into(PageId page, std::vector<Event>& out) const {
+  auto pin = buffer_->fetch(page);
+  const PageView v = view(pin);
+  const std::size_t n = v.count();
+  scan_stats_.rows_scanned += n;
+  scan_stats_.bytes_touched += n * event_record_bytes(dims_);
+  for (std::size_t slot = 0; slot < n; ++slot) out.push_back(v.event_at(slot));
+}
+
 QueryReceipt PagedStore::query(net::NodeId sink, const RangeQuery& q) {
   QueryReceipt receipt;
   receipt.events = matching(q);
   receipt.index_nodes_visited = 1;
-  if (network_ != nullptr && base_station_ != net::kNoNode) {
-    const auto before = network_->traffic();
-    const auto to_bs = router_->route_to_node(sink, base_station_);
-    network_->transmit_path(to_bs.path, net::MessageKind::Query,
-                            network_->sizes().query_bits(dims_));
-    const auto back = router_->route_to_node(base_station_, sink);
-    const auto& sizes = network_->sizes();
-    const std::uint64_t reply_count =
-        std::max<std::uint64_t>(sizes.reply_batches(receipt.events.size()), 1);
-    for (std::uint64_t i = 0; i < reply_count; ++i) {
-      network_->transmit_path(
-          back.path, net::MessageKind::Reply,
-          sizes.reply_bits(dims_, sizes.reply_payload(receipt.events.size())));
+  charge_query_traffic(sink, receipt);
+  return receipt;
+}
+
+QueryReceipt PagedStore::skyline(net::NodeId sink, const SkylineQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("PagedStore: skyline dimensionality mismatch");
+  QueryReceipt receipt;
+  std::vector<Event> cand, page_events;
+  Values corner;
+  for (std::size_t cell = 0; cell < grid_.cell_count(); ++cell) {
+    PageId cur = grid_.chain(cell).head;
+    while (cur != kNoPage) {
+      const PageId next = grid_.dir_next(cur);
+      // The directory's max corner bounds every resident record on the
+      // selected subset — a dominated corner means a page of dominated
+      // events, vetoed before it faults into the pool.
+      const double* zmax = grid_.dir_zone_max(cur);
+      corner.clear();
+      for (std::size_t d = 0; d < dims_; ++d) corner.push_back(zmax[d]);
+      if (!skyline_admits(q, cand, corner)) {
+        ++scan_stats_.blocks_skipped;
+        cur = next;
+        continue;
+      }
+      page_events.clear();
+      page_events_into(cur, page_events);
+      for (Event& e : page_events)
+        if (skyline_admits(q, cand, e.values)) cand.push_back(std::move(e));
+      cur = next;
     }
-    const auto delta = network_->traffic() - before;
-    receipt.cost() = cost_of(delta);
   }
+  skyline_filter(q, cand);
+  receipt.events = std::move(cand);
+  receipt.index_nodes_visited = 1;
+  charge_query_traffic(sink, receipt);
+  return receipt;
+}
+
+QueryReceipt PagedStore::k_nearest(net::NodeId sink, const KNearestQuery& q) {
+  if (q.dims() != dims_)
+    throw ConfigError("PagedStore: k-NN dimensionality mismatch");
+  QueryReceipt receipt;
+  // Order every chained page by the zone map's lower-bound distance to
+  // the target; fetch in that order, stopping once the next page cannot
+  // beat the k-th best (strictly — equal distance may hide a lower id).
+  std::vector<std::pair<double, PageId>> order;
+  for (std::size_t cell = 0; cell < grid_.cell_count(); ++cell) {
+    for (PageId cur = grid_.chain(cell).head; cur != kNoPage;
+         cur = grid_.dir_next(cur)) {
+      const double* zmin = grid_.dir_zone_min(cur);
+      const double* zmax = grid_.dir_zone_max(cur);
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dims_; ++d) {
+        const double t = q.target[d];
+        const double gap =
+            t < zmin[d] ? zmin[d] - t : (t > zmax[d] ? t - zmax[d] : 0.0);
+        d2 += gap * gap;
+      }
+      order.emplace_back(d2, cur);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<Event> cand;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i].first > knn_kth_distance2(q, cand)) {
+      scan_stats_.blocks_skipped += order.size() - i;
+      break;
+    }
+    page_events_into(order[i].second, cand);
+    knn_filter(q, cand);  // keep only the running top-k between pages
+  }
+  receipt.events = std::move(cand);
+  receipt.rounds = 1;
+  receipt.index_nodes_visited = 1;
+  charge_query_traffic(sink, receipt);
   return receipt;
 }
 

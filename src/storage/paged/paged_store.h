@@ -76,6 +76,14 @@ class PagedStore final : public DcsSystem {
   std::size_t dims() const override { return dims_; }
   InsertReceipt insert(net::NodeId source, const Event& event) override;
   QueryReceipt query(net::NodeId sink, const RangeQuery& query) override;
+  /// Skyline with page-directory dominance pruning: a page whose zone-map
+  /// max corner is dominated by a collected event is skipped BEFORE it is
+  /// faulted into the pool.
+  QueryReceipt skyline(net::NodeId sink, const SkylineQuery& query) override;
+  /// k-NN fetching pages in zone-map min-distance order, stopping once
+  /// the next page cannot beat the k-th best.
+  QueryReceipt k_nearest(net::NodeId sink,
+                         const KNearestQuery& query) override;
   AggregateReceipt aggregate(net::NodeId sink, const RangeQuery& query,
                              AggregateKind kind,
                              std::size_t value_dim) override;
@@ -101,6 +109,14 @@ class PagedStore final : public DcsSystem {
 
  private:
   PageView view(const BufferManager::Pin& pin) const;
+
+  /// Charges the sink->base-station query leg and the packed reply legs
+  /// for `receipt.events` (BruteForceStore's cost model verbatim); no-op
+  /// in pure-oracle mode.
+  void charge_query_traffic(net::NodeId sink, QueryReceipt& receipt) const;
+
+  /// Appends every resident event of `page` to `out` (no filtering).
+  void page_events_into(PageId page, std::vector<Event>& out) const;
 
   /// Pops the free list or extends the file; the returned page is pinned,
   /// zeroed and formatted.

@@ -1,0 +1,173 @@
+#include "storage/query_request.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace poolnet::storage {
+
+const char* to_string(QueryClass c) {
+  switch (c) {
+    case QueryClass::Range:
+      return "range";
+    case QueryClass::Skyline:
+      return "skyline";
+    case QueryClass::KNearest:
+      return "knn";
+  }
+  return "?";
+}
+
+SkylineQuery::SkylineQuery(std::size_t dims) {
+  if (dims == 0 || dims > kMaxDims)
+    throw ConfigError("SkylineQuery: bad dimensionality");
+  attrs_.resize(dims, true);
+}
+
+SkylineQuery::SkylineQuery(std::size_t dims, FixedVec<bool, kMaxDims> attrs)
+    : attrs_(attrs) {
+  if (dims == 0 || dims > kMaxDims || attrs.size() != dims)
+    throw ConfigError("SkylineQuery: bad dimensionality");
+  if (attr_count() == 0)
+    throw ConfigError("SkylineQuery: no attributes selected");
+}
+
+std::size_t SkylineQuery::attr_count() const {
+  std::size_t n = 0;
+  for (std::size_t d = 0; d < attrs_.size(); ++d) n += attrs_[d] ? 1 : 0;
+  return n;
+}
+
+bool SkylineQuery::dominates(const Values& a, const Values& b) const {
+  bool strict = false;
+  for (std::size_t d = 0; d < attrs_.size(); ++d) {
+    if (!attrs_[d]) continue;
+    if (a[d] < b[d]) return false;
+    if (a[d] > b[d]) strict = true;
+  }
+  return strict;
+}
+
+double squared_distance(const Values& target, const Values& values) {
+  double d2 = 0.0;
+  for (std::size_t d = 0; d < target.size(); ++d) {
+    const double diff = target[d] - values[d];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+std::size_t QueryRequest::dims() const {
+  switch (cls()) {
+    case QueryClass::Range:
+      return range().dims();
+    case QueryClass::Skyline:
+      return skyline().dims();
+    case QueryClass::KNearest:
+      return k_nearest().dims();
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const QueryRequest& r) {
+  switch (r.cls()) {
+    case QueryClass::Range:
+      return os << r.range();
+    case QueryClass::Skyline: {
+      os << "skyline on {";
+      bool first = true;
+      for (std::size_t d = 0; d < r.skyline().dims(); ++d) {
+        if (!r.skyline().on(d)) continue;
+        os << (first ? "" : ",") << 'a' << d;
+        first = false;
+      }
+      return os << '}';
+    }
+    case QueryClass::KNearest: {
+      os << "nearest " << r.k_nearest().k << " to (";
+      for (std::size_t d = 0; d < r.k_nearest().dims(); ++d)
+        os << (d ? "," : "") << r.k_nearest().target[d];
+      return os << ')';
+    }
+  }
+  return os;
+}
+
+void skyline_filter(const SkylineQuery& q, std::vector<Event>& candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Event& a, const Event& b) { return a.id < b.id; });
+  std::vector<Event> keep;
+  keep.reserve(candidates.size());
+  for (const Event& e : candidates) {
+    bool dominated = false;
+    for (const Event& other : candidates) {
+      if (q.dominates(other.values, e.values)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) keep.push_back(e);
+  }
+  candidates.swap(keep);
+}
+
+bool skyline_admits(const SkylineQuery& q, const std::vector<Event>& collected,
+                    const Values& values) {
+  for (const Event& e : collected)
+    if (q.dominates(e.values, values)) return false;
+  return true;
+}
+
+void knn_filter(const KNearestQuery& q, std::vector<Event>& candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Event& a, const Event& b) {
+              const double da = squared_distance(q.target, a.values);
+              const double db = squared_distance(q.target, b.values);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  // Distributed collection can hand the same event to the sink twice
+  // (mirrors, overlapping shells); keep the first of each id.
+  std::vector<Event> keep;
+  keep.reserve(std::min(candidates.size(), q.k));
+  for (const Event& e : candidates) {
+    if (keep.size() == q.k) break;
+    bool dup = false;
+    for (const Event& k : keep)
+      if (k.id == e.id) {
+        dup = true;
+        break;
+      }
+    if (!dup) keep.push_back(e);
+  }
+  candidates.swap(keep);
+}
+
+double knn_kth_distance2(const KNearestQuery& q,
+                         const std::vector<Event>& candidates) {
+  if (q.k == 0)  // degenerate: nothing wanted, everything prunable
+    return -std::numeric_limits<double>::infinity();
+  if (candidates.size() < q.k)
+    return std::numeric_limits<double>::infinity();
+  return squared_distance(q.target, candidates[q.k - 1].values);
+}
+
+RangeQuery full_space_query(std::size_t dims) {
+  RangeQuery::Bounds bounds;
+  for (std::size_t d = 0; d < dims; ++d)
+    bounds.push_back(ClosedInterval{0.0, 1.0});
+  return RangeQuery(bounds);
+}
+
+RangeQuery box_around(const Values& target, double radius) {
+  RangeQuery::Bounds bounds;
+  for (std::size_t d = 0; d < target.size(); ++d) {
+    bounds.push_back(ClosedInterval{std::max(0.0, target[d] - radius),
+                                    std::min(1.0, target[d] + radius)});
+  }
+  return RangeQuery(bounds);
+}
+
+}  // namespace poolnet::storage

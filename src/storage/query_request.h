@@ -1,0 +1,146 @@
+// The unified query surface: Range | Skyline | KNearest (DESIGN.md §15).
+//
+// The paper's engine answers rectangle queries only, but its relevant-cell
+// machinery (Theorem 3.2) prunes any query whose answer can veto regions of
+// attribute space: a skyline query never visits a cell whose best corner is
+// already dominated, and a k-NN query stops expanding once the k-th best
+// distance is inside the searched shell. Rather than grow one virtual per
+// class on DcsSystem forever, every class is a case of one QueryRequest
+// variant dispatched through DcsSystem::execute().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <variant>
+#include <vector>
+
+#include "common/fixed_vec.h"
+#include "storage/event.h"
+#include "storage/range_query.h"
+
+namespace poolnet::storage {
+
+/// The query classes the unified surface answers.
+enum class QueryClass : std::uint8_t { Range, Skyline, KNearest };
+
+const char* to_string(QueryClass c);
+
+/// Skyline query over a chosen attribute subset, maximizing convention:
+/// `a` dominates `b` iff a >= b on every selected attribute and a > b on
+/// at least one. The answer is every stored event no other stored event
+/// dominates. Ties (equal on every selected attribute) are mutually
+/// non-dominated — both belong to the skyline.
+class SkylineQuery {
+ public:
+  /// Skyline on all `dims` attributes.
+  explicit SkylineQuery(std::size_t dims);
+
+  /// Skyline on the attribute subset with `attrs[i] == true`. At least
+  /// one attribute must be selected; throws ConfigError otherwise.
+  SkylineQuery(std::size_t dims, FixedVec<bool, kMaxDims> attrs);
+
+  std::size_t dims() const { return attrs_.size(); }
+  bool on(std::size_t dim) const { return attrs_[dim]; }
+  std::size_t attr_count() const;
+  const FixedVec<bool, kMaxDims>& attrs() const { return attrs_; }
+
+  /// True when `a` dominates `b` on the selected subset (strictly better
+  /// somewhere, never worse anywhere).
+  bool dominates(const Values& a, const Values& b) const;
+
+  friend bool operator==(const SkylineQuery& a, const SkylineQuery& b) {
+    return a.attrs_ == b.attrs_;
+  }
+
+ private:
+  FixedVec<bool, kMaxDims> attrs_;
+};
+
+/// k-nearest-event query: the k stored events closest to `target` in
+/// attribute space (Euclidean). Generalizes the PR-0 nearest_monitor
+/// entry point (k = 1, monitors) to stored events.
+struct KNearestQuery {
+  Values target;       ///< query point, each coordinate in [0, 1]
+  std::size_t k = 1;   ///< how many neighbors to return
+
+  /// First half-width of the expanding search box; 0 picks the system
+  /// default. A schedule knob only — the answer never depends on it.
+  double initial_radius = 0.0;
+
+  std::size_t dims() const { return target.size(); }
+
+  friend bool operator==(const KNearestQuery& a, const KNearestQuery& b) {
+    return a.target == b.target && a.k == b.k &&
+           a.initial_radius == b.initial_radius;
+  }
+};
+
+/// Squared Euclidean distance between a query target and event values,
+/// accumulated in dimension order. Every system computes candidate
+/// distances through this one function so float rounding is identical
+/// everywhere and k-NN results stay byte-comparable.
+double squared_distance(const Values& target, const Values& values);
+
+/// One query of any class. Converting constructors keep call sites that
+/// pass a plain RangeQuery compiling unchanged.
+class QueryRequest {
+ public:
+  QueryRequest(RangeQuery q) : req_(std::move(q)) {}          // NOLINT
+  QueryRequest(SkylineQuery q) : req_(std::move(q)) {}        // NOLINT
+  QueryRequest(KNearestQuery q) : req_(std::move(q)) {}       // NOLINT
+
+  QueryClass cls() const {
+    return static_cast<QueryClass>(req_.index());
+  }
+  std::size_t dims() const;
+
+  const RangeQuery& range() const { return std::get<RangeQuery>(req_); }
+  const SkylineQuery& skyline() const { return std::get<SkylineQuery>(req_); }
+  const KNearestQuery& k_nearest() const {
+    return std::get<KNearestQuery>(req_);
+  }
+
+  friend bool operator==(const QueryRequest& a, const QueryRequest& b) {
+    return a.req_ == b.req_;
+  }
+
+ private:
+  std::variant<RangeQuery, SkylineQuery, KNearestQuery> req_;
+};
+
+std::ostream& operator<<(std::ostream& os, const QueryRequest& r);
+
+// ---- Canonical reference algorithms -----------------------------------
+//
+// Every system reduces its distributed answer to these local kernels at
+// the sink, so cross-system results are byte-identical by construction.
+
+/// Filters `candidates` down to its skyline, canonically ordered by
+/// ascending event id. O(n * skyline) pairwise scan — candidates at the
+/// sink are already reduced by distributed pruning.
+void skyline_filter(const SkylineQuery& q, std::vector<Event>& candidates);
+
+/// True when no event in `collected` dominates `values`.
+bool skyline_admits(const SkylineQuery& q, const std::vector<Event>& collected,
+                    const Values& values);
+
+/// Reduces `candidates` to the k nearest to `q.target`, ordered by
+/// (squared distance, id) ascending — nearest first, deterministic ties.
+void knn_filter(const KNearestQuery& q, std::vector<Event>& candidates);
+
+/// The squared distance of the current k-th best in a knn_filter-ordered
+/// candidate list, or +infinity while fewer than k are held. The search
+/// may stop expanding once this is <= the covered shell radius squared.
+double knn_kth_distance2(const KNearestQuery& q,
+                         const std::vector<Event>& candidates);
+
+/// The full-space rectangle ([0,1] per dimension) — the flood baseline
+/// every class falls back to on systems without a pruning override.
+RangeQuery full_space_query(std::size_t dims);
+
+/// A centered box query of half-width `radius` around `target`, clamped
+/// to [0,1] per dimension: one shell of the expanding k-NN search.
+RangeQuery box_around(const Values& target, double radius);
+
+}  // namespace poolnet::storage

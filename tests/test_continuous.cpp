@@ -176,10 +176,15 @@ TEST(NearestMonitor, AgreesWithFreshSearchUnderRandomStream) {
     fx.pool().insert(e.source, e);
     monitor.poll();
   }
-  const auto fresh = fx.pool().nearest_event(4, target);
-  ASSERT_TRUE(fresh.nearest.has_value());
+  // The fresh search goes through the unified request surface (the
+  // deprecated nearest_event shim forwards to this same k-NN path).
+  const storage::QueryReceipt fresh =
+      fx.pool().execute(4, storage::KNearestQuery{target, 1, 0.05});
+  ASSERT_FALSE(fresh.events.empty());
   ASSERT_TRUE(monitor.nearest().has_value());
-  EXPECT_NEAR(monitor.distance(), fresh.distance, 1e-12);
+  const double fresh_distance =
+      std::sqrt(storage::squared_distance(target, fresh.events.front().values));
+  EXPECT_NEAR(monitor.distance(), fresh_distance, 1e-12);
 }
 
 TEST(NearestMonitor, PicksUpPreexistingEvents) {
